@@ -1,0 +1,233 @@
+#include "bench/bonnie.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/prng.h"
+
+namespace discfs::bench {
+namespace {
+
+constexpr char kBonnieFileName[] = "bonnie.scratch";
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// stdio-style buffered writer: putc into an 8 KiB buffer, flush per buffer.
+class BufferedWriter {
+ public:
+  BufferedWriter(FsBackend& backend, const BenchFile& file)
+      : backend_(backend), file_(file) {}
+
+  Status Putc(uint8_t c) {
+    buffer_[fill_++] = c;
+    if (fill_ == kBonnieBlockSize) {
+      return Flush();
+    }
+    return OkStatus();
+  }
+
+  Status Flush() {
+    if (fill_ == 0) {
+      return OkStatus();
+    }
+    RETURN_IF_ERROR(backend_.WriteAt(file_, offset_, buffer_, fill_));
+    offset_ += fill_;
+    fill_ = 0;
+    return OkStatus();
+  }
+
+ private:
+  FsBackend& backend_;
+  BenchFile file_;
+  uint8_t buffer_[kBonnieBlockSize];
+  size_t fill_ = 0;
+  uint64_t offset_ = 0;
+};
+
+// stdio-style buffered reader: getc from an 8 KiB read-ahead buffer.
+class BufferedReader {
+ public:
+  BufferedReader(FsBackend& backend, const BenchFile& file)
+      : backend_(backend), file_(file) {}
+
+  // Returns -1 at EOF, -2 on error.
+  int Getc() {
+    if (pos_ == fill_) {
+      auto n = backend_.ReadAt(file_, offset_, buffer_, kBonnieBlockSize);
+      if (!n.ok()) {
+        return -2;
+      }
+      if (*n == 0) {
+        return -1;
+      }
+      offset_ += *n;
+      fill_ = *n;
+      pos_ = 0;
+    }
+    return buffer_[pos_++];
+  }
+
+ private:
+  FsBackend& backend_;
+  BenchFile file_;
+  uint8_t buffer_[kBonnieBlockSize];
+  size_t fill_ = 0;
+  size_t pos_ = 0;
+  uint64_t offset_ = 0;
+};
+
+Result<BonnieResult> Finish(BonniePhase phase, FsBackend& backend,
+                            uint64_t bytes, Clock::time_point start) {
+  BonnieResult result;
+  result.phase = phase;
+  result.system = backend.name();
+  result.bytes = bytes;
+  result.seconds = Seconds(start, Clock::now());
+  result.kb_per_sec =
+      result.seconds > 0 ? (bytes / 1024.0) / result.seconds : 0;
+  return result;
+}
+
+}  // namespace
+
+const char* BonniePhaseName(BonniePhase phase) {
+  switch (phase) {
+    case BonniePhase::kSeqOutputChar:
+      return "Sequential Output (Char)";
+    case BonniePhase::kSeqOutputBlock:
+      return "Sequential Output (Block)";
+    case BonniePhase::kSeqRewrite:
+      return "Sequential Output (Rewrite)";
+    case BonniePhase::kSeqInputChar:
+      return "Sequential Input (Char)";
+    case BonniePhase::kSeqInputBlock:
+      return "Sequential Input (Block)";
+  }
+  return "?";
+}
+
+Result<BonnieResult> RunBonniePhase(FsBackend& backend, BonniePhase phase,
+                                    size_t file_mb) {
+  const uint64_t total = static_cast<uint64_t>(file_mb) * 1024 * 1024;
+
+  switch (phase) {
+    case BonniePhase::kSeqOutputChar: {
+      ASSIGN_OR_RETURN(BenchFile file, backend.CreateFile(kBonnieFileName));
+      auto start = Clock::now();
+      BufferedWriter writer(backend, file);
+      for (uint64_t i = 0; i < total; ++i) {
+        RETURN_IF_ERROR(writer.Putc(static_cast<uint8_t>(i)));
+      }
+      RETURN_IF_ERROR(writer.Flush());
+      return Finish(phase, backend, total, start);
+    }
+
+    case BonniePhase::kSeqOutputBlock: {
+      ASSIGN_OR_RETURN(BenchFile file, backend.CreateFile(kBonnieFileName));
+      Bytes block = Prng(7).NextBytes(kBonnieBlockSize);
+      auto start = Clock::now();
+      for (uint64_t off = 0; off < total; off += kBonnieBlockSize) {
+        RETURN_IF_ERROR(
+            backend.WriteAt(file, off, block.data(), block.size()));
+      }
+      return Finish(phase, backend, total, start);
+    }
+
+    case BonniePhase::kSeqRewrite: {
+      ASSIGN_OR_RETURN(BenchFile file, backend.OpenFile(kBonnieFileName));
+      Bytes block(kBonnieBlockSize);
+      auto start = Clock::now();
+      for (uint64_t off = 0; off < total; off += kBonnieBlockSize) {
+        ASSIGN_OR_RETURN(size_t n, backend.ReadAt(file, off, block.data(),
+                                                  kBonnieBlockSize));
+        if (n == 0) {
+          break;
+        }
+        block[0] ^= 0xff;  // dirty one byte, as Bonnie does
+        RETURN_IF_ERROR(backend.WriteAt(file, off, block.data(), n));
+      }
+      return Finish(phase, backend, total, start);
+    }
+
+    case BonniePhase::kSeqInputChar: {
+      ASSIGN_OR_RETURN(BenchFile file, backend.OpenFile(kBonnieFileName));
+      auto start = Clock::now();
+      BufferedReader reader(backend, file);
+      uint64_t bytes = 0;
+      uint64_t checksum = 0;
+      while (true) {
+        int c = reader.Getc();
+        if (c == -1) {
+          break;
+        }
+        if (c == -2) {
+          return IoError("read failed during char-input phase");
+        }
+        checksum += static_cast<unsigned>(c);
+        if (++bytes >= total) {
+          break;
+        }
+      }
+      // Keep the checksum observable so the loop cannot be optimized out.
+      if (checksum == 0xdeadbeef) {
+        std::fprintf(stderr, "improbable checksum\n");
+      }
+      return Finish(phase, backend, bytes, start);
+    }
+
+    case BonniePhase::kSeqInputBlock: {
+      ASSIGN_OR_RETURN(BenchFile file, backend.OpenFile(kBonnieFileName));
+      Bytes block(kBonnieBlockSize);
+      auto start = Clock::now();
+      uint64_t bytes = 0;
+      for (uint64_t off = 0; off < total; off += kBonnieBlockSize) {
+        ASSIGN_OR_RETURN(size_t n, backend.ReadAt(file, off, block.data(),
+                                                  kBonnieBlockSize));
+        if (n == 0) {
+          break;
+        }
+        bytes += n;
+      }
+      return Finish(phase, backend, bytes, start);
+    }
+  }
+  return InternalError("unknown bonnie phase");
+}
+
+Result<BonnieResult> RunBonniePhaseFresh(FsBackend& backend,
+                                         BonniePhase phase, size_t file_mb) {
+  if (phase != BonniePhase::kSeqOutputChar &&
+      phase != BonniePhase::kSeqOutputBlock) {
+    // Input/rewrite phases need the file in place first.
+    RETURN_IF_ERROR(
+        RunBonniePhase(backend, BonniePhase::kSeqOutputBlock, file_mb)
+            .status());
+  }
+  return RunBonniePhase(backend, phase, file_mb);
+}
+
+size_t BonnieFileMb(size_t default_mb) {
+  const char* env = std::getenv("DISCFS_BONNIE_MB");
+  if (env != nullptr) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return default_mb;
+}
+
+void PrintBonnieRow(const BonnieResult& result) {
+  std::printf("%-28s %-8s %8.0f K/sec   (%.2f MiB in %.3f s)\n",
+              BonniePhaseName(result.phase), result.system.c_str(),
+              result.kb_per_sec, result.bytes / (1024.0 * 1024.0),
+              result.seconds);
+  std::fflush(stdout);
+}
+
+}  // namespace discfs::bench

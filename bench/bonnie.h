@@ -1,0 +1,57 @@
+// Reimplementation of the Bonnie filesystem benchmark phases measured in
+// the paper (Figures 7-11): sequential output per-character, per-block and
+// rewrite; sequential input per-character and per-block.
+//
+// "Per-character" I/O goes through an 8 KiB stdio-style client buffer, as
+// Bonnie's putc/getc loops do; blocks are 8 KiB. The paper uses a 100 MB
+// file; the harness defaults to a smaller file for turnaround and scales
+// via DISCFS_BONNIE_MB.
+#ifndef DISCFS_BENCH_BONNIE_H_
+#define DISCFS_BENCH_BONNIE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bench/fs_backend.h"
+
+namespace discfs::bench {
+
+inline constexpr size_t kBonnieBlockSize = 8192;
+
+enum class BonniePhase {
+  kSeqOutputChar,   // Figure 7
+  kSeqOutputBlock,  // Figure 8
+  kSeqRewrite,      // Figure 9
+  kSeqInputChar,    // Figure 10
+  kSeqInputBlock,   // Figure 11
+};
+
+const char* BonniePhaseName(BonniePhase phase);
+
+struct BonnieResult {
+  BonniePhase phase;
+  std::string system;
+  uint64_t bytes = 0;
+  double seconds = 0;
+  double kb_per_sec = 0;  // the paper's reporting unit (K/sec)
+};
+
+// Runs one phase against one backend with a file of `file_mb` MiB. Output
+// phases create the file; input/rewrite phases expect it to exist (call an
+// output phase first or use RunBonniePhaseFresh).
+Result<BonnieResult> RunBonniePhase(FsBackend& backend, BonniePhase phase,
+                                    size_t file_mb);
+
+// Ensures the file exists (block-writes it if needed), then runs `phase`.
+Result<BonnieResult> RunBonniePhaseFresh(FsBackend& backend,
+                                         BonniePhase phase, size_t file_mb);
+
+// File size selection: DISCFS_BONNIE_MB env var, else `default_mb`.
+size_t BonnieFileMb(size_t default_mb = 8);
+
+// Prints one paper-style result row to stdout.
+void PrintBonnieRow(const BonnieResult& result);
+
+}  // namespace discfs::bench
+
+#endif  // DISCFS_BENCH_BONNIE_H_

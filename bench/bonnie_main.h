@@ -1,0 +1,41 @@
+// Shared driver for the five Bonnie figures (one binary per figure, per the
+// experiment index in DESIGN.md).
+#ifndef DISCFS_BENCH_BONNIE_MAIN_H_
+#define DISCFS_BENCH_BONNIE_MAIN_H_
+
+#include <cstdio>
+
+#include "bench/bonnie.h"
+
+namespace discfs::bench {
+
+inline int RunBonnieFigure(const char* figure_id, BonniePhase phase) {
+  size_t file_mb = BonnieFileMb();
+  BackendOptions opts;
+  opts.device_mib = file_mb * 2 + 64;
+  std::printf("== %s: Bonnie %s, %zu MiB file ==\n", figure_id,
+              BonniePhaseName(phase), file_mb);
+  std::printf("   (paper setup: 100 MB file, 450 MHz PIII server, 100 Mbps "
+              "Ethernet; set DISCFS_BONNIE_MB to change the file size)\n");
+
+  auto backends = MakeAllBackends(opts);
+  if (!backends.ok()) {
+    std::fprintf(stderr, "backend setup failed: %s\n",
+                 backends.status().ToString().c_str());
+    return 1;
+  }
+  for (auto& backend : *backends) {
+    auto result = RunBonniePhaseFresh(*backend, phase, file_mb);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", backend->name().c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintBonnieRow(*result);
+  }
+  return 0;
+}
+
+}  // namespace discfs::bench
+
+#endif  // DISCFS_BENCH_BONNIE_MAIN_H_

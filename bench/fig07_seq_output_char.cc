@@ -1,0 +1,7 @@
+// Figure 7: Bonnie Sequential Output (Char) — FFS vs CFS-NE vs DisCFS.
+#include "bench/bonnie_main.h"
+
+int main() {
+  return discfs::bench::RunBonnieFigure(
+      "Figure 7", discfs::bench::BonniePhase::kSeqOutputChar);
+}

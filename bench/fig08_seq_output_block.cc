@@ -1,0 +1,7 @@
+// Figure 8: Bonnie Sequential Output (Block) — FFS vs CFS-NE vs DisCFS.
+#include "bench/bonnie_main.h"
+
+int main() {
+  return discfs::bench::RunBonnieFigure(
+      "Figure 8", discfs::bench::BonniePhase::kSeqOutputBlock);
+}

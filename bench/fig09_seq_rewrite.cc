@@ -1,0 +1,7 @@
+// Figure 9: Bonnie Sequential Output (Rewrite) — FFS vs CFS-NE vs DisCFS.
+#include "bench/bonnie_main.h"
+
+int main() {
+  return discfs::bench::RunBonnieFigure(
+      "Figure 9", discfs::bench::BonniePhase::kSeqRewrite);
+}

@@ -1,0 +1,7 @@
+// Figure 10: Bonnie Sequential Input (Char) — FFS vs CFS-NE vs DisCFS.
+#include "bench/bonnie_main.h"
+
+int main() {
+  return discfs::bench::RunBonnieFigure(
+      "Figure 10", discfs::bench::BonniePhase::kSeqInputChar);
+}

@@ -1,0 +1,7 @@
+// Figure 11: Bonnie Sequential Input (Block) — FFS vs CFS-NE vs DisCFS.
+#include "bench/bonnie_main.h"
+
+int main() {
+  return discfs::bench::RunBonnieFigure(
+      "Figure 11", discfs::bench::BonniePhase::kSeqInputBlock);
+}

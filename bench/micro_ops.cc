@@ -1,0 +1,312 @@
+// Micro-benchmarks for the primitive operations of the access-control
+// mechanism (§6: "a set of micro-benchmarks which measured primitive
+// operations in the context of our access control mechanism"), plus the
+// crypto and transport primitives underneath them.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench/fs_backend.h"
+#include "src/crypto/aead.h"
+#include "src/crypto/dsa.h"
+#include "src/crypto/groups.h"
+#include "src/crypto/sha.h"
+#include "src/discfs/credentials.h"
+#include "src/discfs/host.h"
+#include "src/discfs/policy_cache.h"
+#include "src/keynote/session.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+std::function<Bytes(size_t)> BenchRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+// ----- hash / AEAD primitives -----
+
+void BM_Sha1_8K(benchmark::State& state) {
+  Bytes data = Prng(1).NextBytes(8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_Sha1_8K);
+
+void BM_Sha256_8K(benchmark::State& state) {
+  Bytes data = Prng(1).NextBytes(8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_Sha256_8K);
+
+void BM_AeadSeal_8K(benchmark::State& state) {
+  Aead aead(Bytes(32, 0x42));
+  Bytes nonce(12, 0);
+  Bytes data = Prng(1).NextBytes(8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.Seal(nonce, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_AeadSeal_8K);
+
+// ----- DSA (1024/160, the production group) -----
+
+void BM_DsaSign1024(benchmark::State& state) {
+  DsaPrivateKey key = DsaPrivateKey::Generate(Dsa1024(), BenchRand(1));
+  Bytes digest = Sha1::Hash("credential body");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Sign(digest));
+  }
+}
+BENCHMARK(BM_DsaSign1024);
+
+void BM_DsaVerify1024(benchmark::State& state) {
+  DsaPrivateKey key = DsaPrivateKey::Generate(Dsa1024(), BenchRand(1));
+  Bytes digest = Sha1::Hash("credential body");
+  DsaSignature sig = key.Sign(digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.public_key().Verify(digest, sig));
+  }
+}
+BENCHMARK(BM_DsaVerify1024);
+
+// ----- credential lifecycle -----
+
+void BM_CredentialIssue(benchmark::State& state) {
+  DsaPrivateKey issuer = DsaPrivateKey::Generate(Dsa1024(), BenchRand(1));
+  DsaPrivateKey subject = DsaPrivateKey::Generate(Dsa1024(), BenchRand(2));
+  CredentialOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IssueCredential(issuer, subject.public_key(), "666240", options));
+  }
+}
+BENCHMARK(BM_CredentialIssue);
+
+void BM_CredentialParseAndVerify(benchmark::State& state) {
+  DsaPrivateKey issuer = DsaPrivateKey::Generate(Dsa1024(), BenchRand(1));
+  DsaPrivateKey subject = DsaPrivateKey::Generate(Dsa1024(), BenchRand(2));
+  CredentialOptions options;
+  std::string text =
+      IssueCredential(issuer, subject.public_key(), "666240", options)
+          .value();
+  for (auto _ : state) {
+    auto assertion = keynote::Assertion::Parse(text);
+    benchmark::DoNotOptimize(assertion->VerifySignature());
+  }
+}
+BENCHMARK(BM_CredentialParseAndVerify);
+
+// ----- KeyNote compliance checking: delegation-chain depth sweep -----
+
+void BM_KeyNoteQueryChain(benchmark::State& state) {
+  const size_t chain_len = static_cast<size_t>(state.range(0));
+  auto rand = BenchRand(7);
+  std::vector<DsaPrivateKey> keys;
+  for (size_t i = 0; i <= chain_len; ++i) {
+    keys.push_back(DsaPrivateKey::Generate(Dsa512(), rand));
+  }
+  keynote::KeyNoteSession session(keynote::PermissionLattice::Get());
+  std::string policy =
+      "Authorizer: \"POLICY\"\n"
+      "Licensees: \"" + keys[0].public_key().ToKeyNoteString() + "\"\n"
+      "Conditions: app_domain == \"DisCFS\" -> \"RWX\";\n";
+  if (!session.AddPolicyAssertion(policy).ok()) {
+    state.SkipWithError("policy setup failed");
+    return;
+  }
+  CredentialOptions options;
+  for (size_t i = 0; i + 1 <= chain_len; ++i) {
+    auto cred = IssueCredential(keys[i], keys[i + 1].public_key(), "666240",
+                                options);
+    if (!cred.ok() || !session.AddCredential(*cred).ok()) {
+      state.SkipWithError("credential setup failed");
+      return;
+    }
+  }
+  keynote::ComplianceQuery query;
+  query.attributes = {{"app_domain", "DisCFS"}, {"HANDLE", "666240"}};
+  query.action_authorizers = {keys[chain_len].public_key().ToKeyNoteString()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Query(query));
+  }
+}
+BENCHMARK(BM_KeyNoteQueryChain)->DenseRange(1, 8);
+
+// Compliance-check cost as the persistent session accumulates unrelated
+// credentials: the checker evaluates every assertion's conditions per
+// query, so cold queries are O(session size). This is why the policy cache
+// matters beyond amortizing a single evaluation.
+void BM_KeyNoteQuerySessionSize(benchmark::State& state) {
+  const size_t n_creds = static_cast<size_t>(state.range(0));
+  auto rand = BenchRand(21);
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), rand);
+  DsaPrivateKey user = DsaPrivateKey::Generate(Dsa512(), rand);
+  keynote::KeyNoteSession session(keynote::PermissionLattice::Get());
+  std::string policy =
+      "Authorizer: \"POLICY\"\n"
+      "Licensees: \"" + admin.public_key().ToKeyNoteString() + "\"\n"
+      "Conditions: app_domain == \"DisCFS\" -> \"RWX\";\n";
+  if (!session.AddPolicyAssertion(policy).ok()) {
+    state.SkipWithError("policy setup failed");
+    return;
+  }
+  CredentialOptions options;
+  for (size_t i = 0; i < n_creds; ++i) {
+    auto cred = IssueCredential(admin, user.public_key(),
+                                std::to_string(1000 + i), options);
+    if (!cred.ok() || !session.AddCredential(*cred).ok()) {
+      state.SkipWithError("credential setup failed");
+      return;
+    }
+  }
+  keynote::ComplianceQuery query;
+  query.attributes = {{"app_domain", "DisCFS"}, {"HANDLE", "1000"}};
+  query.action_authorizers = {user.public_key().ToKeyNoteString()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Query(query));
+  }
+}
+BENCHMARK(BM_KeyNoteQuerySessionSize)->Arg(1)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PolicyCacheHit(benchmark::State& state) {
+  PolicyCache cache(128, 3600);
+  cache.Put("dsa-hex:user", 666240, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get("dsa-hex:user", 666240, 1));
+  }
+}
+BENCHMARK(BM_PolicyCacheHit);
+
+// ----- channel and RPC round trips -----
+
+void BM_SecureHandshake(benchmark::State& state) {
+  DsaPrivateKey server_key = DsaPrivateKey::Generate(Dsa1024(), BenchRand(1));
+  DsaPrivateKey client_key = DsaPrivateKey::Generate(Dsa1024(), BenchRand(2));
+  for (auto _ : state) {
+    auto transports = InProcTransport::CreatePair();
+    ChannelIdentity client_id{client_key, BenchRand(10)};
+    ChannelIdentity server_id{server_key, BenchRand(11)};
+    Result<std::unique_ptr<SecureChannel>> server_chan =
+        UnavailableError("pending");
+    std::thread server([&] {
+      server_chan =
+          SecureChannel::ServerHandshake(std::move(transports.b), server_id);
+    });
+    auto client_chan = SecureChannel::ClientHandshake(
+        std::move(transports.a), client_id, std::nullopt);
+    server.join();
+    benchmark::DoNotOptimize(client_chan);
+  }
+}
+BENCHMARK(BM_SecureHandshake)->Unit(benchmark::kMillisecond);
+
+// Fixture holding the full remote stacks alive across iterations.
+class RemoteStacks : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (cfs_client) {
+      return;
+    }
+    bench::BackendOptions opts;
+    opts.device_mib = 128;
+    cfs_backend = bench::MakeCfsNeBackend(opts).value();
+    discfs_backend = bench::MakeDiscfsBackend(opts).value();
+    cfs_file = cfs_backend->CreateFile("bench.dat").value();
+    discfs_file = discfs_backend->CreateFile("bench.dat").value();
+    Bytes block = Prng(3).NextBytes(8192);
+    (void)cfs_backend->WriteAt(cfs_file, 0, block.data(), block.size());
+    (void)discfs_backend->WriteAt(discfs_file, 0, block.data(), block.size());
+    cfs_client = true;
+  }
+
+  static std::unique_ptr<bench::FsBackend> cfs_backend;
+  static std::unique_ptr<bench::FsBackend> discfs_backend;
+  static bench::BenchFile cfs_file;
+  static bench::BenchFile discfs_file;
+  static bool cfs_client;
+};
+
+std::unique_ptr<bench::FsBackend> RemoteStacks::cfs_backend;
+std::unique_ptr<bench::FsBackend> RemoteStacks::discfs_backend;
+bench::BenchFile RemoteStacks::cfs_file;
+bench::BenchFile RemoteStacks::discfs_file;
+bool RemoteStacks::cfs_client = false;
+
+BENCHMARK_F(RemoteStacks, BM_Read8K_CfsNe)(benchmark::State& state) {
+  Bytes buf(8192);
+  for (auto _ : state) {
+    auto n = cfs_backend->ReadAt(cfs_file, 0, buf.data(), buf.size());
+    if (!n.ok()) {
+      state.SkipWithError("read failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+
+BENCHMARK_F(RemoteStacks, BM_Read8K_Discfs)(benchmark::State& state) {
+  Bytes buf(8192);
+  for (auto _ : state) {
+    auto n = discfs_backend->ReadAt(discfs_file, 0, buf.data(), buf.size());
+    if (!n.ok()) {
+      state.SkipWithError("read failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+
+BENCHMARK_F(RemoteStacks, BM_Write8K_CfsNe)(benchmark::State& state) {
+  Bytes block = Prng(4).NextBytes(8192);
+  for (auto _ : state) {
+    if (!cfs_backend->WriteAt(cfs_file, 0, block.data(), block.size()).ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+
+BENCHMARK_F(RemoteStacks, BM_Write8K_Discfs)(benchmark::State& state) {
+  Bytes block = Prng(4).NextBytes(8192);
+  for (auto _ : state) {
+    if (!discfs_backend->WriteAt(discfs_file, 0, block.data(), block.size())
+             .ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+
+void BM_Read8K_FfsLocal(benchmark::State& state) {
+  bench::BackendOptions opts;
+  opts.device_mib = 128;
+  auto backend = bench::MakeFfsBackend(opts).value();
+  auto file = backend->CreateFile("bench.dat").value();
+  Bytes block = Prng(3).NextBytes(8192);
+  (void)backend->WriteAt(file, 0, block.data(), block.size());
+  Bytes buf(8192);
+  for (auto _ : state) {
+    auto n = backend->ReadAt(file, 0, buf.data(), buf.size());
+    if (!n.ok()) {
+      state.SkipWithError("read failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_Read8K_FfsLocal);
+
+}  // namespace
+}  // namespace discfs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+#include "bench/search.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+
+#include "src/util/prng.h"
+#include "src/util/strings.h"
+
+namespace discfs::bench {
+namespace {
+
+// Deterministic C-ish file contents: declarations, braces, comments.
+std::string GenerateSourceFile(Prng& prng, size_t approx_bytes) {
+  static const char* const kWords[] = {
+      "static", "int", "void", "struct", "return", "if", "else", "for",
+      "while", "break", "continue", "sizeof", "const", "char", "uint32_t",
+      "buf", "len", "error", "inode", "vnode", "proc", "uio", "flags",
+      "curproc", "splbio", "KASSERT", "M_WAITOK", "ENOENT", "EINVAL"};
+  std::string out;
+  out.reserve(approx_bytes + 128);
+  while (out.size() < approx_bytes) {
+    size_t words_in_line = 1 + prng.NextBelow(8);
+    if (prng.NextBool(0.08)) {
+      out += "/* ";
+    }
+    for (size_t i = 0; i < words_in_line; ++i) {
+      out += kWords[prng.NextBelow(std::size(kWords))];
+      out += (i + 1 == words_in_line) ? ";" : " ";
+    }
+    if (prng.NextBool(0.08)) {
+      out += " */";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+const char* PickExtension(Prng& prng) {
+  double roll = prng.NextDouble();
+  if (roll < 0.60) {
+    return ".c";
+  }
+  if (roll < 0.85) {
+    return ".h";
+  }
+  if (roll < 0.95) {
+    return ".S";
+  }
+  return ".conf";
+}
+
+struct WcCounts {
+  uint64_t lines = 0;
+  uint64_t words = 0;
+  uint64_t bytes = 0;
+};
+
+WcCounts CountWc(const std::string& contents) {
+  WcCounts counts;
+  counts.bytes = contents.size();
+  bool in_word = false;
+  for (char c : contents) {
+    if (c == '\n') {
+      ++counts.lines;
+    }
+    bool space = (c == ' ' || c == '\n' || c == '\t');
+    if (!space && !in_word) {
+      ++counts.words;
+      in_word = true;
+    } else if (space) {
+      in_word = false;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<SourceTreeInfo> BuildSourceTree(FsBackend& backend,
+                                       const SourceTreeSpec& spec) {
+  Prng prng(spec.seed);
+  SourceTreeInfo info;
+  static const char* const kDirNames[] = {"kern",    "vfs",  "net",  "dev",
+                                          "arch",    "ufs",  "nfs",  "crypto",
+                                          "compat",  "ddb",  "isofs", "miscfs",
+                                          "netinet", "scsi", "stand", "sys",
+                                          "uvm",     "msdosfs", "ntfs", "adosfs"};
+  for (size_t d = 0; d < spec.directories; ++d) {
+    std::string dir = spec.root + "/" +
+                      kDirNames[d % std::size(kDirNames)] +
+                      (d >= std::size(kDirNames)
+                           ? StrPrintf("%zu", d / std::size(kDirNames))
+                           : "");
+    RETURN_IF_ERROR(backend.MakeDirPath(dir));
+    for (size_t f = 0; f < spec.files_per_dir; ++f) {
+      const char* ext = PickExtension(prng);
+      std::string path = dir + StrPrintf("/file%03zu%s", f, ext);
+      // Size varies 0.25x..2x around the mean.
+      size_t bytes = spec.mean_file_bytes / 4 +
+                     prng.NextBelow(spec.mean_file_bytes * 7 / 4);
+      std::string contents = GenerateSourceFile(prng, bytes);
+      RETURN_IF_ERROR(backend.WriteWholeFile(path, contents));
+      ++info.total_files;
+      info.total_bytes += contents.size();
+      if (EndsWith(path, ".c") || EndsWith(path, ".h")) {
+        ++info.c_and_h_files;
+      }
+    }
+  }
+  return info;
+}
+
+Result<SearchResult> RunSearch(FsBackend& backend,
+                               const SourceTreeSpec& spec) {
+  SearchResult result;
+  result.system = backend.name();
+  auto start = std::chrono::steady_clock::now();
+
+  std::deque<std::string> pending{spec.root};
+  while (!pending.empty()) {
+    std::string dir = pending.front();
+    pending.pop_front();
+    ASSIGN_OR_RETURN(auto entries, backend.ListDir(dir));
+    for (const auto& [name, is_dir] : entries) {
+      std::string path = dir + "/" + name;
+      if (is_dir) {
+        pending.push_back(path);
+        continue;
+      }
+      if (!EndsWith(name, ".c") && !EndsWith(name, ".h")) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(std::string contents, backend.ReadWholeFile(path));
+      WcCounts counts = CountWc(contents);
+      result.lines += counts.lines;
+      result.words += counts.words;
+      result.bytes += counts.bytes;
+      ++result.files_scanned;
+    }
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+void PrintSearchRow(const SearchResult& result) {
+  std::printf(
+      "Filesystem Search  %-8s %8.3f s   (%llu files, %llu lines, %llu "
+      "words, %.2f MiB)\n",
+      result.system.c_str(), result.seconds,
+      static_cast<unsigned long long>(result.files_scanned),
+      static_cast<unsigned long long>(result.lines),
+      static_cast<unsigned long long>(result.words),
+      result.bytes / (1024.0 * 1024.0));
+  std::fflush(stdout);
+}
+
+}  // namespace discfs::bench

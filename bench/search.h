@@ -1,0 +1,53 @@
+// The paper's Figure 12 workload: "a simple script that goes through every
+// .c and .h file of the OpenBSD kernel source code and counts the number of
+// lines, words and bytes" (wc over a kernel tree).
+//
+// We do not ship the OpenBSD tree; SourceTreeSpec generates a deterministic
+// synthetic C source tree with a comparable shape (directories of .c/.h
+// files plus non-matching files that the sweep must skip).
+#ifndef DISCFS_BENCH_SEARCH_H_
+#define DISCFS_BENCH_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bench/fs_backend.h"
+
+namespace discfs::bench {
+
+struct SourceTreeSpec {
+  uint64_t seed = 2001;
+  size_t directories = 20;
+  size_t files_per_dir = 30;   // ~25% .h, ~60% .c, rest skipped extensions
+  size_t mean_file_bytes = 24 * 1024;
+  std::string root = "/usr/src/sys";
+};
+
+struct SourceTreeInfo {
+  size_t total_files = 0;
+  size_t c_and_h_files = 0;
+  uint64_t total_bytes = 0;
+};
+
+// Builds the tree on a backend. Deterministic in the spec.
+Result<SourceTreeInfo> BuildSourceTree(FsBackend& backend,
+                                       const SourceTreeSpec& spec);
+
+struct SearchResult {
+  std::string system;
+  uint64_t files_scanned = 0;
+  uint64_t lines = 0;
+  uint64_t words = 0;
+  uint64_t bytes = 0;
+  double seconds = 0;
+};
+
+// Walks the tree, wc-counting every .c/.h file.
+Result<SearchResult> RunSearch(FsBackend& backend,
+                               const SourceTreeSpec& spec);
+
+void PrintSearchRow(const SearchResult& result);
+
+}  // namespace discfs::bench
+
+#endif  // DISCFS_BENCH_SEARCH_H_

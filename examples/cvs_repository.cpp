@@ -1,0 +1,95 @@
+// The paper's own war story (§4.2): while writing the paper, the authors
+// had no common unix group for the CVS repository and had to make it
+// world-writable. With DisCFS "the owner of the repository would simply
+// need to issue read-write certificates to all the other authors."
+#include "examples/example_util.h"
+
+using namespace discfs;
+using namespace discfs::examples;
+
+int main() {
+  Headline("CVS repository shared by five authors without a unix group");
+
+  TestBed bed = TestBed::Start();
+
+  // Stefan owns the repository.
+  DsaPrivateKey stefan = NewKey();
+  auto root = CheckedValue(bed.vfs->GetAttr(bed.vfs->root()), "root");
+  CredentialOptions rwx;
+  rwx.permissions = "RWX";
+  std::string stefan_grant = CheckedValue(
+      IssueCredential(bed.admin, stefan.public_key(),
+                      HandleString(root.inode), rwx),
+      "stefan grant");
+  auto stefan_client = bed.Connect(stefan);
+  CheckedValue(stefan_client->SubmitCredential(stefan_grant), "submit");
+  NfsFattr r = CheckedValue(stefan_client->Attach(), "attach");
+  CreateResult repo = CheckedValue(
+      stefan_client->MkdirWithCredential(r.fh, "discfs-paper", 0755),
+      "mkdir repo");
+  Step("Stefan created the repository 'discfs-paper' (handle " +
+       std::to_string(repo.attr.fh.inode) + ")");
+
+  struct Author {
+    const char* name;
+    DsaPrivateKey key;
+  };
+  std::vector<Author> authors;
+  for (const char* name : {"vassilis", "sotiris", "angelos", "jonathan"}) {
+    authors.push_back({name, NewKey()});
+  }
+
+  // Stefan issues read-write certificates to every co-author. No group
+  // file was edited; no administrator was paged.
+  std::vector<std::string> certs;
+  for (const Author& author : authors) {
+    CredentialOptions rw;
+    rw.permissions = "RW";
+    rw.comment = std::string("discfs-paper commit access for ") + author.name;
+    certs.push_back(CheckedValue(
+        IssueCredential(stefan, author.key.public_key(),
+                        HandleString(repo.attr.fh.inode), rw),
+        "author certificate"));
+    Step(std::string("issued RW certificate to ") + author.name);
+  }
+
+  // Each author connects, submits the two-link chain, and "commits" by
+  // writing a section file inside the repository. Writing inside the
+  // repository needs W on the repository directory (for CREATE); the
+  // augmented CREATE then returns per-file credentials.
+  for (size_t i = 0; i < authors.size(); ++i) {
+    auto client = bed.Connect(authors[i].key);
+    CheckedValue(client->SubmitCredential(certs[i]), "author cert");
+    CheckedValue(client->SubmitCredential(stefan_grant), "chain link");
+    std::string file = std::string("section-") + authors[i].name + ".tex";
+    CreateResult created = CheckedValue(
+        client->CreateWithCredential(repo.attr.fh, file, 0644), "commit");
+    Check(client->nfs()
+              .Write(created.attr.fh, 0,
+                     ToBytes(std::string("% section by ") + authors[i].name))
+              .status(),
+          "write section");
+    Step(std::string(authors[i].name) + " committed " + file);
+    client->Close();
+  }
+
+  // Stefan lists the repository: all four sections are there.
+  auto listing = CheckedValue(stefan_client->nfs().ReadDir(repo.attr.fh),
+                              "readdir repo");
+  Step("repository now contains:");
+  for (const NfsDirEntry& e : listing) {
+    std::printf("     %s\n", e.name.c_str());
+  }
+
+  // And the repository never became world-writable: an outsider with no
+  // certificate gets nothing.
+  DsaPrivateKey outsider = NewKey();
+  auto outsider_client = bed.Connect(outsider);
+  ExpectDenied(outsider_client->nfs().ReadDir(repo.attr.fh),
+               "outsider listing the repository");
+  outsider_client->Close();
+
+  stefan_client->Close();
+  std::printf("\nCVS repository example complete.\n");
+  return 0;
+}

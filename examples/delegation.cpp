@@ -1,0 +1,74 @@
+// Figure 1 of the paper, as a running program: delegation of privileges
+// from the administrator to Bob (1st certificate), and from Bob to Alice
+// (2nd certificate). Alice's requests are honored only when both
+// credentials accompany them, and she gets the MEET of the chain (R),
+// not what Bob holds (RW).
+#include "examples/example_util.h"
+
+using namespace discfs;
+using namespace discfs::examples;
+
+int main() {
+  Headline("Figure 1: administrator -> Bob -> Alice delegation");
+
+  TestBed bed = TestBed::Start();
+  DsaPrivateKey bob_key = NewKey();
+  DsaPrivateKey alice_key = NewKey();
+
+  // Setup: the shared paper lives on the server.
+  Check(WriteFileAt(*bed.vfs, "/paper.tex",
+                    "\\title{Secure and Flexible Global File Sharing}"),
+        "seed file");
+  InodeAttr paper = CheckedValue(ResolvePath(*bed.vfs, "/paper.tex"),
+                                 "resolve paper");
+  NfsFh paper_fh{paper.inode, paper.generation};
+  Step("server stores /paper.tex with handle " +
+       std::to_string(paper.inode));
+
+  // 1st certificate: administrator grants Bob read-write.
+  CredentialOptions rw;
+  rw.permissions = "RW";
+  rw.comment = "paper.tex for Bob";
+  std::string cert1 = CheckedValue(
+      IssueCredential(bed.admin, bob_key.public_key(),
+                      HandleString(paper.inode), rw),
+      "first certificate");
+  Step("1st certificate: admin -> Bob, \"RW\"");
+
+  // 2nd certificate: Bob grants Alice read-only — no administrator
+  // involvement whatsoever.
+  CredentialOptions ro;
+  ro.permissions = "R";
+  ro.comment = "paper.tex for Alice (read only)";
+  std::string cert2 = CheckedValue(
+      IssueCredential(bob_key, alice_key.public_key(),
+                      HandleString(paper.inode), ro),
+      "second certificate");
+  Step("2nd certificate: Bob -> Alice, \"R\" (e.g. sent by email)");
+
+  auto alice = bed.Connect(alice_key);
+  Step("Alice attaches; submits ONLY Bob's certificate to her");
+  CheckedValue(alice->SubmitCredential(cert2), "submit cert2");
+  ExpectDenied(alice->nfs().Read(paper_fh, 0, 100),
+               "read with an incomplete chain");
+
+  Step("Alice also submits the admin->Bob certificate: chain complete");
+  CheckedValue(alice->SubmitCredential(cert1), "submit cert1");
+  Bytes content = CheckedValue(alice->nfs().Read(paper_fh, 0, 100),
+                               "read paper");
+  Step("Alice reads: \"" + ToString(content) + "\"");
+
+  ExpectDenied(alice->nfs().Write(paper_fh, 0, ToBytes("edit")),
+               "Alice writing (she only has R — the meet of RW and R)");
+
+  auto bob = bed.Connect(bob_key);
+  Check(bob->nfs().Write(paper_fh, 0, ToBytes("\\title{Camera Ready}"))
+            .status(),
+        "Bob writes (he holds RW)");
+  Step("Bob edits the paper — his chain gives him RW");
+
+  alice->Close();
+  bob->Close();
+  std::printf("\ndelegation example complete.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared scaffolding for the examples: spin up a DisCFS server on
+// localhost, mint keys, and print nicely.
+#ifndef DISCFS_EXAMPLES_EXAMPLE_UTIL_H_
+#define DISCFS_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/crypto/groups.h"
+#include "src/crypto/sysrand.h"
+#include "src/discfs/action_env.h"
+#include "src/discfs/client.h"
+#include "src/discfs/credentials.h"
+#include "src/discfs/host.h"
+
+namespace discfs::examples {
+
+inline Bytes Rand(size_t n) { return SysRandomBytes(n); }
+
+inline DsaPrivateKey NewKey() {
+  return DsaPrivateKey::Generate(Dsa1024(), Rand);
+}
+
+struct TestBed {
+  std::shared_ptr<FfsVfs> vfs;
+  std::unique_ptr<DiscfsHost> host;
+  DsaPrivateKey admin;
+
+  static TestBed Start() {
+    TestBed bed{nullptr, nullptr, NewKey()};
+    auto dev = std::make_shared<MemBlockDevice>(4096, 16384);
+    auto fs = Ffs::Format(dev, FfsFormatOptions{4096});
+    if (!fs.ok()) {
+      std::fprintf(stderr, "format failed: %s\n",
+                   fs.status().ToString().c_str());
+      std::exit(1);
+    }
+    bed.vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+    DiscfsServerConfig config;
+    config.server_key = bed.admin;
+    auto host = DiscfsHost::Start(bed.vfs, std::move(config));
+    if (!host.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   host.status().ToString().c_str());
+      std::exit(1);
+    }
+    bed.host = std::move(host).value();
+    return bed;
+  }
+
+  std::unique_ptr<DiscfsClient> Connect(const DsaPrivateKey& user) {
+    ChannelIdentity identity{user, Rand};
+    auto client = DiscfsClient::Connect("127.0.0.1", host->port(), identity,
+                                        admin.public_key());
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   client.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(client).value();
+  }
+};
+
+// Dies with a message if `status` is not OK.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T CheckedValue(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+// Expects a failure; dies if the operation unexpectedly succeeded.
+template <typename T>
+inline void ExpectDenied(const Result<T>& result, const std::string& what) {
+  if (result.ok()) {
+    std::fprintf(stderr, "FATAL: %s unexpectedly succeeded\n", what.c_str());
+    std::exit(1);
+  }
+  std::printf("   [denied as expected] %s: %s\n", what.c_str(),
+              result.status().ToString().c_str());
+}
+
+inline void Headline(const char* text) { std::printf("\n== %s ==\n", text); }
+
+inline void Step(const std::string& text) {
+  std::printf(" - %s\n", text.c_str());
+}
+
+}  // namespace discfs::examples
+
+#endif  // DISCFS_EXAMPLES_EXAMPLE_UTIL_H_

@@ -1,0 +1,90 @@
+// The paper's §2 motivating scenario: Bob, a salesman, wants designated
+// clients to see advance product literature. No accounts, no group
+// changes, no administrator on the critical path: the administrator gave
+// Bob one credential for his directory long ago; Bob himself issues
+// (time-limited!) credentials to each client.
+#include "examples/example_util.h"
+
+using namespace discfs;
+using namespace discfs::examples;
+
+int main() {
+  Headline("Product launch: external clients, zero admin involvement");
+
+  TestBed bed = TestBed::Start();
+  DsaPrivateKey bob = NewKey();
+
+  // One-time setup (months ago): admin hands Bob a credential for the
+  // whole store root so he can organize his material.
+  auto root = CheckedValue(bed.vfs->GetAttr(bed.vfs->root()), "root");
+  CredentialOptions rwx;
+  rwx.permissions = "RWX";
+  std::string bob_grant = CheckedValue(
+      IssueCredential(bed.admin, bob.public_key(), HandleString(root.inode),
+                      rwx),
+      "bob grant");
+
+  auto bob_client = bed.Connect(bob);
+  CheckedValue(bob_client->SubmitCredential(bob_grant), "submit bob grant");
+  NfsFattr bob_root = CheckedValue(bob_client->Attach(), "attach");
+
+  // Bob uploads the restricted literature; the augmented MKDIR/CREATE hand
+  // him credentials for each new object.
+  CreateResult dir = CheckedValue(
+      bob_client->MkdirWithCredential(bob_root.fh, "launch-2001", 0755),
+      "mkdir launch-2001");
+  CreateResult brochure = CheckedValue(
+      bob_client->CreateWithCredential(dir.attr.fh, "brochure.txt", 0644),
+      "create brochure");
+  Check(bob_client->nfs()
+            .Write(brochure.attr.fh, 0,
+                   ToBytes("OctoWidget 3000: launching June 2001"))
+            .status(),
+        "upload brochure");
+  Step("Bob uploaded launch-2001/brochure.txt (handle " +
+       std::to_string(brochure.attr.fh.inode) + ")");
+
+  // Three clients from three different organizations. Bob emails each a
+  // read-only credential that expires at the end of the quarter.
+  for (const char* org : {"acme", "globex", "initech"}) {
+    DsaPrivateKey client_key = NewKey();
+    CredentialOptions read_only;
+    read_only.permissions = "R";
+    read_only.comment = std::string("advance brochure for ") + org;
+    // Time-limited grant (this example runs on the real clock, so pick a
+    // far-future end of quarter; see time_lock.cpp for expiry in action).
+    read_only.expires_at = "20990701000000";
+    std::string cred = CheckedValue(
+        IssueCredential(bob, client_key.public_key(),
+                        HandleString(brochure.attr.fh.inode), read_only),
+        "client credential");
+
+    auto client = bed.Connect(client_key);
+    CheckedValue(client->SubmitCredential(cred), "client submits own cred");
+    // The chain link for the brochure is the credential the augmented
+    // CREATE minted for Bob (server -> Bob on this very handle).
+    CheckedValue(client->SubmitCredential(brochure.credential),
+                 "client submits Bob's chain link");
+    // The client finds the file by the handle named in the credential.
+    NfsFattr resolved = CheckedValue(
+        client->ResolveHandle(brochure.attr.fh.inode), "resolve handle");
+    Bytes content =
+        CheckedValue(client->nfs().Read(resolved.fh, 0, 100), "read");
+    Step(std::string(org) + " reads: \"" + ToString(content) + "\"");
+    ExpectDenied(client->nfs().Write(resolved.fh, 0, ToBytes("vandalism")),
+                 std::string(org) + " attempting to write");
+    client->Close();
+  }
+
+  // A competitor who got hold of the ciphertext but no credential.
+  DsaPrivateKey lurker = NewKey();
+  auto lurker_client = bed.Connect(lurker);
+  ExpectDenied(lurker_client->ResolveHandle(brochure.attr.fh.inode),
+               "competitor resolving the handle without credentials");
+  lurker_client->Close();
+
+  bob_client->Close();
+  std::printf("\nproduct launch example complete — the administrator was "
+              "never involved.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Revocation (§4.1): "revocation ... can be done by notifying the server
+// about bad keys or credentials." Shows issuer-side withdrawal of one
+// delegation, administrator-side key revocation cascading through the
+// delegation graph, and self-revocation after a key compromise.
+#include "examples/example_util.h"
+
+using namespace discfs;
+using namespace discfs::examples;
+
+int main() {
+  Headline("Revocation: bad credentials and bad keys");
+
+  TestBed bed = TestBed::Start();
+  DsaPrivateKey bob = NewKey();
+  DsaPrivateKey alice = NewKey();
+  DsaPrivateKey eve = NewKey();
+
+  Check(WriteFileAt(*bed.vfs, "/ledger.txt", "balance: 42"), "seed");
+  InodeAttr ledger = CheckedValue(ResolvePath(*bed.vfs, "/ledger.txt"),
+                                  "resolve");
+  NfsFh fh{ledger.inode, ledger.generation};
+
+  CredentialOptions rw;
+  rw.permissions = "RW";
+  std::string admin_to_bob = CheckedValue(
+      IssueCredential(bed.admin, bob.public_key(), HandleString(ledger.inode),
+                      rw),
+      "admin->bob");
+  CredentialOptions ro;
+  ro.permissions = "R";
+  std::string bob_to_alice = CheckedValue(
+      IssueCredential(bob, alice.public_key(), HandleString(ledger.inode),
+                      ro),
+      "bob->alice");
+  std::string bob_to_eve = CheckedValue(
+      IssueCredential(bob, eve.public_key(), HandleString(ledger.inode), ro),
+      "bob->eve");
+
+  auto bob_c = bed.Connect(bob);
+  auto alice_c = bed.Connect(alice);
+  auto eve_c = bed.Connect(eve);
+  CheckedValue(bob_c->SubmitCredential(admin_to_bob), "submit");
+  CheckedValue(alice_c->SubmitCredential(bob_to_alice), "submit");
+  std::string eve_cred_id =
+      CheckedValue(eve_c->SubmitCredential(bob_to_eve), "submit");
+
+  Step("Bob, Alice and Eve can all read the ledger");
+  Check(bob_c->nfs().Read(fh, 0, 64).status(), "bob read");
+  Check(alice_c->nfs().Read(fh, 0, 64).status(), "alice read");
+  Check(eve_c->nfs().Read(fh, 0, 64).status(), "eve read");
+
+  Headline("1. Issuer withdraws one delegation");
+  Step("Bob learns Eve is leaking data and removes HER credential only");
+  Check(bob_c->RemoveCredential(eve_cred_id), "bob removes eve's credential");
+  ExpectDenied(eve_c->nfs().Read(fh, 0, 64), "Eve reading after withdrawal");
+  Check(alice_c->nfs().Read(fh, 0, 64).status(),
+        "alice still reads (her delegation is intact)");
+  Step("Alice is unaffected");
+
+  Headline("2. Administrator revokes a key: the cascade");
+  Step("the admin revokes Bob's key at the server (local operation)");
+  bed.host->server().RevokeKey(bob.public_key().ToKeyNoteString());
+  ExpectDenied(bob_c->nfs().Read(fh, 0, 64), "Bob after key revocation");
+  ExpectDenied(alice_c->nfs().Read(fh, 0, 64),
+               "Alice after her issuer's key was revoked");
+
+  Headline("3. Self-revocation on key compromise");
+  DsaPrivateKey carol = NewKey();
+  std::string admin_to_carol = CheckedValue(
+      IssueCredential(bed.admin, carol.public_key(),
+                      HandleString(ledger.inode), ro),
+      "admin->carol");
+  auto carol_c = bed.Connect(carol);
+  CheckedValue(carol_c->SubmitCredential(admin_to_carol), "submit");
+  Check(carol_c->nfs().Read(fh, 0, 64).status(), "carol reads");
+  Step("Carol's laptop is stolen; she revokes her own key");
+  Check(carol_c->RevokeOwnKey(), "self-revocation");
+  ExpectDenied(carol_c->nfs().Read(fh, 0, 64),
+               "the stolen key being used afterwards");
+
+  bob_c->Close();
+  alice_c->Close();
+  eve_c->Close();
+  carol_c->Close();
+  std::printf("\nrevocation example complete.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Conditions beyond identity: the paper's time-of-day example ("leisure-
+// related files may not be available during office hours") and credential
+// expiry, driven by a fake clock so the example is deterministic.
+#include "examples/example_util.h"
+#include "src/util/clock.h"
+
+using namespace discfs;
+using namespace discfs::examples;
+
+int main() {
+  Headline("Programmable conditions: office hours and expiry");
+
+  // A dedicated testbed with a controllable clock.
+  FakeClock clock(990615600);  // 2001-05-23 09:00:00 UTC, a Wednesday
+  DsaPrivateKey admin = NewKey();
+  auto dev = std::make_shared<MemBlockDevice>(4096, 8192);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{1024});
+  Check(fs.status(), "format");
+  auto vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+  Check(WriteFileAt(*vfs, "/solitaire-scores.txt", "high score: 9001"),
+        "seed file");
+  InodeAttr leisure = CheckedValue(ResolvePath(*vfs, "/solitaire-scores.txt"),
+                                   "resolve");
+
+  DiscfsServerConfig config;
+  config.server_key = admin;
+  config.clock = &clock;
+  config.policy_cache_ttl_s = 1;  // keep the demo responsive to time jumps
+  auto host = CheckedValue(DiscfsHost::Start(vfs, std::move(config)),
+                           "server");
+
+  DsaPrivateKey employee = NewKey();
+  ChannelIdentity identity{employee, Rand};
+  auto client = CheckedValue(
+      DiscfsClient::Connect("127.0.0.1", host->port(), identity,
+                            admin.public_key()),
+      "connect");
+
+  // Credential: readable only OUTSIDE 09:00-17:00, and only during 2001.
+  CredentialOptions options;
+  options.permissions = "R";
+  options.comment = "leisure file, after hours only";
+  options.outside_hours = std::make_pair("0900", "1700");
+  options.expires_at = "20020101000000";
+  std::string cred = CheckedValue(
+      IssueCredential(admin, employee.public_key(),
+                      HandleString(leisure.inode), options),
+      "issue");
+  std::printf("\n--- the credential ---\n%s---\n\n", cred.c_str());
+  CheckedValue(client->SubmitCredential(cred), "submit");
+
+  NfsFh fh{leisure.inode, leisure.generation};
+
+  Step("server clock: 09:00 — office hours begin");
+  ExpectDenied(client->nfs().Read(fh, 0, 100), "reading during office hours");
+
+  clock.Advance(4 * 3600);  // 13:00
+  Step("server clock: 13:00 — still office hours");
+  ExpectDenied(client->nfs().Read(fh, 0, 100), "reading at lunch");
+
+  clock.Advance(5 * 3600);  // 18:00
+  Step("server clock: 18:00 — after hours");
+  Bytes content = CheckedValue(client->nfs().Read(fh, 0, 100), "read");
+  Step("read succeeds: \"" + ToString(content) + "\"");
+
+  clock.Advance(320LL * 24 * 3600);  // well into 2002
+  Step("server clock: April 2002 — the credential has expired");
+  ExpectDenied(client->nfs().Read(fh, 0, 100), "reading after expiry");
+
+  client->Close();
+  std::printf("\ntime-lock example complete.\n");
+  return 0;
+}

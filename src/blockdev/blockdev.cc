@@ -1,0 +1,55 @@
+#include "src/blockdev/blockdev.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/util/strings.h"
+
+namespace discfs {
+
+MemBlockDevice::MemBlockDevice(uint32_t block_size, uint64_t block_count,
+                               LatencyModel latency)
+    : block_size_(block_size),
+      block_count_(block_count),
+      latency_(latency),
+      data_(static_cast<size_t>(block_size) * block_count, 0) {}
+
+void MemBlockDevice::ApplyLatency(uint64_t block) {
+  if (latency_.seek_ns == 0 && latency_.transfer_ns == 0) {
+    return;
+  }
+  uint64_t ns = latency_.transfer_ns;
+  if (last_block_ != ~0ULL && block != last_block_ + 1) {
+    ns += latency_.seek_ns;
+  }
+  if (ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
+}
+
+Status MemBlockDevice::Read(uint64_t block, uint8_t* buf) {
+  if (block >= block_count_) {
+    return OutOfRangeError(StrPrintf("read past device end: block %llu",
+                                     static_cast<unsigned long long>(block)));
+  }
+  ApplyLatency(block);
+  last_block_ = block;
+  std::memcpy(buf, data_.data() + block * block_size_, block_size_);
+  ++stats_.reads;
+  return OkStatus();
+}
+
+Status MemBlockDevice::Write(uint64_t block, const uint8_t* buf) {
+  if (block >= block_count_) {
+    return OutOfRangeError(StrPrintf("write past device end: block %llu",
+                                     static_cast<unsigned long long>(block)));
+  }
+  ApplyLatency(block);
+  last_block_ = block;
+  std::memcpy(data_.data() + block * block_size_, buf, block_size_);
+  ++stats_.writes;
+  return OkStatus();
+}
+
+}  // namespace discfs

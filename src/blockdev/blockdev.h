@@ -1,0 +1,70 @@
+// Block device abstraction under the FFS substrate.
+//
+// MemBlockDevice stands in for the paper's Quantum Fireball disk. It keeps
+// data in RAM and optionally models device latency (seek + per-block
+// transfer) so disk-bound behaviour can be studied; benchmarks default to
+// no latency model because the figures of interest are dominated by the RPC
+// path, not the disk (the paper's FFS-vs-remote gap reproduces either way).
+#ifndef DISCFS_SRC_BLOCKDEV_BLOCKDEV_H_
+#define DISCFS_SRC_BLOCKDEV_BLOCKDEV_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace discfs {
+
+struct BlockDeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint32_t block_size() const = 0;
+  virtual uint64_t block_count() const = 0;
+
+  virtual Status Read(uint64_t block, uint8_t* buf) = 0;
+  virtual Status Write(uint64_t block, const uint8_t* buf) = 0;
+
+  virtual const BlockDeviceStats& stats() const = 0;
+};
+
+struct LatencyModel {
+  // Applied per I/O: `seek_ns` when the accessed block is not adjacent to
+  // the previous one, plus `transfer_ns` always.
+  uint64_t seek_ns = 0;
+  uint64_t transfer_ns = 0;
+};
+
+class MemBlockDevice : public BlockDevice {
+ public:
+  MemBlockDevice(uint32_t block_size, uint64_t block_count,
+                 LatencyModel latency = {});
+
+  uint32_t block_size() const override { return block_size_; }
+  uint64_t block_count() const override { return block_count_; }
+
+  Status Read(uint64_t block, uint8_t* buf) override;
+  Status Write(uint64_t block, const uint8_t* buf) override;
+
+  const BlockDeviceStats& stats() const override { return stats_; }
+
+ private:
+  void ApplyLatency(uint64_t block);
+
+  uint32_t block_size_;
+  uint64_t block_count_;
+  LatencyModel latency_;
+  std::vector<uint8_t> data_;
+  uint64_t last_block_ = ~0ULL;
+  BlockDeviceStats stats_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_BLOCKDEV_BLOCKDEV_H_

@@ -1,0 +1,82 @@
+#include "src/crypto/aead.h"
+
+#include <cassert>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/poly1305.h"
+
+namespace discfs {
+namespace {
+
+void AppendLE64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PadTo16(Bytes& out, size_t len) {
+  size_t rem = len % 16;
+  if (rem != 0) {
+    out.insert(out.end(), 16 - rem, 0);
+  }
+}
+
+}  // namespace
+
+Aead::Aead(Bytes key) : key_(std::move(key)) {
+  assert(key_.size() == kKeySize);
+}
+
+Bytes Aead::MacData(const Bytes& aad, const Bytes& ciphertext) const {
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 48);
+  Append(mac_data, aad);
+  PadTo16(mac_data, aad.size());
+  Append(mac_data, ciphertext);
+  PadTo16(mac_data, ciphertext.size());
+  AppendLE64(mac_data, aad.size());
+  AppendLE64(mac_data, ciphertext.size());
+  return mac_data;
+}
+
+Bytes Aead::Seal(const Bytes& nonce, const Bytes& aad,
+                 const Bytes& plaintext) const {
+  assert(nonce.size() == kNonceSize);
+  // Poly1305 one-time key = first 32 bytes of block 0 keystream.
+  ChaCha20 block0(key_, nonce, 0);
+  uint8_t ks[ChaCha20::kBlockSize];
+  block0.KeystreamBlock(0, ks);
+  Bytes poly_key(ks, ks + 32);
+
+  ChaCha20 cipher(key_, nonce, 1);
+  Bytes ciphertext = cipher.Crypt(plaintext);
+
+  Bytes tag = Poly1305Tag(poly_key, MacData(aad, ciphertext));
+  Append(ciphertext, tag);
+  return ciphertext;
+}
+
+Result<Bytes> Aead::Open(const Bytes& nonce, const Bytes& aad,
+                         const Bytes& ciphertext_and_tag) const {
+  assert(nonce.size() == kNonceSize);
+  if (ciphertext_and_tag.size() < kTagSize) {
+    return UnauthenticatedError("AEAD record too short");
+  }
+  Bytes ciphertext(ciphertext_and_tag.begin(),
+                   ciphertext_and_tag.end() - kTagSize);
+  Bytes tag(ciphertext_and_tag.end() - kTagSize, ciphertext_and_tag.end());
+
+  ChaCha20 block0(key_, nonce, 0);
+  uint8_t ks[ChaCha20::kBlockSize];
+  block0.KeystreamBlock(0, ks);
+  Bytes poly_key(ks, ks + 32);
+
+  Bytes expected = Poly1305Tag(poly_key, MacData(aad, ciphertext));
+  if (!ConstantTimeEqual(expected, tag)) {
+    return UnauthenticatedError("AEAD tag mismatch");
+  }
+  ChaCha20 cipher(key_, nonce, 1);
+  return cipher.Crypt(ciphertext);
+}
+
+}  // namespace discfs

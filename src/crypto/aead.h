@@ -1,0 +1,35 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). This is the per-record transform
+// of the secure channel, standing in for the paper's IPsec ESP.
+#ifndef DISCFS_SRC_CRYPTO_AEAD_H_
+#define DISCFS_SRC_CRYPTO_AEAD_H_
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+class Aead {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kTagSize = 16;
+
+  explicit Aead(Bytes key);
+
+  // Returns ciphertext || 16-byte tag.
+  Bytes Seal(const Bytes& nonce, const Bytes& aad, const Bytes& plaintext) const;
+
+  // Verifies the tag and decrypts. Fails with UNAUTHENTICATED on any
+  // tampering of ciphertext, tag, nonce, or aad.
+  Result<Bytes> Open(const Bytes& nonce, const Bytes& aad,
+                     const Bytes& ciphertext_and_tag) const;
+
+ private:
+  Bytes MacData(const Bytes& aad, const Bytes& ciphertext) const;
+
+  Bytes key_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_AEAD_H_

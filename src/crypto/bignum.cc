@@ -1,0 +1,510 @@
+#include "src/crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/hex.h"
+
+namespace discfs {
+
+namespace {
+constexpr uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigNum::BigNum(uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v));
+    if (v >> 32) {
+      limbs_.push_back(static_cast<uint32_t>(v >> 32));
+    }
+  }
+}
+
+void BigNum::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigNum BigNum::FromBytes(const Bytes& be) {
+  BigNum out;
+  out.limbs_.assign((be.size() + 3) / 4, 0);
+  for (size_t i = 0; i < be.size(); ++i) {
+    size_t byte_index = be.size() - 1 - i;  // position from LSB
+    out.limbs_[i / 4] |= static_cast<uint32_t>(be[byte_index]) << (8 * (i % 4));
+  }
+  out.Normalize();
+  return out;
+}
+
+Bytes BigNum::ToBytes(size_t width) const {
+  size_t nbytes = (BitLength() + 7) / 8;
+  if (width == 0) {
+    width = std::max<size_t>(nbytes, 1);
+  }
+  Bytes out(width, 0);
+  size_t n = std::min(nbytes, width);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t limb = limbs_[i / 4];
+    out[width - 1 - i] = static_cast<uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+Result<BigNum> BigNum::FromHex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) {
+    padded.insert(padded.begin(), '0');
+  }
+  ASSIGN_OR_RETURN(Bytes bytes, HexDecode(padded));
+  return FromBytes(bytes);
+}
+
+std::string BigNum::ToHex() const {
+  if (IsZero()) {
+    return "0";
+  }
+  std::string out = HexEncode(ToBytes());
+  size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+Result<BigNum> BigNum::FromDecimal(std::string_view dec) {
+  if (dec.empty()) {
+    return InvalidArgumentError("empty decimal string");
+  }
+  BigNum out;
+  BigNum ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("invalid decimal digit");
+    }
+    out = Add(Mul(out, ten), BigNum(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+std::string BigNum::ToDecimal() const {
+  if (IsZero()) {
+    return "0";
+  }
+  std::string out;
+  BigNum n = *this;
+  BigNum ten(10);
+  while (!n.IsZero()) {
+    auto [q, r] = DivMod(n, ten);
+    out.push_back(static_cast<char>('0' + r.ToUint64()));
+    n = std::move(q);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t BigNum::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+uint64_t BigNum::ToUint64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) {
+    v = limbs_[0];
+  }
+  if (limbs_.size() > 1) {
+    v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  }
+  return v;
+}
+
+int BigNum::Compare(const BigNum& a, const BigNum& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigNum BigNum::Add(const BigNum& a, const BigNum& b) {
+  BigNum out;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) {
+      sum += a.limbs_[i];
+    }
+    if (i < b.limbs_.size()) {
+      sum += b.limbs_[i];
+    }
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::Sub(const BigNum& a, const BigNum& b) {
+  assert(Compare(a, b) >= 0 && "BigNum::Sub requires a >= b");
+  BigNum out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) {
+      diff -= b.limbs_[i];
+    }
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::Mul(const BigNum& a, const BigNum& b) {
+  if (a.IsZero() || b.IsZero()) {
+    return BigNum();
+  }
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::ShiftLeft(const BigNum& a, size_t bits) {
+  if (a.IsZero()) {
+    return BigNum();
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::ShiftRight(const BigNum& a, size_t bits) {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= a.limbs_.size()) {
+    return BigNum();
+  }
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+std::pair<BigNum, BigNum> BigNum::DivMod(const BigNum& a, const BigNum& b) {
+  assert(!b.IsZero() && "division by zero");
+  if (Compare(a, b) < 0) {
+    return {BigNum(), a};
+  }
+  // Single-limb divisor fast path.
+  if (b.limbs_.size() == 1) {
+    uint64_t d = b.limbs_[0];
+    BigNum q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    return {q, BigNum(rem)};
+  }
+
+  // Knuth TAOCP vol.2, 4.3.1, Algorithm D.
+  const size_t n = b.limbs_.size();
+  const size_t m = a.limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  uint32_t top = b.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  BigNum un = ShiftLeft(a, shift);
+  BigNum vn = ShiftLeft(b, shift);
+  un.limbs_.resize(a.limbs_.size() + 1, 0);  // extra high limb for D4
+  vn.limbs_.resize(n, 0);
+
+  BigNum q;
+  q.limbs_.assign(m + 1, 0);
+
+  const uint64_t v_hi = vn.limbs_[n - 1];
+  const uint64_t v_lo = vn.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q̂.
+    uint64_t numer =
+        (static_cast<uint64_t>(un.limbs_[j + n]) << 32) | un.limbs_[j + n - 1];
+    uint64_t qhat = numer / v_hi;
+    uint64_t rhat = numer % v_hi;
+    while (qhat >= kBase ||
+           qhat * v_lo > ((rhat << 32) | un.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_hi;
+      if (rhat >= kBase) {
+        break;
+      }
+    }
+
+    // D4: multiply and subtract.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t p = qhat * vn.limbs_[i] + carry;
+      carry = p >> 32;
+      int64_t t = static_cast<int64_t>(un.limbs_[i + j]) -
+                  static_cast<int64_t>(p & 0xffffffffu) - borrow;
+      if (t < 0) {
+        t += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un.limbs_[i + j] = static_cast<uint32_t>(t);
+    }
+    int64_t t = static_cast<int64_t>(un.limbs_[j + n]) -
+                static_cast<int64_t>(carry) - borrow;
+    bool negative = t < 0;
+    un.limbs_[j + n] = static_cast<uint32_t>(t);
+
+    // D5/D6: if we subtracted too much, add the divisor back once.
+    if (negative) {
+      --qhat;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t s =
+            static_cast<uint64_t>(un.limbs_[i + j]) + vn.limbs_[i] + c;
+        un.limbs_[i + j] = static_cast<uint32_t>(s);
+        c = s >> 32;
+      }
+      un.limbs_[j + n] = static_cast<uint32_t>(un.limbs_[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+
+  q.Normalize();
+  un.limbs_.resize(n);
+  un.Normalize();
+  BigNum r = ShiftRight(un, shift);
+  return {q, r};
+}
+
+BigNum BigNum::Mod(const BigNum& a, const BigNum& m) {
+  return DivMod(a, m).second;
+}
+
+BigNum BigNum::ModMul(const BigNum& a, const BigNum& b, const BigNum& m) {
+  return Mod(Mul(a, b), m);
+}
+
+BigNum BigNum::ModExp(const BigNum& base, const BigNum& exp, const BigNum& m) {
+  if (m.BitLength() == 1) {
+    return BigNum();  // mod 1
+  }
+  BigNum result(1);
+  BigNum b = Mod(base, m);
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = ModMul(result, result, m);
+    if (exp.Bit(i)) {
+      result = ModMul(result, b, m);
+    }
+  }
+  return result;
+}
+
+Result<BigNum> BigNum::ModInverse(const BigNum& a, const BigNum& m) {
+  // Extended Euclid, tracking only the coefficient of `a`, with an explicit
+  // sign since our BigNum is unsigned.
+  BigNum r0 = Mod(a, m);
+  BigNum r1 = m;
+  BigNum t0(1);
+  bool t0_neg = false;
+  BigNum t1;
+  bool t1_neg = false;
+  // Invariants: r0 = t0 * a (mod m), r1 = t1 * a (mod m).
+  while (!r1.IsZero()) {
+    auto [q, r2] = DivMod(r0, r1);
+    // t2 = t0 - q * t1 (signed).
+    BigNum qt = Mul(q, t1);
+    BigNum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // t0 and q*t1 have the same sign: result is t0 - qt in magnitude space.
+      if (Compare(t0, qt) >= 0) {
+        t2 = Sub(t0, qt);
+        t2_neg = t0_neg;
+      } else {
+        t2 = Sub(qt, t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = Add(t0, qt);
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (Compare(r0, BigNum(1)) != 0) {
+    return InvalidArgumentError("not invertible: gcd != 1");
+  }
+  BigNum inv = Mod(t0, m);
+  if (t0_neg && !inv.IsZero()) {
+    inv = Sub(m, inv);
+  }
+  return inv;
+}
+
+BigNum BigNum::Gcd(const BigNum& a, const BigNum& b) {
+  BigNum x = a;
+  BigNum y = b;
+  while (!y.IsZero()) {
+    BigNum r = Mod(x, y);
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+bool BigNum::IsProbablePrime(
+    const BigNum& n, int rounds,
+    const std::function<BigNum(const BigNum& excl_hi)>& rand_below) {
+  if (n.BitLength() <= 1) {
+    return false;  // 0, 1
+  }
+  uint64_t small = n.ToUint64();
+  if (n.BitLength() <= 10) {
+    if (small == 2 || small == 3) {
+      return true;
+    }
+  }
+  if (!n.IsOdd()) {
+    return false;
+  }
+  // Trial division by small primes to reject cheaply.
+  static const uint32_t kSmallPrimes[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                          29, 31, 37, 41, 43, 47, 53, 59,
+                                          61, 67, 71, 73, 79, 83, 89, 97};
+  for (uint32_t p : kSmallPrimes) {
+    BigNum bp(p);
+    if (Compare(n, bp) == 0) {
+      return true;
+    }
+    if (Mod(n, bp).IsZero()) {
+      return false;
+    }
+  }
+  // n - 1 = d * 2^s with d odd.
+  BigNum n_minus_1 = Sub(n, BigNum(1));
+  BigNum d = n_minus_1;
+  size_t s = 0;
+  while (!d.IsOdd()) {
+    d = ShiftRight(d, 1);
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    BigNum a = rand_below(n_minus_1);  // in [2, n-2]
+    BigNum x = ModExp(a, d, n);
+    if (Compare(x, BigNum(1)) == 0 || Compare(x, n_minus_1) == 0) {
+      continue;
+    }
+    bool witness = true;
+    for (size_t i = 0; i + 1 < s; ++i) {
+      x = ModMul(x, x, n);
+      if (Compare(x, n_minus_1) == 0) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BigNum BigNum::RandomBelow(const BigNum& bound,
+                           const std::function<Bytes(size_t)>& rand_bytes) {
+  assert(!bound.IsZero());
+  size_t bits = bound.BitLength();
+  size_t nbytes = (bits + 7) / 8;
+  // Rejection sampling: draw `bits` random bits until < bound.
+  while (true) {
+    Bytes raw = rand_bytes(nbytes);
+    size_t excess = nbytes * 8 - bits;
+    if (excess > 0) {
+      raw[0] &= static_cast<uint8_t>(0xff >> excess);
+    }
+    BigNum candidate = FromBytes(raw);
+    if (Compare(candidate, bound) < 0) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace discfs

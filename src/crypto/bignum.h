@@ -1,0 +1,112 @@
+// Arbitrary-precision unsigned integers for the DSA/DH substrate.
+//
+// Representation: little-endian vector of 32-bit limbs, normalized so the
+// most-significant limb is non-zero (zero is the empty vector). All values
+// are non-negative; subtraction requires a >= b. Division is Knuth vol.2
+// Algorithm D. This is deliberately a small, auditable bignum — enough for
+// 1024-bit DSA/DH at benchmark-friendly speed, not a general math library.
+#ifndef DISCFS_SRC_CRYPTO_BIGNUM_H_
+#define DISCFS_SRC_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(uint64_t v);
+
+  // Big-endian byte import/export (the network/KeyNote encoding).
+  static BigNum FromBytes(const Bytes& be);
+  // Fixed-width big-endian export, zero-padded on the left. If the value
+  // needs more than `width` bytes the result is truncated from the left
+  // (callers size width from the modulus, so this does not happen in
+  // correct use).
+  Bytes ToBytes(size_t width = 0) const;
+
+  static Result<BigNum> FromHex(std::string_view hex);
+  std::string ToHex() const;  // lowercase, no leading zeros, "0" for zero
+
+  static Result<BigNum> FromDecimal(std::string_view dec);
+  std::string ToDecimal() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  // Number of significant bits; 0 for zero.
+  size_t BitLength() const;
+  bool Bit(size_t i) const;
+  uint64_t ToUint64() const;  // low 64 bits
+
+  // -1 / 0 / +1 as a < b, a == b, a > b.
+  static int Compare(const BigNum& a, const BigNum& b);
+
+  static BigNum Add(const BigNum& a, const BigNum& b);
+  // Requires a >= b.
+  static BigNum Sub(const BigNum& a, const BigNum& b);
+  static BigNum Mul(const BigNum& a, const BigNum& b);
+  // Requires !divisor.IsZero(). Returns {quotient, remainder}.
+  static std::pair<BigNum, BigNum> DivMod(const BigNum& a, const BigNum& b);
+  static BigNum Mod(const BigNum& a, const BigNum& m);
+
+  static BigNum ShiftLeft(const BigNum& a, size_t bits);
+  static BigNum ShiftRight(const BigNum& a, size_t bits);
+
+  // (a * b) mod m, (a ^ e) mod m. Require !m.IsZero().
+  static BigNum ModMul(const BigNum& a, const BigNum& b, const BigNum& m);
+  static BigNum ModExp(const BigNum& base, const BigNum& exp, const BigNum& m);
+  // Modular inverse; error if gcd(a, m) != 1.
+  static Result<BigNum> ModInverse(const BigNum& a, const BigNum& m);
+
+  static BigNum Gcd(const BigNum& a, const BigNum& b);
+
+  // Miller-Rabin with `rounds` random bases supplied by `rand_below`
+  // (callback returning a uniform value in [2, n-2]).
+  static bool IsProbablePrime(
+      const BigNum& n, int rounds,
+      const std::function<BigNum(const BigNum& excl_hi)>& rand_below);
+
+  // Uniform value in [0, bound) from a source of random bytes.
+  static BigNum RandomBelow(const BigNum& bound,
+                            const std::function<Bytes(size_t)>& rand_bytes);
+
+  bool operator==(const BigNum& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const BigNum& o) const { return limbs_ != o.limbs_; }
+  bool operator<(const BigNum& o) const { return Compare(*this, o) < 0; }
+  bool operator<=(const BigNum& o) const { return Compare(*this, o) <= 0; }
+  bool operator>(const BigNum& o) const { return Compare(*this, o) > 0; }
+  bool operator>=(const BigNum& o) const { return Compare(*this, o) >= 0; }
+
+ private:
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;  // little-endian, no trailing zero limbs
+};
+
+inline BigNum operator+(const BigNum& a, const BigNum& b) {
+  return BigNum::Add(a, b);
+}
+inline BigNum operator-(const BigNum& a, const BigNum& b) {
+  return BigNum::Sub(a, b);
+}
+inline BigNum operator*(const BigNum& a, const BigNum& b) {
+  return BigNum::Mul(a, b);
+}
+inline BigNum operator/(const BigNum& a, const BigNum& b) {
+  return BigNum::DivMod(a, b).first;
+}
+inline BigNum operator%(const BigNum& a, const BigNum& b) {
+  return BigNum::Mod(a, b);
+}
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_BIGNUM_H_

@@ -1,0 +1,99 @@
+#include "src/crypto/chacha20.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace discfs {
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t Load32LE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32LE(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void ChaCha20::QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c,
+                            uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 7);
+}
+
+ChaCha20::ChaCha20(const Bytes& key, const Bytes& nonce, uint32_t counter)
+    : counter_(counter) {
+  assert(key.size() == kKeySize);
+  assert(nonce.size() == kNonceSize);
+  state_[0] = 0x61707865;  // "expa"
+  state_[1] = 0x3320646e;  // "nd 3"
+  state_[2] = 0x79622d32;  // "2-by"
+  state_[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = Load32LE(key.data() + 4 * i);
+  }
+  state_[12] = 0;  // set per block
+  state_[13] = Load32LE(nonce.data());
+  state_[14] = Load32LE(nonce.data() + 4);
+  state_[15] = Load32LE(nonce.data() + 8);
+}
+
+void ChaCha20::KeystreamBlock(uint32_t counter, uint8_t out[64]) const {
+  uint32_t x[16];
+  std::memcpy(x, state_, sizeof(x));
+  x[12] = counter;
+  uint32_t w[16];
+  std::memcpy(w, x, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    Store32LE(out + 4 * i, w[i] + x[i]);
+  }
+}
+
+void ChaCha20::Crypt(uint8_t* data, size_t len) {
+  uint8_t block[kBlockSize];
+  size_t off = 0;
+  while (off < len) {
+    KeystreamBlock(counter_++, block);
+    size_t take = std::min(len - off, kBlockSize);
+    for (size_t i = 0; i < take; ++i) {
+      data[off + i] ^= block[i];
+    }
+    off += take;
+  }
+}
+
+Bytes ChaCha20::Crypt(const Bytes& data) {
+  Bytes out = data;
+  Crypt(out.data(), out.size());
+  return out;
+}
+
+}  // namespace discfs

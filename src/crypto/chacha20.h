@@ -1,0 +1,39 @@
+// ChaCha20 stream cipher (RFC 8439).
+#ifndef DISCFS_SRC_CRYPTO_CHACHA20_H_
+#define DISCFS_SRC_CRYPTO_CHACHA20_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace discfs {
+
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  // key must be 32 bytes, nonce 12 bytes.
+  ChaCha20(const Bytes& key, const Bytes& nonce, uint32_t counter);
+
+  // Produces the 64-byte keystream block for `counter` into out.
+  void KeystreamBlock(uint32_t counter, uint8_t out[kBlockSize]) const;
+
+  // XORs the keystream (starting at the construction-time counter) into
+  // data in place.
+  void Crypt(uint8_t* data, size_t len);
+  Bytes Crypt(const Bytes& data);
+
+  // The RFC 8439 quarter round, exposed for unit testing against the
+  // published test vector.
+  static void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d);
+
+ private:
+  uint32_t state_[16];
+  uint32_t counter_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_CHACHA20_H_

@@ -1,0 +1,33 @@
+#include "src/crypto/dh.h"
+
+namespace discfs {
+
+DhKeyPair DhKeyPair::Generate(const DsaParams& params,
+                              const std::function<Bytes(size_t)>& rand_bytes) {
+  BigNum q_minus_1 = BigNum::Sub(params.q, BigNum(1));
+  BigNum x = BigNum::Add(BigNum::RandomBelow(q_minus_1, rand_bytes), BigNum(1));
+  return DhKeyPair(params, std::move(x));
+}
+
+Bytes DhKeyPair::PublicValue() const {
+  size_t width = params_.p.ToBytes().size();
+  return BigNum::ModExp(params_.g, x_, params_.p).ToBytes(width);
+}
+
+Result<Bytes> DhKeyPair::SharedSecret(const Bytes& peer_public) const {
+  BigNum y = BigNum::FromBytes(peer_public);
+  BigNum p_minus_1 = BigNum::Sub(params_.p, BigNum(1));
+  if (BigNum::Compare(y, BigNum(1)) <= 0 ||
+      BigNum::Compare(y, p_minus_1) >= 0) {
+    return InvalidArgumentError("DH peer value out of range");
+  }
+  // Subgroup membership: y^q == 1 (mod p).
+  if (BigNum::Compare(BigNum::ModExp(y, params_.q, params_.p), BigNum(1)) !=
+      0) {
+    return InvalidArgumentError("DH peer value not in order-q subgroup");
+  }
+  size_t width = params_.p.ToBytes().size();
+  return BigNum::ModExp(y, x_, params_.p).ToBytes(width);
+}
+
+}  // namespace discfs

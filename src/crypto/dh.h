@@ -1,0 +1,41 @@
+// Finite-field Diffie-Hellman over the order-q subgroup of a DSA group.
+// Used by the secure-channel handshake (the IKE stand-in): each side sends a
+// DSA-signed ephemeral public value; the shared secret feeds HKDF.
+#ifndef DISCFS_SRC_CRYPTO_DH_H_
+#define DISCFS_SRC_CRYPTO_DH_H_
+
+#include <functional>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/groups.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+class DhKeyPair {
+ public:
+  static DhKeyPair Generate(const DsaParams& params,
+                            const std::function<Bytes(size_t)>& rand_bytes);
+
+  // Public value g^x mod p, fixed-width big-endian (width of p).
+  Bytes PublicValue() const;
+
+  // Computes (peer_public)^x mod p, after validating that the peer value is
+  // in range and lies in the order-q subgroup (rejects small-subgroup
+  // confinement). Returns the fixed-width shared secret.
+  Result<Bytes> SharedSecret(const Bytes& peer_public) const;
+
+  const DsaParams& params() const { return params_; }
+
+ private:
+  DhKeyPair(DsaParams params, BigNum x)
+      : params_(std::move(params)), x_(std::move(x)) {}
+
+  DsaParams params_;
+  BigNum x_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_DH_H_

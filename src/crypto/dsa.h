@@ -1,0 +1,87 @@
+// DSA signatures (FIPS 186 style) with deterministic per-message nonces
+// (HMAC-SHA256-derived, in the spirit of RFC 6979).
+//
+// KeyNote principals in DisCFS are DSA public keys; credentials carry
+// "sig-dsa-sha1-hex:" signatures over their canonical body (RFC 2704).
+#ifndef DISCFS_SRC_CRYPTO_DSA_H_
+#define DISCFS_SRC_CRYPTO_DSA_H_
+
+#include <string>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/groups.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+struct DsaSignature {
+  BigNum r;
+  BigNum s;
+};
+
+class DsaPublicKey {
+ public:
+  DsaPublicKey() = default;
+  DsaPublicKey(DsaParams params, BigNum y)
+      : params_(std::move(params)), y_(std::move(y)) {}
+
+  const DsaParams& params() const { return params_; }
+  const BigNum& y() const { return y_; }
+
+  // `digest` is the message hash (SHA-1 for the classic encoding).
+  bool Verify(const Bytes& digest, const DsaSignature& sig) const;
+
+  // Serialization: length-prefixed big-endian (p, q, g, y).
+  Bytes Serialize() const;
+  static Result<DsaPublicKey> Deserialize(const Bytes& data);
+
+  // KeyNote principal encoding: "dsa-hex:<hex of Serialize()>".
+  std::string ToKeyNoteString() const;
+  static Result<DsaPublicKey> FromKeyNoteString(std::string_view s);
+
+  // Short stable identifier (hex SHA-256 prefix) for logs and indexes.
+  std::string KeyId() const;
+
+  bool operator==(const DsaPublicKey& o) const {
+    return params_ == o.params_ && y_ == o.y_;
+  }
+
+ private:
+  DsaParams params_;
+  BigNum y_;
+};
+
+class DsaPrivateKey {
+ public:
+  DsaPrivateKey() = default;
+  DsaPrivateKey(DsaParams params, BigNum x);
+
+  // Generates a key pair in `params` using `rand_bytes` for the secret.
+  static DsaPrivateKey Generate(const DsaParams& params,
+                                const std::function<Bytes(size_t)>& rand_bytes);
+
+  const DsaPublicKey& public_key() const { return public_key_; }
+
+  DsaSignature Sign(const Bytes& digest) const;
+
+  // Key-file serialization: length-prefixed (p, q, g, x). Treat the bytes
+  // as a secret.
+  Bytes Serialize() const;
+  static Result<DsaPrivateKey> Deserialize(const Bytes& data);
+
+ private:
+  DsaParams params_;
+  BigNum x_;
+  DsaPublicKey public_key_;
+};
+
+// Signature wire form used in credentials: r || s, each padded to the byte
+// width of q; "sig-dsa-sha1-hex:<hex>".
+Bytes SerializeDsaSignature(const DsaSignature& sig, const DsaParams& params);
+Result<DsaSignature> DeserializeDsaSignature(const Bytes& data,
+                                             const DsaParams& params);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_DSA_H_

@@ -1,0 +1,36 @@
+#include "src/crypto/hmac.h"
+
+#include <cassert>
+
+namespace discfs {
+
+Bytes HkdfExtract(const Bytes& salt, const Bytes& ikm) {
+  Bytes s = salt;
+  if (s.empty()) {
+    s.assign(Sha256::kDigestSize, 0);
+  }
+  return HmacSha256(s, ikm);
+}
+
+Bytes HkdfExpand(const Bytes& prk, const Bytes& info, size_t length) {
+  assert(length <= 255 * Sha256::kDigestSize);
+  Bytes out;
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    Append(block, info);
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    Append(out, t);
+  }
+  out.resize(length);
+  return out;
+}
+
+Bytes HkdfSha256(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+                 size_t length) {
+  return HkdfExpand(HkdfExtract(salt, ikm), info, length);
+}
+
+}  // namespace discfs

@@ -1,0 +1,17 @@
+// Poly1305 one-time authenticator (RFC 8439).
+#ifndef DISCFS_SRC_CRYPTO_POLY1305_H_
+#define DISCFS_SRC_CRYPTO_POLY1305_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace discfs {
+
+// Computes the 16-byte Poly1305 tag of `message` under the 32-byte one-time
+// `key` (r || s).
+Bytes Poly1305Tag(const Bytes& key, const Bytes& message);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_POLY1305_H_

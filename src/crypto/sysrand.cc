@@ -1,0 +1,23 @@
+#include "src/crypto/sysrand.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace discfs {
+
+Bytes SysRandomBytes(size_t n) {
+  static FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom == nullptr) {
+    std::fprintf(stderr, "fatal: cannot open /dev/urandom\n");
+    std::abort();
+  }
+  Bytes out(n);
+  size_t got = std::fread(out.data(), 1, n, urandom);
+  if (got != n) {
+    std::fprintf(stderr, "fatal: short read from /dev/urandom\n");
+    std::abort();
+  }
+  return out;
+}
+
+}  // namespace discfs

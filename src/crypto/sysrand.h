@@ -1,0 +1,15 @@
+// OS randomness for key material (reads /dev/urandom).
+#ifndef DISCFS_SRC_CRYPTO_SYSRAND_H_
+#define DISCFS_SRC_CRYPTO_SYSRAND_H_
+
+#include "src/util/bytes.h"
+
+namespace discfs {
+
+// Fills `n` bytes from the OS CSPRNG. Aborts the process if the OS source
+// is unavailable (a machine without /dev/urandom cannot run securely at all).
+Bytes SysRandomBytes(size_t n);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_SYSRAND_H_

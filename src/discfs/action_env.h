@@ -1,0 +1,36 @@
+// Builds the KeyNote action attribute set for an NFS operation — the
+// policy-visible description of "who is doing what to which file when".
+//
+// Attributes provided to every query:
+//   app_domain   "DisCFS"                         (paper Figure 5)
+//   HANDLE       decimal inode number             (paper Figure 5)
+//   operation    NFS procedure name ("read", "write", ...)
+//   perm_needed  the RWX mask name the operation requires ("R", "W", ...)
+//   time_of_day  "HHMM"   — enables the paper's office-hours example
+//   date         "YYYYMMDD"
+//   timestamp    "YYYYMMDDhhmmss"
+//   weekday      "0".."6" (Sunday = 0)
+#ifndef DISCFS_SRC_DISCFS_ACTION_ENV_H_
+#define DISCFS_SRC_DISCFS_ACTION_ENV_H_
+
+#include <string>
+
+#include "src/keynote/expr.h"
+#include "src/nfs/protocol.h"
+#include "src/util/clock.h"
+
+namespace discfs {
+
+inline constexpr char kAppDomain[] = "DisCFS";
+
+// Decimal HANDLE string for a file (the paper uses the bare inode number).
+std::string HandleString(uint32_t inode);
+
+const char* NfsProcName(NfsProc proc);
+
+keynote::AttributeMap BuildActionEnv(NfsProc proc, uint32_t inode,
+                                     uint32_t needed_mask, const Clock& clock);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_ACTION_ENV_H_

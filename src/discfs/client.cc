@@ -1,0 +1,109 @@
+#include "src/discfs/client.h"
+
+#include "src/wire/xdr.h"
+
+namespace discfs {
+
+DiscfsClient::DiscfsClient(std::shared_ptr<RpcClient> rpc,
+                           DsaPublicKey server_key, DsaPublicKey own_key)
+    : rpc_(std::move(rpc)),
+      nfs_(std::make_unique<NfsClient>(rpc_)),
+      server_key_(std::move(server_key)),
+      own_key_(std::move(own_key)) {}
+
+Result<std::unique_ptr<DiscfsClient>> DiscfsClient::Connect(
+    const std::string& host, uint16_t port, const ChannelIdentity& identity,
+    const std::optional<DsaPublicKey>& expected_server) {
+  ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> transport,
+                   TcpTransport::Connect(host, port));
+  return ConnectOver(std::move(transport), identity, expected_server);
+}
+
+Result<std::unique_ptr<DiscfsClient>> DiscfsClient::ConnectOver(
+    std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity,
+    const std::optional<DsaPublicKey>& expected_server) {
+  ASSIGN_OR_RETURN(std::unique_ptr<SecureChannel> channel,
+                   SecureChannel::ClientHandshake(std::move(transport),
+                                                  identity, expected_server));
+  DsaPublicKey server_key = channel->peer_key();
+  auto rpc = std::make_shared<RpcClient>(std::move(channel));
+  return std::unique_ptr<DiscfsClient>(new DiscfsClient(
+      std::move(rpc), std::move(server_key), identity.key.public_key()));
+}
+
+Result<Bytes> DiscfsClient::Call(DiscfsProc proc, const Bytes& args) {
+  return rpc_->Call(kDiscfsProgram, static_cast<uint32_t>(proc), args);
+}
+
+Result<NfsFattr> DiscfsClient::Attach() { return nfs_->GetRoot(); }
+
+Result<std::string> DiscfsClient::SubmitCredential(const std::string& text) {
+  XdrWriter w;
+  w.PutString(text);
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kSubmitCredential, w.Take()));
+  XdrReader r(reply);
+  return r.GetString();
+}
+
+Status DiscfsClient::RemoveCredential(const std::string& credential_id) {
+  XdrWriter w;
+  w.PutString(credential_id);
+  return Call(DiscfsProc::kRemoveCredential, w.Take()).status();
+}
+
+Status DiscfsClient::RevokeOwnKey() {
+  XdrWriter w;
+  w.PutString(own_key_.ToKeyNoteString());
+  return Call(DiscfsProc::kRevokeKey, w.Take()).status();
+}
+
+Result<CreateResult> DiscfsClient::CreateWithCredential(
+    const NfsFh& dir, const std::string& name, uint32_t mode) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  w.PutU32(mode);
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kCreateReturnsCred, w.Take()));
+  XdrReader r(reply);
+  CreateResult result;
+  ASSIGN_OR_RETURN(result.attr, ReadFattr(r));
+  ASSIGN_OR_RETURN(result.credential, r.GetString(1 << 20));
+  return result;
+}
+
+Result<CreateResult> DiscfsClient::MkdirWithCredential(const NfsFh& dir,
+                                                       const std::string& name,
+                                                       uint32_t mode) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  w.PutU32(mode);
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kMkdirReturnsCred, w.Take()));
+  XdrReader r(reply);
+  CreateResult result;
+  ASSIGN_OR_RETURN(result.attr, ReadFattr(r));
+  ASSIGN_OR_RETURN(result.credential, r.GetString(1 << 20));
+  return result;
+}
+
+Result<NfsFattr> DiscfsClient::ResolveHandle(uint32_t inode) {
+  XdrWriter w;
+  w.PutU32(inode);
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kResolveHandle, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Result<DiscfsServerInfo> DiscfsClient::ServerInfo() {
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kServerInfo, {}));
+  XdrReader r(reply);
+  DiscfsServerInfo info;
+  ASSIGN_OR_RETURN(info.server_principal, r.GetString(1 << 20));
+  ASSIGN_OR_RETURN(info.keynote_queries, r.GetU64());
+  ASSIGN_OR_RETURN(info.cache_hits, r.GetU64());
+  ASSIGN_OR_RETURN(info.cache_misses, r.GetU64());
+  ASSIGN_OR_RETURN(info.credential_count, r.GetU32());
+  return info;
+}
+
+}  // namespace discfs

@@ -1,0 +1,93 @@
+// DiscfsClient — the cattach-style client (§5): connects over the secure
+// channel (establishing the identity binding), attaches the remote root,
+// submits credentials, and performs NFS file I/O plus the DisCFS-specific
+// procedures.
+#ifndef DISCFS_SRC_DISCFS_CLIENT_H_
+#define DISCFS_SRC_DISCFS_CLIENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/crypto/dsa.h"
+#include "src/discfs/protocol.h"
+#include "src/nfs/nfs_client.h"
+#include "src/securechannel/channel.h"
+
+namespace discfs {
+
+struct DiscfsServerInfo {
+  std::string server_principal;
+  uint64_t keynote_queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint32_t credential_count = 0;
+};
+
+struct CreateResult {
+  NfsFattr attr;
+  std::string credential;  // full access for the creator; delegate freely
+};
+
+class DiscfsClient {
+ public:
+  // Connects to host:port, runs the handshake with `identity`, and pins the
+  // server key if `expected_server` is given (self-certifying attach).
+  static Result<std::unique_ptr<DiscfsClient>> Connect(
+      const std::string& host, uint16_t port, const ChannelIdentity& identity,
+      const std::optional<DsaPublicKey>& expected_server);
+
+  // In-process variant over an arbitrary transport (tests, benchmarks).
+  static Result<std::unique_ptr<DiscfsClient>> ConnectOver(
+      std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity,
+      const std::optional<DsaPublicKey>& expected_server);
+
+  // The attach operation: returns the root handle. Until credentials are
+  // submitted the directory is mode 000 and every data operation fails.
+  Result<NfsFattr> Attach();
+
+  // Submits a credential assertion to the server's persistent KeyNote
+  // session; returns the credential id.
+  Result<std::string> SubmitCredential(const std::string& text);
+  // Issuer-side withdrawal of a delegation.
+  Status RemoveCredential(const std::string& credential_id);
+  // Self-revocation of this client's key (compromise recovery).
+  Status RevokeOwnKey();
+
+  // Augmented CREATE/MKDIR that return a fresh full-access credential for
+  // the creator.
+  Result<CreateResult> CreateWithCredential(const NfsFh& dir,
+                                            const std::string& name,
+                                            uint32_t mode);
+  Result<CreateResult> MkdirWithCredential(const NfsFh& dir,
+                                           const std::string& name,
+                                           uint32_t mode);
+
+  // Resolves a credential HANDLE (inode number) to a live file handle.
+  Result<NfsFattr> ResolveHandle(uint32_t inode);
+
+  Result<DiscfsServerInfo> ServerInfo();
+
+  // Plain NFS operations (policy-checked server-side).
+  NfsClient& nfs() { return *nfs_; }
+
+  const DsaPublicKey& server_key() const { return server_key_; }
+  const DsaPublicKey& own_key() const { return own_key_; }
+
+  void Close() { rpc_->Close(); }
+
+ private:
+  DiscfsClient(std::shared_ptr<RpcClient> rpc, DsaPublicKey server_key,
+               DsaPublicKey own_key);
+
+  Result<Bytes> Call(DiscfsProc proc, const Bytes& args);
+
+  std::shared_ptr<RpcClient> rpc_;
+  std::unique_ptr<NfsClient> nfs_;
+  DsaPublicKey server_key_;
+  DsaPublicKey own_key_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_CLIENT_H_

@@ -1,0 +1,53 @@
+// Helpers for minting DisCFS credentials — the Figure 5 shape:
+//
+//   Authorizer: "dsa-hex:..."          (issuer)
+//   Licensees:  "dsa-hex:..."          (subject)
+//   Conditions: (app_domain == "DisCFS") && (HANDLE == "<inode>") -> "RWX";
+//   Comment:    <file name>
+//   Signature:  "sig-dsa-sha1-hex:..."
+//
+// Options add expiration (timestamp comparison) and time-of-day windows,
+// both expressible in plain KeyNote; these helpers just compose the strings.
+#ifndef DISCFS_SRC_DISCFS_CREDENTIALS_H_
+#define DISCFS_SRC_DISCFS_CREDENTIALS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/crypto/dsa.h"
+#include "src/keynote/assertion.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+struct CredentialOptions {
+  // Permissions granted, as a lattice value name: "R", "RW", "RWX", ...
+  std::string permissions = "RWX";
+  // Free-form comment (conventionally the file name).
+  std::string comment;
+  // Absolute expiry, compared against the `timestamp` attribute
+  // ("YYYYMMDDhhmmss"); unset = no expiry.
+  std::optional<std::string> expires_at;
+  // Only valid outside [office_start, office_end) — the paper's
+  // "leisure-related files unavailable during office hours" example. Format
+  // "HHMM".
+  std::optional<std::pair<std::string, std::string>> outside_hours;
+};
+
+// Builds the Conditions string for `handle` under `options`. An empty
+// handle omits the HANDLE clause entirely, producing a blanket credential
+// over the whole app domain (how an administrator grants a user an entire
+// store rather than one file; per-handle policy checks still run and are
+// cached per handle).
+std::string BuildConditions(const std::string& handle,
+                            const CredentialOptions& options);
+
+// Issues (signs) a credential: issuer grants `subject` access to `handle`.
+Result<std::string> IssueCredential(const DsaPrivateKey& issuer,
+                                    const DsaPublicKey& subject,
+                                    const std::string& handle,
+                                    const CredentialOptions& options);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_CREDENTIALS_H_

@@ -1,0 +1,93 @@
+#include "src/discfs/host.h"
+
+namespace discfs {
+
+Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
+    std::shared_ptr<Vfs> vfs, DiscfsServerConfig config, uint16_t port) {
+  auto host = std::unique_ptr<DiscfsHost>(new DiscfsHost());
+  ASSIGN_OR_RETURN(host->server_,
+                   DiscfsServer::Create(std::move(vfs), std::move(config)));
+  ASSIGN_OR_RETURN(host->listener_, TcpListener::Listen(port));
+  host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
+  return host;
+}
+
+void DiscfsHost::AcceptLoop() {
+  while (true) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) {
+      return;  // listener closed
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_threads_.emplace_back(
+        [this, transport = std::move(conn).value()]() mutable {
+          (void)server_->ServeConnection(std::move(transport));
+        });
+  }
+}
+
+DiscfsHost::~DiscfsHost() {
+  listener_->Close();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+Result<std::unique_ptr<CfsNeHost>> CfsNeHost::Start(std::shared_ptr<Vfs> vfs,
+                                                    uint16_t port) {
+  auto host = std::unique_ptr<CfsNeHost>(new CfsNeHost());
+  host->server_ = std::make_unique<NfsServer>(std::move(vfs));
+  host->server_->RegisterAll(host->dispatcher_);
+  ASSIGN_OR_RETURN(host->listener_, TcpListener::Listen(port));
+  host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
+  return host;
+}
+
+void CfsNeHost::AcceptLoop() {
+  while (true) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_threads_.emplace_back(
+        [this, transport = std::move(conn).value()]() mutable {
+          RpcContext ctx;  // unauthenticated
+          dispatcher_.ServeConnection(*transport, ctx);
+        });
+  }
+}
+
+CfsNeHost::~CfsNeHost() {
+  listener_->Close();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+Result<std::unique_ptr<NfsClient>> ConnectCfsNe(const std::string& host,
+                                                uint16_t port) {
+  ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> transport,
+                   TcpTransport::Connect(host, port));
+  return ConnectCfsNeOver(std::move(transport));
+}
+
+Result<std::unique_ptr<NfsClient>> ConnectCfsNeOver(
+    std::unique_ptr<MsgStream> stream) {
+  auto rpc = std::make_shared<RpcClient>(std::move(stream));
+  return std::make_unique<NfsClient>(std::move(rpc));
+}
+
+}  // namespace discfs

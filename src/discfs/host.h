@@ -1,0 +1,73 @@
+// Hosting helpers: run a DisCFS server (secure channel) or a CFS-NE
+// baseline server (plain NFS, no credentials) on a TCP listener with one
+// thread per connection. Used by examples, tests and the benchmark harness;
+// a production deployment would wrap the same Serve loops.
+#ifndef DISCFS_SRC_DISCFS_HOST_H_
+#define DISCFS_SRC_DISCFS_HOST_H_
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/discfs/server.h"
+#include "src/nfs/nfs_client.h"
+#include "src/nfs/nfs_server.h"
+
+namespace discfs {
+
+// DisCFS over TCP + secure channel.
+class DiscfsHost {
+ public:
+  static Result<std::unique_ptr<DiscfsHost>> Start(std::shared_ptr<Vfs> vfs,
+                                                   DiscfsServerConfig config,
+                                                   uint16_t port = 0);
+  ~DiscfsHost();
+
+  uint16_t port() const { return listener_->port(); }
+  DiscfsServer& server() { return *server_; }
+
+ private:
+  DiscfsHost() = default;
+  void AcceptLoop();
+
+  std::unique_ptr<DiscfsServer> server_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+};
+
+// CFS-NE baseline: the same NFS server over plain TCP, every operation
+// allowed ("CFS with encryption turned off and modified to run remotely").
+class CfsNeHost {
+ public:
+  static Result<std::unique_ptr<CfsNeHost>> Start(std::shared_ptr<Vfs> vfs,
+                                                  uint16_t port = 0);
+  ~CfsNeHost();
+
+  uint16_t port() const { return listener_->port(); }
+  NfsServer& server() { return *server_; }
+
+ private:
+  CfsNeHost() = default;
+  void AcceptLoop();
+
+  std::unique_ptr<NfsServer> server_;
+  RpcDispatcher dispatcher_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+};
+
+// Connects an NfsClient to a CfsNeHost.
+Result<std::unique_ptr<NfsClient>> ConnectCfsNe(const std::string& host,
+                                                uint16_t port);
+
+// Same, over a caller-supplied stream (in-proc transports, shaped links).
+Result<std::unique_ptr<NfsClient>> ConnectCfsNeOver(
+    std::unique_ptr<MsgStream> stream);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_HOST_H_

@@ -1,0 +1,62 @@
+#include "src/discfs/policy_cache.h"
+
+namespace discfs {
+
+std::optional<uint32_t> PolicyCache::Get(const std::string& key_id,
+                                         uint32_t inode, int64_t now) {
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto it = entries_.find({key_id, inode});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (now >= it->second.expires_at) {
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Touch(it->first, it->second);
+  ++stats_.hits;
+  return it->second.mask;
+}
+
+void PolicyCache::Put(const std::string& key_id, uint32_t inode,
+                      uint32_t mask, int64_t now) {
+  if (capacity_ == 0) {
+    return;
+  }
+  Key key{key_id, inode};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.mask = mask;
+    it->second.expires_at = now + ttl_seconds_;
+    Touch(key, it->second);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    const Key& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{mask, now + ttl_seconds_, lru_.begin()});
+}
+
+void PolicyCache::InvalidateAll() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  lru_.clear();
+}
+
+void PolicyCache::Touch(const Key& key, Entry& entry) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+}  // namespace discfs

@@ -1,0 +1,71 @@
+// LRU cache of policy-evaluation results ("a cache of requested operations
+// and policy results", paper §5). Keyed by (requester key id, file handle);
+// the cached value is the full RWX mask the requester holds on that handle,
+// so any needed-permission test is a subset check.
+//
+// Entries carry a TTL because conditions can be time-dependent
+// (time-of-day policies), and the whole cache is flushed whenever the
+// credential set changes (submission or revocation) so stale grants never
+// outlive the assertions that produced them.
+#ifndef DISCFS_SRC_DISCFS_POLICY_CACHE_H_
+#define DISCFS_SRC_DISCFS_POLICY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace discfs {
+
+class PolicyCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  // capacity 0 disables caching entirely (every query recomputes).
+  PolicyCache(size_t capacity, int64_t ttl_seconds)
+      : capacity_(capacity), ttl_seconds_(ttl_seconds) {}
+
+  // Returns the cached permission mask, or nullopt on miss/expiry.
+  std::optional<uint32_t> Get(const std::string& key_id, uint32_t inode,
+                              int64_t now);
+
+  void Put(const std::string& key_id, uint32_t inode, uint32_t mask,
+           int64_t now);
+
+  // Flush everything (credential set changed).
+  void InvalidateAll();
+
+  // Zeroes the hit/miss/eviction counters (entries stay). Benchmark
+  // telemetry only.
+  void ResetStats() { stats_ = Stats{}; }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using Key = std::pair<std::string, uint32_t>;
+  struct Entry {
+    uint32_t mask;
+    int64_t expires_at;
+    std::list<Key>::iterator lru_it;
+  };
+
+  void Touch(const Key& key, Entry& entry);
+
+  size_t capacity_;
+  int64_t ttl_seconds_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_POLICY_CACHE_H_

@@ -1,0 +1,28 @@
+// DisCFS control protocol: the procedures the paper adds next to NFS
+// (§5): credential submission over RPC, credential-returning CREATE/MKDIR,
+// revocation, and handle resolution (credentials name files by handle; the
+// client needs the live (inode, generation) pair).
+#ifndef DISCFS_SRC_DISCFS_PROTOCOL_H_
+#define DISCFS_SRC_DISCFS_PROTOCOL_H_
+
+#include <cstdint>
+
+namespace discfs {
+
+// Private RPC program number for the DisCFS extensions (NFS keeps 100003 on
+// the same channel).
+inline constexpr uint32_t kDiscfsProgram = 200390;
+
+enum class DiscfsProc : uint32_t {
+  kSubmitCredential = 1,   // credential text -> credential id
+  kRemoveCredential = 2,   // credential id -> ()           (revocation)
+  kRevokeKey = 3,          // key (KeyNote string) -> ()    (revocation)
+  kCreateReturnsCred = 4,  // dir fh, name, mode -> fattr + credential text
+  kMkdirReturnsCred = 5,   // dir fh, name, mode -> fattr + credential text
+  kResolveHandle = 6,      // inode number -> fattr (policy-checked)
+  kServerInfo = 7,         // () -> server public key + stats
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_PROTOCOL_H_

@@ -1,0 +1,51 @@
+#include "src/discfs/revocation.h"
+
+namespace discfs {
+
+void RevocationList::RevokeKey(const std::string& key_id, int64_t now) {
+  keys_[key_id] = now;
+}
+
+void RevocationList::RevokeCredential(const std::string& credential_id,
+                                      int64_t now) {
+  credentials_[credential_id] = now;
+}
+
+bool RevocationList::Contains(const std::map<std::string, int64_t>& set,
+                              const std::string& id, int64_t now) const {
+  auto it = set.find(id);
+  if (it == set.end()) {
+    return false;
+  }
+  if (horizon_seconds_ > 0 && now - it->second > horizon_seconds_) {
+    return false;  // expired entry; Expire() will reclaim it
+  }
+  return true;
+}
+
+bool RevocationList::IsKeyRevoked(const std::string& key_id,
+                                  int64_t now) const {
+  return Contains(keys_, key_id, now);
+}
+
+bool RevocationList::IsCredentialRevoked(const std::string& credential_id,
+                                         int64_t now) const {
+  return Contains(credentials_, credential_id, now);
+}
+
+void RevocationList::Expire(int64_t now) {
+  if (horizon_seconds_ <= 0) {
+    return;
+  }
+  for (auto* set : {&keys_, &credentials_}) {
+    for (auto it = set->begin(); it != set->end();) {
+      if (now - it->second > horizon_seconds_) {
+        it = set->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace discfs

@@ -1,0 +1,47 @@
+// Revocation state (§4.1 of the paper): "revocation can be done by
+// notifying the server about bad keys or credentials. If the credentials
+// are relatively short-lived, the server need only remember such
+// information for a short period of time."
+//
+// Entries therefore carry expiry times and are garbage-collected; the
+// expected usage is that the revocation horizon matches the maximum
+// credential lifetime.
+#ifndef DISCFS_SRC_DISCFS_REVOCATION_H_
+#define DISCFS_SRC_DISCFS_REVOCATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace discfs {
+
+class RevocationList {
+ public:
+  // horizon_seconds: how long entries are remembered (0 = forever).
+  explicit RevocationList(int64_t horizon_seconds)
+      : horizon_seconds_(horizon_seconds) {}
+
+  void RevokeKey(const std::string& key_id, int64_t now);
+  void RevokeCredential(const std::string& credential_id, int64_t now);
+
+  bool IsKeyRevoked(const std::string& key_id, int64_t now) const;
+  bool IsCredentialRevoked(const std::string& credential_id,
+                           int64_t now) const;
+
+  // Drops expired entries; called opportunistically by the server.
+  void Expire(int64_t now);
+
+  size_t size() const { return keys_.size() + credentials_.size(); }
+
+ private:
+  bool Contains(const std::map<std::string, int64_t>& set,
+                const std::string& id, int64_t now) const;
+
+  int64_t horizon_seconds_;
+  std::map<std::string, int64_t> keys_;         // id -> revoked_at
+  std::map<std::string, int64_t> credentials_;  // id -> revoked_at
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_REVOCATION_H_

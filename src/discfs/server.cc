@@ -1,0 +1,327 @@
+#include "src/discfs/server.h"
+
+#include "src/crypto/sysrand.h"
+#include "src/discfs/action_env.h"
+#include "src/discfs/credentials.h"
+#include "src/util/strings.h"
+#include "src/wire/xdr.h"
+
+namespace discfs {
+namespace {
+
+std::string DefaultPolicy(const DsaPublicKey& server_key) {
+  return "Authorizer: \"POLICY\"\n"
+         "Licensees: \"" + server_key.ToKeyNoteString() + "\"\n"
+         "Conditions: app_domain == \"" + std::string(kAppDomain) +
+         "\" -> \"RWX\";\n";
+}
+
+}  // namespace
+
+DiscfsServer::DiscfsServer(std::shared_ptr<Vfs> vfs,
+                           DiscfsServerConfig config)
+    : vfs_(vfs),
+      config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : SystemClock::Get()),
+      nfs_(std::make_unique<NfsServer>(std::move(vfs))),
+      session_(keynote::PermissionLattice::Get()),
+      cache_(config_.policy_cache_size, config_.policy_cache_ttl_s),
+      revocation_(config_.revocation_horizon_s) {
+  if (!config_.rand_bytes) {
+    config_.rand_bytes = [](size_t n) { return SysRandomBytes(n); };
+  }
+}
+
+Result<std::unique_ptr<DiscfsServer>> DiscfsServer::Create(
+    std::shared_ptr<Vfs> vfs, DiscfsServerConfig config) {
+  auto server = std::unique_ptr<DiscfsServer>(
+      new DiscfsServer(std::move(vfs), std::move(config)));
+  if (server->config_.policy_assertions.empty()) {
+    RETURN_IF_ERROR(server->session_.AddPolicyAssertion(
+        DefaultPolicy(server->public_key())));
+  } else {
+    for (const std::string& policy : server->config_.policy_assertions) {
+      RETURN_IF_ERROR(server->session_.AddPolicyAssertion(policy));
+    }
+  }
+  server->nfs_->set_access_hook([srv = server.get()](
+                                    const NfsAccessRequest& request) {
+    return srv->CheckAccess(request);
+  });
+  server->nfs_->RegisterAll(server->dispatcher_);
+  server->RegisterDiscfsProcs();
+  return server;
+}
+
+Status DiscfsServer::ServeConnection(std::unique_ptr<MsgStream> transport) {
+  ChannelIdentity identity{config_.server_key, config_.rand_bytes};
+  ASSIGN_OR_RETURN(std::unique_ptr<SecureChannel> channel,
+                   SecureChannel::ServerHandshake(std::move(transport),
+                                                  identity));
+  RpcContext ctx;
+  ctx.peer_key = channel->peer_key();
+  dispatcher_.ServeConnection(*channel, ctx);
+  return OkStatus();
+}
+
+Status DiscfsServer::CheckAccess(const NfsAccessRequest& request) {
+  counters_.access_checks.fetch_add(1, std::memory_order_relaxed);
+  if (request.ctx == nullptr || !request.ctx->peer_key.has_value()) {
+    counters_.denials.fetch_add(1, std::memory_order_relaxed);
+    return UnauthenticatedError("no authenticated peer key");
+  }
+  std::string principal = request.ctx->peer_key->ToKeyNoteString();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (revocation_.IsKeyRevoked(principal, clock_->NowUnix())) {
+    counters_.denials.fetch_add(1, std::memory_order_relaxed);
+    return PermissionDeniedError("key has been revoked");
+  }
+  if (request.needed == 0) {
+    return OkStatus();  // getattr-class operations: holding the handle is
+                        // enough (the attach directory shows mode 000)
+  }
+  uint32_t mask = QueryMaskLocked(principal, request.fh.inode);
+  if ((mask & request.needed) != request.needed) {
+    counters_.denials.fetch_add(1, std::memory_order_relaxed);
+    return PermissionDeniedError(StrPrintf(
+        "policy grants \"%s\" but \"%s\" required for %s on handle %u",
+        keynote::PermissionLattice::Get().Name(mask).c_str(),
+        keynote::PermissionLattice::Get().Name(request.needed).c_str(),
+        NfsProcName(request.proc), request.fh.inode));
+  }
+  return OkStatus();
+}
+
+uint32_t DiscfsServer::QueryMaskLocked(const std::string& principal,
+                                       uint32_t inode) {
+  int64_t now = clock_->NowUnix();
+  if (auto cached = cache_.Get(principal, inode, now); cached.has_value()) {
+    return *cached;
+  }
+  counters_.keynote_queries.fetch_add(1, std::memory_order_relaxed);
+  keynote::ComplianceQuery query;
+  // The cached unit is the full RWX mask per (principal, handle); the env
+  // therefore describes a generic access, not one specific procedure.
+  query.attributes =
+      BuildActionEnv(NfsProc::kNull, inode, /*needed_mask=*/0, *clock_);
+  query.attributes["operation"] = "access";
+  query.action_authorizers = {principal};
+  uint32_t mask = session_.Query(query);
+  cache_.Put(principal, inode, mask, now);
+  return mask;
+}
+
+uint32_t DiscfsServer::EffectiveMask(const std::string& principal,
+                                     uint32_t inode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueryMaskLocked(principal, inode);
+}
+
+Status DiscfsServer::AddPolicyAssertion(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(session_.AddPolicyAssertion(text));
+  cache_.InvalidateAll();
+  return OkStatus();
+}
+
+Result<std::string> DiscfsServer::SubmitCredentialLocked(
+    const std::string& text) {
+  int64_t now = clock_->NowUnix();
+  revocation_.Expire(now);
+  ASSIGN_OR_RETURN(std::string id, session_.AddCredential(text));
+  const keynote::Assertion* credential = session_.FindCredential(id);
+  if (credential == nullptr) {
+    return InternalError("credential vanished after admission");
+  }
+  if (revocation_.IsCredentialRevoked(id, now) ||
+      revocation_.IsKeyRevoked(credential->authorizer(), now)) {
+    (void)session_.RemoveCredential(id);
+    return PermissionDeniedError("credential or issuing key is revoked");
+  }
+  counters_.credentials_submitted.fetch_add(1, std::memory_order_relaxed);
+  cache_.InvalidateAll();
+  return id;
+}
+
+Result<std::string> DiscfsServer::SubmitCredential(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SubmitCredentialLocked(text);
+}
+
+Status DiscfsServer::RemoveCredential(const std::string& credential_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revocation_.RevokeCredential(credential_id, clock_->NowUnix());
+  RETURN_IF_ERROR(session_.RemoveCredential(credential_id));
+  cache_.InvalidateAll();
+  return OkStatus();
+}
+
+void DiscfsServer::RevokeKey(const std::string& principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = clock_->NowUnix();
+  revocation_.RevokeKey(principal, now);
+  // Delegations issued by the revoked key stop contributing immediately.
+  for (const std::string& id :
+       session_.CredentialIdsByAuthorizer(principal)) {
+    revocation_.RevokeCredential(id, now);
+    (void)session_.RemoveCredential(id);
+  }
+  cache_.InvalidateAll();
+}
+
+void DiscfsServer::ResetTelemetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.ResetStats();
+  counters_.keynote_queries.store(0, std::memory_order_relaxed);
+  counters_.access_checks.store(0, std::memory_order_relaxed);
+  counters_.denials.store(0, std::memory_order_relaxed);
+}
+
+PolicyCache::Stats DiscfsServer::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.stats();
+}
+
+size_t DiscfsServer::credential_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_.credential_count();
+}
+
+void DiscfsServer::RegisterDiscfsProcs() {
+  auto reg = [&](DiscfsProc proc, auto handler) {
+    dispatcher_.Register(kDiscfsProgram, static_cast<uint32_t>(proc),
+                         handler);
+  };
+
+  reg(DiscfsProc::kSubmitCredential,
+      [this](const Bytes& args, const RpcContext&) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(std::string text, r.GetString(1 << 20));
+        ASSIGN_OR_RETURN(std::string id, SubmitCredential(text));
+        XdrWriter w;
+        w.PutString(id);
+        return w.Take();
+      });
+
+  reg(DiscfsProc::kRemoveCredential,
+      [this](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(std::string id, r.GetString());
+        if (!ctx.peer_key.has_value()) {
+          return UnauthenticatedError("no authenticated peer key");
+        }
+        {
+          // Only the credential's issuer may withdraw it remotely; the
+          // administrator uses the local API.
+          std::lock_guard<std::mutex> lock(mu_);
+          const keynote::Assertion* credential = session_.FindCredential(id);
+          if (credential == nullptr) {
+            return NotFoundError("no credential with id " + id);
+          }
+          if (credential->authorizer() !=
+              ctx.peer_key->ToKeyNoteString()) {
+            return PermissionDeniedError(
+                "only the issuer may remove a credential");
+          }
+        }
+        RETURN_IF_ERROR(RemoveCredential(id));
+        return Bytes();
+      });
+
+  reg(DiscfsProc::kRevokeKey,
+      [this](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(std::string principal, r.GetString(1 << 20));
+        if (!ctx.peer_key.has_value()) {
+          return UnauthenticatedError("no authenticated peer key");
+        }
+        // A key may revoke itself (compromise recovery); everything else is
+        // the administrator's call, via the local API.
+        if (ctx.peer_key->ToKeyNoteString() != principal) {
+          return PermissionDeniedError(
+              "remote revocation is limited to the requesting key itself");
+        }
+        RevokeKey(principal);
+        return Bytes();
+      });
+
+  auto make_with_credential = [this](bool mkdir) {
+    return [this, mkdir](const Bytes& args,
+                         const RpcContext& ctx) -> Result<Bytes> {
+      XdrReader r(args);
+      ASSIGN_OR_RETURN(NfsFh dir, ReadFh(r));
+      ASSIGN_OR_RETURN(std::string name, r.GetString());
+      ASSIGN_OR_RETURN(uint32_t mode, r.GetU32());
+      if (!ctx.peer_key.has_value()) {
+        return UnauthenticatedError("no authenticated peer key");
+      }
+      // Same check the plain NFS CREATE runs: write access to the parent.
+      NfsAccessRequest access;
+      access.proc = mkdir ? NfsProc::kMkdir : NfsProc::kCreate;
+      access.fh = dir;
+      access.needed = 2;  // W
+      access.ctx = &ctx;
+      RETURN_IF_ERROR(CheckAccess(access));
+
+      ASSIGN_OR_RETURN(NfsFattr attr, mkdir ? nfs_->Mkdir(dir, name, mode)
+                                            : nfs_->Create(dir, name, mode));
+
+      // Mint the creator's credential (the paper's augmented procedure:
+      // "upon successful creation ... return a credential with full access
+      // to the creator of the file").
+      CredentialOptions options;
+      options.permissions = "RWX";
+      options.comment = name;
+      ASSIGN_OR_RETURN(
+          std::string credential,
+          IssueCredential(config_.server_key, *ctx.peer_key,
+                          HandleString(attr.fh.inode), options));
+      // Admit it immediately so the creator can use the file without a
+      // resubmission round-trip.
+      RETURN_IF_ERROR(SubmitCredential(credential).status());
+
+      XdrWriter w;
+      WriteFattr(w, attr);
+      w.PutString(credential);
+      return w.Take();
+    };
+  };
+  reg(DiscfsProc::kCreateReturnsCred, make_with_credential(false));
+  reg(DiscfsProc::kMkdirReturnsCred, make_with_credential(true));
+
+  reg(DiscfsProc::kResolveHandle,
+      [this](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(uint32_t inode, r.GetU32());
+        if (!ctx.peer_key.has_value()) {
+          return UnauthenticatedError("no authenticated peer key");
+        }
+        // The file only "appears" once some credential grants the requester
+        // something on it.
+        uint32_t mask =
+            EffectiveMask(ctx.peer_key->ToKeyNoteString(), inode);
+        if (mask == 0) {
+          return PermissionDeniedError(
+              "no credential covers this handle for the requesting key");
+        }
+        ASSIGN_OR_RETURN(InodeAttr attr, vfs_->GetAttr(inode));
+        XdrWriter w;
+        WriteFattr(w, FattrFromInode(attr));
+        return w.Take();
+      });
+
+  reg(DiscfsProc::kServerInfo,
+      [this](const Bytes&, const RpcContext&) -> Result<Bytes> {
+        XdrWriter w;
+        w.PutString(public_key().ToKeyNoteString());
+        w.PutU64(counters_.keynote_queries.load(std::memory_order_relaxed));
+        PolicyCache::Stats stats = cache_stats();
+        w.PutU64(stats.hits);
+        w.PutU64(stats.misses);
+        w.PutU32(static_cast<uint32_t>(credential_count()));
+        return w.Take();
+      });
+}
+
+}  // namespace discfs

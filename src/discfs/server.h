@@ -1,0 +1,111 @@
+// DiscfsServer — the paper's modified user-level NFS daemon (§5).
+//
+// Composition per connection:
+//   TCP  →  SecureChannel (IKE/IPsec stand-in; binds the client's key)
+//        →  RPC dispatch  →  NFS program (with the KeyNote access hook)
+//                         →  DisCFS program (credential submission,
+//                            credential-returning CREATE/MKDIR, revocation,
+//                            handle resolution)
+//
+// One KeyNote session holds the local POLICY assertions plus every
+// credential submitted by clients ("persistent KeyNote session"). Policy
+// results are cached in an LRU (paper: 128 entries for the search
+// benchmark); the cache is flushed whenever the credential set changes.
+#ifndef DISCFS_SRC_DISCFS_SERVER_H_
+#define DISCFS_SRC_DISCFS_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/crypto/dsa.h"
+#include "src/discfs/policy_cache.h"
+#include "src/discfs/protocol.h"
+#include "src/discfs/revocation.h"
+#include "src/keynote/session.h"
+#include "src/nfs/nfs_server.h"
+#include "src/securechannel/channel.h"
+#include "src/util/clock.h"
+#include "src/vfs/vfs.h"
+
+namespace discfs {
+
+struct DiscfsServerConfig {
+  // The server's identity: authenticates the secure channel AND signs the
+  // credentials minted by CREATE/MKDIR. The default policy trusts it.
+  DsaPrivateKey server_key;
+  // Local policy assertions (KeyNote text). When empty, a default policy is
+  // installed that gives the server key RWX over the whole app domain.
+  std::vector<std::string> policy_assertions;
+  size_t policy_cache_size = 128;   // paper's search benchmark setting
+  int64_t policy_cache_ttl_s = 60;  // bounded staleness for time conditions
+  int64_t revocation_horizon_s = 24 * 3600;
+  const Clock* clock = nullptr;  // defaults to SystemClock
+  std::function<Bytes(size_t)> rand_bytes;  // defaults to SysRandomBytes
+};
+
+class DiscfsServer {
+ public:
+  struct Counters {
+    std::atomic<uint64_t> keynote_queries{0};
+    std::atomic<uint64_t> access_checks{0};
+    std::atomic<uint64_t> denials{0};
+    std::atomic<uint64_t> credentials_submitted{0};
+  };
+
+  static Result<std::unique_ptr<DiscfsServer>> Create(
+      std::shared_ptr<Vfs> vfs, DiscfsServerConfig config);
+
+  // Performs the server handshake on a raw transport and serves RPCs until
+  // the peer disconnects. Blocking; run one thread per connection.
+  Status ServeConnection(std::unique_ptr<MsgStream> transport);
+
+  // --- local administration (not exposed over RPC) ---
+  Status AddPolicyAssertion(const std::string& text);
+  Result<std::string> SubmitCredential(const std::string& text);
+  Status RemoveCredential(const std::string& credential_id);
+  void RevokeKey(const std::string& principal);
+
+  // --- introspection ---
+  const DsaPublicKey& public_key() const {
+    return config_.server_key.public_key();
+  }
+  const Counters& counters() const { return counters_; }
+  PolicyCache::Stats cache_stats() const;
+  size_t credential_count() const;
+  NfsServer& nfs() { return *nfs_; }
+
+  // Direct policy evaluation (bench/test entry): full RWX mask `principal`
+  // holds on `inode`, going through the cache.
+  uint32_t EffectiveMask(const std::string& principal, uint32_t inode);
+
+  // Zeroes counters and cache statistics (cache contents survive) so a
+  // benchmark can report one phase in isolation.
+  void ResetTelemetry();
+
+ private:
+  DiscfsServer(std::shared_ptr<Vfs> vfs, DiscfsServerConfig config);
+
+  Status CheckAccess(const NfsAccessRequest& request);
+  uint32_t QueryMaskLocked(const std::string& principal, uint32_t inode)
+      /* requires mu_ */;
+  Result<std::string> SubmitCredentialLocked(const std::string& text);
+  void RegisterDiscfsProcs();
+
+  std::shared_ptr<Vfs> vfs_;
+  DiscfsServerConfig config_;
+  const Clock* clock_;
+  std::unique_ptr<NfsServer> nfs_;
+  RpcDispatcher dispatcher_;
+
+  mutable std::mutex mu_;  // guards session/cache/revocation
+  keynote::KeyNoteSession session_;
+  PolicyCache cache_;
+  RevocationList revocation_;
+  Counters counters_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_DISCFS_SERVER_H_

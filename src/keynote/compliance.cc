@@ -1,0 +1,71 @@
+#include "src/keynote/compliance.h"
+
+#include <map>
+
+namespace discfs::keynote {
+
+ComplianceLattice::Value CheckCompliance(
+    const std::vector<const Assertion*>& assertions,
+    const ComplianceQuery& query, const ComplianceLattice& lattice) {
+  // Implicit attributes visible to every Conditions program.
+  AttributeMap env = query.attributes;
+  std::vector<std::string> names = lattice.ValueNames();
+  env["_MIN_TRUST"] = names.front();
+  env["_MAX_TRUST"] = names.back();
+  std::string values_joined;
+  for (const std::string& n : names) {
+    if (!values_joined.empty()) {
+      values_joined += ",";
+    }
+    values_joined += n;
+  }
+  env["_VALUES"] = values_joined;
+  std::string authorizers_joined;
+  for (const std::string& a : query.action_authorizers) {
+    if (!authorizers_joined.empty()) {
+      authorizers_joined += ",";
+    }
+    authorizers_joined += a;
+  }
+  env["ACTION_AUTHORIZERS"] = authorizers_joined;
+
+  // Conditions depend only on the action environment: evaluate once per
+  // assertion.
+  std::vector<ComplianceLattice::Value> cond_values;
+  cond_values.reserve(assertions.size());
+  for (const Assertion* a : assertions) {
+    cond_values.push_back(EvalConditions(a->conditions(), env, lattice));
+  }
+
+  // Fixpoint iteration. Principal values only grow (join), and the lattice
+  // is finite, so this terminates; the iteration bound is a safety rail.
+  std::map<std::string, ComplianceLattice::Value> values;
+  for (const std::string& requester : query.action_authorizers) {
+    values[requester] = lattice.Top();
+  }
+
+  const size_t max_rounds = assertions.size() + 2;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (size_t i = 0; i < assertions.size(); ++i) {
+      const Assertion* a = assertions[i];
+      ComplianceLattice::Value contribution = lattice.Meet(
+          cond_values[i], EvalLicensees(a->licensees(), values, lattice));
+      auto [it, inserted] =
+          values.emplace(a->authorizer(), lattice.Bottom());
+      ComplianceLattice::Value next = lattice.Join(it->second, contribution);
+      if (next != it->second) {
+        it->second = next;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  auto it = values.find(kPolicyPrincipal);
+  return it == values.end() ? lattice.Bottom() : it->second;
+}
+
+}  // namespace discfs::keynote

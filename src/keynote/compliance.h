@@ -1,0 +1,39 @@
+// The KeyNote compliance checker (RFC 2704 §5): given local policy
+// assertions, a set of credentials, an action attribute set, and the
+// principal(s) requesting the action, compute the compliance value.
+//
+// Semantics: a monotone fixpoint over the delegation graph. Requesting
+// principals start at the lattice top; each assertion contributes
+// meet(conditions-value, licensees-value) to its authorizer; an authorizer
+// accumulates with join. The result is the value reached by "POLICY".
+// Because delegation composes with meet, a chain can only *restrict* what
+// the requester ends up with — the property DisCFS relies on.
+#ifndef DISCFS_SRC_KEYNOTE_COMPLIANCE_H_
+#define DISCFS_SRC_KEYNOTE_COMPLIANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/keynote/assertion.h"
+#include "src/keynote/lattice.h"
+
+namespace discfs::keynote {
+
+struct ComplianceQuery {
+  // The action attribute set (app_domain, HANDLE, operation, ...).
+  AttributeMap attributes;
+  // Principals that directly requested the action (signers of the request).
+  std::vector<std::string> action_authorizers;
+};
+
+// Computes the compliance value of `query` under `assertions` (policies and
+// verified credentials together; the caller is responsible for signature
+// checking — see KeyNoteSession). Implicit attributes _MIN_TRUST,
+// _MAX_TRUST, _VALUES, and ACTION_AUTHORIZERS are provided automatically.
+ComplianceLattice::Value CheckCompliance(
+    const std::vector<const Assertion*>& assertions,
+    const ComplianceQuery& query, const ComplianceLattice& lattice);
+
+}  // namespace discfs::keynote
+
+#endif  // DISCFS_SRC_KEYNOTE_COMPLIANCE_H_

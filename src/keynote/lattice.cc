@@ -1,0 +1,62 @@
+#include "src/keynote/lattice.h"
+
+#include <cassert>
+
+namespace discfs::keynote {
+
+TotalOrderLattice::TotalOrderLattice(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  assert(!names_.empty());
+}
+
+std::optional<ComplianceLattice::Value> TotalOrderLattice::FromName(
+    std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<Value>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TotalOrderLattice::Name(Value v) const {
+  assert(v < names_.size());
+  return names_[v];
+}
+
+namespace {
+// Index = bitmask value (octal).
+const char* const kPermissionNames[8] = {"false", "X",  "W",  "WX",
+                                         "R",     "RX", "RW", "RWX"};
+}  // namespace
+
+std::optional<ComplianceLattice::Value> PermissionLattice::FromName(
+    std::string_view name) const {
+  for (Value v = 0; v < 8; ++v) {
+    if (kPermissionNames[v] == name) {
+      return v;
+    }
+  }
+  // "true" is accepted as an alias for full access so that generic KeyNote
+  // policies (Conditions: ... -> "true") work unchanged against DisCFS.
+  if (name == "true") {
+    return Top();
+  }
+  return std::nullopt;
+}
+
+std::string PermissionLattice::Name(Value v) const {
+  assert(v < 8);
+  return kPermissionNames[v];
+}
+
+std::vector<std::string> PermissionLattice::ValueNames() const {
+  return std::vector<std::string>(kPermissionNames, kPermissionNames + 8);
+}
+
+const PermissionLattice& PermissionLattice::Get() {
+  static const PermissionLattice lattice;
+  return lattice;
+}
+
+}  // namespace discfs::keynote

@@ -1,0 +1,88 @@
+// Compliance-value orderings for the KeyNote compliance checker.
+//
+// RFC 2704 defines query results over a totally ORDERED set of compliance
+// values (e.g. "false" < "maybe" < "true"). The DisCFS paper instead returns
+// the 8 unix permission combinations and notes that they "form a partial
+// order" mapping onto octal permission bits. Both are lattices:
+//
+//  * TotalOrderLattice  — RFC-conformant; meet=min, join=max over the list.
+//  * PermissionLattice  — the DisCFS {R,W,X} bitmask lattice; meet=AND
+//    (delegation chains can only restrict), join=OR (independent grants
+//    accumulate).
+//
+// The compliance checker is written against this interface, which is the
+// "separation of policy and mechanism" the paper claims, made concrete.
+#ifndef DISCFS_SRC_KEYNOTE_LATTICE_H_
+#define DISCFS_SRC_KEYNOTE_LATTICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace discfs::keynote {
+
+class ComplianceLattice {
+ public:
+  // Opaque handle; only meaningful to the lattice that produced it.
+  using Value = uint32_t;
+
+  virtual ~ComplianceLattice() = default;
+
+  virtual Value Bottom() const = 0;
+  virtual Value Top() const = 0;
+  virtual Value Meet(Value a, Value b) const = 0;
+  virtual Value Join(Value a, Value b) const = 0;
+
+  // Maps a conditions-field return string (e.g. "RWX") to a value.
+  virtual std::optional<Value> FromName(std::string_view name) const = 0;
+  virtual std::string Name(Value v) const = 0;
+
+  // All value names, bottom first (exposed to policies as _VALUES).
+  virtual std::vector<std::string> ValueNames() const = 0;
+};
+
+// RFC 2704 ordered value set: names[0] is _MIN_TRUST, names.back() is
+// _MAX_TRUST.
+class TotalOrderLattice : public ComplianceLattice {
+ public:
+  explicit TotalOrderLattice(std::vector<std::string> names);
+
+  Value Bottom() const override { return 0; }
+  Value Top() const override {
+    return static_cast<Value>(names_.size() - 1);
+  }
+  Value Meet(Value a, Value b) const override { return a < b ? a : b; }
+  Value Join(Value a, Value b) const override { return a > b ? a : b; }
+  std::optional<Value> FromName(std::string_view name) const override;
+  std::string Name(Value v) const override;
+  std::vector<std::string> ValueNames() const override { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+// The DisCFS permission lattice. Values are 3-bit masks, octal-compatible:
+// R=4, W=2, X=1; "false"=0 is bottom, "RWX"=7 is top.
+class PermissionLattice : public ComplianceLattice {
+ public:
+  static constexpr Value kRead = 4;
+  static constexpr Value kWrite = 2;
+  static constexpr Value kExec = 1;
+
+  Value Bottom() const override { return 0; }
+  Value Top() const override { return 7; }
+  Value Meet(Value a, Value b) const override { return a & b; }
+  Value Join(Value a, Value b) const override { return a | b; }
+  std::optional<Value> FromName(std::string_view name) const override;
+  std::string Name(Value v) const override;
+  std::vector<std::string> ValueNames() const override;
+
+  // Singleton: the lattice is stateless.
+  static const PermissionLattice& Get();
+};
+
+}  // namespace discfs::keynote
+
+#endif  // DISCFS_SRC_KEYNOTE_LATTICE_H_

@@ -1,0 +1,274 @@
+#include "src/keynote/lexer.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace discfs::keynote {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end-of-input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kKOf:
+      return "k-of";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kSemi:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kAndAnd:
+      return "'&&'";
+    case TokenKind::kOrOr:
+      return "'||'";
+    case TokenKind::kNot:
+      return "'!'";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kRegex:
+      return "'~='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kDollar:
+      return "'$'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t k) -> char {
+    return i + k < n ? input[i + k] : '\0';
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+
+    if (c == '"') {
+      // String literal with backslash escapes.
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        char d = input[i];
+        if (d == '\\' && i + 1 < n) {
+          char e = input[i + 1];
+          switch (e) {
+            case 'n':
+              value.push_back('\n');
+              break;
+            case 't':
+              value.push_back('\t');
+              break;
+            default:
+              value.push_back(e);  // \" \\ and anything else: literal
+          }
+          i += 2;
+          continue;
+        }
+        if (d == '"') {
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(d);
+        ++i;
+      }
+      if (!closed) {
+        return InvalidArgumentError(
+            StrPrintf("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(value), start});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        ++j;
+      }
+      // "<k>-of(" threshold form (Licensees field).
+      if (j + 2 < n && input[j] == '-' && input[j + 1] == 'o' &&
+          input[j + 2] == 'f') {
+        size_t after = j + 3;
+        while (after < n &&
+               std::isspace(static_cast<unsigned char>(input[after]))) {
+          ++after;
+        }
+        if (after < n && input[after] == '(') {
+          tokens.push_back(
+              {TokenKind::kKOf, std::string(input.substr(i, j - i)), start});
+          i = j + 3;
+          continue;
+        }
+      }
+      tokens.push_back(
+          {TokenKind::kNumber, std::string(input.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(
+          {TokenKind::kIdent, std::string(input.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('-', '>')) {
+      tokens.push_back({TokenKind::kArrow, "->", start});
+      i += 2;
+      continue;
+    }
+    if (two('&', '&')) {
+      tokens.push_back({TokenKind::kAndAnd, "&&", start});
+      i += 2;
+      continue;
+    }
+    if (two('|', '|')) {
+      tokens.push_back({TokenKind::kOrOr, "||", start});
+      i += 2;
+      continue;
+    }
+    if (two('=', '=')) {
+      tokens.push_back({TokenKind::kEq, "==", start});
+      i += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      tokens.push_back({TokenKind::kNe, "!=", start});
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      tokens.push_back({TokenKind::kLe, "<=", start});
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      tokens.push_back({TokenKind::kGe, ">=", start});
+      i += 2;
+      continue;
+    }
+    if (two('~', '=')) {
+      tokens.push_back({TokenKind::kRegex, "~=", start});
+      i += 2;
+      continue;
+    }
+
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case ';':
+        kind = TokenKind::kSemi;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case '!':
+        kind = TokenKind::kNot;
+        break;
+      case '<':
+        kind = TokenKind::kLt;
+        break;
+      case '>':
+        kind = TokenKind::kGt;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case '/':
+        kind = TokenKind::kSlash;
+        break;
+      case '%':
+        kind = TokenKind::kPercent;
+        break;
+      case '^':
+        kind = TokenKind::kCaret;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case '$':
+        kind = TokenKind::kDollar;
+        break;
+      default:
+        return InvalidArgumentError(
+            StrPrintf("unexpected character '%c' at offset %zu", c, start));
+    }
+    tokens.push_back({kind, std::string(1, c), start});
+    ++i;
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace discfs::keynote

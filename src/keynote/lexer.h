@@ -1,0 +1,59 @@
+// Tokenizer shared by the Conditions-expression and Licensees parsers.
+#ifndef DISCFS_SRC_KEYNOTE_LEXER_H_
+#define DISCFS_SRC_KEYNOTE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace discfs::keynote {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,    // attribute / constant names
+  kNumber,   // decimal literal (kept as text)
+  kString,   // double-quoted, escapes resolved
+  kKOf,      // "<k>-of" threshold marker (text = k)
+  kLParen,   // (
+  kRParen,   // )
+  kLBrace,   // {
+  kRBrace,   // }
+  kSemi,     // ;
+  kComma,    // ,
+  kArrow,    // ->
+  kAndAnd,   // &&
+  kOrOr,     // ||
+  kNot,      // !
+  kEq,       // ==
+  kNe,       // !=
+  kLt,       // <
+  kGt,       // >
+  kLe,       // <=
+  kGe,       // >=
+  kRegex,    // ~=
+  kPlus,     // +
+  kMinus,    // -
+  kStar,     // *
+  kSlash,    // /
+  kPercent,  // %
+  kCaret,    // ^ (exponentiation)
+  kDot,      // . (string concatenation)
+  kDollar,   // $ (attribute indirection)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // literal value / identifier name
+  size_t pos = 0;    // byte offset in the input, for diagnostics
+};
+
+const char* TokenKindName(TokenKind kind);
+
+// Tokenizes `input`. A trailing kEnd token is always appended on success.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace discfs::keynote
+
+#endif  // DISCFS_SRC_KEYNOTE_LEXER_H_

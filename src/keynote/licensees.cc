@@ -1,0 +1,217 @@
+#include "src/keynote/licensees.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/keynote/lexer.h"
+#include "src/util/strings.h"
+
+namespace discfs::keynote {
+namespace {
+
+// Grammar:
+//   lic     := and_lic ('||' and_lic)*     -- '||' binds looser than '&&'
+//   and_lic := primary ('&&' primary)*
+//   primary := PRINCIPAL | K-OF '(' lic (',' lic)* ')' | '(' lic ')'
+class LicenseesParser {
+ public:
+  LicenseesParser(std::vector<Token> tokens, const ConstantMap& constants)
+      : tokens_(std::move(tokens)), constants_(constants) {}
+
+  Result<std::unique_ptr<LicenseesNode>> ParseFull() {
+    ASSIGN_OR_RETURN(std::unique_ptr<LicenseesNode> n, ParseOr());
+    if (tokens_[pos_].kind != TokenKind::kEnd) {
+      return InvalidArgumentError(
+          StrPrintf("trailing tokens in licensees at offset %zu",
+                    tokens_[pos_].pos));
+    }
+    return n;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+  bool Accept(TokenKind k) {
+    if (Peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<LicenseesNode>> ParseOr() {
+    ASSIGN_OR_RETURN(std::unique_ptr<LicenseesNode> lhs, ParseAnd());
+    while (Accept(TokenKind::kOrOr)) {
+      ASSIGN_OR_RETURN(std::unique_ptr<LicenseesNode> rhs, ParseAnd());
+      auto node = std::make_unique<LicenseesNode>();
+      node->kind = LicenseesNode::Kind::kOr;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<LicenseesNode>> ParseAnd() {
+    ASSIGN_OR_RETURN(std::unique_ptr<LicenseesNode> lhs, ParsePrimary());
+    while (Accept(TokenKind::kAndAnd)) {
+      ASSIGN_OR_RETURN(std::unique_ptr<LicenseesNode> rhs, ParsePrimary());
+      auto node = std::make_unique<LicenseesNode>();
+      node->kind = LicenseesNode::Kind::kAnd;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<LicenseesNode>> ParsePrimary() {
+    if (Peek().kind == TokenKind::kString ||
+        Peek().kind == TokenKind::kIdent) {
+      Token t = Take();
+      std::string principal = t.text;
+      if (t.kind == TokenKind::kIdent) {
+        auto it = constants_.find(principal);
+        if (it != constants_.end()) {
+          principal = it->second;
+        }
+      }
+      auto node = std::make_unique<LicenseesNode>();
+      node->kind = LicenseesNode::Kind::kPrincipal;
+      node->principal = std::move(principal);
+      return node;
+    }
+    if (Peek().kind == TokenKind::kKOf) {
+      Token t = Take();
+      size_t k = std::strtoull(t.text.c_str(), nullptr, 10);
+      if (!Accept(TokenKind::kLParen)) {
+        return InvalidArgumentError("expected '(' after k-of");
+      }
+      auto node = std::make_unique<LicenseesNode>();
+      node->kind = LicenseesNode::Kind::kThreshold;
+      node->k = k;
+      do {
+        ASSIGN_OR_RETURN(std::unique_ptr<LicenseesNode> child, ParseOr());
+        node->children.push_back(std::move(child));
+      } while (Accept(TokenKind::kComma));
+      if (!Accept(TokenKind::kRParen)) {
+        return InvalidArgumentError("expected ')' closing k-of");
+      }
+      if (k == 0 || k > node->children.size()) {
+        return InvalidArgumentError(
+            StrPrintf("k-of threshold %zu out of range for %zu operands", k,
+                      node->children.size()));
+      }
+      if (node->children.size() > 20) {
+        return InvalidArgumentError("k-of supports at most 20 operands");
+      }
+      return node;
+    }
+    if (Accept(TokenKind::kLParen)) {
+      ASSIGN_OR_RETURN(std::unique_ptr<LicenseesNode> n, ParseOr());
+      if (!Accept(TokenKind::kRParen)) {
+        return InvalidArgumentError("expected ')'");
+      }
+      return n;
+    }
+    return InvalidArgumentError(
+        StrPrintf("unexpected %s in licensees at offset %zu",
+                  TokenKindName(Peek().kind), Peek().pos));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const ConstantMap& constants_;
+};
+
+void CollectInto(const LicenseesNode& node, std::vector<std::string>& out) {
+  if (node.kind == LicenseesNode::Kind::kPrincipal) {
+    if (std::find(out.begin(), out.end(), node.principal) == out.end()) {
+      out.push_back(node.principal);
+    }
+    return;
+  }
+  for (const auto& child : node.children) {
+    CollectInto(*child, out);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LicenseesNode>> ParseLicensees(
+    std::string_view text, const ConstantMap& constants) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  LicenseesParser parser(std::move(tokens), constants);
+  return parser.ParseFull();
+}
+
+Result<std::string> ParseAuthorizer(std::string_view text,
+                                    const ConstantMap& constants) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  if (tokens.size() != 2 || (tokens[0].kind != TokenKind::kString &&
+                             tokens[0].kind != TokenKind::kIdent)) {
+    return InvalidArgumentError("authorizer must be a single principal");
+  }
+  std::string principal = tokens[0].text;
+  if (tokens[0].kind == TokenKind::kIdent) {
+    auto it = constants.find(principal);
+    if (it != constants.end()) {
+      principal = it->second;
+    }
+  }
+  return principal;
+}
+
+std::vector<std::string> CollectPrincipals(const LicenseesNode& node) {
+  std::vector<std::string> out;
+  CollectInto(node, out);
+  return out;
+}
+
+ComplianceLattice::Value EvalLicensees(
+    const LicenseesNode& node,
+    const std::map<std::string, ComplianceLattice::Value>& values,
+    const ComplianceLattice& lattice) {
+  switch (node.kind) {
+    case LicenseesNode::Kind::kPrincipal: {
+      auto it = values.find(node.principal);
+      return it == values.end() ? lattice.Bottom() : it->second;
+    }
+    case LicenseesNode::Kind::kAnd: {
+      return lattice.Meet(EvalLicensees(*node.children[0], values, lattice),
+                          EvalLicensees(*node.children[1], values, lattice));
+    }
+    case LicenseesNode::Kind::kOr: {
+      return lattice.Join(EvalLicensees(*node.children[0], values, lattice),
+                          EvalLicensees(*node.children[1], values, lattice));
+    }
+    case LicenseesNode::Kind::kThreshold: {
+      // join over all k-subsets of the meet of the subset. For a total
+      // order this equals the k-th largest child value; for the permission
+      // lattice it is the best permission set any k licensees jointly hold.
+      const size_t n = node.children.size();
+      std::vector<ComplianceLattice::Value> child_values;
+      child_values.reserve(n);
+      for (const auto& child : node.children) {
+        child_values.push_back(EvalLicensees(*child, values, lattice));
+      }
+      ComplianceLattice::Value acc = lattice.Bottom();
+      for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+        if (static_cast<size_t>(__builtin_popcount(mask)) != node.k) {
+          continue;
+        }
+        ComplianceLattice::Value subset = lattice.Top();
+        for (size_t i = 0; i < n; ++i) {
+          if (mask & (1u << i)) {
+            subset = lattice.Meet(subset, child_values[i]);
+          }
+        }
+        acc = lattice.Join(acc, subset);
+      }
+      return acc;
+    }
+  }
+  return lattice.Bottom();
+}
+
+}  // namespace discfs::keynote

@@ -1,0 +1,48 @@
+// The KeyNote Licensees field: principals composed with '&&' (all must
+// authorize), '||' (any may authorize), and "<k>-of(...)" thresholds.
+#ifndef DISCFS_SRC_KEYNOTE_LICENSEES_H_
+#define DISCFS_SRC_KEYNOTE_LICENSEES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/keynote/expr.h"
+#include "src/keynote/lattice.h"
+#include "src/util/status.h"
+
+namespace discfs::keynote {
+
+struct LicenseesNode {
+  enum class Kind { kPrincipal, kAnd, kOr, kThreshold };
+
+  Kind kind;
+  std::string principal;  // for kPrincipal
+  size_t k = 0;           // for kThreshold
+  std::vector<std::unique_ptr<LicenseesNode>> children;
+};
+
+// Parses a Licensees field. Principals are quoted strings ("dsa-hex:...") or
+// identifiers; identifiers are resolved through Local-Constants.
+Result<std::unique_ptr<LicenseesNode>> ParseLicensees(
+    std::string_view text, const ConstantMap& constants);
+
+// Parses an Authorizer field: exactly one principal.
+Result<std::string> ParseAuthorizer(std::string_view text,
+                                    const ConstantMap& constants);
+
+// All principals mentioned in the expression (with duplicates removed).
+std::vector<std::string> CollectPrincipals(const LicenseesNode& node);
+
+// Evaluates the expression over current principal values: '&&' is meet,
+// '||' is join, and k-of is the join over all k-subsets of the meet of each
+// subset. Principals missing from `values` count as lattice bottom.
+ComplianceLattice::Value EvalLicensees(
+    const LicenseesNode& node,
+    const std::map<std::string, ComplianceLattice::Value>& values,
+    const ComplianceLattice& lattice);
+
+}  // namespace discfs::keynote
+
+#endif  // DISCFS_SRC_KEYNOTE_LICENSEES_H_

@@ -1,0 +1,68 @@
+#include "src/keynote/session.h"
+
+namespace discfs::keynote {
+
+Status KeyNoteSession::AddPolicyAssertion(std::string text) {
+  ASSIGN_OR_RETURN(Assertion assertion, Assertion::Parse(std::move(text)));
+  if (!assertion.is_policy()) {
+    return InvalidArgumentError(
+        "policy assertions must have Authorizer \"POLICY\"");
+  }
+  policies_.push_back(std::make_unique<Assertion>(std::move(assertion)));
+  return OkStatus();
+}
+
+Result<std::string> KeyNoteSession::AddCredential(std::string text) {
+  ASSIGN_OR_RETURN(Assertion assertion, Assertion::Parse(std::move(text)));
+  if (assertion.is_policy()) {
+    return InvalidArgumentError(
+        "POLICY assertions cannot be admitted as credentials");
+  }
+  RETURN_IF_ERROR(assertion.VerifySignature());
+  std::string id = assertion.Id();
+  credentials_.emplace(id,
+                       std::make_unique<Assertion>(std::move(assertion)));
+  return id;
+}
+
+Status KeyNoteSession::RemoveCredential(const std::string& id) {
+  if (credentials_.erase(id) == 0) {
+    return NotFoundError("no credential with id " + id);
+  }
+  return OkStatus();
+}
+
+bool KeyNoteSession::HasCredential(const std::string& id) const {
+  return credentials_.count(id) != 0;
+}
+
+std::vector<std::string> KeyNoteSession::CredentialIdsByAuthorizer(
+    const std::string& principal) const {
+  std::vector<std::string> ids;
+  for (const auto& [id, credential] : credentials_) {
+    if (credential->authorizer() == principal) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+const Assertion* KeyNoteSession::FindCredential(const std::string& id) const {
+  auto it = credentials_.find(id);
+  return it == credentials_.end() ? nullptr : it->second.get();
+}
+
+ComplianceLattice::Value KeyNoteSession::Query(
+    const ComplianceQuery& query) const {
+  std::vector<const Assertion*> all;
+  all.reserve(policies_.size() + credentials_.size());
+  for (const auto& p : policies_) {
+    all.push_back(p.get());
+  }
+  for (const auto& [id, c] : credentials_) {
+    all.push_back(c.get());
+  }
+  return CheckCompliance(all, query, lattice_);
+}
+
+}  // namespace discfs::keynote

@@ -1,0 +1,53 @@
+#include "src/net/shaper.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace discfs {
+
+void ShapedStream::Delay(size_t bytes) const {
+  uint64_t us = model_.latency_us;
+  if (model_.mbps > 0) {
+    us += static_cast<uint64_t>(bytes * 8.0 / model_.mbps);  // bits / (Mbps) = us
+  }
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+Status ShapedStream::Send(const Bytes& message) {
+  Delay(message.size());
+  return inner_->Send(message);
+}
+
+Result<Bytes> ShapedStream::Recv() {
+  // The shaper wraps only the client end of a connection, so it charges
+  // both directions there: Send pays for the request, Recv for the reply.
+  ASSIGN_OR_RETURN(Bytes message, inner_->Recv());
+  Delay(message.size());
+  return message;
+}
+
+LinkModel LinkModelFromEnv() {
+  LinkModel model;
+  model.mbps = 100;        // the paper's testbed
+  model.latency_us = 100;  // switch + stack latency of the era
+  if (const char* env = std::getenv("DISCFS_LINK_MBPS")) {
+    model.mbps = std::strtod(env, nullptr);
+  }
+  if (const char* env = std::getenv("DISCFS_LINK_LATENCY_US")) {
+    model.latency_us = std::strtoull(env, nullptr, 10);
+  }
+  return model;
+}
+
+std::unique_ptr<MsgStream> MaybeShape(std::unique_ptr<MsgStream> inner,
+                                      const LinkModel& model) {
+  if (model.mbps <= 0 && model.latency_us == 0) {
+    return inner;
+  }
+  return std::make_unique<ShapedStream>(std::move(inner), model);
+}
+
+}  // namespace discfs

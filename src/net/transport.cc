@@ -1,0 +1,223 @@
+#include "src/net/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "src/util/strings.h"
+
+namespace discfs {
+namespace {
+
+Status SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      return UnavailableError(StrPrintf("send failed: %s", strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status RecvAll(int fd, uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) {
+      return UnavailableError("peer closed connection");
+    }
+    if (n < 0) {
+      return UnavailableError(StrPrintf("recv failed: %s", strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+constexpr size_t kMaxFrame = 1 << 26;  // 64 MiB sanity limit
+
+}  // namespace
+
+// -------------------------------------------------------------------- TCP
+
+TcpTransport::~TcpTransport() { Close(); }
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return UnavailableError(
+        StrPrintf("connect to %s:%u failed: %s", host.c_str(), port,
+                  strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpTransport>(fd);
+}
+
+Status TcpTransport::Send(const Bytes& message) {
+  if (fd_ < 0) {
+    return UnavailableError("transport closed");
+  }
+  if (message.size() > kMaxFrame) {
+    return InvalidArgumentError("frame too large");
+  }
+  uint8_t hdr[4];
+  uint32_t len = static_cast<uint32_t>(message.size());
+  hdr[0] = static_cast<uint8_t>(len >> 24);
+  hdr[1] = static_cast<uint8_t>(len >> 16);
+  hdr[2] = static_cast<uint8_t>(len >> 8);
+  hdr[3] = static_cast<uint8_t>(len);
+  RETURN_IF_ERROR(SendAll(fd_, hdr, 4));
+  return SendAll(fd_, message.data(), message.size());
+}
+
+Result<Bytes> TcpTransport::Recv() {
+  if (fd_ < 0) {
+    return UnavailableError("transport closed");
+  }
+  uint8_t hdr[4];
+  RETURN_IF_ERROR(RecvAll(fd_, hdr, 4));
+  uint32_t len = (static_cast<uint32_t>(hdr[0]) << 24) |
+                 (static_cast<uint32_t>(hdr[1]) << 16) |
+                 (static_cast<uint32_t>(hdr[2]) << 8) |
+                 static_cast<uint32_t>(hdr[3]);
+  if (len > kMaxFrame) {
+    return DataLossError("oversized frame");
+  }
+  Bytes out(len);
+  RETURN_IF_ERROR(RecvAll(fd_, out.data(), len));
+  return out;
+}
+
+void TcpTransport::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return UnavailableError(StrPrintf("bind failed: %s", strerror(errno)));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return UnavailableError("listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return UnavailableError("getsockname failed");
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpListener::Accept() {
+  if (fd_ < 0) {
+    return UnavailableError("listener closed");
+  }
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return UnavailableError(StrPrintf("accept failed: %s", strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpTransport>(client);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ----------------------------------------------------------------- in-proc
+
+struct InProcTransport::Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Bytes> messages;
+  bool closed = false;
+};
+
+InProcTransport::Pair InProcTransport::CreatePair() {
+  auto q1 = std::make_shared<Queue>();
+  auto q2 = std::make_shared<Queue>();
+  Pair pair;
+  pair.a = std::unique_ptr<InProcTransport>(new InProcTransport(q1, q2));
+  pair.b = std::unique_ptr<InProcTransport>(new InProcTransport(q2, q1));
+  return pair;
+}
+
+InProcTransport::~InProcTransport() { Close(); }
+
+Status InProcTransport::Send(const Bytes& message) {
+  std::lock_guard<std::mutex> lock(tx_->mu);
+  if (tx_->closed) {
+    return UnavailableError("transport closed");
+  }
+  tx_->messages.push_back(message);
+  tx_->cv.notify_one();
+  return OkStatus();
+}
+
+Result<Bytes> InProcTransport::Recv() {
+  std::unique_lock<std::mutex> lock(rx_->mu);
+  rx_->cv.wait(lock, [this] { return !rx_->messages.empty() || rx_->closed; });
+  if (rx_->messages.empty()) {
+    return UnavailableError("peer closed");
+  }
+  Bytes out = std::move(rx_->messages.front());
+  rx_->messages.pop_front();
+  return out;
+}
+
+void InProcTransport::Close() {
+  for (const auto& q : {tx_, rx_}) {
+    if (q != nullptr) {
+      std::lock_guard<std::mutex> lock(q->mu);
+      q->closed = true;
+      q->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace discfs

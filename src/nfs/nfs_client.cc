@@ -1,0 +1,156 @@
+#include "src/nfs/nfs_client.h"
+
+namespace discfs {
+
+Result<Bytes> NfsClient::Call(NfsProc proc, const Bytes& args) {
+  return rpc_->Call(kNfsProgram, static_cast<uint32_t>(proc), args);
+}
+
+Status NfsClient::Null() {
+  return Call(NfsProc::kNull, {}).status();
+}
+
+Result<NfsFattr> NfsClient::GetRoot() {
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kGetRoot, {}));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Result<NfsFattr> NfsClient::GetAttr(const NfsFh& fh) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kGetAttr, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Result<NfsFattr> NfsClient::SetAttr(const NfsFh& fh,
+                                    const SetAttrRequest& req) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  WriteSetAttr(w, req);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kSetAttr, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Result<NfsFattr> NfsClient::Lookup(const NfsFh& dir, const std::string& name) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kLookup, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Result<Bytes> NfsClient::Read(const NfsFh& fh, uint64_t offset,
+                              uint32_t count) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  w.PutU64(offset);
+  w.PutU32(count);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kRead, w.Take()));
+  XdrReader r(reply);
+  return r.GetOpaque();
+}
+
+Result<NfsFattr> NfsClient::Write(const NfsFh& fh, uint64_t offset,
+                                  const Bytes& data) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  w.PutU64(offset);
+  w.PutOpaque(data);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kWrite, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Result<NfsFattr> NfsClient::Create(const NfsFh& dir, const std::string& name,
+                                   uint32_t mode) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  w.PutU32(mode);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kCreate, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Status NfsClient::Remove(const NfsFh& dir, const std::string& name) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  return Call(NfsProc::kRemove, w.Take()).status();
+}
+
+Status NfsClient::Rename(const NfsFh& from_dir, const std::string& from_name,
+                         const NfsFh& to_dir, const std::string& to_name) {
+  XdrWriter w;
+  WriteFh(w, from_dir);
+  w.PutString(from_name);
+  WriteFh(w, to_dir);
+  w.PutString(to_name);
+  return Call(NfsProc::kRename, w.Take()).status();
+}
+
+Status NfsClient::Link(const NfsFh& dir, const std::string& name,
+                       const NfsFh& target) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  WriteFh(w, target);
+  return Call(NfsProc::kLink, w.Take()).status();
+}
+
+Result<NfsFattr> NfsClient::Symlink(const NfsFh& dir, const std::string& name,
+                                    const std::string& target) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  w.PutString(target);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kSymlink, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Result<std::string> NfsClient::ReadLink(const NfsFh& fh) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kReadLink, w.Take()));
+  XdrReader r(reply);
+  return r.GetString();
+}
+
+Result<NfsFattr> NfsClient::Mkdir(const NfsFh& dir, const std::string& name,
+                                  uint32_t mode) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  w.PutU32(mode);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kMkdir, w.Take()));
+  XdrReader r(reply);
+  return ReadFattr(r);
+}
+
+Status NfsClient::Rmdir(const NfsFh& dir, const std::string& name) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  w.PutString(name);
+  return Call(NfsProc::kRmdir, w.Take()).status();
+}
+
+Result<std::vector<NfsDirEntry>> NfsClient::ReadDir(const NfsFh& dir) {
+  XdrWriter w;
+  WriteFh(w, dir);
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kReadDir, w.Take()));
+  XdrReader r(reply);
+  return ReadDirEntries(r);
+}
+
+Result<NfsStatFs> NfsClient::StatFs() {
+  ASSIGN_OR_RETURN(Bytes reply, Call(NfsProc::kStatFs, {}));
+  XdrReader r(reply);
+  return ReadStatFs(r);
+}
+
+}  // namespace discfs

@@ -1,0 +1,51 @@
+// NFS client: typed wrappers around the RPC procedures. Used directly by the
+// CFS-NE baseline and wrapped by DiscfsClient.
+#ifndef DISCFS_SRC_NFS_NFS_CLIENT_H_
+#define DISCFS_SRC_NFS_NFS_CLIENT_H_
+
+#include <memory>
+
+#include "src/nfs/protocol.h"
+#include "src/rpc/rpc.h"
+
+namespace discfs {
+
+class NfsClient {
+ public:
+  // Shares the RPC connection (DisCFS multiplexes its credential program on
+  // the same channel).
+  explicit NfsClient(std::shared_ptr<RpcClient> rpc) : rpc_(std::move(rpc)) {}
+
+  Status Null();
+  Result<NfsFattr> GetRoot();
+  Result<NfsFattr> GetAttr(const NfsFh& fh);
+  Result<NfsFattr> SetAttr(const NfsFh& fh, const SetAttrRequest& req);
+  Result<NfsFattr> Lookup(const NfsFh& dir, const std::string& name);
+  Result<Bytes> Read(const NfsFh& fh, uint64_t offset, uint32_t count);
+  Result<NfsFattr> Write(const NfsFh& fh, uint64_t offset, const Bytes& data);
+  Result<NfsFattr> Create(const NfsFh& dir, const std::string& name,
+                          uint32_t mode);
+  Status Remove(const NfsFh& dir, const std::string& name);
+  Status Rename(const NfsFh& from_dir, const std::string& from_name,
+                const NfsFh& to_dir, const std::string& to_name);
+  Status Link(const NfsFh& dir, const std::string& name, const NfsFh& target);
+  Result<NfsFattr> Symlink(const NfsFh& dir, const std::string& name,
+                           const std::string& target);
+  Result<std::string> ReadLink(const NfsFh& fh);
+  Result<NfsFattr> Mkdir(const NfsFh& dir, const std::string& name,
+                         uint32_t mode);
+  Status Rmdir(const NfsFh& dir, const std::string& name);
+  Result<std::vector<NfsDirEntry>> ReadDir(const NfsFh& dir);
+  Result<NfsStatFs> StatFs();
+
+  RpcClient* rpc() { return rpc_.get(); }
+
+ private:
+  Result<Bytes> Call(NfsProc proc, const Bytes& args);
+
+  std::shared_ptr<RpcClient> rpc_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_NFS_NFS_CLIENT_H_

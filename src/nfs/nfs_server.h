@@ -1,0 +1,84 @@
+// User-level NFS server over a Vfs, in the mold of the paper's modified CFS
+// daemon. Access control is pluggable: the plain server (the CFS-NE
+// baseline) installs no hook and allows everything; the DisCFS server
+// installs a hook that consults KeyNote — the paper's separation of
+// mechanism (here) from policy (src/discfs).
+#ifndef DISCFS_SRC_NFS_NFS_SERVER_H_
+#define DISCFS_SRC_NFS_NFS_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "src/keynote/lattice.h"
+#include "src/nfs/protocol.h"
+#include "src/rpc/rpc.h"
+#include "src/vfs/vfs.h"
+
+namespace discfs {
+
+// Permission bits requested by an operation, in the paper's RWX lattice
+// encoding (R=4, W=2, X=1).
+struct NfsAccessRequest {
+  NfsProc proc;
+  NfsFh fh;             // object the permission applies to
+  uint32_t needed = 0;  // RWX mask
+  const RpcContext* ctx = nullptr;
+};
+
+class NfsServer {
+ public:
+  using AccessHook = std::function<Status(const NfsAccessRequest&)>;
+
+  explicit NfsServer(std::shared_ptr<Vfs> vfs) : vfs_(std::move(vfs)) {}
+
+  // Install the policy hook (DisCFS). Without one, all operations are
+  // permitted (CFS-NE / plain NFS semantics).
+  void set_access_hook(AccessHook hook) { access_hook_ = std::move(hook); }
+
+  // Registers all NFS procedures under kNfsProgram.
+  void RegisterAll(RpcDispatcher& dispatcher);
+
+  // Direct entry points (used by the DisCFS server's augmented procedures
+  // and by tests). These do NOT run the access hook; RPC handlers do.
+  Result<NfsFattr> GetRoot();
+  Result<NfsFattr> GetAttr(const NfsFh& fh);
+  Result<NfsFattr> SetAttr(const NfsFh& fh, const SetAttrRequest& req);
+  Result<NfsFattr> Lookup(const NfsFh& dir, const std::string& name);
+  Result<Bytes> Read(const NfsFh& fh, uint64_t offset, uint32_t count);
+  Result<NfsFattr> Write(const NfsFh& fh, uint64_t offset, const Bytes& data);
+  Result<NfsFattr> Create(const NfsFh& dir, const std::string& name,
+                          uint32_t mode);
+  Result<NfsFattr> Mkdir(const NfsFh& dir, const std::string& name,
+                         uint32_t mode);
+  Status Remove(const NfsFh& dir, const std::string& name);
+  Status Rmdir(const NfsFh& dir, const std::string& name);
+  Status Rename(const NfsFh& from_dir, const std::string& from_name,
+                const NfsFh& to_dir, const std::string& to_name);
+  Status Link(const NfsFh& dir, const std::string& name, const NfsFh& target);
+  Result<NfsFattr> Symlink(const NfsFh& dir, const std::string& name,
+                           const std::string& target);
+  Result<std::string> ReadLink(const NfsFh& fh);
+  Result<std::vector<NfsDirEntry>> ReadDir(const NfsFh& dir);
+  Result<NfsStatFs> StatFs();
+
+  // Number of RPC-dispatched operations served (benchmark telemetry).
+  uint64_t ops_served() const { return ops_served_; }
+
+ private:
+  // Validates that the handle references a live inode with a matching
+  // generation; the NFS "stale file handle" condition otherwise.
+  Result<InodeAttr> CheckFh(const NfsFh& fh);
+
+  Status RunHook(NfsProc proc, const NfsFh& fh, uint32_t needed,
+                 const RpcContext& ctx);
+
+  std::shared_ptr<Vfs> vfs_;
+  AccessHook access_hook_;
+  std::mutex mu_;  // serializes vfs access across connections
+  std::atomic<uint64_t> ops_served_{0};
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_NFS_NFS_SERVER_H_

@@ -1,0 +1,153 @@
+#include "src/nfs/protocol.h"
+
+namespace discfs {
+
+void WriteFh(XdrWriter& w, const NfsFh& fh) {
+  w.PutU32(fh.inode);
+  w.PutU32(fh.generation);
+}
+
+Result<NfsFh> ReadFh(XdrReader& r) {
+  NfsFh fh;
+  ASSIGN_OR_RETURN(fh.inode, r.GetU32());
+  ASSIGN_OR_RETURN(fh.generation, r.GetU32());
+  return fh;
+}
+
+void WriteFattr(XdrWriter& w, const NfsFattr& attr) {
+  WriteFh(w, attr.fh);
+  w.PutU32(static_cast<uint32_t>(attr.type));
+  w.PutU32(attr.mode);
+  w.PutU32(attr.nlink);
+  w.PutU32(attr.uid);
+  w.PutU32(attr.gid);
+  w.PutU64(attr.size);
+  w.PutI64(attr.atime);
+  w.PutI64(attr.mtime);
+  w.PutI64(attr.ctime);
+}
+
+Result<NfsFattr> ReadFattr(XdrReader& r) {
+  NfsFattr attr;
+  ASSIGN_OR_RETURN(attr.fh, ReadFh(r));
+  ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
+  if (type > static_cast<uint32_t>(FileType::kSymlink)) {
+    return DataLossError("bad file type on wire");
+  }
+  attr.type = static_cast<FileType>(type);
+  ASSIGN_OR_RETURN(attr.mode, r.GetU32());
+  ASSIGN_OR_RETURN(attr.nlink, r.GetU32());
+  ASSIGN_OR_RETURN(attr.uid, r.GetU32());
+  ASSIGN_OR_RETURN(attr.gid, r.GetU32());
+  ASSIGN_OR_RETURN(attr.size, r.GetU64());
+  ASSIGN_OR_RETURN(attr.atime, r.GetI64());
+  ASSIGN_OR_RETURN(attr.mtime, r.GetI64());
+  ASSIGN_OR_RETURN(attr.ctime, r.GetI64());
+  return attr;
+}
+
+void WriteSetAttr(XdrWriter& w, const SetAttrRequest& req) {
+  auto put_opt_u32 = [&w](const std::optional<uint32_t>& v) {
+    w.PutBool(v.has_value());
+    w.PutU32(v.value_or(0));
+  };
+  put_opt_u32(req.mode);
+  put_opt_u32(req.uid);
+  put_opt_u32(req.gid);
+  w.PutBool(req.size.has_value());
+  w.PutU64(req.size.value_or(0));
+  w.PutBool(req.atime.has_value());
+  w.PutI64(req.atime.value_or(0));
+  w.PutBool(req.mtime.has_value());
+  w.PutI64(req.mtime.value_or(0));
+}
+
+Result<SetAttrRequest> ReadSetAttr(XdrReader& r) {
+  SetAttrRequest req;
+  auto get_opt_u32 = [&r]() -> Result<std::optional<uint32_t>> {
+    ASSIGN_OR_RETURN(bool has, r.GetBool());
+    ASSIGN_OR_RETURN(uint32_t v, r.GetU32());
+    return has ? std::optional<uint32_t>(v) : std::nullopt;
+  };
+  ASSIGN_OR_RETURN(req.mode, get_opt_u32());
+  ASSIGN_OR_RETURN(req.uid, get_opt_u32());
+  ASSIGN_OR_RETURN(req.gid, get_opt_u32());
+  ASSIGN_OR_RETURN(bool has_size, r.GetBool());
+  ASSIGN_OR_RETURN(uint64_t size, r.GetU64());
+  if (has_size) {
+    req.size = size;
+  }
+  ASSIGN_OR_RETURN(bool has_atime, r.GetBool());
+  ASSIGN_OR_RETURN(int64_t atime, r.GetI64());
+  if (has_atime) {
+    req.atime = atime;
+  }
+  ASSIGN_OR_RETURN(bool has_mtime, r.GetBool());
+  ASSIGN_OR_RETURN(int64_t mtime, r.GetI64());
+  if (has_mtime) {
+    req.mtime = mtime;
+  }
+  return req;
+}
+
+void WriteDirEntries(XdrWriter& w, const std::vector<NfsDirEntry>& entries) {
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const NfsDirEntry& e : entries) {
+    w.PutString(e.name);
+    WriteFh(w, e.fh);
+    w.PutU32(static_cast<uint32_t>(e.type));
+  }
+}
+
+Result<std::vector<NfsDirEntry>> ReadDirEntries(XdrReader& r) {
+  ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > (1u << 22)) {
+    return DataLossError("implausible directory entry count");
+  }
+  std::vector<NfsDirEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NfsDirEntry e;
+    ASSIGN_OR_RETURN(e.name, r.GetString());
+    ASSIGN_OR_RETURN(e.fh, ReadFh(r));
+    ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
+    e.type = static_cast<FileType>(type);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void WriteStatFs(XdrWriter& w, const NfsStatFs& info) {
+  w.PutU32(info.block_size);
+  w.PutU64(info.total_blocks);
+  w.PutU64(info.free_blocks);
+  w.PutU32(info.total_inodes);
+  w.PutU32(info.free_inodes);
+}
+
+Result<NfsStatFs> ReadStatFs(XdrReader& r) {
+  NfsStatFs info;
+  ASSIGN_OR_RETURN(info.block_size, r.GetU32());
+  ASSIGN_OR_RETURN(info.total_blocks, r.GetU64());
+  ASSIGN_OR_RETURN(info.free_blocks, r.GetU64());
+  ASSIGN_OR_RETURN(info.total_inodes, r.GetU32());
+  ASSIGN_OR_RETURN(info.free_inodes, r.GetU32());
+  return info;
+}
+
+NfsFattr FattrFromInode(const InodeAttr& attr) {
+  NfsFattr out;
+  out.fh = NfsFh{attr.inode, attr.generation};
+  out.type = attr.type;
+  out.mode = attr.mode;
+  out.nlink = attr.nlink;
+  out.uid = attr.uid;
+  out.gid = attr.gid;
+  out.size = attr.size;
+  out.atime = attr.atime;
+  out.mtime = attr.mtime;
+  out.ctime = attr.ctime;
+  return out;
+}
+
+}  // namespace discfs

@@ -1,0 +1,90 @@
+#include "src/rpc/rpc.h"
+
+#include "src/util/strings.h"
+#include "src/wire/xdr.h"
+
+namespace discfs {
+namespace {
+
+constexpr uint32_t kTypeCall = 0;
+constexpr uint32_t kTypeReply = 1;
+
+}  // namespace
+
+Result<Bytes> RpcClient::Call(uint32_t prog, uint32_t proc,
+                              const Bytes& args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t xid = next_xid_++;
+  XdrWriter w;
+  w.PutU32(xid);
+  w.PutU32(kTypeCall);
+  w.PutU32(prog);
+  w.PutU32(proc);
+  w.PutOpaque(args);
+  RETURN_IF_ERROR(stream_->Send(w.Take()));
+
+  ASSIGN_OR_RETURN(Bytes frame, stream_->Recv());
+  XdrReader r(frame);
+  ASSIGN_OR_RETURN(uint32_t reply_xid, r.GetU32());
+  ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
+  ASSIGN_OR_RETURN(uint32_t status_code, r.GetU32());
+  ASSIGN_OR_RETURN(Bytes body, r.GetOpaque());
+  if (type != kTypeReply || reply_xid != xid) {
+    return DataLossError("mismatched RPC reply");
+  }
+  if (status_code != 0) {
+    return Status(static_cast<StatusCode>(status_code), ToString(body));
+  }
+  return body;
+}
+
+void RpcDispatcher::Register(uint32_t prog, uint32_t proc, Handler handler) {
+  handlers_[{prog, proc}] = std::move(handler);
+}
+
+Status RpcDispatcher::ServeOne(MsgStream& stream,
+                               const RpcContext& ctx) const {
+  ASSIGN_OR_RETURN(Bytes frame, stream.Recv());
+  XdrReader r(frame);
+  ASSIGN_OR_RETURN(uint32_t xid, r.GetU32());
+  ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
+  ASSIGN_OR_RETURN(uint32_t prog, r.GetU32());
+  ASSIGN_OR_RETURN(uint32_t proc, r.GetU32());
+  ASSIGN_OR_RETURN(Bytes args, r.GetOpaque());
+  if (type != kTypeCall) {
+    return DataLossError("expected RPC call frame");
+  }
+
+  Result<Bytes> result = [&]() -> Result<Bytes> {
+    auto it = handlers_.find({prog, proc});
+    if (it == handlers_.end()) {
+      return UnimplementedError(
+          StrPrintf("no handler for prog %u proc %u", prog, proc));
+    }
+    return it->second(args, ctx);
+  }();
+
+  XdrWriter w;
+  w.PutU32(xid);
+  w.PutU32(kTypeReply);
+  if (result.ok()) {
+    w.PutU32(0);
+    w.PutOpaque(result.value());
+  } else {
+    w.PutU32(static_cast<uint32_t>(result.status().code()));
+    w.PutOpaque(ToBytes(result.status().message()));
+  }
+  return stream.Send(w.Take());
+}
+
+void RpcDispatcher::ServeConnection(MsgStream& stream,
+                                    const RpcContext& ctx) const {
+  while (true) {
+    Status st = ServeOne(stream, ctx);
+    if (!st.ok()) {
+      return;  // peer went away (or stream corrupted); connection is done
+    }
+  }
+}
+
+}  // namespace discfs

@@ -1,0 +1,68 @@
+// Minimal SunRPC-style request/reply layer over any MsgStream.
+//
+// Call frame:   u32 xid | u32 type(0) | u32 prog | u32 proc | opaque args
+// Reply frame:  u32 xid | u32 type(1) | u32 accept_status | opaque result
+// accept_status 0 = success (result = procedure output), non-zero = error
+// (result = UTF-8 error message; the status code is a StatusCode).
+#ifndef DISCFS_SRC_RPC_RPC_H_
+#define DISCFS_SRC_RPC_RPC_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/crypto/dsa.h"
+#include "src/net/transport.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+// Context passed to server handlers; carries the authenticated peer identity
+// when the stream is a SecureChannel.
+struct RpcContext {
+  // Empty when the transport is unauthenticated (the CFS-NE baseline).
+  std::optional<DsaPublicKey> peer_key;
+};
+
+class RpcClient {
+ public:
+  // Takes ownership of the stream (plain transport or secure channel).
+  explicit RpcClient(std::unique_ptr<MsgStream> stream)
+      : stream_(std::move(stream)) {}
+
+  // Blocking call; returns the procedure result or the server-side error.
+  Result<Bytes> Call(uint32_t prog, uint32_t proc, const Bytes& args);
+
+  void Close() { stream_->Close(); }
+
+ private:
+  std::unique_ptr<MsgStream> stream_;
+  std::mutex mu_;  // one outstanding call at a time per connection
+  uint32_t next_xid_ = 1;
+};
+
+class RpcDispatcher {
+ public:
+  using Handler =
+      std::function<Result<Bytes>(const Bytes& args, const RpcContext& ctx)>;
+
+  void Register(uint32_t prog, uint32_t proc, Handler handler);
+
+  // Serves one request from the stream (recv, dispatch, reply). Returns
+  // UNAVAILABLE when the peer disconnects.
+  Status ServeOne(MsgStream& stream, const RpcContext& ctx) const;
+
+  // Serves until the peer disconnects.
+  void ServeConnection(MsgStream& stream, const RpcContext& ctx) const;
+
+ private:
+  std::map<std::pair<uint32_t, uint32_t>, Handler> handlers_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_RPC_RPC_H_

@@ -1,0 +1,219 @@
+#include "src/securechannel/channel.h"
+
+#include "src/crypto/dh.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha.h"
+#include "src/wire/xdr.h"
+
+namespace discfs {
+namespace {
+
+constexpr size_t kNonceLen = 16;
+constexpr char kKdfInfoClient[] = "discfs-channel-v1 client->server";
+constexpr char kKdfInfoServer[] = "discfs-channel-v1 server->client";
+
+struct Hello {
+  Bytes identity_key;  // serialized DsaPublicKey
+  Bytes dh_public;
+  Bytes nonce;
+};
+
+Bytes EncodeHello(const Hello& h) {
+  XdrWriter w;
+  w.PutOpaque(h.identity_key);
+  w.PutOpaque(h.dh_public);
+  w.PutOpaque(h.nonce);
+  return w.Take();
+}
+
+Result<Hello> DecodeHello(const Bytes& data) {
+  XdrReader r(data);
+  Hello h;
+  ASSIGN_OR_RETURN(h.identity_key, r.GetOpaque());
+  ASSIGN_OR_RETURN(h.dh_public, r.GetOpaque());
+  ASSIGN_OR_RETURN(h.nonce, r.GetOpaque());
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in hello");
+  }
+  if (h.nonce.size() != kNonceLen) {
+    return InvalidArgumentError("bad hello nonce length");
+  }
+  return h;
+}
+
+Bytes SignTranscript(const DsaPrivateKey& key, const Bytes& transcript) {
+  DsaSignature sig = key.Sign(Sha256::Hash(transcript));
+  return SerializeDsaSignature(sig, key.public_key().params());
+}
+
+Status VerifyTranscript(const DsaPublicKey& key, const Bytes& transcript,
+                        const Bytes& sig_bytes) {
+  ASSIGN_OR_RETURN(DsaSignature sig,
+                   DeserializeDsaSignature(sig_bytes, key.params()));
+  if (!key.Verify(Sha256::Hash(transcript), sig)) {
+    return UnauthenticatedError("handshake signature verification failed");
+  }
+  return OkStatus();
+}
+
+struct TrafficKeys {
+  Bytes client_to_server;
+  Bytes server_to_client;
+};
+
+TrafficKeys DeriveKeys(const Bytes& dh_secret, const Bytes& nonce_c,
+                       const Bytes& nonce_s) {
+  Bytes salt = nonce_c;
+  Append(salt, nonce_s);
+  Bytes prk = HkdfExtract(salt, dh_secret);
+  TrafficKeys keys;
+  keys.client_to_server =
+      HkdfExpand(prk, ToBytes(kKdfInfoClient), Aead::kKeySize);
+  keys.server_to_client =
+      HkdfExpand(prk, ToBytes(kKdfInfoServer), Aead::kKeySize);
+  return keys;
+}
+
+}  // namespace
+
+SecureChannel::SecureChannel(std::unique_ptr<MsgStream> transport,
+                             Bytes send_key, Bytes recv_key,
+                             DsaPublicKey peer_key)
+    : transport_(std::move(transport)),
+      send_aead_(std::move(send_key)),
+      recv_aead_(std::move(recv_key)),
+      peer_key_(std::move(peer_key)) {}
+
+Bytes SecureChannel::BuildNonce(uint64_t seq) {
+  Bytes nonce(Aead::kNonceSize, 0);
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<uint8_t>(seq >> (8 * i));
+  }
+  return nonce;
+}
+
+Result<std::unique_ptr<SecureChannel>> SecureChannel::ClientHandshake(
+    std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity,
+    const std::optional<DsaPublicKey>& expected_server) {
+  const DsaParams& group = identity.key.public_key().params();
+  DhKeyPair dh = DhKeyPair::Generate(group, identity.rand_bytes);
+
+  Hello client_hello{identity.key.public_key().Serialize(), dh.PublicValue(),
+                     identity.rand_bytes(kNonceLen)};
+  Bytes client_hello_bytes = EncodeHello(client_hello);
+  RETURN_IF_ERROR(transport->Send(client_hello_bytes));
+
+  ASSIGN_OR_RETURN(Bytes server_msg, transport->Recv());
+  // ServerHello = hello-body || signature (XDR opaques).
+  XdrReader r(server_msg);
+  ASSIGN_OR_RETURN(Bytes server_hello_bytes, r.GetOpaque());
+  ASSIGN_OR_RETURN(Bytes server_sig, r.GetOpaque());
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in server hello");
+  }
+  ASSIGN_OR_RETURN(Hello server_hello, DecodeHello(server_hello_bytes));
+  ASSIGN_OR_RETURN(DsaPublicKey server_key,
+                   DsaPublicKey::Deserialize(server_hello.identity_key));
+  if (expected_server.has_value() && !(server_key == *expected_server)) {
+    return UnauthenticatedError("server key does not match expected key");
+  }
+
+  Bytes transcript1 = client_hello_bytes;
+  Append(transcript1, server_hello_bytes);
+  RETURN_IF_ERROR(VerifyTranscript(server_key, transcript1, server_sig));
+
+  ASSIGN_OR_RETURN(Bytes secret, dh.SharedSecret(server_hello.dh_public));
+  TrafficKeys keys =
+      DeriveKeys(secret, client_hello.nonce, server_hello.nonce);
+
+  Bytes transcript2 = transcript1;
+  Append(transcript2, server_sig);
+  XdrWriter auth;
+  auth.PutOpaque(SignTranscript(identity.key, transcript2));
+  RETURN_IF_ERROR(transport->Send(auth.Take()));
+
+  return std::unique_ptr<SecureChannel>(new SecureChannel(
+      std::move(transport), std::move(keys.client_to_server),
+      std::move(keys.server_to_client), std::move(server_key)));
+}
+
+Result<std::unique_ptr<SecureChannel>> SecureChannel::ServerHandshake(
+    std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity) {
+  ASSIGN_OR_RETURN(Bytes client_hello_bytes, transport->Recv());
+  ASSIGN_OR_RETURN(Hello client_hello, DecodeHello(client_hello_bytes));
+  ASSIGN_OR_RETURN(DsaPublicKey client_key,
+                   DsaPublicKey::Deserialize(client_hello.identity_key));
+
+  const DsaParams& group = identity.key.public_key().params();
+  if (!(client_key.params() == group)) {
+    return InvalidArgumentError("client uses a different DH group");
+  }
+  DhKeyPair dh = DhKeyPair::Generate(group, identity.rand_bytes);
+
+  Hello server_hello{identity.key.public_key().Serialize(), dh.PublicValue(),
+                     identity.rand_bytes(kNonceLen)};
+  Bytes server_hello_bytes = EncodeHello(server_hello);
+
+  Bytes transcript1 = client_hello_bytes;
+  Append(transcript1, server_hello_bytes);
+  Bytes server_sig = SignTranscript(identity.key, transcript1);
+
+  XdrWriter w;
+  w.PutOpaque(server_hello_bytes);
+  w.PutOpaque(server_sig);
+  RETURN_IF_ERROR(transport->Send(w.Take()));
+
+  ASSIGN_OR_RETURN(Bytes secret, dh.SharedSecret(client_hello.dh_public));
+  TrafficKeys keys =
+      DeriveKeys(secret, client_hello.nonce, server_hello.nonce);
+
+  ASSIGN_OR_RETURN(Bytes auth_msg, transport->Recv());
+  XdrReader r(auth_msg);
+  ASSIGN_OR_RETURN(Bytes client_sig, r.GetOpaque());
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in client auth");
+  }
+  Bytes transcript2 = transcript1;
+  Append(transcript2, server_sig);
+  RETURN_IF_ERROR(VerifyTranscript(client_key, transcript2, client_sig));
+
+  return std::unique_ptr<SecureChannel>(new SecureChannel(
+      std::move(transport), std::move(keys.server_to_client),
+      std::move(keys.client_to_server), std::move(client_key)));
+}
+
+Status SecureChannel::Send(const Bytes& message) {
+  ++send_seq_;
+  XdrWriter aad_writer;
+  aad_writer.PutU64(send_seq_);
+  Bytes aad = aad_writer.Take();
+  Bytes sealed = send_aead_.Seal(BuildNonce(send_seq_), aad, message);
+  XdrWriter w;
+  w.PutU64(send_seq_);
+  w.PutOpaque(sealed);
+  return transport_->Send(w.Take());
+}
+
+Result<Bytes> SecureChannel::Recv() {
+  ASSIGN_OR_RETURN(Bytes frame, transport_->Recv());
+  XdrReader r(frame);
+  ASSIGN_OR_RETURN(uint64_t seq, r.GetU64());
+  ASSIGN_OR_RETURN(Bytes sealed, r.GetOpaque());
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in record");
+  }
+  XdrWriter aad_writer;
+  aad_writer.PutU64(seq);
+  ASSIGN_OR_RETURN(Bytes plain,
+                   recv_aead_.Open(BuildNonce(seq), aad_writer.Take(), sealed));
+  // Replay check happens after authentication so an attacker cannot poison
+  // the window with forged sequence numbers.
+  if (!recv_window_.CheckAndUpdate(seq)) {
+    return UnauthenticatedError("replayed or stale record");
+  }
+  return plain;
+}
+
+void SecureChannel::Close() { transport_->Close(); }
+
+}  // namespace discfs

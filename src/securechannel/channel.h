@@ -1,0 +1,83 @@
+// SecureChannel — the repository's stand-in for the paper's IPsec tunnel.
+//
+// The paper (§4.3, §5) uses IPsec/IKE for exactly two properties:
+//   (a) NFS traffic between client and server is confidential and
+//       integrity-protected;
+//   (b) the DisCFS server learns the client's *public key* during IKE key
+//       establishment and associates every subsequent NFS request with it.
+//
+// This module provides both with a signed ephemeral Diffie-Hellman handshake
+// (the IKE stand-in) and a ChaCha20-Poly1305 record layer with ESP-style
+// sequence numbers and an anti-replay window (the ESP stand-in).
+//
+// Handshake (3 messages over an established transport):
+//   C -> S : ClientHello  { client_identity_key, dh_c, nonce_c }
+//   S -> C : ServerHello  { server_identity_key, dh_s, nonce_s,
+//                           SIG_server(transcript_1) }
+//   C -> S : ClientAuth   { SIG_client(transcript_2) }
+// where transcript_1 = ClientHello || ServerHello-body and transcript_2 =
+// transcript_1 || ServerHello-signature. Traffic keys come from
+// HKDF(salt = nonce_c || nonce_s, ikm = DH secret). Each direction has its
+// own key; record nonces encode the direction and a monotone sequence
+// number, which is also authenticated as AAD.
+#ifndef DISCFS_SRC_SECURECHANNEL_CHANNEL_H_
+#define DISCFS_SRC_SECURECHANNEL_CHANNEL_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/dsa.h"
+#include "src/net/transport.h"
+#include "src/securechannel/replay_window.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+struct ChannelIdentity {
+  DsaPrivateKey key;
+  std::function<Bytes(size_t)> rand_bytes;
+};
+
+class SecureChannel : public MsgStream {
+ public:
+  // Client side. If `expected_server` is set, the handshake fails unless the
+  // server proves possession of exactly that key (the SFS-style
+  // "self-certifying" check: the expected key typically comes from the
+  // mount/attach specification).
+  static Result<std::unique_ptr<SecureChannel>> ClientHandshake(
+      std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity,
+      const std::optional<DsaPublicKey>& expected_server);
+
+  // Server side: accepts any client key (DisCFS authorizes by credentials,
+  // not identity lists) and exposes it via peer_key().
+  static Result<std::unique_ptr<SecureChannel>> ServerHandshake(
+      std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity);
+
+  // MsgStream: AEAD-sealed records over the inner transport.
+  Status Send(const Bytes& message) override;
+  Result<Bytes> Recv() override;
+  void Close() override;
+
+  // The authenticated identity of the other endpoint. For the server this
+  // is the client key that DisCFS binds NFS requests to.
+  const DsaPublicKey& peer_key() const { return peer_key_; }
+
+ private:
+  SecureChannel(std::unique_ptr<MsgStream> transport, Bytes send_key,
+                Bytes recv_key, DsaPublicKey peer_key);
+
+  static Bytes BuildNonce(uint64_t seq);
+
+  std::unique_ptr<MsgStream> transport_;
+  Aead send_aead_;
+  Aead recv_aead_;
+  DsaPublicKey peer_key_;
+  uint64_t send_seq_ = 0;
+  ReplayWindow recv_window_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_SECURECHANNEL_CHANNEL_H_

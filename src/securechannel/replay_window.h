@@ -1,0 +1,32 @@
+// Anti-replay sliding window, modeled on the IPsec ESP sequence-number
+// window (RFC 2401 appendix / RFC 4303 §3.4.3). The transports in this
+// repository are ordered and reliable, so in practice sequence numbers only
+// ever advance — but the record layer keeps ESP semantics so the security
+// argument matches the paper's IPsec substrate.
+#ifndef DISCFS_SRC_SECURECHANNEL_REPLAY_WINDOW_H_
+#define DISCFS_SRC_SECURECHANNEL_REPLAY_WINDOW_H_
+
+#include <cstdint>
+
+namespace discfs {
+
+class ReplayWindow {
+ public:
+  explicit ReplayWindow(uint32_t size = 64) : size_(size) {}
+
+  // Returns true (and records the number) if `seq` is new; false if it is a
+  // replay or too far in the past. Sequence numbers start at 1; 0 is never
+  // valid.
+  bool CheckAndUpdate(uint64_t seq);
+
+  uint64_t highest_seen() const { return highest_; }
+
+ private:
+  uint32_t size_;
+  uint64_t highest_ = 0;
+  uint64_t bitmap_ = 0;  // bit i = (highest_ - i) seen, i in [0, size_)
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_SECURECHANNEL_REPLAY_WINDOW_H_

@@ -1,0 +1,77 @@
+#include "src/util/clock.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace discfs {
+namespace {
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) {
+    return 29;
+  }
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+CivilTime CivilFromUnix(int64_t unix_seconds) {
+  CivilTime t;
+  int64_t days = unix_seconds / 86400;
+  int64_t rem = unix_seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  t.hour = static_cast<int>(rem / 3600);
+  t.minute = static_cast<int>((rem % 3600) / 60);
+  t.second = static_cast<int>(rem % 60);
+  t.weekday = static_cast<int>(((days % 7) + 7 + 4) % 7);  // epoch was Thursday
+  int year = 1970;
+  while (true) {
+    int year_days = IsLeap(year) ? 366 : 365;
+    if (days >= year_days) {
+      days -= year_days;
+      ++year;
+    } else if (days < 0) {
+      --year;
+      days += IsLeap(year) ? 366 : 365;
+    } else {
+      break;
+    }
+  }
+  t.year = year;
+  int month = 1;
+  while (days >= DaysInMonth(year, month)) {
+    days -= DaysInMonth(year, month);
+    ++month;
+  }
+  t.month = month;
+  t.day = static_cast<int>(days) + 1;
+  return t;
+}
+
+std::string KeyNoteTimestamp(const CivilTime& t) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d%02d%02d%02d%02d%02d", t.year, t.month,
+                t.day, t.hour, t.minute, t.second);
+  return buf;
+}
+
+int64_t SystemClock::NowUnix() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock* SystemClock::Get() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace discfs

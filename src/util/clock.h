@@ -1,0 +1,57 @@
+// Clock abstraction. DisCFS policies can reference wall-clock conditions
+// (e.g. time-of-day restrictions), and credentials carry expirations, so the
+// server takes a Clock it can be tested against (FakeClock).
+#ifndef DISCFS_SRC_UTIL_CLOCK_H_
+#define DISCFS_SRC_UTIL_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace discfs {
+
+// Civil time broken out of a unix timestamp (UTC).
+struct CivilTime {
+  int year = 1970;
+  int month = 1;   // 1..12
+  int day = 1;     // 1..31
+  int hour = 0;    // 0..23
+  int minute = 0;  // 0..59
+  int second = 0;  // 0..59
+  int weekday = 4; // 0=Sunday .. 6=Saturday (1970-01-01 was a Thursday)
+};
+
+CivilTime CivilFromUnix(int64_t unix_seconds);
+
+// "YYYYMMDDhhmmss" — the timestamp format KeyNote conditions compare
+// lexicographically (string comparison == chronological comparison).
+std::string KeyNoteTimestamp(const CivilTime& t);
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Seconds since the unix epoch.
+  virtual int64_t NowUnix() const = 0;
+};
+
+// Real wall-clock time.
+class SystemClock : public Clock {
+ public:
+  int64_t NowUnix() const override;
+  static SystemClock* Get();  // process-wide singleton
+};
+
+// Manually-advanced clock for tests and deterministic benches.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start = 0) : now_(start) {}
+  int64_t NowUnix() const override { return now_; }
+  void Set(int64_t t) { now_ = t; }
+  void Advance(int64_t seconds) { now_ += seconds; }
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_UTIL_CLOCK_H_

@@ -1,0 +1,23 @@
+// Hex encoding/decoding (lowercase), used for KeyNote "dsa-hex:" key and
+// "sig-dsa-sha1-hex:" signature encodings.
+#ifndef DISCFS_SRC_UTIL_HEX_H_
+#define DISCFS_SRC_UTIL_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+std::string HexEncode(const Bytes& data);
+std::string HexEncode(const uint8_t* data, size_t len);
+
+// Rejects odd-length strings and non-hex characters. Accepts upper and lower
+// case input.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_UTIL_HEX_H_

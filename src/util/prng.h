@@ -1,0 +1,37 @@
+// Deterministic PRNG (xoshiro256**) for workload generation, property tests
+// and simulation. NOT for key material — see src/crypto/sysrand.h for that.
+#ifndef DISCFS_SRC_UTIL_PRNG_H_
+#define DISCFS_SRC_UTIL_PRNG_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace discfs {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  bool NextBool(double p_true = 0.5);
+
+  Bytes NextBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_UTIL_PRNG_H_

@@ -1,0 +1,154 @@
+// Status / Result<T> error model used across all DisCFS modules.
+//
+// API boundaries in this codebase do not throw; fallible operations return
+// Status (no payload) or Result<T> (payload or error), in the style of
+// absl::Status / std::expected.
+#ifndef DISCFS_SRC_UTIL_STATUS_H_
+#define DISCFS_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace discfs {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnauthenticated,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnavailable,
+  kDeadlineExceeded,
+  kDataLoss,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no such inode 17" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string msg);
+Status NotFoundError(std::string msg);
+Status AlreadyExistsError(std::string msg);
+Status PermissionDeniedError(std::string msg);
+Status UnauthenticatedError(std::string msg);
+Status FailedPreconditionError(std::string msg);
+Status OutOfRangeError(std::string msg);
+Status ResourceExhaustedError(std::string msg);
+Status UnavailableError(std::string msg);
+Status DeadlineExceededError(std::string msg);
+Status DataLossError(std::string msg);
+Status IoError(std::string msg);
+Status UnimplementedError(std::string msg);
+Status InternalError(std::string msg);
+
+// Result<T>: either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...);`
+  // both work inside functions returning Result<T>.
+  Result(T value) : var_(std::move(value)) {}              // NOLINT
+  Result(Status status) : var_(std::move(status)) {        // NOLINT
+    assert(!std::get<Status>(var_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagation macros. RETURN_IF_ERROR works in functions returning Status or
+// Result<T>; ASSIGN_OR_RETURN unwraps a Result<T> into a local variable.
+#define DISCFS_CONCAT_INNER_(x, y) x##y
+#define DISCFS_CONCAT_(x, y) DISCFS_CONCAT_INNER_(x, y)
+
+#define RETURN_IF_ERROR(expr)                                \
+  do {                                                       \
+    if (auto discfs_status_ = (expr); !discfs_status_.ok()) { \
+      return discfs_status_;                                 \
+    }                                                        \
+  } while (0)
+
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  auto DISCFS_CONCAT_(result_, __LINE__) = (rexpr);                     \
+  if (!DISCFS_CONCAT_(result_, __LINE__).ok()) {                        \
+    return DISCFS_CONCAT_(result_, __LINE__).status();                  \
+  }                                                                     \
+  lhs = std::move(DISCFS_CONCAT_(result_, __LINE__)).value()
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_UTIL_STATUS_H_

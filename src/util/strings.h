@@ -1,0 +1,30 @@
+// Small string utilities (no std::format on GCC 12).
+#ifndef DISCFS_SRC_UTIL_STRINGS_H_
+#define DISCFS_SRC_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace discfs {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+std::string ToLowerAscii(std::string_view s);
+
+// Case-insensitive ASCII comparison (KeyNote field names are
+// case-insensitive).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,114 @@
+#include "src/vfs/vfs.h"
+
+#include "src/util/strings.h"
+
+namespace discfs {
+namespace {
+
+Result<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgumentError("path must be absolute: " + path);
+  }
+  std::vector<std::string> parts;
+  for (const std::string& part : StrSplit(path, '/')) {
+    if (part.empty()) {
+      continue;
+    }
+    if (part == "." || part == "..") {
+      return InvalidArgumentError("'.'/'..' not supported in paths");
+    }
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<InodeAttr> ResolvePath(Vfs& vfs, const std::string& path) {
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  ASSIGN_OR_RETURN(InodeAttr current, vfs.GetAttr(vfs.root()));
+  for (const std::string& part : parts) {
+    ASSIGN_OR_RETURN(current, vfs.Lookup(current.inode, part));
+  }
+  return current;
+}
+
+Result<InodeAttr> MkdirAll(Vfs& vfs, const std::string& path, uint32_t mode) {
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  ASSIGN_OR_RETURN(InodeAttr current, vfs.GetAttr(vfs.root()));
+  for (const std::string& part : parts) {
+    auto next = vfs.Lookup(current.inode, part);
+    if (next.ok()) {
+      if (next->type != FileType::kDirectory) {
+        return FailedPreconditionError(part + " exists and is not a directory");
+      }
+      current = *next;
+      continue;
+    }
+    if (next.status().code() != StatusCode::kNotFound) {
+      return next.status();
+    }
+    ASSIGN_OR_RETURN(current, vfs.Mkdir(current.inode, part, mode));
+  }
+  return current;
+}
+
+Result<std::pair<InodeAttr, std::string>> ResolveParent(
+    Vfs& vfs, const std::string& path) {
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return InvalidArgumentError("path has no leaf component");
+  }
+  std::string leaf = parts.back();
+  parts.pop_back();
+  ASSIGN_OR_RETURN(InodeAttr current, vfs.GetAttr(vfs.root()));
+  for (const std::string& part : parts) {
+    ASSIGN_OR_RETURN(current, vfs.Lookup(current.inode, part));
+  }
+  if (current.type != FileType::kDirectory) {
+    return InvalidArgumentError("parent is not a directory");
+  }
+  return std::make_pair(current, leaf);
+}
+
+Result<std::string> ReadFileAt(Vfs& vfs, const std::string& path) {
+  ASSIGN_OR_RETURN(InodeAttr attr, ResolvePath(vfs, path));
+  if (attr.type != FileType::kRegular) {
+    return InvalidArgumentError(path + " is not a regular file");
+  }
+  std::string out(attr.size, '\0');
+  ASSIGN_OR_RETURN(size_t n,
+                   vfs.Read(attr.inode, 0, attr.size,
+                            reinterpret_cast<uint8_t*>(out.data())));
+  out.resize(n);
+  return out;
+}
+
+Status WriteFileAt(Vfs& vfs, const std::string& path,
+                   const std::string& contents, uint32_t mode) {
+  ASSIGN_OR_RETURN(auto parent_leaf, ResolveParent(vfs, path));
+  const auto& [parent, leaf] = parent_leaf;
+  InodeAttr file;
+  auto existing = vfs.Lookup(parent.inode, leaf);
+  if (existing.ok()) {
+    file = *existing;
+    SetAttrRequest truncate;
+    truncate.size = 0;
+    RETURN_IF_ERROR(vfs.SetAttr(file.inode, truncate));
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    ASSIGN_OR_RETURN(file, vfs.Create(parent.inode, leaf, mode));
+  } else {
+    return existing.status();
+  }
+  ASSIGN_OR_RETURN(
+      size_t n,
+      vfs.Write(file.inode, 0,
+                reinterpret_cast<const uint8_t*>(contents.data()),
+                contents.size()));
+  if (n != contents.size()) {
+    return IoError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace discfs

@@ -1,0 +1,123 @@
+// VFS: the narrow filesystem interface the NFS server (and the FFS baseline
+// harness) sit on, plus path-resolution helpers. FfsVfs adapts the concrete
+// FFS volume; tests can substitute other implementations.
+#ifndef DISCFS_SRC_VFS_VFS_H_
+#define DISCFS_SRC_VFS_VFS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ffs/ffs.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual InodeNum root() const = 0;
+  virtual Result<InodeAttr> GetAttr(InodeNum inode) = 0;
+  virtual Status SetAttr(InodeNum inode, const SetAttrRequest& request) = 0;
+  virtual Result<InodeAttr> Lookup(InodeNum dir, const std::string& name) = 0;
+  virtual Result<InodeAttr> Create(InodeNum dir, const std::string& name,
+                                   uint32_t mode) = 0;
+  virtual Result<InodeAttr> Mkdir(InodeNum dir, const std::string& name,
+                                  uint32_t mode) = 0;
+  virtual Result<InodeAttr> Symlink(InodeNum dir, const std::string& name,
+                                    const std::string& target) = 0;
+  virtual Result<std::string> ReadLink(InodeNum inode) = 0;
+  virtual Status Link(InodeNum dir, const std::string& name,
+                      InodeNum target) = 0;
+  virtual Status Remove(InodeNum dir, const std::string& name) = 0;
+  virtual Status Rmdir(InodeNum dir, const std::string& name) = 0;
+  virtual Status Rename(InodeNum from_dir, const std::string& from_name,
+                        InodeNum to_dir, const std::string& to_name) = 0;
+  virtual Result<size_t> Read(InodeNum inode, uint64_t offset, size_t len,
+                              uint8_t* out) = 0;
+  virtual Result<size_t> Write(InodeNum inode, uint64_t offset,
+                               const uint8_t* data, size_t len) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(InodeNum dir) = 0;
+  virtual Result<StatFsInfo> StatFs() = 0;
+};
+
+class FfsVfs : public Vfs {
+ public:
+  explicit FfsVfs(std::shared_ptr<Ffs> fs) : fs_(std::move(fs)) {}
+
+  InodeNum root() const override { return fs_->root(); }
+  Result<InodeAttr> GetAttr(InodeNum inode) override {
+    return fs_->GetAttr(inode);
+  }
+  Status SetAttr(InodeNum inode, const SetAttrRequest& request) override {
+    return fs_->SetAttr(inode, request);
+  }
+  Result<InodeAttr> Lookup(InodeNum dir, const std::string& name) override {
+    return fs_->Lookup(dir, name);
+  }
+  Result<InodeAttr> Create(InodeNum dir, const std::string& name,
+                           uint32_t mode) override {
+    return fs_->Create(dir, name, mode);
+  }
+  Result<InodeAttr> Mkdir(InodeNum dir, const std::string& name,
+                          uint32_t mode) override {
+    return fs_->Mkdir(dir, name, mode);
+  }
+  Result<InodeAttr> Symlink(InodeNum dir, const std::string& name,
+                            const std::string& target) override {
+    return fs_->Symlink(dir, name, target);
+  }
+  Result<std::string> ReadLink(InodeNum inode) override {
+    return fs_->ReadLink(inode);
+  }
+  Status Link(InodeNum dir, const std::string& name,
+              InodeNum target) override {
+    return fs_->Link(dir, name, target);
+  }
+  Status Remove(InodeNum dir, const std::string& name) override {
+    return fs_->Remove(dir, name);
+  }
+  Status Rmdir(InodeNum dir, const std::string& name) override {
+    return fs_->Rmdir(dir, name);
+  }
+  Status Rename(InodeNum from_dir, const std::string& from_name,
+                InodeNum to_dir, const std::string& to_name) override {
+    return fs_->Rename(from_dir, from_name, to_dir, to_name);
+  }
+  Result<size_t> Read(InodeNum inode, uint64_t offset, size_t len,
+                      uint8_t* out) override {
+    return fs_->Read(inode, offset, len, out);
+  }
+  Result<size_t> Write(InodeNum inode, uint64_t offset, const uint8_t* data,
+                       size_t len) override {
+    return fs_->Write(inode, offset, data, len);
+  }
+  Result<std::vector<DirEntry>> ReadDir(InodeNum dir) override {
+    return fs_->ReadDir(dir);
+  }
+  Result<StatFsInfo> StatFs() override { return fs_->StatFs(); }
+
+  Ffs* ffs() { return fs_.get(); }
+
+ private:
+  std::shared_ptr<Ffs> fs_;
+};
+
+// Path helpers ("/a/b/c" with '/' separators; no "." / "..").
+Result<InodeAttr> ResolvePath(Vfs& vfs, const std::string& path);
+// Creates missing intermediate directories (like mkdir -p) and returns the
+// final directory.
+Result<InodeAttr> MkdirAll(Vfs& vfs, const std::string& path, uint32_t mode);
+// Splits "/a/b/c" into the resolved parent directory of "c" and the leaf
+// name "c".
+Result<std::pair<InodeAttr, std::string>> ResolveParent(
+    Vfs& vfs, const std::string& path);
+
+Result<std::string> ReadFileAt(Vfs& vfs, const std::string& path);
+Status WriteFileAt(Vfs& vfs, const std::string& path,
+                   const std::string& contents, uint32_t mode = 0644);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_VFS_VFS_H_

@@ -1,0 +1,94 @@
+#include "src/wire/xdr.h"
+
+namespace discfs {
+namespace {
+size_t PadTo4(size_t n) { return (4 - (n % 4)) % 4; }
+}  // namespace
+
+void XdrWriter::PutU32(uint32_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 24));
+  out_.push_back(static_cast<uint8_t>(v >> 16));
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void XdrWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v));
+}
+
+void XdrWriter::PutFixed(const Bytes& data) {
+  Append(out_, data);
+  out_.insert(out_.end(), PadTo4(data.size()), 0);
+}
+
+void XdrWriter::PutOpaque(const Bytes& data) {
+  PutU32(static_cast<uint32_t>(data.size()));
+  PutFixed(data);
+}
+
+void XdrWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  Append(out_, s);
+  out_.insert(out_.end(), PadTo4(s.size()), 0);
+}
+
+Status XdrReader::Need(size_t n) {
+  if (pos_ + n > data_.size()) {
+    return DataLossError("XDR buffer underrun");
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> XdrReader::GetU32() {
+  RETURN_IF_ERROR(Need(4));
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> XdrReader::GetU64() {
+  ASSIGN_OR_RETURN(uint32_t hi, GetU32());
+  ASSIGN_OR_RETURN(uint32_t lo, GetU32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<int64_t> XdrReader::GetI64() {
+  ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<bool> XdrReader::GetBool() {
+  ASSIGN_OR_RETURN(uint32_t v, GetU32());
+  if (v > 1) {
+    return DataLossError("XDR bool out of range");
+  }
+  return v == 1;
+}
+
+Result<Bytes> XdrReader::GetFixed(size_t len) {
+  size_t padded = len + PadTo4(len);
+  RETURN_IF_ERROR(Need(padded));
+  Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+            data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  pos_ += padded;
+  return out;
+}
+
+Result<Bytes> XdrReader::GetOpaque(size_t max_len) {
+  ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (len > max_len) {
+    return DataLossError("XDR opaque exceeds limit");
+  }
+  return GetFixed(len);
+}
+
+Result<std::string> XdrReader::GetString(size_t max_len) {
+  ASSIGN_OR_RETURN(Bytes raw, GetOpaque(max_len));
+  return std::string(raw.begin(), raw.end());
+}
+
+}  // namespace discfs

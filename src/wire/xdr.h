@@ -1,0 +1,58 @@
+// XDR-style serialization (RFC 4506 conventions: big-endian, 4-byte
+// alignment) used by the RPC layer and the NFS protocol codecs.
+#ifndef DISCFS_SRC_WIRE_XDR_H_
+#define DISCFS_SRC_WIRE_XDR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+class XdrWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU32(v ? 1 : 0); }
+  // Fixed-length opaque: no length prefix, padded to a 4-byte boundary.
+  void PutFixed(const Bytes& data);
+  // Variable-length opaque: u32 length + data + padding.
+  void PutOpaque(const Bytes& data);
+  void PutString(const std::string& s);
+
+  const Bytes& data() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class XdrReader {
+ public:
+  explicit XdrReader(const Bytes& data) : data_(data) {}
+
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<bool> GetBool();
+  Result<Bytes> GetFixed(size_t len);
+  Result<Bytes> GetOpaque(size_t max_len = 1 << 26);
+  Result<std::string> GetString(size_t max_len = 1 << 20);
+
+  // All bytes consumed?
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  const Bytes& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_WIRE_XDR_H_

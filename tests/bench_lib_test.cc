@@ -1,0 +1,200 @@
+// Tests for the benchmark harness itself: the three backends must be
+// behaviourally identical (same files, same bytes, same wc counts), the
+// workload generators deterministic, and the shaper sane — otherwise the
+// figures compare different workloads instead of different systems.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "bench/bonnie.h"
+#include "bench/search.h"
+#include "src/net/shaper.h"
+
+namespace discfs::bench {
+namespace {
+
+BackendOptions SmallOpts() {
+  BackendOptions opts;
+  opts.device_mib = 64;
+  opts.inode_count = 2048;
+  return opts;
+}
+
+// Factory-parameterized suite: every FsBackend implementation must pass.
+using Factory = Result<std::unique_ptr<FsBackend>> (*)(const BackendOptions&);
+
+class BackendContract : public ::testing::TestWithParam<Factory> {
+ protected:
+  void SetUp() override {
+    // Disable shaping for functional tests.
+    setenv("DISCFS_LINK_MBPS", "0", 1);
+    setenv("DISCFS_LINK_LATENCY_US", "0", 1);
+    auto backend = GetParam()(SmallOpts());
+    ASSERT_TRUE(backend.ok()) << backend.status();
+    backend_ = std::move(backend).value();
+  }
+  std::unique_ptr<FsBackend> backend_;
+};
+
+TEST_P(BackendContract, CreateWriteReadFile) {
+  auto file = backend_->CreateFile("t.bin");
+  ASSERT_TRUE(file.ok()) << file.status();
+  Bytes data = ToBytes("backend contract data");
+  ASSERT_TRUE(backend_->WriteAt(*file, 0, data.data(), data.size()).ok());
+  Bytes buf(64);
+  auto n = backend_->ReadAt(*file, 0, buf.data(), buf.size());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(Bytes(buf.begin(), buf.begin() + *n), data);
+}
+
+TEST_P(BackendContract, CreateTruncatesExisting) {
+  auto f1 = backend_->CreateFile("t.bin");
+  ASSERT_TRUE(f1.ok());
+  Bytes big(10000, 'x');
+  ASSERT_TRUE(backend_->WriteAt(*f1, 0, big.data(), big.size()).ok());
+  auto f2 = backend_->CreateFile("t.bin");
+  ASSERT_TRUE(f2.ok());
+  Bytes buf(16);
+  auto n = backend_->ReadAt(*f2, 0, buf.data(), buf.size());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);  // truncated
+}
+
+TEST_P(BackendContract, TreeOps) {
+  ASSERT_TRUE(backend_->MakeDirPath("/a/b").ok());
+  ASSERT_TRUE(backend_->WriteWholeFile("/a/b/one.c", "int main;\n").ok());
+  ASSERT_TRUE(backend_->WriteWholeFile("/a/b/two.h", "#pragma once\n").ok());
+  auto listing = backend_->ListDir("/a/b");
+  ASSERT_TRUE(listing.ok()) << listing.status();
+  EXPECT_EQ(listing->size(), 2u);
+  auto content = backend_->ReadWholeFile("/a/b/one.c");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "int main;\n");
+}
+
+TEST_P(BackendContract, BonnieSmokeAllPhases) {
+  for (BonniePhase phase :
+       {BonniePhase::kSeqOutputChar, BonniePhase::kSeqOutputBlock,
+        BonniePhase::kSeqRewrite, BonniePhase::kSeqInputChar,
+        BonniePhase::kSeqInputBlock}) {
+    auto result = RunBonniePhaseFresh(*backend_, phase, /*file_mb=*/1);
+    ASSERT_TRUE(result.ok()) << BonniePhaseName(phase) << ": "
+                             << result.status();
+    EXPECT_EQ(result->bytes, 1024u * 1024u) << BonniePhaseName(phase);
+    EXPECT_GT(result->kb_per_sec, 0) << BonniePhaseName(phase);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContract,
+                         ::testing::Values(&MakeFfsBackend, &MakeCfsNeBackend,
+                                           &MakeDiscfsBackend),
+                         [](const auto& info) {
+                           switch (info.index) {
+                             case 0:
+                               return "Ffs";
+                             case 1:
+                               return "CfsNe";
+                             default:
+                               return "Discfs";
+                           }
+                         });
+
+TEST(SearchWorkload, DeterministicAcrossBackends) {
+  setenv("DISCFS_LINK_MBPS", "0", 1);
+  setenv("DISCFS_LINK_LATENCY_US", "0", 1);
+  SourceTreeSpec spec;
+  spec.directories = 3;
+  spec.files_per_dir = 5;
+  spec.mean_file_bytes = 4096;
+
+  std::optional<SearchResult> reference;
+  for (auto factory : {&MakeFfsBackend, &MakeCfsNeBackend,
+                       &MakeDiscfsBackend}) {
+    auto backend = factory(SmallOpts());
+    ASSERT_TRUE(backend.ok());
+    auto info = BuildSourceTree(**backend, spec);
+    ASSERT_TRUE(info.ok()) << info.status();
+    EXPECT_EQ(info->total_files, spec.directories * spec.files_per_dir);
+    auto result = RunSearch(**backend, spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->files_scanned, info->c_and_h_files);
+    if (!reference.has_value()) {
+      reference = *result;
+    } else {
+      // All three systems must report the same logical counts.
+      EXPECT_EQ(result->lines, reference->lines);
+      EXPECT_EQ(result->words, reference->words);
+      EXPECT_EQ(result->bytes, reference->bytes);
+      EXPECT_EQ(result->files_scanned, reference->files_scanned);
+    }
+  }
+}
+
+TEST(SearchWorkload, GeneratorDeterministicInSeed) {
+  SourceTreeSpec spec;
+  spec.directories = 2;
+  spec.files_per_dir = 4;
+  auto b1 = MakeFfsBackend(SmallOpts());
+  auto b2 = MakeFfsBackend(SmallOpts());
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  auto i1 = BuildSourceTree(**b1, spec);
+  auto i2 = BuildSourceTree(**b2, spec);
+  ASSERT_TRUE(i1.ok());
+  ASSERT_TRUE(i2.ok());
+  EXPECT_EQ(i1->total_bytes, i2->total_bytes);
+  EXPECT_EQ(i1->c_and_h_files, i2->c_and_h_files);
+}
+
+// ----- shaper -----
+
+TEST(Shaper, PassThroughWhenDisabled) {
+  auto pair = InProcTransport::CreatePair();
+  ShapedStream shaped(std::move(pair.a), LinkModel{0, 0});
+  ASSERT_TRUE(shaped.Send(ToBytes("x")).ok());
+  auto got = pair.b->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "x");
+}
+
+TEST(Shaper, DelaysProportionalToSize) {
+  auto pair = InProcTransport::CreatePair();
+  // 8 Mbps -> 1 byte per microsecond: a 20 KB frame takes >= 20 ms.
+  ShapedStream shaped(std::move(pair.a), LinkModel{8, 0});
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(shaped.Send(Bytes(20000, 1)).ok());
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_GE(elapsed, 0.018);
+  auto got = pair.b->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 20000u);
+}
+
+TEST(Shaper, FixedLatencyApplied) {
+  auto pair = InProcTransport::CreatePair();
+  ShapedStream shaped(std::move(pair.a), LinkModel{0, 5000});  // 5 ms
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(shaped.Send(ToBytes("tiny")).ok());
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_GE(elapsed, 0.004);
+}
+
+TEST(Shaper, EnvParsing) {
+  setenv("DISCFS_LINK_MBPS", "42.5", 1);
+  setenv("DISCFS_LINK_LATENCY_US", "77", 1);
+  LinkModel model = LinkModelFromEnv();
+  EXPECT_DOUBLE_EQ(model.mbps, 42.5);
+  EXPECT_EQ(model.latency_us, 77u);
+  unsetenv("DISCFS_LINK_MBPS");
+  unsetenv("DISCFS_LINK_LATENCY_US");
+  model = LinkModelFromEnv();
+  EXPECT_DOUBLE_EQ(model.mbps, 100);  // paper default
+}
+
+}  // namespace
+}  // namespace discfs::bench

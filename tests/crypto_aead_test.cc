@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/poly1305.h"
+#include "src/util/hex.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+Bytes FromHexOrDie(std::string_view h) {
+  auto r = HexDecode(h);
+  EXPECT_TRUE(r.ok());
+  return r.value();
+}
+
+// RFC 8439 §2.1.1 quarter-round test vector.
+TEST(ChaCha20, QuarterRoundVector) {
+  uint32_t a = 0x11111111, b = 0x01020304, c = 0x9b8d6f43, d = 0x01234567;
+  ChaCha20::QuarterRound(a, b, c, d);
+  EXPECT_EQ(a, 0xea2a92f4u);
+  EXPECT_EQ(b, 0xcb1cf8ceu);
+  EXPECT_EQ(c, 0x4581472eu);
+  EXPECT_EQ(d, 0x5881c4bbu);
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  Bytes key(32, 0x42);
+  Bytes nonce(12, 0x24);
+  Bytes msg = ToBytes("attack at dawn, bring credentials");
+  ChaCha20 enc(key, nonce, 1);
+  Bytes ct = enc.Crypt(msg);
+  EXPECT_NE(ct, msg);
+  ChaCha20 dec(key, nonce, 1);
+  EXPECT_EQ(dec.Crypt(ct), msg);
+}
+
+TEST(ChaCha20, KeystreamBlocksDiffer) {
+  Bytes key(32, 1);
+  Bytes nonce(12, 2);
+  ChaCha20 c(key, nonce, 0);
+  uint8_t b0[64], b1[64];
+  c.KeystreamBlock(0, b0);
+  c.KeystreamBlock(1, b1);
+  EXPECT_NE(Bytes(b0, b0 + 64), Bytes(b1, b1 + 64));
+}
+
+TEST(ChaCha20, CounterContinuityAcrossCalls) {
+  // Encrypting in two chunks of arbitrary sizes must equal one shot when the
+  // chunk boundary is block-aligned.
+  Bytes key(32, 7);
+  Bytes nonce(12, 9);
+  Bytes msg(256, 0xaa);
+  ChaCha20 one(key, nonce, 1);
+  Bytes full = one.Crypt(msg);
+  ChaCha20 two(key, nonce, 1);
+  Bytes part1(msg.begin(), msg.begin() + 64);
+  Bytes part2(msg.begin() + 64, msg.end());
+  Bytes ct1 = two.Crypt(part1);
+  Bytes ct2 = two.Crypt(part2);
+  Append(ct1, ct2);
+  EXPECT_EQ(ct1, full);
+}
+
+// RFC 8439 §2.5.2 Poly1305 test vector.
+TEST(Poly1305, Rfc8439Vector) {
+  Bytes key = FromHexOrDie(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  Bytes msg = ToBytes("Cryptographic Forum Research Group");
+  EXPECT_EQ(HexEncode(Poly1305Tag(key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, EmptyMessage) {
+  Bytes key(32, 0x55);
+  EXPECT_EQ(Poly1305Tag(key, Bytes()).size(), 16u);
+}
+
+TEST(Poly1305, BlockBoundaryLengths) {
+  Bytes key = FromHexOrDie(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  // Tags must differ across lengths straddling the 16-byte block boundary.
+  std::vector<Bytes> tags;
+  for (size_t len : {15u, 16u, 17u, 31u, 32u, 33u}) {
+    tags.push_back(Poly1305Tag(key, Bytes(len, 0x61)));
+  }
+  for (size_t i = 0; i < tags.size(); ++i) {
+    for (size_t j = i + 1; j < tags.size(); ++j) {
+      EXPECT_NE(tags[i], tags[j]);
+    }
+  }
+}
+
+class AeadTest : public ::testing::Test {
+ protected:
+  AeadTest() : aead_(Bytes(32, 0x11)) {}
+  Bytes Nonce(uint64_t n) {
+    Bytes nonce(12, 0);
+    for (int i = 0; i < 8; ++i) {
+      nonce[4 + i] = static_cast<uint8_t>(n >> (8 * i));
+    }
+    return nonce;
+  }
+  Aead aead_;
+};
+
+TEST_F(AeadTest, SealOpenRoundTrip) {
+  Bytes msg = ToBytes("NFS READ fhandle=42 offset=0 count=8192");
+  Bytes aad = ToBytes("seq=7");
+  Bytes sealed = aead_.Seal(Nonce(7), aad, msg);
+  EXPECT_EQ(sealed.size(), msg.size() + Aead::kTagSize);
+  auto opened = aead_.Open(Nonce(7), aad, sealed);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(opened.value(), msg);
+}
+
+TEST_F(AeadTest, EmptyPlaintext) {
+  Bytes sealed = aead_.Seal(Nonce(1), Bytes(), Bytes());
+  EXPECT_EQ(sealed.size(), Aead::kTagSize);
+  auto opened = aead_.Open(Nonce(1), Bytes(), sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST_F(AeadTest, TamperedCiphertextRejected) {
+  Bytes sealed = aead_.Seal(Nonce(2), Bytes(), ToBytes("hello"));
+  sealed[0] ^= 1;
+  EXPECT_FALSE(aead_.Open(Nonce(2), Bytes(), sealed).ok());
+}
+
+TEST_F(AeadTest, TamperedTagRejected) {
+  Bytes sealed = aead_.Seal(Nonce(2), Bytes(), ToBytes("hello"));
+  sealed.back() ^= 1;
+  EXPECT_FALSE(aead_.Open(Nonce(2), Bytes(), sealed).ok());
+}
+
+TEST_F(AeadTest, WrongNonceRejected) {
+  Bytes sealed = aead_.Seal(Nonce(3), Bytes(), ToBytes("hello"));
+  EXPECT_FALSE(aead_.Open(Nonce(4), Bytes(), sealed).ok());
+}
+
+TEST_F(AeadTest, WrongAadRejected) {
+  Bytes sealed = aead_.Seal(Nonce(5), ToBytes("aad-a"), ToBytes("hello"));
+  EXPECT_FALSE(aead_.Open(Nonce(5), ToBytes("aad-b"), sealed).ok());
+}
+
+TEST_F(AeadTest, WrongKeyRejected) {
+  Bytes sealed = aead_.Seal(Nonce(6), Bytes(), ToBytes("hello"));
+  Aead other(Bytes(32, 0x22));
+  EXPECT_FALSE(other.Open(Nonce(6), Bytes(), sealed).ok());
+}
+
+TEST_F(AeadTest, TruncatedRecordRejected) {
+  EXPECT_FALSE(aead_.Open(Nonce(1), Bytes(), Bytes(10, 0)).ok());
+}
+
+TEST_F(AeadTest, RandomizedRoundTrips) {
+  Prng prng(99);
+  for (int i = 0; i < 50; ++i) {
+    Bytes msg = prng.NextBytes(prng.NextBelow(2000));
+    Bytes aad = prng.NextBytes(prng.NextBelow(64));
+    Bytes nonce = Nonce(prng.Next());
+    Bytes sealed = aead_.Seal(nonce, aad, msg);
+    auto opened = aead_.Open(nonce, aad, sealed);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(opened.value(), msg);
+  }
+}
+
+}  // namespace
+}  // namespace discfs

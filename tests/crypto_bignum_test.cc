@@ -1,0 +1,257 @@
+#include "src/crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+BigNum FromHexOrDie(std::string_view hex) {
+  auto r = BigNum::FromHex(hex);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(BigNum, ZeroProperties) {
+  BigNum zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToHex(), "0");
+  EXPECT_EQ(zero.ToDecimal(), "0");
+  EXPECT_EQ(zero.ToUint64(), 0u);
+  EXPECT_FALSE(zero.IsOdd());
+}
+
+TEST(BigNum, Uint64RoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 255ULL, 256ULL, 0xffffffffULL,
+                     0x100000000ULL, 0xdeadbeefcafebabeULL}) {
+    EXPECT_EQ(BigNum(v).ToUint64(), v);
+  }
+}
+
+TEST(BigNum, HexRoundTrip) {
+  for (const char* hex :
+       {"1", "ff", "100", "deadbeef", "123456789abcdef0123456789abcdef"}) {
+    EXPECT_EQ(FromHexOrDie(hex).ToHex(), hex);
+  }
+}
+
+TEST(BigNum, HexOddLengthAccepted) {
+  EXPECT_EQ(FromHexOrDie("abc").ToUint64(), 0xabcu);
+}
+
+TEST(BigNum, HexRejectsGarbage) {
+  EXPECT_FALSE(BigNum::FromHex("xyz").ok());
+}
+
+TEST(BigNum, DecimalRoundTrip) {
+  for (const char* dec :
+       {"1", "10", "255", "1000000007", "123456789012345678901234567890"}) {
+    auto n = BigNum::FromDecimal(dec);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n->ToDecimal(), dec);
+  }
+}
+
+TEST(BigNum, BytesRoundTripFixedWidth) {
+  BigNum n(0x1234u);
+  Bytes b = n.ToBytes(4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[1], 0u);
+  EXPECT_EQ(b[2], 0x12u);
+  EXPECT_EQ(b[3], 0x34u);
+  EXPECT_EQ(BigNum::FromBytes(b).ToUint64(), 0x1234u);
+}
+
+TEST(BigNum, CompareOrdering) {
+  BigNum a(5), b(7), c = FromHexOrDie("123456789abcdef01234");
+  EXPECT_LT(BigNum::Compare(a, b), 0);
+  EXPECT_GT(BigNum::Compare(b, a), 0);
+  EXPECT_EQ(BigNum::Compare(a, a), 0);
+  EXPECT_LT(BigNum::Compare(b, c), 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b <= c);
+  EXPECT_TRUE(c > a);
+}
+
+TEST(BigNum, AddCarriesAcrossLimbs) {
+  BigNum a = FromHexOrDie("ffffffffffffffff");
+  BigNum sum = a + BigNum(1);
+  EXPECT_EQ(sum.ToHex(), "10000000000000000");
+}
+
+TEST(BigNum, SubBorrowsAcrossLimbs) {
+  BigNum a = FromHexOrDie("10000000000000000");
+  EXPECT_EQ((a - BigNum(1)).ToHex(), "ffffffffffffffff");
+}
+
+TEST(BigNum, MulSmall) {
+  EXPECT_EQ((BigNum(12345) * BigNum(67890)).ToUint64(), 12345ull * 67890ull);
+}
+
+TEST(BigNum, MulByZero) {
+  BigNum a = FromHexOrDie("deadbeefdeadbeefdeadbeef");
+  EXPECT_TRUE((a * BigNum()).IsZero());
+  EXPECT_TRUE((BigNum() * a).IsZero());
+}
+
+TEST(BigNum, ShiftLeftRightInverse) {
+  BigNum a = FromHexOrDie("deadbeefcafebabe1234");
+  for (size_t s : {1u, 7u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(BigNum::ShiftRight(BigNum::ShiftLeft(a, s), s), a) << s;
+  }
+}
+
+TEST(BigNum, ShiftRightToZero) {
+  EXPECT_TRUE(BigNum::ShiftRight(BigNum(1), 1).IsZero());
+  EXPECT_TRUE(BigNum::ShiftRight(FromHexOrDie("ff"), 8).IsZero());
+}
+
+TEST(BigNum, DivModBasic) {
+  auto [q, r] = BigNum::DivMod(BigNum(100), BigNum(7));
+  EXPECT_EQ(q.ToUint64(), 14u);
+  EXPECT_EQ(r.ToUint64(), 2u);
+}
+
+TEST(BigNum, DivModDividendSmaller) {
+  auto [q, r] = BigNum::DivMod(BigNum(3), BigNum(10));
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.ToUint64(), 3u);
+}
+
+// Property: for random a, b: a == (a/b)*b + a%b and a%b < b.
+TEST(BigNum, DivModPropertyRandom) {
+  Prng prng(42);
+  for (int iter = 0; iter < 300; ++iter) {
+    size_t asize = 1 + prng.NextBelow(48);
+    size_t bsize = 1 + prng.NextBelow(24);
+    BigNum a = BigNum::FromBytes(prng.NextBytes(asize));
+    BigNum b = BigNum::FromBytes(prng.NextBytes(bsize));
+    if (b.IsZero()) {
+      continue;
+    }
+    auto [q, r] = BigNum::DivMod(a, b);
+    EXPECT_LT(BigNum::Compare(r, b), 0);
+    EXPECT_EQ(BigNum::Add(BigNum::Mul(q, b), r), a);
+  }
+}
+
+// Property: ring laws on random values.
+TEST(BigNum, RingLawsRandom) {
+  Prng prng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigNum a = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(20)));
+    BigNum b = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(20)));
+    BigNum c = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(20)));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST(BigNum, ModExpSmallCases) {
+  // 3^4 mod 5 = 81 mod 5 = 1
+  EXPECT_EQ(BigNum::ModExp(BigNum(3), BigNum(4), BigNum(5)).ToUint64(), 1u);
+  // x^0 = 1
+  EXPECT_EQ(BigNum::ModExp(BigNum(9), BigNum(0), BigNum(7)).ToUint64(), 1u);
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigNum::ModExp(BigNum(2), BigNum(10), BigNum(1000)).ToUint64(),
+            24u);
+}
+
+TEST(BigNum, ModExpFermatLittleTheorem) {
+  // p = 1000000007 (prime): a^(p-1) == 1 mod p.
+  BigNum p(1000000007);
+  BigNum p_minus_1(1000000006);
+  Prng prng(3);
+  for (int i = 0; i < 20; ++i) {
+    BigNum a(2 + prng.NextBelow(1000000000));
+    EXPECT_EQ(BigNum::ModExp(a, p_minus_1, p).ToUint64(), 1u);
+  }
+}
+
+TEST(BigNum, ModInverseSmall) {
+  // 3 * 4 = 12 == 1 mod 11.
+  auto inv = BigNum::ModInverse(BigNum(3), BigNum(11));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->ToUint64(), 4u);
+}
+
+TEST(BigNum, ModInverseNotInvertible) {
+  EXPECT_FALSE(BigNum::ModInverse(BigNum(6), BigNum(9)).ok());
+}
+
+TEST(BigNum, ModInversePropertyRandom) {
+  Prng prng(11);
+  BigNum m = FromHexOrDie("fffffffb");  // prime 2^32-5
+  for (int i = 0; i < 100; ++i) {
+    BigNum a(1 + prng.NextBelow(0xfffffffaULL));
+    auto inv = BigNum::ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(BigNum::ModMul(a, inv.value(), m).ToUint64(), 1u);
+  }
+}
+
+TEST(BigNum, GcdBasics) {
+  EXPECT_EQ(BigNum::Gcd(BigNum(12), BigNum(18)).ToUint64(), 6u);
+  EXPECT_EQ(BigNum::Gcd(BigNum(17), BigNum(5)).ToUint64(), 1u);
+  EXPECT_EQ(BigNum::Gcd(BigNum(0), BigNum(5)).ToUint64(), 5u);
+}
+
+TEST(BigNum, IsProbablePrimeKnownValues) {
+  Prng prng(5);
+  auto rand_below = [&prng](const BigNum& hi) {
+    uint64_t h = hi.ToUint64();
+    return BigNum(2 + prng.NextBelow(h > 4 ? h - 4 : 1));
+  };
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 101ULL, 65537ULL, 1000000007ULL}) {
+    EXPECT_TRUE(BigNum::IsProbablePrime(BigNum(p), 20, rand_below)) << p;
+  }
+  for (uint64_t c : {0ULL, 1ULL, 4ULL, 100ULL, 65535ULL, 1000000008ULL,
+                     561ULL /* Carmichael */, 41041ULL /* Carmichael */}) {
+    EXPECT_FALSE(BigNum::IsProbablePrime(BigNum(c), 20, rand_below)) << c;
+  }
+}
+
+TEST(BigNum, RandomBelowInRange) {
+  Prng prng(9);
+  auto rand_bytes = [&prng](size_t n) { return prng.NextBytes(n); };
+  BigNum bound = FromHexOrDie("10000");
+  for (int i = 0; i < 200; ++i) {
+    BigNum r = BigNum::RandomBelow(bound, rand_bytes);
+    EXPECT_LT(BigNum::Compare(r, bound), 0);
+  }
+}
+
+TEST(BigNum, BitAccess) {
+  BigNum n = FromHexOrDie("5");  // 0b101
+  EXPECT_TRUE(n.Bit(0));
+  EXPECT_FALSE(n.Bit(1));
+  EXPECT_TRUE(n.Bit(2));
+  EXPECT_FALSE(n.Bit(3));
+  EXPECT_FALSE(n.Bit(1000));
+}
+
+TEST(BigNum, BitLength) {
+  EXPECT_EQ(BigNum(1).BitLength(), 1u);
+  EXPECT_EQ(BigNum(2).BitLength(), 2u);
+  EXPECT_EQ(BigNum(255).BitLength(), 8u);
+  EXPECT_EQ(BigNum(256).BitLength(), 9u);
+  EXPECT_EQ(FromHexOrDie("80000000000000000").BitLength(), 68u);
+}
+
+// Knuth algorithm D edge: the "add back" step (D6) triggers rarely; this
+// divisor/dividend pair exercises multi-limb division heavily.
+TEST(BigNum, DivModStress64BitBoundaries) {
+  BigNum a = FromHexOrDie("ffffffffffffffffffffffffffffffff");
+  BigNum b = FromHexOrDie("ffffffff00000001");
+  auto [q, r] = BigNum::DivMod(a, b);
+  EXPECT_EQ(BigNum::Add(BigNum::Mul(q, b), r), a);
+  EXPECT_LT(BigNum::Compare(r, b), 0);
+}
+
+}  // namespace
+}  // namespace discfs

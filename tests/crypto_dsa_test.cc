@@ -1,0 +1,233 @@
+#include "src/crypto/dsa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/dh.h"
+#include "src/crypto/groups.h"
+#include "src/crypto/sha.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+// Deterministic randomness for reproducible tests.
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+class DsaTest : public ::testing::Test {
+ protected:
+  DsaTest() : key_(DsaPrivateKey::Generate(Dsa512(), TestRand(1))) {}
+  DsaPrivateKey key_;
+};
+
+TEST_F(DsaTest, SignVerifyRoundTrip) {
+  Bytes digest = Sha1::Hash("credential body");
+  DsaSignature sig = key_.Sign(digest);
+  EXPECT_TRUE(key_.public_key().Verify(digest, sig));
+}
+
+TEST_F(DsaTest, VerifyRejectsWrongMessage) {
+  DsaSignature sig = key_.Sign(Sha1::Hash("message A"));
+  EXPECT_FALSE(key_.public_key().Verify(Sha1::Hash("message B"), sig));
+}
+
+TEST_F(DsaTest, VerifyRejectsWrongKey) {
+  Bytes digest = Sha1::Hash("message");
+  DsaSignature sig = key_.Sign(digest);
+  DsaPrivateKey other = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  EXPECT_FALSE(other.public_key().Verify(digest, sig));
+}
+
+TEST_F(DsaTest, VerifyRejectsTamperedSignature) {
+  Bytes digest = Sha1::Hash("message");
+  DsaSignature sig = key_.Sign(digest);
+  DsaSignature bad = sig;
+  bad.r = BigNum::Add(bad.r, BigNum(1));
+  EXPECT_FALSE(key_.public_key().Verify(digest, bad));
+  bad = sig;
+  bad.s = BigNum::Add(bad.s, BigNum(1));
+  EXPECT_FALSE(key_.public_key().Verify(digest, bad));
+}
+
+TEST_F(DsaTest, VerifyRejectsZeroAndOutOfRangeComponents) {
+  Bytes digest = Sha1::Hash("message");
+  DsaSignature sig = key_.Sign(digest);
+  DsaSignature bad = sig;
+  bad.r = BigNum();
+  EXPECT_FALSE(key_.public_key().Verify(digest, bad));
+  bad = sig;
+  bad.s = BigNum();
+  EXPECT_FALSE(key_.public_key().Verify(digest, bad));
+  bad = sig;
+  bad.r = Dsa512().q;  // r must be < q
+  EXPECT_FALSE(key_.public_key().Verify(digest, bad));
+}
+
+TEST_F(DsaTest, DeterministicSignatures) {
+  Bytes digest = Sha1::Hash("same message");
+  DsaSignature s1 = key_.Sign(digest);
+  DsaSignature s2 = key_.Sign(digest);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST_F(DsaTest, DifferentMessagesDifferentNonces) {
+  DsaSignature s1 = key_.Sign(Sha1::Hash("m1"));
+  DsaSignature s2 = key_.Sign(Sha1::Hash("m2"));
+  // Identical r would mean nonce reuse (key-recovery hazard).
+  EXPECT_NE(s1.r, s2.r);
+}
+
+TEST_F(DsaTest, SerializeDeserializePublicKey) {
+  Bytes ser = key_.public_key().Serialize();
+  auto back = DsaPublicKey::Deserialize(ser);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value(), key_.public_key());
+}
+
+TEST_F(DsaTest, DeserializeRejectsTruncation) {
+  Bytes ser = key_.public_key().Serialize();
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{3}, ser.size() / 2,
+                     ser.size() - 1}) {
+    Bytes prefix(ser.begin(), ser.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DsaPublicKey::Deserialize(prefix).ok()) << cut;
+  }
+}
+
+TEST_F(DsaTest, DeserializeRejectsTrailingBytes) {
+  Bytes ser = key_.public_key().Serialize();
+  ser.push_back(0);
+  EXPECT_FALSE(DsaPublicKey::Deserialize(ser).ok());
+}
+
+TEST_F(DsaTest, KeyNoteStringRoundTrip) {
+  std::string s = key_.public_key().ToKeyNoteString();
+  EXPECT_EQ(s.rfind("dsa-hex:", 0), 0u);
+  auto back = DsaPublicKey::FromKeyNoteString(s);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value(), key_.public_key());
+}
+
+TEST_F(DsaTest, KeyNoteStringRejectsBadPrefix) {
+  EXPECT_FALSE(DsaPublicKey::FromKeyNoteString("rsa-hex:0011").ok());
+}
+
+TEST_F(DsaTest, KeyIdStableAndShort) {
+  std::string id1 = key_.public_key().KeyId();
+  std::string id2 = key_.public_key().KeyId();
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(id1.size(), 16u);
+  DsaPrivateKey other = DsaPrivateKey::Generate(Dsa512(), TestRand(3));
+  EXPECT_NE(other.public_key().KeyId(), id1);
+}
+
+TEST_F(DsaTest, SignatureWireRoundTrip) {
+  Bytes digest = Sha1::Hash("message");
+  DsaSignature sig = key_.Sign(digest);
+  Bytes wire = SerializeDsaSignature(sig, Dsa512());
+  EXPECT_EQ(wire.size(), 40u);  // 2 * 20-byte q width
+  auto back = DeserializeDsaSignature(wire, Dsa512());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->r, sig.r);
+  EXPECT_EQ(back->s, sig.s);
+}
+
+TEST_F(DsaTest, SignatureWireRejectsBadLength) {
+  EXPECT_FALSE(DeserializeDsaSignature(Bytes(39, 0), Dsa512()).ok());
+  EXPECT_FALSE(DeserializeDsaSignature(Bytes(41, 0), Dsa512()).ok());
+}
+
+TEST(DsaSha256Digests, SignVerifyWithSha256Truncation) {
+  // Digests longer than q must be truncated to the leftmost bits; verify a
+  // 256-bit digest works against the 160-bit q.
+  DsaPrivateKey key = DsaPrivateKey::Generate(Dsa512(), TestRand(4));
+  Bytes digest = Sha256::Hash("long digest input");
+  DsaSignature sig = key.Sign(digest);
+  EXPECT_TRUE(key.public_key().Verify(digest, sig));
+}
+
+TEST(Groups, EmbeddedGroupsValidate) {
+  auto rand = TestRand(5);
+  EXPECT_TRUE(ValidateDsaParams(Dsa512(), rand).ok());
+  EXPECT_TRUE(ValidateDsaParams(Dsa1024(), rand).ok());
+  EXPECT_EQ(Dsa1024().p.BitLength(), 1024u);
+  EXPECT_EQ(Dsa1024().q.BitLength(), 160u);
+  EXPECT_EQ(Dsa512().p.BitLength(), 512u);
+  EXPECT_EQ(Dsa512().q.BitLength(), 160u);
+}
+
+TEST(Groups, GenerateSmallGroup) {
+  auto rand = TestRand(6);
+  DsaParams params = GenerateDsaParams(256, 160, rand);
+  EXPECT_TRUE(ValidateDsaParams(params, rand).ok());
+  EXPECT_EQ(params.p.BitLength(), 256u);
+}
+
+TEST(Groups, ValidateRejectsCorruptedParams) {
+  auto rand = TestRand(7);
+  DsaParams bad = Dsa512();
+  bad.p = BigNum::Add(bad.p, BigNum(2));  // p+2: almost surely composite, and
+                                          // q no longer divides p-1
+  EXPECT_FALSE(ValidateDsaParams(bad, rand).ok());
+
+  bad = Dsa512();
+  bad.g = BigNum(1);
+  EXPECT_FALSE(ValidateDsaParams(bad, rand).ok());
+}
+
+// ----- DH -----
+
+TEST(Dh, SharedSecretAgreement) {
+  auto rand_a = TestRand(10);
+  auto rand_b = TestRand(11);
+  DhKeyPair alice = DhKeyPair::Generate(Dsa512(), rand_a);
+  DhKeyPair bob = DhKeyPair::Generate(Dsa512(), rand_b);
+  auto s1 = alice.SharedSecret(bob.PublicValue());
+  auto s2 = bob.SharedSecret(alice.PublicValue());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1.value(), s2.value());
+  EXPECT_EQ(s1->size(), Dsa512().p.ToBytes().size());
+}
+
+TEST(Dh, DistinctPairsDistinctSecrets) {
+  auto rand = TestRand(12);
+  DhKeyPair a = DhKeyPair::Generate(Dsa512(), rand);
+  DhKeyPair b = DhKeyPair::Generate(Dsa512(), rand);
+  DhKeyPair c = DhKeyPair::Generate(Dsa512(), rand);
+  auto ab = a.SharedSecret(b.PublicValue());
+  auto ac = a.SharedSecret(c.PublicValue());
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ac.ok());
+  EXPECT_NE(ab.value(), ac.value());
+}
+
+TEST(Dh, RejectsOutOfRangePeerValues) {
+  auto rand = TestRand(13);
+  DhKeyPair a = DhKeyPair::Generate(Dsa512(), rand);
+  // y = 0, y = 1, y = p-1, y = p are all invalid.
+  size_t width = Dsa512().p.ToBytes().size();
+  EXPECT_FALSE(a.SharedSecret(BigNum(0).ToBytes(width)).ok());
+  EXPECT_FALSE(a.SharedSecret(BigNum(1).ToBytes(width)).ok());
+  BigNum p_minus_1 = BigNum::Sub(Dsa512().p, BigNum(1));
+  EXPECT_FALSE(a.SharedSecret(p_minus_1.ToBytes(width)).ok());
+  EXPECT_FALSE(a.SharedSecret(Dsa512().p.ToBytes(width)).ok());
+}
+
+TEST(Dh, RejectsValueOutsideSubgroup) {
+  auto rand = TestRand(14);
+  DhKeyPair a = DhKeyPair::Generate(Dsa512(), rand);
+  // 2 is (with overwhelming probability) not in the order-q subgroup for our
+  // groups; a small-subgroup/confinement attack would send such values.
+  size_t width = Dsa512().p.ToBytes().size();
+  BigNum two(2);
+  if (BigNum::Compare(BigNum::ModExp(two, Dsa512().q, Dsa512().p),
+                      BigNum(1)) != 0) {
+    EXPECT_FALSE(a.SharedSecret(two.ToBytes(width)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace discfs

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha.h"
+#include "src/util/hex.h"
+
+namespace discfs {
+namespace {
+
+std::string HexOf(const Bytes& b) { return HexEncode(b); }
+
+Bytes FromHexOrDie(std::string_view h) {
+  auto r = HexDecode(h);
+  EXPECT_TRUE(r.ok());
+  return r.value();
+}
+
+// ----- SHA-1 (FIPS 180-4 / RFC 3174 vectors) -----
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(HexOf(Sha1::Hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(HexOf(Sha1::Hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexOf(Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionA) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexOf(h.Finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), Sha1::Hash(msg)) << "split=" << split;
+  }
+}
+
+// ----- SHA-256 -----
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(HexOf(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HexOf(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexOf(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexOf(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::string msg(200, 'x');
+  for (size_t split : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "split=" << split;
+  }
+}
+
+// Lengths around the padding boundary (55/56/64 bytes) are the classic
+// off-by-one spots in SHA implementations.
+TEST(Sha256, PaddingBoundaryLengthsDiffer) {
+  std::vector<Bytes> digests;
+  for (size_t len = 54; len <= 66; ++len) {
+    digests.push_back(Sha256::Hash(std::string(len, 'q')));
+  }
+  for (size_t i = 0; i < digests.size(); ++i) {
+    for (size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]);
+    }
+  }
+}
+
+// ----- SHA-512 -----
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(HexOf(Sha512::Hash("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(HexOf(Sha512::Hash("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  std::string msg(300, 'z');
+  for (size_t split : {0u, 1u, 111u, 112u, 127u, 128u, 129u, 300u}) {
+    Sha512 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), Sha512::Hash(msg)) << "split=" << split;
+  }
+}
+
+// ----- HMAC (RFC 2202 / RFC 4231) -----
+
+TEST(Hmac, Sha1Rfc2202Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexOf(HmacSha1(key, ToBytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(Hmac, Sha1Rfc2202Case2) {
+  EXPECT_EQ(HexOf(HmacSha1(ToBytes("Jefe"),
+                           ToBytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Hmac, Sha256Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexOf(HmacSha256(key, ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Sha256Rfc4231Case2) {
+  EXPECT_EQ(HexOf(HmacSha256(ToBytes("Jefe"),
+                             ToBytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // Keys longer than the block size must be hashed; verify long-vs-hashed
+  // key equivalence directly.
+  Bytes long_key(100, 0xaa);
+  Bytes hashed_key = Sha256::Hash(long_key);
+  EXPECT_EQ(HmacSha256(long_key, ToBytes("msg")),
+            HmacSha256(hashed_key, ToBytes("msg")));
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  Bytes k1(16, 1), k2(16, 2);
+  EXPECT_NE(HmacSha256(k1, ToBytes("m")), HmacSha256(k2, ToBytes("m")));
+}
+
+// ----- HKDF (RFC 5869) -----
+
+TEST(Hkdf, Rfc5869TestCase1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = FromHexOrDie("000102030405060708090a0b0c");
+  Bytes info = FromHexOrDie("f0f1f2f3f4f5f6f7f8f9");
+  Bytes prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(HexOf(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes okm = HkdfExpand(prk, info, 42);
+  EXPECT_EQ(HexOf(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandLengths) {
+  Bytes prk = HkdfExtract(Bytes(), ToBytes("secret"));
+  for (size_t len : {1u, 16u, 32u, 33u, 64u, 255u}) {
+    EXPECT_EQ(HkdfExpand(prk, ToBytes("info"), len).size(), len);
+  }
+}
+
+TEST(Hkdf, InfoSeparatesKeys) {
+  Bytes prk = HkdfExtract(Bytes(), ToBytes("secret"));
+  EXPECT_NE(HkdfExpand(prk, ToBytes("client"), 32),
+            HkdfExpand(prk, ToBytes("server"), 32));
+}
+
+}  // namespace
+}  // namespace discfs

@@ -1,0 +1,172 @@
+// The paper's distributed requirement (§2, §4.3): "The access mechanism
+// should work for both centralized servers and in a distributed environment
+// where the files are stored in multiple servers. ... Since the servers do
+// not need to share information about users, there is no synchronization
+// overhead."
+//
+// This test runs TWO independent DisCFS servers (separate volumes, separate
+// KeyNote sessions) whose policies trust the same administrator key, and
+// shows a user working against both with credentials — with no
+// server-to-server communication of any kind.
+#include <gtest/gtest.h>
+
+#include "src/crypto/groups.h"
+#include "src/discfs/action_env.h"
+#include "src/discfs/client.h"
+#include "src/discfs/credentials.h"
+#include "src/discfs/host.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+struct Node {
+  std::shared_ptr<FfsVfs> vfs;
+  std::unique_ptr<DiscfsHost> host;
+};
+
+Node StartNode(const DsaPrivateKey& server_key,
+               const DsaPublicKey& admin_key, uint64_t seed) {
+  Node node;
+  auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{512});
+  EXPECT_TRUE(fs.ok());
+  node.vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+
+  DiscfsServerConfig config;
+  config.server_key = server_key;
+  config.rand_bytes = TestRand(seed);
+  // Each node's local policy trusts the ADMINISTRATOR key, not the node's
+  // own channel key: one administrative root spans the fleet.
+  config.policy_assertions.push_back(
+      "Authorizer: \"POLICY\"\n"
+      "Licensees: \"" + admin_key.ToKeyNoteString() + "\"\n"
+      "Conditions: app_domain == \"DisCFS\" -> \"RWX\";\n");
+  auto host = DiscfsHost::Start(node.vfs, std::move(config));
+  EXPECT_TRUE(host.ok()) << host.status();
+  node.host = std::move(host).value();
+  return node;
+}
+
+TEST(DiscfsMultiServer, OneAdminKeyManyServersNoSync) {
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey server_a = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  DsaPrivateKey server_b = DsaPrivateKey::Generate(Dsa512(), TestRand(3));
+  DsaPrivateKey bob = DsaPrivateKey::Generate(Dsa512(), TestRand(4));
+
+  Node node_a = StartNode(server_a, admin.public_key(), 10);
+  Node node_b = StartNode(server_b, admin.public_key(), 11);
+
+  // Seed different files on each repository. The dummy file on B offsets
+  // its inode numbering so handles do NOT collide across volumes (the
+  // cross-server check below relies on distinct handles).
+  ASSERT_TRUE(WriteFileAt(*node_a.vfs, "/east-coast.txt", "data at A").ok());
+  ASSERT_TRUE(WriteFileAt(*node_b.vfs, "/dummy.txt", "filler").ok());
+  ASSERT_TRUE(WriteFileAt(*node_b.vfs, "/west-coast.txt", "data at B").ok());
+  InodeAttr file_a =
+      ResolvePath(*node_a.vfs, "/east-coast.txt").value();
+  InodeAttr file_b =
+      ResolvePath(*node_b.vfs, "/west-coast.txt").value();
+
+  // The admin issues Bob one credential per file; nothing is installed on
+  // the servers ahead of time.
+  CredentialOptions read_only;
+  read_only.permissions = "R";
+  std::string cred_a =
+      IssueCredential(admin, bob.public_key(), HandleString(file_a.inode),
+                      read_only)
+          .value();
+  std::string cred_b =
+      IssueCredential(admin, bob.public_key(), HandleString(file_b.inode),
+                      read_only)
+          .value();
+
+  // Bob attaches to both servers (each authenticates with its own key).
+  ChannelIdentity bob_id{bob, TestRand(20)};
+  auto client_a = DiscfsClient::Connect("127.0.0.1", node_a.host->port(),
+                                        bob_id, server_a.public_key());
+  ASSERT_TRUE(client_a.ok()) << client_a.status();
+  auto client_b = DiscfsClient::Connect("127.0.0.1", node_b.host->port(),
+                                        bob_id, server_b.public_key());
+  ASSERT_TRUE(client_b.ok()) << client_b.status();
+
+  // Each server only ever sees the credentials submitted to it.
+  ASSERT_TRUE((*client_a)->SubmitCredential(cred_a).ok());
+  ASSERT_TRUE((*client_b)->SubmitCredential(cred_b).ok());
+
+  NfsFh fh_a{file_a.inode, file_a.generation};
+  NfsFh fh_b{file_b.inode, file_b.generation};
+  auto data_a = (*client_a)->nfs().Read(fh_a, 0, 100);
+  ASSERT_TRUE(data_a.ok()) << data_a.status();
+  EXPECT_EQ(ToString(*data_a), "data at A");
+  auto data_b = (*client_b)->nfs().Read(fh_b, 0, 100);
+  ASSERT_TRUE(data_b.ok()) << data_b.status();
+  EXPECT_EQ(ToString(*data_b), "data at B");
+
+  // Authorization state is strictly local: server B never learned about
+  // cred_a, so the matching handle on B (same inode number!) stays closed.
+  auto cross = (*client_b)->nfs().Read(fh_a, 0, 100);
+  EXPECT_EQ(cross.status().code(), StatusCode::kPermissionDenied);
+
+  EXPECT_EQ(node_a.host->server().credential_count(), 1u);
+  EXPECT_EQ(node_b.host->server().credential_count(), 1u);
+
+  (*client_a)->Close();
+  (*client_b)->Close();
+}
+
+TEST(DiscfsMultiServer, DelegationWorksAcrossServers) {
+  // Bob delegates to Alice once; the same pair of credentials opens the
+  // same file handle on any server that trusts the admin root — the
+  // "global file sharing" of the title.
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey server_a = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  DsaPrivateKey server_b = DsaPrivateKey::Generate(Dsa512(), TestRand(3));
+  DsaPrivateKey bob = DsaPrivateKey::Generate(Dsa512(), TestRand(4));
+  DsaPrivateKey alice = DsaPrivateKey::Generate(Dsa512(), TestRand(5));
+
+  Node node_a = StartNode(server_a, admin.public_key(), 10);
+  Node node_b = StartNode(server_b, admin.public_key(), 11);
+
+  // The same report is replicated on both servers; because both volumes
+  // are freshly formatted the same way, the file lands on the same inode.
+  ASSERT_TRUE(WriteFileAt(*node_a.vfs, "/report.txt", "Q3 numbers").ok());
+  ASSERT_TRUE(WriteFileAt(*node_b.vfs, "/report.txt", "Q3 numbers").ok());
+  InodeAttr fa = ResolvePath(*node_a.vfs, "/report.txt").value();
+  InodeAttr fb = ResolvePath(*node_b.vfs, "/report.txt").value();
+  ASSERT_EQ(fa.inode, fb.inode);  // same handle on both replicas
+
+  CredentialOptions rw;
+  rw.permissions = "RW";
+  std::string admin_to_bob =
+      IssueCredential(admin, bob.public_key(), HandleString(fa.inode), rw)
+          .value();
+  CredentialOptions ro;
+  ro.permissions = "R";
+  std::string bob_to_alice =
+      IssueCredential(bob, alice.public_key(), HandleString(fa.inode), ro)
+          .value();
+
+  ChannelIdentity alice_id{alice, TestRand(30)};
+  for (Node* node : {&node_a, &node_b}) {
+    auto client = DiscfsClient::Connect("127.0.0.1", node->host->port(),
+                                        alice_id, std::nullopt);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->SubmitCredential(admin_to_bob).ok());
+    ASSERT_TRUE((*client)->SubmitCredential(bob_to_alice).ok());
+    auto attr = (*client)->ResolveHandle(fa.inode);
+    ASSERT_TRUE(attr.ok()) << attr.status();
+    auto data = (*client)->nfs().Read(attr->fh, 0, 100);
+    ASSERT_TRUE(data.ok()) << data.status();
+    EXPECT_EQ(ToString(*data), "Q3 numbers");
+    (*client)->Close();
+  }
+}
+
+}  // namespace
+}  // namespace discfs

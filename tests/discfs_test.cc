@@ -1,0 +1,506 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/groups.h"
+#include "src/discfs/client.h"
+#include "src/discfs/action_env.h"
+#include "src/discfs/credentials.h"
+#include "src/discfs/host.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+// End-to-end fixture: FFS volume + DisCFS server on a real TCP port, with
+// the paper's cast. The server key doubles as the administrator key (the
+// POLICY root), as in the prototype.
+class DiscfsE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    admin_ = std::make_unique<DsaPrivateKey>(
+        DsaPrivateKey::Generate(Dsa512(), TestRand(1)));
+    bob_ = std::make_unique<DsaPrivateKey>(
+        DsaPrivateKey::Generate(Dsa512(), TestRand(2)));
+    alice_ = std::make_unique<DsaPrivateKey>(
+        DsaPrivateKey::Generate(Dsa512(), TestRand(3)));
+
+    auto dev = std::make_shared<MemBlockDevice>(4096, 8192);
+    auto fs = Ffs::Format(dev, FfsFormatOptions{1024});
+    ASSERT_TRUE(fs.ok()) << fs.status();
+    ffs_ = std::move(fs).value();
+    vfs_ = std::make_shared<FfsVfs>(std::move(ffs_));
+
+    clock_.Set(990621296);  // 2001-05-23 12:34:56 UTC — paper era
+
+    DiscfsServerConfig config;
+    config.server_key = *admin_;
+    config.clock = &clock_;
+    config.rand_bytes = TestRand(99);
+    auto host = DiscfsHost::Start(vfs_, std::move(config));
+    ASSERT_TRUE(host.ok()) << host.status();
+    host_ = std::move(host).value();
+  }
+
+  void TearDown() override {
+    for (auto& c : clients_) {
+      c->Close();
+    }
+    clients_.clear();
+    host_.reset();
+  }
+
+  DiscfsClient& ClientFor(const DsaPrivateKey& key, uint64_t seed) {
+    ChannelIdentity identity{key, TestRand(seed)};
+    auto client = DiscfsClient::Connect("127.0.0.1", host_->port(), identity,
+                                        admin_->public_key());
+    EXPECT_TRUE(client.ok()) << client.status();
+    clients_.push_back(std::move(client).value());
+    return *clients_.back();
+  }
+
+  // Admin issues subject a credential on `handle`.
+  std::string Issue(const DsaPrivateKey& issuer, const DsaPublicKey& subject,
+                    uint32_t inode, const std::string& perms,
+                    CredentialOptions extra = {}) {
+    extra.permissions = perms;
+    auto cred = IssueCredential(issuer, subject, HandleString(inode), extra);
+    EXPECT_TRUE(cred.ok()) << cred.status();
+    return *cred;
+  }
+
+  std::unique_ptr<DsaPrivateKey> admin_, bob_, alice_;
+  std::shared_ptr<Ffs> ffs_;
+  std::shared_ptr<FfsVfs> vfs_;
+  FakeClock clock_;
+  std::unique_ptr<DiscfsHost> host_;
+  std::vector<std::unique_ptr<DiscfsClient>> clients_;
+};
+
+TEST_F(DiscfsE2E, AttachWorksButDataAccessDeniedWithoutCredentials) {
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  auto root = bob.Attach();
+  ASSERT_TRUE(root.ok()) << root.status();  // getattr-class: allowed
+  EXPECT_EQ(root->type, FileType::kDirectory);
+
+  // The paper: "the file permissions of the attached directory are set to
+  // 000" — data operations are denied until credentials arrive.
+  auto listing = bob.nfs().ReadDir(root->fh);
+  EXPECT_EQ(listing.status().code(), StatusCode::kPermissionDenied);
+  auto created = bob.nfs().Create(root->fh, "f", 0644);
+  EXPECT_EQ(created.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(DiscfsE2E, CredentialGrantsAccess) {
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  auto root = bob.Attach();
+  ASSERT_TRUE(root.ok());
+
+  auto id = bob.SubmitCredential(
+      Issue(*admin_, bob_->public_key(), root->fh.inode, "RWX"));
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  EXPECT_TRUE(bob.nfs().ReadDir(root->fh).ok());
+  auto created = bob.nfs().Create(root->fh, "hello.txt", 0644);
+  ASSERT_TRUE(created.ok()) << created.status();
+}
+
+TEST_F(DiscfsE2E, PermissionGranularityEnforced) {
+  // Prepare a file as admin-side setup, directly on the volume.
+  auto file = vfs_->Create(vfs_->root(), "doc.txt", 0644);
+  ASSERT_TRUE(file.ok());
+  Bytes content = ToBytes("product literature");
+  ASSERT_TRUE(vfs_->Write(file->inode, 0, content.data(), content.size()).ok());
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "R"))
+                  .ok());
+
+  NfsFh fh{file->inode, file->generation};
+  auto data = bob.nfs().Read(fh, 0, 100);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(ToString(*data), "product literature");
+
+  // R does not include W.
+  auto write = bob.nfs().Write(fh, 0, ToBytes("overwrite"));
+  EXPECT_EQ(write.status().code(), StatusCode::kPermissionDenied);
+}
+
+// The paper's Figure 1 flow, end to end: admin -> Bob -> Alice. Alice's
+// request is honored only when BOTH credentials accompany it.
+TEST_F(DiscfsE2E, DelegationChainEndToEnd) {
+  auto file = vfs_->Create(vfs_->root(), "paper.tex", 0644);
+  ASSERT_TRUE(file.ok());
+  Bytes content = ToBytes("\\section{DisCFS}");
+  ASSERT_TRUE(vfs_->Write(file->inode, 0, content.data(), content.size()).ok());
+  NfsFh fh{file->inode, file->generation};
+
+  std::string admin_to_bob =
+      Issue(*admin_, bob_->public_key(), file->inode, "RW");
+  std::string bob_to_alice =
+      Issue(*bob_, alice_->public_key(), file->inode, "R");
+
+  DiscfsClient& alice = ClientFor(*alice_, 20);
+  // Only the second link: chain to POLICY is broken.
+  ASSERT_TRUE(alice.SubmitCredential(bob_to_alice).ok());
+  EXPECT_EQ(alice.nfs().Read(fh, 0, 100).status().code(),
+            StatusCode::kPermissionDenied);
+
+  // Supplying Bob's own credential completes the chain.
+  ASSERT_TRUE(alice.SubmitCredential(admin_to_bob).ok());
+  auto data = alice.nfs().Read(fh, 0, 100);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(ToString(*data), "\\section{DisCFS}");
+
+  // Alice got R only — the meet of RW and R.
+  EXPECT_EQ(alice.nfs().Write(fh, 0, ToBytes("x")).status().code(),
+            StatusCode::kPermissionDenied);
+
+  // Bob himself (same credentials already in the session) holds RW.
+  DiscfsClient& bob = ClientFor(*bob_, 21);
+  EXPECT_TRUE(bob.nfs().Write(fh, 0, ToBytes("rev2")).ok());
+}
+
+TEST_F(DiscfsE2E, CredentialForOtherKeyDoesNotHelp) {
+  auto file = vfs_->Create(vfs_->root(), "secret", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  // Alice submits a credential naming BOB's key. Submission is fine (the
+  // credential is genuine) but her own requests must still be denied.
+  DiscfsClient& alice = ClientFor(*alice_, 20);
+  ASSERT_TRUE(alice.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "RWX"))
+                  .ok());
+  EXPECT_EQ(alice.nfs().Read(fh, 0, 10).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(DiscfsE2E, ForgedCredentialRejected) {
+  auto file = vfs_->Create(vfs_->root(), "secret", 0644);
+  ASSERT_TRUE(file.ok());
+  DiscfsClient& alice = ClientFor(*alice_, 20);
+
+  std::string cred = Issue(*admin_, alice_->public_key(), file->inode, "R");
+  size_t pos = cred.find("\"R\"");
+  ASSERT_NE(pos, std::string::npos);
+  cred.replace(pos, 3, "\"RWX\"");
+  auto id = alice.SubmitCredential(cred);
+  EXPECT_FALSE(id.ok());
+}
+
+TEST_F(DiscfsE2E, CreateReturnsUsableCredential) {
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  auto root = bob.Attach();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), root->fh.inode, "RWX"))
+                  .ok());
+
+  auto created = bob.CreateWithCredential(root->fh, "report.txt", 0644);
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_FALSE(created->credential.empty());
+
+  // Without the returned credential Bob could not touch the new file (his
+  // root credential covers only the root handle); with it — auto-admitted
+  // server-side — he can immediately write and read.
+  Bytes content = ToBytes("Q3 sales up 40%");
+  ASSERT_TRUE(bob.nfs().Write(created->attr.fh, 0, content).ok());
+  auto back = bob.nfs().Read(created->attr.fh, 0, 100);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, content);
+
+  // And the credential text is a valid assertion Bob can delegate from.
+  auto parsed = keynote::Assertion::Parse(created->credential);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->VerifySignature().ok());
+}
+
+TEST_F(DiscfsE2E, CreatorDelegatesNewFileToAlice) {
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  auto root = bob.Attach();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), root->fh.inode, "RWX"))
+                  .ok());
+  auto created = bob.CreateWithCredential(root->fh, "draft.txt", 0644);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(bob.nfs().Write(created->attr.fh, 0, ToBytes("draft")).ok());
+
+  // Bob delegates read access on the new file to Alice.
+  DiscfsClient& alice = ClientFor(*alice_, 20);
+  ASSERT_TRUE(
+      alice
+          .SubmitCredential(Issue(*bob_, alice_->public_key(),
+                                  created->attr.fh.inode, "R"))
+          .ok());
+  auto data = alice.nfs().Read(created->attr.fh, 0, 100);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(ToString(*data), "draft");
+}
+
+TEST_F(DiscfsE2E, ResolveHandleRequiresPermission) {
+  auto file = vfs_->Create(vfs_->root(), "by-handle", 0644);
+  ASSERT_TRUE(file.ok());
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  EXPECT_EQ(bob.ResolveHandle(file->inode).status().code(),
+            StatusCode::kPermissionDenied);
+
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "R"))
+                  .ok());
+  auto resolved = bob.ResolveHandle(file->inode);
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->fh.inode, file->inode);
+  EXPECT_EQ(resolved->fh.generation, file->generation);
+}
+
+TEST_F(DiscfsE2E, IssuerRemovesCredential) {
+  auto file = vfs_->Create(vfs_->root(), "temp-share", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "RW"))
+                  .ok());
+  DiscfsClient& alice = ClientFor(*alice_, 20);
+  auto alice_id = alice.SubmitCredential(
+      Issue(*bob_, alice_->public_key(), file->inode, "R"));
+  ASSERT_TRUE(alice_id.ok());
+  ASSERT_TRUE(alice.nfs().Read(fh, 0, 10).ok());
+
+  // Alice cannot remove her own grant's upstream... or even her own (only
+  // the ISSUER may withdraw it).
+  EXPECT_EQ(alice.RemoveCredential(*alice_id).code(),
+            StatusCode::kPermissionDenied);
+
+  // Bob (the issuer) withdraws the delegation: Alice loses access.
+  ASSERT_TRUE(bob.RemoveCredential(*alice_id).ok());
+  EXPECT_EQ(alice.nfs().Read(fh, 0, 10).status().code(),
+            StatusCode::kPermissionDenied);
+  // Bob keeps his own access.
+  EXPECT_TRUE(bob.nfs().Read(fh, 0, 10).ok());
+
+  // A replayed submission of the revoked credential is rejected.
+  auto resubmit = alice.SubmitCredential(
+      Issue(*bob_, alice_->public_key(), file->inode, "R"));
+  EXPECT_FALSE(resubmit.ok());
+}
+
+TEST_F(DiscfsE2E, KeyRevocationCascades) {
+  auto file = vfs_->Create(vfs_->root(), "cascade", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "RW"))
+                  .ok());
+  DiscfsClient& alice = ClientFor(*alice_, 20);
+  ASSERT_TRUE(alice
+                  .SubmitCredential(
+                      Issue(*bob_, alice_->public_key(), file->inode, "R"))
+                  .ok());
+  ASSERT_TRUE(alice.nfs().Read(fh, 0, 10).ok());
+
+  // The administrator revokes Bob's key (local API): Bob AND everyone he
+  // delegated to lose access.
+  host_->server().RevokeKey(bob_->public_key().ToKeyNoteString());
+  EXPECT_EQ(bob.nfs().Read(fh, 0, 10).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(alice.nfs().Read(fh, 0, 10).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(DiscfsE2E, SelfRevocationAllowed) {
+  auto file = vfs_->Create(vfs_->root(), "own-key", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "R"))
+                  .ok());
+  ASSERT_TRUE(bob.nfs().Read(fh, 0, 10).ok());
+  ASSERT_TRUE(bob.RevokeOwnKey().ok());
+  EXPECT_EQ(bob.nfs().Read(fh, 0, 10).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(DiscfsE2E, ExpiredCredentialStopsWorking) {
+  auto file = vfs_->Create(vfs_->root(), "timed", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  CredentialOptions options;
+  options.expires_at = "20010524000000";  // next midnight, paper-era clock
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(
+      bob.SubmitCredential(
+             Issue(*admin_, bob_->public_key(), file->inode, "R", options))
+          .ok());
+  ASSERT_TRUE(bob.nfs().Read(fh, 0, 10).ok());
+
+  clock_.Advance(24 * 3600);  // past expiry AND past the cache TTL
+  EXPECT_EQ(bob.nfs().Read(fh, 0, 10).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(DiscfsE2E, TimeOfDayWindowEnforced) {
+  auto file = vfs_->Create(vfs_->root(), "leisure", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  // The paper's §3.1 example: leisure files unavailable during office
+  // hours. Clock starts at 12:34 UTC (inside 09:00-17:00).
+  CredentialOptions options;
+  options.outside_hours = std::make_pair("0900", "1700");
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(
+      bob.SubmitCredential(
+             Issue(*admin_, bob_->public_key(), file->inode, "R", options))
+          .ok());
+  EXPECT_EQ(bob.nfs().Read(fh, 0, 10).status().code(),
+            StatusCode::kPermissionDenied);
+
+  clock_.Advance(10 * 3600);  // 22:34 — after hours
+  EXPECT_TRUE(bob.nfs().Read(fh, 0, 10).ok());
+}
+
+TEST_F(DiscfsE2E, PolicyCacheAvoidsRepeatQueries) {
+  auto file = vfs_->Create(vfs_->root(), "hot", 0644);
+  ASSERT_TRUE(file.ok());
+  Bytes content(8192, 'x');
+  ASSERT_TRUE(vfs_->Write(file->inode, 0, content.data(), content.size()).ok());
+  NfsFh fh{file->inode, file->generation};
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "R"))
+                  .ok());
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(bob.nfs().Read(fh, 0, 4096).ok());
+  }
+  auto info = bob.ServerInfo();
+  ASSERT_TRUE(info.ok());
+  // One cold evaluation; everything else served from the cache.
+  EXPECT_EQ(info->keynote_queries, 1u);
+  EXPECT_GE(info->cache_hits, 49u);
+}
+
+TEST_F(DiscfsE2E, CacheInvalidatedOnCredentialChange) {
+  auto file = vfs_->Create(vfs_->root(), "inval", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "R"))
+                  .ok());
+  ASSERT_TRUE(bob.nfs().Read(fh, 0, 10).ok());
+  auto q1 = bob.ServerInfo()->keynote_queries;
+
+  // New credential flushes the cache; the next read re-evaluates.
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "RW"))
+                  .ok());
+  ASSERT_TRUE(bob.nfs().Read(fh, 0, 10).ok());
+  auto q2 = bob.ServerInfo()->keynote_queries;
+  EXPECT_GT(q2, q1);
+  // And the join of both credentials now allows writing.
+  EXPECT_TRUE(bob.nfs().Write(fh, 0, ToBytes("w")).ok());
+}
+
+TEST_F(DiscfsE2E, StaleHandleAfterRemoval) {
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  auto root = bob.Attach();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), root->fh.inode, "RWX"))
+                  .ok());
+  auto created = bob.CreateWithCredential(root->fh, "ephemeral", 0644);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(bob.nfs().Remove(root->fh, "ephemeral").ok());
+
+  auto read = bob.nfs().Read(created->attr.fh, 0, 10);
+  EXPECT_FALSE(read.ok());
+}
+
+TEST_F(DiscfsE2E, TwoConcurrentClients) {
+  auto file = vfs_->Create(vfs_->root(), "shared", 0644);
+  ASSERT_TRUE(file.ok());
+  NfsFh fh{file->inode, file->generation};
+
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  DiscfsClient& alice = ClientFor(*alice_, 20);
+  ASSERT_TRUE(bob.SubmitCredential(
+                     Issue(*admin_, bob_->public_key(), file->inode, "RW"))
+                  .ok());
+  ASSERT_TRUE(alice
+                  .SubmitCredential(
+                      Issue(*admin_, alice_->public_key(), file->inode, "R"))
+                  .ok());
+
+  std::thread writer([&] {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(bob.nfs().Write(fh, 0, ToBytes("tick")).ok());
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(alice.nfs().Read(fh, 0, 4).ok());
+    }
+  });
+  writer.join();
+  reader.join();
+}
+
+TEST_F(DiscfsE2E, ServerInfoReportsIdentity) {
+  DiscfsClient& bob = ClientFor(*bob_, 10);
+  auto info = bob.ServerInfo();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->server_principal, admin_->public_key().ToKeyNoteString());
+  EXPECT_EQ(bob.server_key(), admin_->public_key());
+}
+
+TEST_F(DiscfsE2E, WrongServerKeyPinningFails) {
+  DsaPrivateKey other = DsaPrivateKey::Generate(Dsa512(), TestRand(77));
+  ChannelIdentity identity{*bob_, TestRand(78)};
+  auto client = DiscfsClient::Connect("127.0.0.1", host_->port(), identity,
+                                      other.public_key());
+  EXPECT_FALSE(client.ok());
+}
+
+// ----- CFS-NE baseline behaviour -----
+
+TEST(CfsNeBaseline, NoCredentialsRequired) {
+  auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{256});
+  ASSERT_TRUE(fs.ok());
+  auto vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+  auto host = CfsNeHost::Start(vfs);
+  ASSERT_TRUE(host.ok()) << host.status();
+
+  auto client = ConnectCfsNe("127.0.0.1", (*host)->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto root = (*client)->GetRoot();
+  ASSERT_TRUE(root.ok());
+  auto created = (*client)->Create(root->fh, "open-access", 0644);
+  ASSERT_TRUE(created.ok()) << created.status();
+  Bytes content = ToBytes("no policy here");
+  ASSERT_TRUE((*client)->Write(created->fh, 0, content).ok());
+  auto back = (*client)->Read(created->fh, 0, 100);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, content);
+  (*client)->rpc()->Close();
+}
+
+}  // namespace
+}  // namespace discfs

@@ -1,0 +1,275 @@
+// Advanced KeyNote language semantics: threshold expressions over the
+// permission lattice, indirection, special attributes, and policy idioms
+// beyond what the DisCFS core itself exercises.
+#include <gtest/gtest.h>
+
+#include "src/crypto/groups.h"
+#include "src/keynote/compliance.h"
+#include "src/keynote/session.h"
+#include "src/util/prng.h"
+
+namespace discfs::keynote {
+namespace {
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+// ----- licensees expression semantics over the permission lattice -----
+
+class LicenseesSemantics : public ::testing::Test {
+ protected:
+  ComplianceLattice::Value Eval(
+      const std::string& expr,
+      const std::map<std::string, ComplianceLattice::Value>& values) {
+    auto parsed = ParseLicensees(expr, {});
+    EXPECT_TRUE(parsed.ok()) << expr << ": " << parsed.status();
+    return EvalLicensees(**parsed, values, PermissionLattice::Get());
+  }
+};
+
+TEST_F(LicenseesSemantics, AndIsMeet) {
+  // "k1" has RW (6), "k2" has RX (5): conjunction can only certify R (4).
+  EXPECT_EQ(Eval("\"k1\" && \"k2\"", {{"k1", 6}, {"k2", 5}}), 4u);
+}
+
+TEST_F(LicenseesSemantics, OrIsJoin) {
+  EXPECT_EQ(Eval("\"k1\" || \"k2\"", {{"k1", 6}, {"k2", 5}}), 7u);
+}
+
+TEST_F(LicenseesSemantics, MissingPrincipalIsBottom) {
+  EXPECT_EQ(Eval("\"k1\" && \"missing\"", {{"k1", 7}}), 0u);
+  EXPECT_EQ(Eval("\"k1\" || \"missing\"", {{"k1", 6}}), 6u);
+}
+
+TEST_F(LicenseesSemantics, ThresholdOverLattice) {
+  // 2-of(k1=R, k2=W, k3=RW): best 2-subset meet is max(R∧W=0, R∧RW=R,
+  // W∧RW=W) joined = R|W = RW.
+  EXPECT_EQ(Eval("2-of(\"k1\", \"k2\", \"k3\")",
+                 {{"k1", 4}, {"k2", 2}, {"k3", 6}}),
+            6u);
+  // 3-of the same: single subset, meet of all three = 0.
+  EXPECT_EQ(Eval("3-of(\"k1\", \"k2\", \"k3\")",
+                 {{"k1", 4}, {"k2", 2}, {"k3", 6}}),
+            0u);
+}
+
+TEST_F(LicenseesSemantics, ThresholdWithCompositeOperands) {
+  // Operands of k-of may themselves be expressions.
+  EXPECT_EQ(Eval("1-of((\"k1\" && \"k2\"), \"k3\")",
+                 {{"k1", 7}, {"k2", 6}, {"k3", 4}}),
+            6u);
+}
+
+TEST_F(LicenseesSemantics, ParenthesesOverridePrecedence) {
+  // Default: && binds tighter than ||.
+  EXPECT_EQ(Eval("\"a\" || \"b\" && \"c\"", {{"a", 4}, {"b", 7}, {"c", 2}}),
+            4u | (7u & 2u));
+  EXPECT_EQ(Eval("(\"a\" || \"b\") && \"c\"",
+                 {{"a", 4}, {"b", 7}, {"c", 2}}),
+            (4u | 7u) & 2u);
+}
+
+// ----- conditions idioms -----
+
+ComplianceLattice::Value RunConditions(const std::string& text,
+                                       const AttributeMap& env) {
+  auto program = ParseConditions(text, {});
+  EXPECT_TRUE(program.ok()) << text << ": " << program.status();
+  return EvalConditions(*program, env, PermissionLattice::Get());
+}
+
+TEST(ConditionsIdioms, HandleRangePolicy) {
+  // Numeric comparison over handles: grant R to a whole inode range (how
+  // an administrator could scope a grant to a pre-allocated region).
+  std::string policy = "HANDLE >= 100 && HANDLE < 200 -> \"R\";";
+  EXPECT_EQ(RunConditions(policy, {{"HANDLE", "150"}}), 4u);
+  EXPECT_EQ(RunConditions(policy, {{"HANDLE", "99"}}), 0u);
+  EXPECT_EQ(RunConditions(policy, {{"HANDLE", "200"}}), 0u);
+  // "1000" would be < "200" lexicographically; numeric typing must win.
+  EXPECT_EQ(RunConditions(policy, {{"HANDLE", "1000"}}), 0u);
+}
+
+TEST(ConditionsIdioms, WeekdayPolicy) {
+  std::string policy =
+      "weekday != \"0\" && weekday != \"6\" -> \"RW\"; true -> \"R\";";
+  EXPECT_EQ(RunConditions(policy, {{"weekday", "3"}}), 6u);  // Wednesday
+  EXPECT_EQ(RunConditions(policy, {{"weekday", "6"}}), 4u);  // Saturday
+}
+
+TEST(ConditionsIdioms, ConcatBuildsComparisonKeys) {
+  std::string policy =
+      "(app_domain . \"/\" . operation) == \"DisCFS/read\" -> \"R\";";
+  EXPECT_EQ(RunConditions(policy, {{"app_domain", "DisCFS"},
+                                   {"operation", "read"}}),
+            4u);
+  EXPECT_EQ(RunConditions(policy, {{"app_domain", "DisCFS"},
+                                   {"operation", "write"}}),
+            0u);
+}
+
+TEST(ConditionsIdioms, IndirectionSelectsPerOperationLimit) {
+  // $operation looks up an attribute whose NAME is the operation value:
+  // a table-driven policy in one clause.
+  std::string policy = "$operation == \"yes\" -> \"RWX\";";
+  EXPECT_EQ(RunConditions(policy, {{"operation", "read"}, {"read", "yes"}}),
+            7u);
+  EXPECT_EQ(RunConditions(policy, {{"operation", "write"}, {"read", "yes"}}),
+            0u);
+}
+
+TEST(ConditionsIdioms, RegexOnAuthorizers) {
+  std::string policy = "ACTION_AUTHORIZERS ~= \"^dsa-hex:\" -> \"R\";";
+  EXPECT_EQ(RunConditions(policy, {{"ACTION_AUTHORIZERS", "dsa-hex:abcd"}}),
+            4u);
+  EXPECT_EQ(RunConditions(policy, {{"ACTION_AUTHORIZERS", "rsa-hex:abcd"}}),
+            0u);
+}
+
+TEST(ConditionsIdioms, NestedBracesWithFallthrough) {
+  std::string policy =
+      "app_domain == \"DisCFS\" -> {"
+      "  operation == \"read\" -> \"R\";"
+      "  operation == \"write\" -> \"W\";"
+      "  true -> \"false\";"
+      "};";
+  EXPECT_EQ(RunConditions(policy, {{"app_domain", "DisCFS"},
+                                   {"operation", "read"}}),
+            4u);
+  EXPECT_EQ(RunConditions(policy, {{"app_domain", "DisCFS"},
+                                   {"operation", "chmod"}}),
+            0u);
+}
+
+// ----- special attributes through the full compliance checker -----
+
+class SpecialAttributes : public ::testing::Test {
+ protected:
+  SpecialAttributes()
+      : key_(DsaPrivateKey::Generate(Dsa512(), TestRand(1))),
+        session_(keynote::PermissionLattice::Get()) {}
+
+  uint32_t QueryWithPolicy(const std::string& conditions) {
+    KeyNoteSession session(PermissionLattice::Get());
+    std::string policy =
+        "Authorizer: \"POLICY\"\n"
+        "Licensees: \"" + key_.public_key().ToKeyNoteString() + "\"\n"
+        "Conditions: " + conditions + "\n";
+    EXPECT_TRUE(session.AddPolicyAssertion(policy).ok());
+    ComplianceQuery query;
+    query.attributes = {{"app_domain", "DisCFS"}};
+    query.action_authorizers = {key_.public_key().ToKeyNoteString()};
+    return session.Query(query);
+  }
+
+  DsaPrivateKey key_;
+  KeyNoteSession session_;
+};
+
+TEST_F(SpecialAttributes, MinMaxTrust) {
+  EXPECT_EQ(QueryWithPolicy("_MAX_TRUST == \"RWX\" -> \"R\";"), 4u);
+  EXPECT_EQ(QueryWithPolicy("_MIN_TRUST == \"false\" -> \"R\";"), 4u);
+}
+
+TEST_F(SpecialAttributes, ValuesListExposed) {
+  EXPECT_EQ(QueryWithPolicy("_VALUES ~= \"RWX\" -> \"R\";"), 4u);
+}
+
+TEST_F(SpecialAttributes, ActionAuthorizersContainsRequester) {
+  EXPECT_EQ(QueryWithPolicy("ACTION_AUTHORIZERS ~= \"dsa-hex\" -> \"RW\";"),
+            6u);
+}
+
+// ----- RFC-style ordered value sets end to end -----
+
+TEST(OrderedValues, ThreeLevelTrust) {
+  TotalOrderLattice lattice({"none", "observe", "control"});
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey operator_key = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  DsaPrivateKey viewer_key = DsaPrivateKey::Generate(Dsa512(), TestRand(3));
+
+  KeyNoteSession session(lattice);
+  ASSERT_TRUE(session
+                  .AddPolicyAssertion(
+                      "Authorizer: \"POLICY\"\n"
+                      "Licensees: \"" +
+                      admin.public_key().ToKeyNoteString() +
+                      "\"\nConditions: true -> \"control\";\n")
+                  .ok());
+
+  // admin -> operator at "control", operator -> viewer at "observe".
+  auto op_cred = AssertionBuilder()
+                     .SetAuthorizer(admin.public_key().ToKeyNoteString())
+                     .SetLicensees("\"" +
+                                   operator_key.public_key().ToKeyNoteString() +
+                                   "\"")
+                     .SetConditions("true -> \"control\";")
+                     .Sign(admin, SignatureAlgorithm::kDsaSha1);
+  ASSERT_TRUE(op_cred.ok());
+  ASSERT_TRUE(session.AddCredential(*op_cred).ok());
+  auto viewer_cred =
+      AssertionBuilder()
+          .SetAuthorizer(operator_key.public_key().ToKeyNoteString())
+          .SetLicensees("\"" + viewer_key.public_key().ToKeyNoteString() +
+                        "\"")
+          .SetConditions("true -> \"observe\";")
+          .Sign(operator_key, SignatureAlgorithm::kDsaSha1);
+  ASSERT_TRUE(viewer_cred.ok());
+  ASSERT_TRUE(session.AddCredential(*viewer_cred).ok());
+
+  ComplianceQuery query;
+  query.action_authorizers = {viewer_key.public_key().ToKeyNoteString()};
+  EXPECT_EQ(session.Query(query), 1u);  // observe: min along the chain
+  query.action_authorizers = {operator_key.public_key().ToKeyNoteString()};
+  EXPECT_EQ(session.Query(query), 2u);  // control
+}
+
+// Property: on the permission lattice, for random chains the final value is
+// the AND of all masks along the chain.
+class ChainFold : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChainFold, MeetOfAllLinks) {
+  Prng prng(GetParam());
+  auto rand = TestRand(GetParam() + 100);
+  const size_t depth = 2 + prng.NextBelow(4);
+  std::vector<DsaPrivateKey> keys;
+  for (size_t i = 0; i <= depth; ++i) {
+    keys.push_back(DsaPrivateKey::Generate(Dsa512(), rand));
+  }
+  KeyNoteSession session(PermissionLattice::Get());
+  ASSERT_TRUE(session
+                  .AddPolicyAssertion(
+                      "Authorizer: \"POLICY\"\n"
+                      "Licensees: \"" +
+                      keys[0].public_key().ToKeyNoteString() +
+                      "\"\nConditions: app_domain == \"DisCFS\" -> "
+                      "\"RWX\";\n")
+                  .ok());
+  const char* names[8] = {"false", "X", "W", "WX", "R", "RX", "RW", "RWX"};
+  uint32_t expected = 7;
+  for (size_t i = 0; i < depth; ++i) {
+    uint32_t mask = 1 + static_cast<uint32_t>(prng.NextBelow(7));
+    expected &= mask;
+    auto cred =
+        AssertionBuilder()
+            .SetAuthorizer(keys[i].public_key().ToKeyNoteString())
+            .SetLicensees("\"" + keys[i + 1].public_key().ToKeyNoteString() +
+                          "\"")
+            .SetConditions(std::string("app_domain == \"DisCFS\" -> \"") +
+                           names[mask] + "\";")
+            .Sign(keys[i], SignatureAlgorithm::kDsaSha1);
+    ASSERT_TRUE(cred.ok());
+    ASSERT_TRUE(session.AddCredential(*cred).ok());
+  }
+  ComplianceQuery query;
+  query.attributes = {{"app_domain", "DisCFS"}};
+  query.action_authorizers = {keys[depth].public_key().ToKeyNoteString()};
+  EXPECT_EQ(session.Query(query), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainFold,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace discfs::keynote

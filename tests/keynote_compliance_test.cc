@@ -1,0 +1,308 @@
+#include "src/keynote/compliance.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/groups.h"
+#include "src/keynote/session.h"
+#include "src/util/prng.h"
+
+namespace discfs::keynote {
+namespace {
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+// Fixture with the paper's cast: the administrator (trusted by POLICY), Bob
+// (internal user), Alice (external user), and Carol (another external user).
+class ComplianceTest : public ::testing::Test {
+ protected:
+  ComplianceTest()
+      : admin_(DsaPrivateKey::Generate(Dsa512(), TestRand(1))),
+        bob_(DsaPrivateKey::Generate(Dsa512(), TestRand(2))),
+        alice_(DsaPrivateKey::Generate(Dsa512(), TestRand(3))),
+        carol_(DsaPrivateKey::Generate(Dsa512(), TestRand(4))),
+        session_(PermissionLattice::Get()) {
+    std::string policy =
+        "Authorizer: \"POLICY\"\n"
+        "Licensees: \"" + Key(admin_) + "\"\n"
+        "Conditions: app_domain == \"DisCFS\" -> \"RWX\";\n";
+    auto st = session_.AddPolicyAssertion(policy);
+    EXPECT_TRUE(st.ok()) << st;
+  }
+
+  static std::string Key(const DsaPrivateKey& k) {
+    return k.public_key().ToKeyNoteString();
+  }
+
+  // Issues `issuer` -> `subject` credential for `handle` with `perms`.
+  std::string MakeCredential(const DsaPrivateKey& issuer,
+                             const DsaPrivateKey& subject,
+                             const std::string& handle,
+                             const std::string& perms) {
+    auto text =
+        AssertionBuilder()
+            .SetAuthorizer(Key(issuer))
+            .SetLicensees("\"" + Key(subject) + "\"")
+            .SetConditions("(app_domain == \"DisCFS\") && (HANDLE == \"" +
+                           handle + "\") -> \"" + perms + "\";")
+            .Sign(issuer, SignatureAlgorithm::kDsaSha1);
+    EXPECT_TRUE(text.ok()) << text.status();
+    return *text;
+  }
+
+  void Admit(const std::string& credential) {
+    auto id = session_.AddCredential(credential);
+    ASSERT_TRUE(id.ok()) << id.status();
+  }
+
+  // Queries as `requester` for `handle`.
+  uint32_t Ask(const DsaPrivateKey& requester, const std::string& handle) {
+    ComplianceQuery q;
+    q.attributes = {{"app_domain", "DisCFS"}, {"HANDLE", handle}};
+    q.action_authorizers = {Key(requester)};
+    return session_.Query(q);
+  }
+
+  DsaPrivateKey admin_, bob_, alice_, carol_;
+  KeyNoteSession session_;
+};
+
+TEST_F(ComplianceTest, AdminHasFullAccessDirectly) {
+  EXPECT_EQ(Ask(admin_, "666240"), 7u);  // RWX via the policy alone
+}
+
+TEST_F(ComplianceTest, UnknownKeyDenied) {
+  EXPECT_EQ(Ask(alice_, "666240"), 0u);
+}
+
+TEST_F(ComplianceTest, SingleCredentialGrantsBob) {
+  Admit(MakeCredential(admin_, bob_, "666240", "RWX"));
+  EXPECT_EQ(Ask(bob_, "666240"), 7u);
+  // Wrong handle: no access.
+  EXPECT_EQ(Ask(bob_, "111111"), 0u);
+  // Alice still has nothing.
+  EXPECT_EQ(Ask(alice_, "666240"), 0u);
+}
+
+// The paper's Figure 1: administrator -> Bob -> Alice. Alice's request must
+// be accompanied by BOTH credentials.
+TEST_F(ComplianceTest, DelegationChainFigure1) {
+  std::string cred_admin_bob = MakeCredential(admin_, bob_, "666240", "RW");
+  std::string cred_bob_alice = MakeCredential(bob_, alice_, "666240", "R");
+
+  // Only Bob's credential to Alice: the chain to POLICY is broken.
+  Admit(cred_bob_alice);
+  EXPECT_EQ(Ask(alice_, "666240"), 0u);
+
+  // With both: Alice gets R (the meet along the chain).
+  Admit(cred_admin_bob);
+  EXPECT_EQ(Ask(alice_, "666240"), 4u);
+  // Bob himself holds RW.
+  EXPECT_EQ(Ask(bob_, "666240"), 6u);
+}
+
+TEST_F(ComplianceTest, DelegationCanOnlyRestrict) {
+  // Bob holds R but delegates "RWX" to Alice; Alice must still get only R.
+  Admit(MakeCredential(admin_, bob_, "666240", "R"));
+  Admit(MakeCredential(bob_, alice_, "666240", "RWX"));
+  EXPECT_EQ(Ask(alice_, "666240"), 4u);
+}
+
+TEST_F(ComplianceTest, MultipleGrantsAccumulate) {
+  // Two separate credentials for different rights join: R | W = RW.
+  Admit(MakeCredential(admin_, bob_, "666240", "R"));
+  Admit(MakeCredential(admin_, bob_, "666240", "W"));
+  EXPECT_EQ(Ask(bob_, "666240"), 6u);
+}
+
+TEST_F(ComplianceTest, ArbitraryChainLength) {
+  // admin -> bob -> alice -> carol ... the paper stresses chains of
+  // arbitrary length (unlike the Exokernel's 8-level limit). Build a chain
+  // of 10 fresh keys.
+  std::vector<DsaPrivateKey> keys;
+  keys.push_back(admin_);
+  for (int i = 0; i < 10; ++i) {
+    keys.push_back(DsaPrivateKey::Generate(Dsa512(), TestRand(100 + i)));
+  }
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    Admit(MakeCredential(keys[i], keys[i + 1], "42", "RW"));
+  }
+  EXPECT_EQ(Ask(keys.back(), "42"), 6u);
+  // A key in the middle also has its own access.
+  EXPECT_EQ(Ask(keys[5], "42"), 6u);
+}
+
+TEST_F(ComplianceTest, DelegationCycleTerminates) {
+  // bob -> alice and alice -> bob, with no link to POLICY for either: the
+  // fixpoint must terminate and deny.
+  Admit(MakeCredential(bob_, alice_, "1", "RWX"));
+  Admit(MakeCredential(alice_, bob_, "1", "RWX"));
+  EXPECT_EQ(Ask(alice_, "1"), 0u);
+  EXPECT_EQ(Ask(bob_, "1"), 0u);
+  // Closing the loop to POLICY grants both.
+  Admit(MakeCredential(admin_, bob_, "1", "RWX"));
+  EXPECT_EQ(Ask(alice_, "1"), 7u);
+  EXPECT_EQ(Ask(bob_, "1"), 7u);
+}
+
+TEST_F(ComplianceTest, ConjunctiveLicensees) {
+  // Admin requires BOTH Bob and Alice to co-sign.
+  auto text = AssertionBuilder()
+                  .SetAuthorizer(Key(admin_))
+                  .SetLicensees("\"" + Key(bob_) + "\" && \"" + Key(alice_) +
+                                "\"")
+                  .SetConditions("app_domain == \"DisCFS\" -> \"R\";")
+                  .Sign(admin_, SignatureAlgorithm::kDsaSha1);
+  ASSERT_TRUE(text.ok());
+  Admit(*text);
+
+  ComplianceQuery q;
+  q.attributes = {{"app_domain", "DisCFS"}};
+  q.action_authorizers = {Key(bob_)};
+  EXPECT_EQ(session_.Query(q), 0u);  // Bob alone: no
+  q.action_authorizers = {Key(bob_), Key(alice_)};
+  EXPECT_EQ(session_.Query(q), 4u);  // both: yes
+}
+
+TEST_F(ComplianceTest, ThresholdLicensees) {
+  auto text = AssertionBuilder()
+                  .SetAuthorizer(Key(admin_))
+                  .SetLicensees("2-of(\"" + Key(bob_) + "\", \"" +
+                                Key(alice_) + "\", \"" + Key(carol_) + "\")")
+                  .SetConditions("app_domain == \"DisCFS\" -> \"RW\";")
+                  .Sign(admin_, SignatureAlgorithm::kDsaSha1);
+  ASSERT_TRUE(text.ok());
+  Admit(*text);
+
+  ComplianceQuery q;
+  q.attributes = {{"app_domain", "DisCFS"}};
+  q.action_authorizers = {Key(alice_)};
+  EXPECT_EQ(session_.Query(q), 0u);
+  q.action_authorizers = {Key(alice_), Key(carol_)};
+  EXPECT_EQ(session_.Query(q), 6u);
+  q.action_authorizers = {Key(bob_), Key(alice_), Key(carol_)};
+  EXPECT_EQ(session_.Query(q), 6u);
+}
+
+TEST_F(ComplianceTest, AppDomainScoping) {
+  Admit(MakeCredential(admin_, bob_, "666240", "RWX"));
+  ComplianceQuery q;
+  q.attributes = {{"app_domain", "OtherApp"}, {"HANDLE", "666240"}};
+  q.action_authorizers = {Key(bob_)};
+  EXPECT_EQ(session_.Query(q), 0u);
+}
+
+TEST_F(ComplianceTest, TimeOfDayConditionAcrossChain) {
+  // Bob restricts Alice's access to out-of-office hours only.
+  Admit(MakeCredential(admin_, bob_, "7", "RWX"));
+  auto text =
+      AssertionBuilder()
+          .SetAuthorizer(Key(bob_))
+          .SetLicensees("\"" + Key(alice_) + "\"")
+          .SetConditions(
+              "(app_domain == \"DisCFS\") && (HANDLE == \"7\") && "
+              "(time_of_day < \"0900\" || time_of_day >= \"1700\") -> \"R\";")
+          .Sign(bob_, SignatureAlgorithm::kDsaSha1);
+  ASSERT_TRUE(text.ok());
+  Admit(*text);
+
+  ComplianceQuery q;
+  q.attributes = {{"app_domain", "DisCFS"},
+                  {"HANDLE", "7"},
+                  {"time_of_day", "2330"}};
+  q.action_authorizers = {Key(alice_)};
+  EXPECT_EQ(session_.Query(q), 4u);
+  q.attributes["time_of_day"] = "1030";
+  EXPECT_EQ(session_.Query(q), 0u);
+}
+
+TEST_F(ComplianceTest, ImplicitAttributesVisible) {
+  // A policy can reference ACTION_AUTHORIZERS and _MAX_TRUST.
+  KeyNoteSession s(PermissionLattice::Get());
+  ASSERT_TRUE(s.AddPolicyAssertion(
+                   "Authorizer: \"POLICY\"\n"
+                   "Licensees: \"" + Key(bob_) + "\"\n"
+                   "Conditions: ACTION_AUTHORIZERS ~= \"dsa-hex\" "
+                   "-> \"RWX\";\n")
+                  .ok());
+  ComplianceQuery q;
+  q.action_authorizers = {Key(bob_)};
+  EXPECT_EQ(s.Query(q), 7u);
+}
+
+// ----- session-level behaviours -----
+
+TEST_F(ComplianceTest, SessionRejectsBadSignature) {
+  std::string cred = MakeCredential(admin_, bob_, "1", "R");
+  size_t pos = cred.find("\"R\"");
+  ASSERT_NE(pos, std::string::npos);
+  cred.replace(pos, 3, "\"RWX\"");
+  EXPECT_FALSE(session_.AddCredential(cred).ok());
+  EXPECT_EQ(session_.credential_count(), 0u);
+}
+
+TEST_F(ComplianceTest, SessionRejectsUnsignedCredential) {
+  std::string unsigned_cred =
+      "Authorizer: \"" + Key(admin_) + "\"\n"
+      "Licensees: \"" + Key(bob_) + "\"\n";
+  EXPECT_FALSE(session_.AddCredential(unsigned_cred).ok());
+}
+
+TEST_F(ComplianceTest, SessionRejectsPolicyAsCredential) {
+  EXPECT_FALSE(session_
+                   .AddCredential("Authorizer: \"POLICY\"\n"
+                                  "Licensees: \"k\"\n")
+                   .ok());
+}
+
+TEST_F(ComplianceTest, SessionPolicyMustBePolicy) {
+  EXPECT_FALSE(session_
+                   .AddPolicyAssertion("Authorizer: \"" + Key(admin_) + "\"\n"
+                                       "Licensees: \"k\"\n")
+                   .ok());
+}
+
+TEST_F(ComplianceTest, RevocationRemovesAccess) {
+  std::string cred = MakeCredential(admin_, bob_, "666240", "RWX");
+  auto id = session_.AddCredential(cred);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(Ask(bob_, "666240"), 7u);
+
+  ASSERT_TRUE(session_.RemoveCredential(*id).ok());
+  EXPECT_EQ(Ask(bob_, "666240"), 0u);
+  EXPECT_FALSE(session_.RemoveCredential(*id).ok());  // already gone
+}
+
+TEST_F(ComplianceTest, DuplicateAdmissionIdempotent) {
+  std::string cred = MakeCredential(admin_, bob_, "666240", "RWX");
+  auto id1 = session_.AddCredential(cred);
+  auto id2 = session_.AddCredential(cred);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_EQ(session_.credential_count(), 1u);
+}
+
+// Property sweep: for every permission mask, a chain admin->bob(mask_a) ->
+// alice(mask_b) yields exactly mask_a & mask_b.
+class ChainMeetProperty
+    : public ComplianceTest,
+      public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(ChainMeetProperty, MeetsAlongChain) {
+  auto [a, b] = GetParam();
+  const char* names[8] = {"false", "X", "W", "WX", "R", "RX", "RW", "RWX"};
+  Admit(MakeCredential(admin_, bob_, "9", names[a]));
+  Admit(MakeCredential(bob_, alice_, "9", names[b]));
+  EXPECT_EQ(Ask(alice_, "9"), static_cast<uint32_t>(a & b));
+  EXPECT_EQ(Ask(bob_, "9"), static_cast<uint32_t>(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMaskPairs, ChainMeetProperty,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace discfs::keynote

@@ -1,0 +1,259 @@
+// Adversarial tests: what an attacker on the wire (or a malicious client)
+// can and cannot do.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+
+#include "src/crypto/groups.h"
+#include "src/discfs/client.h"
+#include "src/discfs/action_env.h"
+#include "src/discfs/credentials.h"
+#include "src/discfs/host.h"
+#include "src/securechannel/channel.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+// A transport wrapper that records every frame and lets the test re-inject
+// or corrupt traffic — the on-path attacker.
+class TamperTransport : public MsgStream {
+ public:
+  explicit TamperTransport(std::unique_ptr<MsgStream> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Send(const Bytes& message) override {
+    sent_.push_back(message);
+    return inner_->Send(message);
+  }
+  Result<Bytes> Recv() override { return inner_->Recv(); }
+  void Close() override { inner_->Close(); }
+
+  // Replays a previously sent frame (e.g. a captured WRITE).
+  Status Replay(size_t index) { return inner_->Send(sent_.at(index)); }
+  // Sends a bit-flipped copy of a captured frame.
+  Status SendCorrupted(size_t index) {
+    Bytes frame = sent_.at(index);
+    frame[frame.size() / 2] ^= 0x01;
+    return inner_->Send(frame);
+  }
+  size_t frames() const { return sent_.size(); }
+  const Bytes& frame(size_t index) const { return sent_.at(index); }
+
+ private:
+  std::unique_ptr<MsgStream> inner_;
+  std::deque<Bytes> sent_;
+};
+
+struct ChannelPair {
+  TamperTransport* tap;  // owned by client channel
+  std::unique_ptr<SecureChannel> client;
+  std::unique_ptr<SecureChannel> server;
+};
+
+ChannelPair MakeTappedPair() {
+  DsaPrivateKey server_key = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey client_key = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  auto transports = InProcTransport::CreatePair();
+  auto tapped = std::make_unique<TamperTransport>(std::move(transports.a));
+  TamperTransport* tap = tapped.get();
+
+  ChannelIdentity client_id{client_key, TestRand(10)};
+  ChannelIdentity server_id{server_key, TestRand(11)};
+  Result<std::unique_ptr<SecureChannel>> server_chan =
+      UnavailableError("pending");
+  std::thread server_thread([&] {
+    server_chan =
+        SecureChannel::ServerHandshake(std::move(transports.b), server_id);
+  });
+  auto client_chan = SecureChannel::ClientHandshake(std::move(tapped),
+                                                    client_id, std::nullopt);
+  server_thread.join();
+  EXPECT_TRUE(client_chan.ok());
+  EXPECT_TRUE(server_chan.ok());
+  return ChannelPair{tap, std::move(client_chan).value(),
+                     std::move(server_chan).value()};
+}
+
+TEST(ChannelSecurity, ReplayedRecordRejected) {
+  ChannelPair pair = MakeTappedPair();
+  ASSERT_TRUE(pair.client->Send(ToBytes("WRITE $100 to account 7")).ok());
+  ASSERT_TRUE(pair.server->Recv().ok());
+
+  // The attacker re-injects the captured (already delivered) record. The
+  // handshake used 3 frames; the record is the 4th sent by the client.
+  size_t record_index = pair.tap->frames() - 1;
+  ASSERT_TRUE(pair.tap->Replay(record_index).ok());
+  auto replayed = pair.server->Recv();
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST(ChannelSecurity, CorruptedRecordRejected) {
+  ChannelPair pair = MakeTappedPair();
+  ASSERT_TRUE(pair.client->Send(ToBytes("sensitive payload")).ok());
+  ASSERT_TRUE(pair.server->Recv().ok());
+  ASSERT_TRUE(pair.client->Send(ToBytes("second payload")).ok());
+  // Deliver a corrupted copy of the second record instead.
+  // (The genuine one was already delivered to the inner transport, so read
+  // it off first, then push the corrupted duplicate.)
+  auto genuine = pair.server->Recv();
+  ASSERT_TRUE(genuine.ok());
+  ASSERT_TRUE(pair.tap->SendCorrupted(pair.tap->frames() - 1).ok());
+  auto corrupted = pair.server->Recv();
+  EXPECT_FALSE(corrupted.ok());
+}
+
+TEST(ChannelSecurity, PlaintextNeverOnWire) {
+  ChannelPair pair = MakeTappedPair();
+  std::string secret = "THE-LAUNCH-CODES-0000";
+  ASSERT_TRUE(pair.client->Send(ToBytes(secret)).ok());
+  auto got = pair.server->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), secret);  // delivered intact...
+  // ...but no frame that crossed the wire contains the plaintext.
+  for (size_t i = 0; i < pair.tap->frames(); ++i) {
+    const Bytes& frame = pair.tap->frame(i);
+    std::string as_text(frame.begin(), frame.end());
+    EXPECT_EQ(as_text.find(secret), std::string::npos) << "frame " << i;
+  }
+}
+
+// A client whose requests claim someone else's identity cannot: the key is
+// bound by the handshake, not by anything inside the RPC payload.
+TEST(DiscfsSecurity, IdentityComesFromChannelNotPayload) {
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey bob = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  DsaPrivateKey mallory = DsaPrivateKey::Generate(Dsa512(), TestRand(3));
+
+  auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{256});
+  ASSERT_TRUE(fs.ok());
+  auto vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+  ASSERT_TRUE(WriteFileAt(*vfs, "/secret.txt", "for bob only").ok());
+  InodeAttr file = ResolvePath(*vfs, "/secret.txt").value();
+
+  DiscfsServerConfig config;
+  config.server_key = admin;
+  config.rand_bytes = TestRand(99);
+  auto host = DiscfsHost::Start(vfs, std::move(config));
+  ASSERT_TRUE(host.ok());
+
+  CredentialOptions ro;
+  ro.permissions = "R";
+  std::string bob_cred =
+      IssueCredential(admin, bob.public_key(), HandleString(file.inode), ro)
+          .value();
+
+  // Mallory connects with HER key but submits BOB's credential.
+  ChannelIdentity mallory_id{mallory, TestRand(20)};
+  auto client = DiscfsClient::Connect("127.0.0.1", (*host)->port(),
+                                      mallory_id, admin.public_key());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->SubmitCredential(bob_cred).ok());
+  NfsFh fh{file.inode, file.generation};
+  auto read = (*client)->nfs().Read(fh, 0, 100);
+  EXPECT_EQ(read.status().code(), StatusCode::kPermissionDenied);
+  (*client)->Close();
+}
+
+// Submitting garbage credentials must not wedge or corrupt the session.
+TEST(DiscfsSecurity, MalformedCredentialFuzz) {
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey bob = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{256});
+  ASSERT_TRUE(fs.ok());
+  auto vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+
+  DiscfsServerConfig config;
+  config.server_key = admin;
+  config.rand_bytes = TestRand(99);
+  auto host = DiscfsHost::Start(vfs, std::move(config));
+  ASSERT_TRUE(host.ok());
+  ChannelIdentity bob_id{bob, TestRand(20)};
+  auto client = DiscfsClient::Connect("127.0.0.1", (*host)->port(), bob_id,
+                                      admin.public_key());
+  ASSERT_TRUE(client.ok());
+
+  // A valid credential, then mutations of it.
+  CredentialOptions ro;
+  ro.permissions = "R";
+  std::string valid =
+      IssueCredential(admin, bob.public_key(), "1", ro).value();
+
+  Prng prng(7);
+  for (int i = 0; i < 50; ++i) {
+    std::string garbage = valid;
+    // Random splice: delete a chunk, flip characters, or truncate.
+    switch (prng.NextBelow(3)) {
+      case 0:
+        garbage.resize(prng.NextBelow(garbage.size()));
+        break;
+      case 1: {
+        size_t pos = prng.NextBelow(garbage.size());
+        garbage[pos] = static_cast<char>(prng.NextBelow(256));
+        break;
+      }
+      case 2: {
+        size_t pos = prng.NextBelow(garbage.size() / 2);
+        garbage.erase(pos, prng.NextBelow(40));
+        break;
+      }
+    }
+    auto result = (*client)->SubmitCredential(garbage);
+    // Either rejected, or (rare) the mutation left a valid credential —
+    // but it must never crash, and the connection must stay usable:
+    auto ping = (*client)->ServerInfo();
+    ASSERT_TRUE(ping.ok()) << "connection wedged after fuzz input " << i;
+    (void)result;
+  }
+  // The genuine credential still works afterwards.
+  ASSERT_TRUE((*client)->SubmitCredential(valid).ok());
+  (*client)->Close();
+}
+
+// EffectiveMask and telemetry plumbing.
+TEST(DiscfsServerUnit, EffectiveMaskAndTelemetry) {
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey bob = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{256});
+  ASSERT_TRUE(fs.ok());
+  auto vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+
+  DiscfsServerConfig config;
+  config.server_key = admin;
+  config.rand_bytes = TestRand(99);
+  auto server = DiscfsServer::Create(vfs, std::move(config));
+  ASSERT_TRUE(server.ok());
+
+  std::string bob_principal = bob.public_key().ToKeyNoteString();
+  EXPECT_EQ((*server)->EffectiveMask(bob_principal, 7), 0u);
+
+  CredentialOptions rw;
+  rw.permissions = "RW";
+  ASSERT_TRUE((*server)
+                  ->SubmitCredential(IssueCredential(admin, bob.public_key(),
+                                                     "7", rw)
+                                         .value())
+                  .ok());
+  EXPECT_EQ((*server)->EffectiveMask(bob_principal, 7), 6u);   // RW
+  EXPECT_EQ((*server)->EffectiveMask(bob_principal, 8), 0u);   // other handle
+
+  EXPECT_GT((*server)->counters().keynote_queries.load(), 0u);
+  (*server)->ResetTelemetry();
+  EXPECT_EQ((*server)->counters().keynote_queries.load(), 0u);
+  // Cached entries survive the telemetry reset.
+  EXPECT_EQ((*server)->EffectiveMask(bob_principal, 7), 6u);
+  EXPECT_EQ((*server)->cache_stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace discfs

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "src/util/clock.h"
+#include "src/util/hex.h"
+#include "src/util/prng.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace discfs {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such inode 17");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such inode 17");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = InvalidArgumentError("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return OutOfRangeError("not positive");
+  }
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto good = Doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = Doubled(-1);
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff");
+  auto back = HexDecode(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(Hex, DecodeAcceptsUppercase) {
+  auto r = HexDecode("ABCDEF");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(HexEncode(r.value()), "abcdef");
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(Clock, CivilFromUnixEpoch) {
+  CivilTime t = CivilFromUnix(0);
+  EXPECT_EQ(t.year, 1970);
+  EXPECT_EQ(t.month, 1);
+  EXPECT_EQ(t.day, 1);
+  EXPECT_EQ(t.hour, 0);
+  EXPECT_EQ(t.weekday, 4);  // Thursday
+}
+
+TEST(Clock, CivilKnownDate) {
+  // 2001-05-23 12:34:56 UTC = 990621296 (paper-era date).
+  CivilTime t = CivilFromUnix(990621296);
+  EXPECT_EQ(t.year, 2001);
+  EXPECT_EQ(t.month, 5);
+  EXPECT_EQ(t.day, 23);
+  EXPECT_EQ(t.hour, 12);
+  EXPECT_EQ(t.minute, 34);
+  EXPECT_EQ(t.second, 56);
+}
+
+TEST(Clock, CivilLeapYear) {
+  // 2000-02-29 00:00:00 UTC = 951782400.
+  CivilTime t = CivilFromUnix(951782400);
+  EXPECT_EQ(t.year, 2000);
+  EXPECT_EQ(t.month, 2);
+  EXPECT_EQ(t.day, 29);
+}
+
+TEST(Clock, KeyNoteTimestampFormat) {
+  CivilTime t = CivilFromUnix(990621296);
+  EXPECT_EQ(KeyNoteTimestamp(t), "20010523123456");
+}
+
+TEST(Clock, KeyNoteTimestampOrdersLexicographically) {
+  // Lexicographic comparison of timestamps == chronological comparison;
+  // this property is what KeyNote date conditions rely on.
+  int64_t times[] = {0, 86400, 990621296, 1000000000, 1700000000};
+  for (size_t i = 0; i + 1 < std::size(times); ++i) {
+    EXPECT_LT(KeyNoteTimestamp(CivilFromUnix(times[i])),
+              KeyNoteTimestamp(CivilFromUnix(times[i + 1])));
+  }
+}
+
+TEST(Clock, FakeClockAdvances) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.NowUnix(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowUnix(), 150);
+  clock.Set(7);
+  EXPECT_EQ(clock.NowUnix(), 7);
+}
+
+TEST(Prng, Deterministic) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Prng p(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(p.NextBelow(17), 17u);
+  }
+}
+
+TEST(Prng, NextBytesLength) {
+  Prng p(6);
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 100u}) {
+    EXPECT_EQ(p.NextBytes(n).size(), n);
+  }
+}
+
+TEST(Strings, Split) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(Strings, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Authorizer", "authorizer"));
+  EXPECT_TRUE(EqualsIgnoreCase("LICENSEES", "licensees"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(Strings, StrPrintf) {
+  EXPECT_EQ(StrPrintf("inode %d gen %u", 42, 7u), "inode 42 gen 7");
+}
+
+}  // namespace
+}  // namespace discfs

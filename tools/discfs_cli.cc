@@ -1,0 +1,315 @@
+// discfs-cli: one-shot DisCFS client commands against a running discfsd.
+//
+// Usage:
+//   discfs-cli --key user.key --port N [--host 127.0.0.1]
+//              [--server-pub admin.pub] [--cred file]... <command> [args]
+//
+// Commands:
+//   info                      server identity and counters
+//   submit <cred-file>        submit a credential assertion
+//   ls <path>                 list a directory
+//   cat <path>                print a file
+//   put <path> <text>         create/overwrite a file with <text>
+//   mkdir <path>              create a directory (prints the credential)
+//   rm <path>                 remove a file
+//   resolve <handle>          look up a file by credential handle
+//
+// --cred files are submitted before the command runs (the "accompanied by
+// credentials" of the paper).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sysrand.h"
+#include "src/discfs/client.h"
+#include "src/util/strings.h"
+#include "tools/keyio.h"
+
+namespace discfs::tools {
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  uint16_t port = 20490;
+  std::string key_path;
+  std::string server_pub_path;
+  std::vector<std::string> cred_paths;
+  std::vector<std::string> command;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: discfs-cli --key user.key [--host H] [--port N] "
+               "[--server-pub admin.pub] [--cred file]... <command> [args]\n"
+               "commands: info | submit <file> | ls <path> | cat <path> | "
+               "put <path> <text> | mkdir <path> | rm <path> | "
+               "resolve <handle>\n");
+  return 2;
+}
+
+// Walks an absolute path from the root handle.
+Result<NfsFattr> WalkPath(DiscfsClient& client, const std::string& path) {
+  ASSIGN_OR_RETURN(NfsFattr current, client.Attach());
+  for (const std::string& part : StrSplit(path, '/')) {
+    if (part.empty()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(current, client.nfs().Lookup(current.fh, part));
+  }
+  return current;
+}
+
+Result<std::pair<NfsFattr, std::string>> WalkParent(DiscfsClient& client,
+                                                    const std::string& path) {
+  std::vector<std::string> parts;
+  for (const std::string& part : StrSplit(path, '/')) {
+    if (!part.empty()) {
+      parts.push_back(part);
+    }
+  }
+  if (parts.empty()) {
+    return InvalidArgumentError("path has no leaf");
+  }
+  std::string leaf = parts.back();
+  parts.pop_back();
+  ASSIGN_OR_RETURN(NfsFattr dir, client.Attach());
+  for (const std::string& part : parts) {
+    ASSIGN_OR_RETURN(dir, client.nfs().Lookup(dir.fh, part));
+  }
+  return std::make_pair(dir, leaf);
+}
+
+int Run(const Args& args) {
+  auto key = LoadPrivateKey(args.key_path);
+  if (!key.ok()) {
+    std::fprintf(stderr, "key: %s\n", key.status().ToString().c_str());
+    return 1;
+  }
+  std::optional<DsaPublicKey> server_pub;
+  if (!args.server_pub_path.empty()) {
+    auto pub = LoadPublicKey(args.server_pub_path);
+    if (!pub.ok()) {
+      std::fprintf(stderr, "server-pub: %s\n",
+                   pub.status().ToString().c_str());
+      return 1;
+    }
+    server_pub = *pub;
+  }
+
+  ChannelIdentity identity{*key,
+                           [](size_t n) { return SysRandomBytes(n); }};
+  auto client = DiscfsClient::Connect(args.host, args.port, identity,
+                                      server_pub);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const std::string& path : args.cred_paths) {
+    auto text = ReadTextFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto id = (*client)->SubmitCredential(*text);
+    if (!id.ok()) {
+      std::fprintf(stderr, "submit %s: %s\n", path.c_str(),
+                   id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const std::string& cmd = args.command[0];
+  auto need = [&](size_t n) {
+    if (args.command.size() != n + 1) {
+      std::exit(Usage());
+    }
+  };
+
+  if (cmd == "info") {
+    auto info = (*client)->ServerInfo();
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("server principal: %.64s...\n",
+                info->server_principal.c_str());
+    std::printf("keynote queries:  %llu\n",
+                static_cast<unsigned long long>(info->keynote_queries));
+    std::printf("cache hits/miss:  %llu / %llu\n",
+                static_cast<unsigned long long>(info->cache_hits),
+                static_cast<unsigned long long>(info->cache_misses));
+    std::printf("credentials:      %u\n", info->credential_count);
+    return 0;
+  }
+  if (cmd == "submit") {
+    need(1);
+    auto text = ReadTextFile(args.command[1]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto id = (*client)->SubmitCredential(*text);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("credential id: %s\n", id->c_str());
+    return 0;
+  }
+  if (cmd == "ls") {
+    need(1);
+    auto dir = WalkPath(**client, args.command[1]);
+    if (!dir.ok()) {
+      std::fprintf(stderr, "%s\n", dir.status().ToString().c_str());
+      return 1;
+    }
+    auto entries = (*client)->nfs().ReadDir(dir->fh);
+    if (!entries.ok()) {
+      std::fprintf(stderr, "%s\n", entries.status().ToString().c_str());
+      return 1;
+    }
+    for (const NfsDirEntry& e : *entries) {
+      std::printf("%s%s  (handle %u)\n", e.name.c_str(),
+                  e.type == FileType::kDirectory ? "/" : "", e.fh.inode);
+    }
+    return 0;
+  }
+  if (cmd == "cat") {
+    need(1);
+    auto file = WalkPath(**client, args.command[1]);
+    if (!file.ok()) {
+      std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t offset = 0;
+    while (offset < file->size) {
+      auto chunk = (*client)->nfs().Read(file->fh, offset, 65536);
+      if (!chunk.ok()) {
+        std::fprintf(stderr, "%s\n", chunk.status().ToString().c_str());
+        return 1;
+      }
+      if (chunk->empty()) {
+        break;
+      }
+      std::fwrite(chunk->data(), 1, chunk->size(), stdout);
+      offset += chunk->size();
+    }
+    return 0;
+  }
+  if (cmd == "put") {
+    need(2);
+    auto parent = WalkParent(**client, args.command[1]);
+    if (!parent.ok()) {
+      std::fprintf(stderr, "%s\n", parent.status().ToString().c_str());
+      return 1;
+    }
+    auto [dir, leaf] = *parent;
+    NfsFh fh;
+    auto existing = (*client)->nfs().Lookup(dir.fh, leaf);
+    if (existing.ok()) {
+      fh = existing->fh;
+    } else {
+      auto created = (*client)->CreateWithCredential(dir.fh, leaf, 0644);
+      if (!created.ok()) {
+        std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+        return 1;
+      }
+      fh = created->attr.fh;
+      std::fprintf(stderr, "-- credential for the new file --\n%s",
+                   created->credential.c_str());
+    }
+    auto st = (*client)->nfs().Write(fh, 0, ToBytes(args.command[2]));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.status().ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (cmd == "mkdir") {
+    need(1);
+    auto parent = WalkParent(**client, args.command[1]);
+    if (!parent.ok()) {
+      std::fprintf(stderr, "%s\n", parent.status().ToString().c_str());
+      return 1;
+    }
+    auto [dir, leaf] = *parent;
+    auto made = (*client)->MkdirWithCredential(dir.fh, leaf, 0755);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", made->credential.c_str());
+    return 0;
+  }
+  if (cmd == "rm") {
+    need(1);
+    auto parent = WalkParent(**client, args.command[1]);
+    if (!parent.ok()) {
+      std::fprintf(stderr, "%s\n", parent.status().ToString().c_str());
+      return 1;
+    }
+    auto [dir, leaf] = *parent;
+    auto st = (*client)->nfs().Remove(dir.fh, leaf);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (cmd == "resolve") {
+    need(1);
+    auto attr = (*client)->ResolveHandle(
+        static_cast<uint32_t>(std::strtoul(args.command[1].c_str(),
+                                           nullptr, 10)));
+    if (!attr.ok()) {
+      std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("inode %u generation %u size %llu\n", attr->fh.inode,
+                attr->fh.generation,
+                static_cast<unsigned long long>(attr->size));
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace discfs::tools
+
+int main(int argc, char** argv) {
+  discfs::tools::Args args;
+  int i = 1;
+  for (; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(discfs::tools::Usage());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--key") == 0) {
+      args.key_path = next();
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      args.host = next();
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      args.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--server-pub") == 0) {
+      args.server_pub_path = next();
+    } else if (std::strcmp(argv[i], "--cred") == 0) {
+      args.cred_paths.push_back(next());
+    } else {
+      break;  // start of the command
+    }
+  }
+  for (; i < argc; ++i) {
+    args.command.push_back(argv[i]);
+  }
+  if (args.key_path.empty() || args.command.empty()) {
+    return discfs::tools::Usage();
+  }
+  return discfs::tools::Run(args);
+}

@@ -1,0 +1,116 @@
+// discfsd: the DisCFS server daemon.
+//
+// Usage:
+//   discfsd --key server.key [--port N] [--policy policy.kn]...
+//           [--mib 256] [--inodes 65536] [--cache 128]
+//
+// The volume is an in-memory FFS formatted at startup (the repository's
+// block device is RAM-backed; persistence would plug a different
+// BlockDevice into the same stack). The server key is both the channel
+// identity and the default POLICY root; --policy files override the
+// default policy.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/crypto/sysrand.h"
+#include "src/discfs/host.h"
+#include "tools/keyio.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string key_path;
+  std::vector<std::string> policy_paths;
+  uint16_t port = 20490;
+  uint64_t mib = 256;
+  uint32_t inodes = 65536;
+  size_t cache = 128;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--key") == 0) {
+      key_path = next();
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      policy_paths.push_back(next());
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--mib") == 0) {
+      mib = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--inodes") == 0) {
+      inodes = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --key server.key [--port N] [--policy file]... "
+                   "[--mib N] [--inodes N] [--cache N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (key_path.empty()) {
+    std::fprintf(stderr, "--key is required (generate one with keygen)\n");
+    return 2;
+  }
+
+  auto key = discfs::tools::LoadPrivateKey(key_path);
+  if (!key.ok()) {
+    std::fprintf(stderr, "key: %s\n", key.status().ToString().c_str());
+    return 1;
+  }
+
+  auto dev = std::make_shared<discfs::MemBlockDevice>(4096,
+                                                      mib * 1024 * 1024 / 4096);
+  auto fs = discfs::Ffs::Format(dev, discfs::FfsFormatOptions{inodes});
+  if (!fs.ok()) {
+    std::fprintf(stderr, "format: %s\n", fs.status().ToString().c_str());
+    return 1;
+  }
+  auto vfs = std::make_shared<discfs::FfsVfs>(std::move(fs).value());
+
+  discfs::DiscfsServerConfig config;
+  config.server_key = *key;
+  config.policy_cache_size = cache;
+  for (const std::string& path : policy_paths) {
+    auto text = discfs::tools::ReadTextFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    config.policy_assertions.push_back(*text);
+  }
+
+  auto host = discfs::DiscfsHost::Start(std::move(vfs), std::move(config),
+                                        port);
+  if (!host.ok()) {
+    std::fprintf(stderr, "start: %s\n", host.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("discfsd: serving on 127.0.0.1:%u\n", (*host)->port());
+  std::printf("discfsd: server principal %s\n",
+              (*host)->server().public_key().ToKeyNoteString().c_str());
+  std::printf("discfsd: volume %llu MiB, %u inodes, policy cache %zu\n",
+              static_cast<unsigned long long>(mib), inodes, cache);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    struct timespec ts{0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("discfsd: shutting down\n");
+  return 0;
+}

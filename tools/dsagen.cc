@@ -1,0 +1,58 @@
+// dsagen: generates the DSA/DH domain parameters embedded in
+// src/crypto/groups.cc. Output is KEY=hexvalue lines consumed by
+// tools/embed_params.py (or pasted by hand).
+//
+// Usage: dsagen [seed]
+//   With a seed argument the generation is deterministic (useful for
+//   reproducing the checked-in constants); otherwise /dev/urandom is used.
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/crypto/groups.h"
+#include "src/crypto/sysrand.h"
+#include "src/util/prng.h"
+
+namespace {
+
+void EmitGroup(const char* tag, const discfs::DsaParams& params) {
+  std::printf("P%s=%s\n", tag, params.p.ToHex().c_str());
+  std::printf("Q%s=%s\n", tag, params.q.ToHex().c_str());
+  std::printf("G%s=%s\n", tag, params.g.ToHex().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::function<discfs::Bytes(size_t)> rand_bytes;
+  std::unique_ptr<discfs::Prng> prng;
+  if (argc > 1) {
+    prng = std::make_unique<discfs::Prng>(std::strtoull(argv[1], nullptr, 10));
+    rand_bytes = [&prng](size_t n) { return prng->NextBytes(n); };
+  } else {
+    rand_bytes = [](size_t n) { return discfs::SysRandomBytes(n); };
+  }
+
+  std::fprintf(stderr, "generating 512/160 group...\n");
+  discfs::DsaParams small = discfs::GenerateDsaParams(512, 160, rand_bytes);
+  auto st = discfs::ValidateDsaParams(small, rand_bytes);
+  if (!st.ok()) {
+    std::fprintf(stderr, "512 group failed validation: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  EmitGroup("512", small);
+
+  std::fprintf(stderr, "generating 1024/160 group (may take a minute)...\n");
+  discfs::DsaParams big = discfs::GenerateDsaParams(1024, 160, rand_bytes);
+  st = discfs::ValidateDsaParams(big, rand_bytes);
+  if (!st.ok()) {
+    std::fprintf(stderr, "1024 group failed validation: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  EmitGroup("1024", big);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// keygen: generates a DSA identity for DisCFS.
+//
+// Usage: keygen <basename>
+//   writes <basename>.key (private, hex) and <basename>.pub (KeyNote
+//   "dsa-hex:" principal string).
+#include <cstdio>
+
+#include "src/crypto/groups.h"
+#include "src/crypto/sysrand.h"
+#include "tools/keyio.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <basename>\n", argv[0]);
+    return 2;
+  }
+  std::string base = argv[1];
+  discfs::DsaPrivateKey key = discfs::DsaPrivateKey::Generate(
+      discfs::Dsa1024(), [](size_t n) { return discfs::SysRandomBytes(n); });
+  auto st = discfs::tools::SavePrivateKey(base + ".key", key);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = discfs::tools::SavePublicKey(base + ".pub", key.public_key());
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s.key (keep secret) and %s.pub\n", base.c_str(),
+              base.c_str());
+  std::printf("key id: %s\n", key.public_key().KeyId().c_str());
+  return 0;
+}

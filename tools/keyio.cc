@@ -1,0 +1,58 @@
+#include "tools/keyio.h"
+
+#include <cstdio>
+
+#include "src/util/hex.h"
+#include "src/util/strings.h"
+
+namespace discfs::tools {
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (n != contents.size()) {
+    return IoError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status SavePrivateKey(const std::string& path, const DsaPrivateKey& key) {
+  return WriteTextFile(path, HexEncode(key.Serialize()) + "\n");
+}
+
+Result<DsaPrivateKey> LoadPrivateKey(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+  ASSIGN_OR_RETURN(Bytes raw,
+                   HexDecode(StripWhitespace(text)));
+  return DsaPrivateKey::Deserialize(raw);
+}
+
+Status SavePublicKey(const std::string& path, const DsaPublicKey& key) {
+  return WriteTextFile(path, key.ToKeyNoteString() + "\n");
+}
+
+Result<DsaPublicKey> LoadPublicKey(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+  return DsaPublicKey::FromKeyNoteString(StripWhitespace(text));
+}
+
+}  // namespace discfs::tools

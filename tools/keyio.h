@@ -1,0 +1,25 @@
+// Key-file helpers shared by the CLI tools: hex-encoded DSA keys, one per
+// file. <name>.key holds the private key, <name>.pub the KeyNote principal
+// string ("dsa-hex:...").
+#ifndef DISCFS_TOOLS_KEYIO_H_
+#define DISCFS_TOOLS_KEYIO_H_
+
+#include <string>
+
+#include "src/crypto/dsa.h"
+#include "src/util/status.h"
+
+namespace discfs::tools {
+
+Status WriteTextFile(const std::string& path, const std::string& contents);
+Result<std::string> ReadTextFile(const std::string& path);
+
+Status SavePrivateKey(const std::string& path, const DsaPrivateKey& key);
+Result<DsaPrivateKey> LoadPrivateKey(const std::string& path);
+
+Status SavePublicKey(const std::string& path, const DsaPublicKey& key);
+Result<DsaPublicKey> LoadPublicKey(const std::string& path);
+
+}  // namespace discfs::tools
+
+#endif  // DISCFS_TOOLS_KEYIO_H_

@@ -1,0 +1,193 @@
+// keynote-cli: operate on KeyNote assertions from the command line.
+//
+//   keynote-cli issue <issuer.key> <subject.pub> <handle|-> <perms>
+//                [comment] [expires YYYYMMDDhhmmss]
+//       composes and signs a DisCFS credential; prints it to stdout.
+//       handle "-" issues a blanket (whole-store) credential.
+//
+//   keynote-cli verify <credential-file>
+//       parses the assertion and checks its signature.
+//
+//   keynote-cli query <attr=value>... -- <policy-or-credential-file>...
+//       runs the compliance checker over the given assertion files with
+//       the given action attribute set. Files whose Authorizer is POLICY
+//       are installed as policy; others must carry valid signatures.
+//       ACTION_AUTHORIZERS is taken from the attribute "requester" (a
+//       file path to a .pub, or a literal principal).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/discfs/credentials.h"
+#include "src/keynote/session.h"
+#include "tools/keyio.h"
+
+namespace discfs::tools {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s issue <issuer.key> <subject.pub> <handle|-> <perms> [comment] "
+      "[expires]\n"
+      "  %s verify <credential-file>\n"
+      "  %s query <attr=value>... -- <assertion-file>...\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+int CmdIssue(int argc, char** argv) {
+  if (argc < 6) {
+    return Usage(argv[0]);
+  }
+  auto issuer = LoadPrivateKey(argv[2]);
+  if (!issuer.ok()) {
+    std::fprintf(stderr, "issuer: %s\n", issuer.status().ToString().c_str());
+    return 1;
+  }
+  auto subject = LoadPublicKey(argv[3]);
+  if (!subject.ok()) {
+    std::fprintf(stderr, "subject: %s\n",
+                 subject.status().ToString().c_str());
+    return 1;
+  }
+  std::string handle = argv[4];
+  if (handle == "-") {
+    handle.clear();
+  }
+  CredentialOptions options;
+  options.permissions = argv[5];
+  if (argc > 6) {
+    options.comment = argv[6];
+  }
+  if (argc > 7) {
+    options.expires_at = argv[7];
+  }
+  auto credential = IssueCredential(*issuer, *subject, handle, options);
+  if (!credential.ok()) {
+    std::fprintf(stderr, "issue: %s\n",
+                 credential.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(credential->c_str(), stdout);
+  return 0;
+}
+
+int CmdVerify(int argc, char** argv) {
+  if (argc != 3) {
+    return Usage(argv[0]);
+  }
+  auto text = ReadTextFile(argv[2]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto assertion = keynote::Assertion::Parse(*text);
+  if (!assertion.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 assertion.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("id:         %s\n", assertion->Id().c_str());
+  std::printf("authorizer: %.48s...\n", assertion->authorizer().c_str());
+  std::printf("licensees:  %zu principal(s)\n",
+              assertion->licensee_principals().size());
+  if (!assertion->comment().empty()) {
+    std::printf("comment:    %s\n", assertion->comment().c_str());
+  }
+  if (assertion->is_policy()) {
+    std::printf("POLICY assertion (unsigned by definition)\n");
+    return 0;
+  }
+  Status sig = assertion->VerifySignature();
+  std::printf("signature:  %s\n", sig.ok() ? "VALID" : sig.ToString().c_str());
+  return sig.ok() ? 0 : 1;
+}
+
+int CmdQuery(int argc, char** argv) {
+  keynote::AttributeMap attrs;
+  std::vector<std::string> files;
+  std::string requester;
+  bool past_separator = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) {
+      past_separator = true;
+      continue;
+    }
+    if (!past_separator) {
+      const char* eq = std::strchr(argv[i], '=');
+      if (eq == nullptr) {
+        return Usage(argv[0]);
+      }
+      std::string name(argv[i], eq - argv[i]);
+      std::string value(eq + 1);
+      if (name == "requester") {
+        // A .pub file path or a literal principal.
+        auto key = LoadPublicKey(value);
+        requester = key.ok() ? key->ToKeyNoteString() : value;
+      } else {
+        attrs[name] = value;
+      }
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty() || requester.empty()) {
+    std::fprintf(stderr,
+                 "query needs requester=<pub-or-principal> and at least one "
+                 "assertion file after --\n");
+    return 2;
+  }
+
+  keynote::KeyNoteSession session(keynote::PermissionLattice::Get());
+  for (const std::string& file : files) {
+    auto text = ReadTextFile(file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto assertion = keynote::Assertion::Parse(*text);
+    if (!assertion.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   assertion.status().ToString().c_str());
+      return 1;
+    }
+    Status st = assertion->is_policy()
+                    ? session.AddPolicyAssertion(*text)
+                    : session.AddCredential(*text).status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  keynote::ComplianceQuery query;
+  query.attributes = attrs;
+  query.action_authorizers = {requester};
+  auto value = session.Query(query);
+  std::printf("compliance value: %s\n",
+              keynote::PermissionLattice::Get().Name(value).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace discfs::tools
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return discfs::tools::Usage(argv[0]);
+  }
+  if (std::strcmp(argv[1], "issue") == 0) {
+    return discfs::tools::CmdIssue(argc, argv);
+  }
+  if (std::strcmp(argv[1], "verify") == 0) {
+    return discfs::tools::CmdVerify(argc, argv);
+  }
+  if (std::strcmp(argv[1], "query") == 0) {
+    return discfs::tools::CmdQuery(argc, argv);
+  }
+  return discfs::tools::Usage(argv[0]);
+}
