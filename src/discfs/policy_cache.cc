@@ -1,27 +1,82 @@
 #include "src/discfs/policy_cache.h"
 
 namespace discfs {
+namespace {
+
+// Largest power of two <= x (x >= 1).
+size_t FloorPow2(size_t x) {
+  size_t p = 1;
+  while (p * 2 <= x) {
+    p *= 2;
+  }
+  return p;
+}
+
+size_t DefaultShards(size_t capacity) {
+  if (capacity < 64) {
+    return 1;  // small caches keep exact global LRU order
+  }
+  size_t shards = FloorPow2(capacity / 32);
+  return shards > 16 ? 16 : shards;
+}
+
+}  // namespace
+
+PolicyCache::PolicyCache(size_t capacity, int64_t ttl_seconds,
+                         size_t num_shards)
+    : capacity_(capacity),
+      ttl_seconds_(ttl_seconds),
+      generations_(new std::atomic<uint64_t>[kGenSlots]) {
+  size_t shards = num_shards != 0 ? num_shards : DefaultShards(capacity);
+  per_shard_capacity_ = capacity / shards;
+  if (capacity > 0 && per_shard_capacity_ == 0) {
+    per_shard_capacity_ = 1;
+  }
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (size_t i = 0; i < kGenSlots; ++i) {
+    generations_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+PolicyCache::Shard& PolicyCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+std::atomic<uint64_t>& PolicyCache::GenSlot(const std::string& key_id) {
+  return generations_[std::hash<std::string>()(key_id) % kGenSlots];
+}
 
 std::optional<uint32_t> PolicyCache::Get(const std::string& key_id,
                                          uint32_t inode, int64_t now) {
+  Key key{key_id, inode};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  uint64_t current_gen = GenSlot(key_id).load(std::memory_order_acquire);
   if (capacity_ == 0) {
-    ++stats_.misses;
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  auto it = entries_.find({key_id, inode});
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  if (now >= it->second.expires_at) {
-    lru_.erase(it->second.lru_it);
-    entries_.erase(it);
-    ++stats_.misses;
+  Node& node = *it->second;
+  if (node.generation != current_gen || now >= node.expires_at) {
+    if (node.generation != current_gen) {
+      ++shard.stats.invalidations;
+    }
+    shard.lru.erase(it->second);
+    shard.entries.erase(it);
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  Touch(it->first, it->second);
-  ++stats_.hits;
-  return it->second.mask;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  return node.mask;
 }
 
 void PolicyCache::Put(const std::string& key_id, uint32_t inode,
@@ -30,33 +85,68 @@ void PolicyCache::Put(const std::string& key_id, uint32_t inode,
     return;
   }
   Key key{key_id, inode};
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second.mask = mask;
-    it->second.expires_at = now + ttl_seconds_;
-    Touch(key, it->second);
+  Shard& shard = ShardFor(key);
+  uint64_t gen = GenSlot(key_id).load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    Node& node = *it->second;
+    node.mask = mask;
+    node.expires_at = now + ttl_seconds_;
+    node.generation = gen;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  while (entries_.size() >= capacity_) {
-    const Key& victim = lru_.back();
-    entries_.erase(victim);
-    lru_.pop_back();
-    ++stats_.evictions;
+  while (shard.entries.size() >= per_shard_capacity_ &&
+         !shard.entries.empty()) {
+    const Node& victim = shard.lru.back();
+    shard.entries.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{mask, now + ttl_seconds_, lru_.begin()});
+  shard.lru.push_front(Node{std::move(key), mask, now + ttl_seconds_, gen});
+  shard.entries.emplace(shard.lru.front().key, shard.lru.begin());
 }
 
 void PolicyCache::InvalidateAll() {
-  stats_.invalidations += entries_.size();
-  entries_.clear();
-  lru_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats.invalidations += shard->entries.size();
+    shard->entries.clear();
+    shard->lru.clear();
+  }
 }
 
-void PolicyCache::Touch(const Key& key, Entry& entry) {
-  lru_.erase(entry.lru_it);
-  lru_.push_front(key);
-  entry.lru_it = lru_.begin();
+void PolicyCache::InvalidatePrincipal(const std::string& key_id) {
+  GenSlot(key_id).fetch_add(1, std::memory_order_acq_rel);
+}
+
+void PolicyCache::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = Stats{};
+  }
+}
+
+size_t PolicyCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+PolicyCache::Stats PolicyCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.invalidations += shard->stats.invalidations;
+  }
+  return total;
 }
 
 }  // namespace discfs

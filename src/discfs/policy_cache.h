@@ -1,20 +1,41 @@
-// LRU cache of policy-evaluation results ("a cache of requested operations
-// and policy results", paper §5). Keyed by (requester key id, file handle);
-// the cached value is the full RWX mask the requester holds on that handle,
-// so any needed-permission test is a subset check.
+// Sharded LRU cache of policy-evaluation results ("a cache of requested
+// operations and policy results", paper §5). Keyed by (requester key id,
+// file handle); the cached value is the full RWX mask the requester holds
+// on that handle, so any needed-permission test is a subset check.
 //
-// Entries carry a TTL because conditions can be time-dependent
-// (time-of-day policies), and the whole cache is flushed whenever the
-// credential set changes (submission or revocation) so stale grants never
-// outlive the assertions that produced them.
+// Scaling properties (the access-check hot path runs under a shared lock,
+// so the cache synchronizes itself):
+//
+//  * Sharding — entries hash across N independent shards, each with its own
+//    mutex and LRU list, so concurrent lookups from different connections
+//    do not serialize on one lock. N is derived from the capacity (about 32
+//    entries per shard, power of two, at most 16 shards) so small caches
+//    keep exact global LRU semantics.
+//  * Generation stamps — every entry records the generation counter of its
+//    requester principal at insertion. Credential churn bumps only the
+//    generations of principals reachable from the changed credential's
+//    delegation chain (see DelegationIndex::AffectedRequesters); stale
+//    entries are dropped lazily on their next lookup, and unaffected
+//    entries survive. Generations live in a fixed table of atomics indexed
+//    by principal hash — a slot collision can only over-invalidate, never
+//    serve a stale grant.
+//  * TTL — entries expire because conditions can be time-dependent
+//    (time-of-day policies); expired entries are erased on lookup so they
+//    do not pin capacity until eviction.
+//
+// InvalidateAll (policy change — rare) eagerly clears every shard.
 #ifndef DISCFS_SRC_DISCFS_POLICY_CACHE_H_
 #define DISCFS_SRC_DISCFS_POLICY_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
-#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace discfs {
 
@@ -24,46 +45,78 @@ class PolicyCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
-    uint64_t invalidations = 0;
+    uint64_t invalidations = 0;  // entries dropped by flush or churn
   };
 
   // capacity 0 disables caching entirely (every query recomputes).
-  PolicyCache(size_t capacity, int64_t ttl_seconds)
-      : capacity_(capacity), ttl_seconds_(ttl_seconds) {}
+  // num_shards 0 picks a capacity-derived default.
+  PolicyCache(size_t capacity, int64_t ttl_seconds, size_t num_shards = 0);
 
-  // Returns the cached permission mask, or nullopt on miss/expiry.
+  // Returns the cached permission mask, or nullopt on miss, expiry, or a
+  // stale generation (the latter two erase the entry).
   std::optional<uint32_t> Get(const std::string& key_id, uint32_t inode,
                               int64_t now);
 
   void Put(const std::string& key_id, uint32_t inode, uint32_t mask,
            int64_t now);
 
-  // Flush everything (credential set changed).
+  // Flush everything (local policy changed).
   void InvalidateAll();
+
+  // Invalidates every entry cached for `key_id` (lazily, via its
+  // generation counter). Lock-free. Safe concurrently with Get; a Put
+  // stamps the generation current at Put time, so the caller must ensure
+  // no compute-then-Put cycle straddles an invalidation (DiscfsServer does:
+  // queries Put under the shared lock, invalidation runs exclusive).
+  void InvalidatePrincipal(const std::string& key_id);
 
   // Zeroes the hit/miss/eviction counters (entries stay). Benchmark
   // telemetry only.
-  void ResetStats() { stats_ = Stats{}; }
+  void ResetStats();
 
-  size_t size() const { return entries_.size(); }
+  // Resident entries; may transiently count generation-stale entries that
+  // have not been touched since their principal was invalidated.
+  size_t size() const;
   size_t capacity() const { return capacity_; }
-  const Stats& stats() const { return stats_; }
+  size_t shard_count() const { return shards_.size(); }
+  Stats stats() const;  // aggregated over shards
 
  private:
-  using Key = std::pair<std::string, uint32_t>;
-  struct Entry {
+  struct Key {
+    std::string key_id;
+    uint32_t inode;
+    bool operator==(const Key& o) const {
+      return inode == o.inode && key_id == o.key_id;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<std::string>()(k.key_id) * 1000003u + k.inode;
+    }
+  };
+  struct Node {
+    Key key;
     uint32_t mask;
     int64_t expires_at;
-    std::list<Key>::iterator lru_it;
+    uint64_t generation;  // snapshot of the principal's slot at Put time
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Node> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Node>::iterator, KeyHash> entries;
+    Stats stats;
   };
 
-  void Touch(const Key& key, Entry& entry);
+  static constexpr size_t kGenSlots = 1024;
+
+  Shard& ShardFor(const Key& key);
+  std::atomic<uint64_t>& GenSlot(const std::string& key_id);
 
   size_t capacity_;
+  size_t per_shard_capacity_;
   int64_t ttl_seconds_;
-  std::map<Key, Entry> entries_;
-  std::list<Key> lru_;  // front = most recently used
-  Stats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<std::atomic<uint64_t>[]> generations_;
 };
 
 }  // namespace discfs

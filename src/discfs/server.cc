@@ -72,7 +72,7 @@ Status DiscfsServer::CheckAccess(const NfsAccessRequest& request) {
   }
   std::string principal = request.ctx->peer_key->ToKeyNoteString();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (revocation_.IsKeyRevoked(principal, clock_->NowUnix())) {
     counters_.denials.fetch_add(1, std::memory_order_relaxed);
     return PermissionDeniedError("key has been revoked");
@@ -114,15 +114,23 @@ uint32_t DiscfsServer::QueryMaskLocked(const std::string& principal,
 
 uint32_t DiscfsServer::EffectiveMask(const std::string& principal,
                                      uint32_t inode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return QueryMaskLocked(principal, inode);
 }
 
 Status DiscfsServer::AddPolicyAssertion(const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   RETURN_IF_ERROR(session_.AddPolicyAssertion(text));
-  cache_.InvalidateAll();
+  cache_.InvalidateAll();  // policy roots affect every principal
   return OkStatus();
+}
+
+void DiscfsServer::InvalidateAffectedLocked(
+    const std::string& credential_id) {
+  for (const std::string& principal :
+       session_.AffectedRequesters(credential_id)) {
+    cache_.InvalidatePrincipal(principal);
+  }
 }
 
 Result<std::string> DiscfsServer::SubmitCredentialLocked(
@@ -140,38 +148,40 @@ Result<std::string> DiscfsServer::SubmitCredentialLocked(
     return PermissionDeniedError("credential or issuing key is revoked");
   }
   counters_.credentials_submitted.fetch_add(1, std::memory_order_relaxed);
-  cache_.InvalidateAll();
+  InvalidateAffectedLocked(id);
   return id;
 }
 
 Result<std::string> DiscfsServer::SubmitCredential(const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   return SubmitCredentialLocked(text);
 }
 
 Status DiscfsServer::RemoveCredential(const std::string& credential_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   revocation_.RevokeCredential(credential_id, clock_->NowUnix());
+  InvalidateAffectedLocked(credential_id);  // while the chain is still known
   RETURN_IF_ERROR(session_.RemoveCredential(credential_id));
-  cache_.InvalidateAll();
   return OkStatus();
 }
 
 void DiscfsServer::RevokeKey(const std::string& principal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   int64_t now = clock_->NowUnix();
   revocation_.RevokeKey(principal, now);
   // Delegations issued by the revoked key stop contributing immediately.
   for (const std::string& id :
        session_.CredentialIdsByAuthorizer(principal)) {
     revocation_.RevokeCredential(id, now);
+    InvalidateAffectedLocked(id);
     (void)session_.RemoveCredential(id);
   }
-  cache_.InvalidateAll();
+  // The key's own cached grants must not outlive its revocation.
+  cache_.InvalidatePrincipal(principal);
 }
 
 void DiscfsServer::ResetTelemetry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   cache_.ResetStats();
   counters_.keynote_queries.store(0, std::memory_order_relaxed);
   counters_.access_checks.store(0, std::memory_order_relaxed);
@@ -179,12 +189,11 @@ void DiscfsServer::ResetTelemetry() {
 }
 
 PolicyCache::Stats DiscfsServer::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.stats();
+  return cache_.stats();  // internally synchronized
 }
 
 size_t DiscfsServer::credential_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return session_.credential_count();
 }
 
@@ -214,7 +223,7 @@ void DiscfsServer::RegisterDiscfsProcs() {
         {
           // Only the credential's issuer may withdraw it remotely; the
           // administrator uses the local API.
-          std::lock_guard<std::mutex> lock(mu_);
+          std::shared_lock<std::shared_mutex> lock(mu_);
           const keynote::Assertion* credential = session_.FindCredential(id);
           if (credential == nullptr) {
             return NotFoundError("no credential with id " + id);

@@ -16,7 +16,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "src/crypto/dsa.h"
@@ -89,8 +89,12 @@ class DiscfsServer {
 
   Status CheckAccess(const NfsAccessRequest& request);
   uint32_t QueryMaskLocked(const std::string& principal, uint32_t inode)
-      /* requires mu_ */;
+      /* requires mu_ (shared suffices; cache_ synchronizes itself) */;
   Result<std::string> SubmitCredentialLocked(const std::string& text);
+  // Bumps the cache generation of every principal whose delegation chain
+  // passes through credential `id`; entries for everyone else stay warm.
+  void InvalidateAffectedLocked(const std::string& credential_id)
+      /* requires mu_ exclusive */;
   void RegisterDiscfsProcs();
 
   std::shared_ptr<Vfs> vfs_;
@@ -99,7 +103,10 @@ class DiscfsServer {
   std::unique_ptr<NfsServer> nfs_;
   RpcDispatcher dispatcher_;
 
-  mutable std::mutex mu_;  // guards session/cache/revocation
+  // Readers (access checks, mask queries) take mu_ shared and can run
+  // concurrently; credential churn and policy installation take it
+  // exclusive. The policy cache has its own internal locking.
+  mutable std::shared_mutex mu_;
   keynote::KeyNoteSession session_;
   PolicyCache cache_;
   RevocationList revocation_;

@@ -1,6 +1,8 @@
 #include "src/keynote/compliance.h"
 
+#include <algorithm>
 #include <map>
+#include <unordered_set>
 
 namespace discfs::keynote {
 
@@ -66,6 +68,106 @@ ComplianceLattice::Value CheckCompliance(
 
   auto it = values.find(kPolicyPrincipal);
   return it == values.end() ? lattice.Bottom() : it->second;
+}
+
+void DelegationIndex::Add(const Assertion* assertion) {
+  by_authorizer_[assertion->authorizer()].push_back(assertion);
+  for (const std::string& principal : assertion->licensee_principals()) {
+    by_licensee_[principal].push_back(assertion);
+  }
+  ++assertion_count_;
+}
+
+void DelegationIndex::EraseFrom(Postings& postings,
+                                const std::string& principal,
+                                const Assertion* assertion) {
+  auto it = postings.find(principal);
+  if (it == postings.end()) {
+    return;
+  }
+  auto& list = it->second;
+  list.erase(std::remove(list.begin(), list.end(), assertion), list.end());
+  if (list.empty()) {
+    postings.erase(it);
+  }
+}
+
+void DelegationIndex::Remove(const Assertion* assertion) {
+  EraseFrom(by_authorizer_, assertion->authorizer(), assertion);
+  for (const std::string& principal : assertion->licensee_principals()) {
+    EraseFrom(by_licensee_, principal, assertion);
+  }
+  --assertion_count_;
+}
+
+std::vector<const Assertion*> DelegationIndex::RelevantSlice(
+    const std::vector<std::string>& requesters) const {
+  // Forward closure from the requesters along (licensee → authorizer):
+  // visiting a principal pulls in every assertion that names it as a
+  // licensee, and each such assertion's authorizer joins the frontier.
+  std::unordered_set<std::string> visited(requesters.begin(),
+                                          requesters.end());
+  std::vector<std::string> frontier(visited.begin(), visited.end());
+  std::unordered_set<const Assertion*> seen;
+  std::vector<const Assertion*> slice;
+  while (!frontier.empty()) {
+    std::string principal = std::move(frontier.back());
+    frontier.pop_back();
+    auto it = by_licensee_.find(principal);
+    if (it == by_licensee_.end()) {
+      continue;
+    }
+    for (const Assertion* a : it->second) {
+      if (!seen.insert(a).second) {
+        continue;
+      }
+      slice.push_back(a);
+      if (visited.insert(a->authorizer()).second) {
+        frontier.push_back(a->authorizer());
+      }
+    }
+  }
+  return slice;
+}
+
+const std::vector<const Assertion*>& DelegationIndex::AuthoredBy(
+    const std::string& principal) const {
+  static const std::vector<const Assertion*> kEmpty;
+  auto it = by_authorizer_.find(principal);
+  return it == by_authorizer_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> DelegationIndex::AffectedRequesters(
+    const Assertion& assertion) const {
+  // Backward closure from the assertion's licensees along the reverse edge
+  // (authorizer → licensee): a principal P is affected iff a delegation
+  // chain from P reaches one of these licensees, i.e. the licensee sits in
+  // P's forward closure and the assertion in P's relevant slice.
+  std::unordered_set<std::string> visited;
+  std::vector<std::string> frontier;
+  for (const std::string& principal : assertion.licensee_principals()) {
+    if (visited.insert(principal).second) {
+      frontier.push_back(principal);
+    }
+  }
+  std::vector<std::string> affected(frontier);
+  while (!frontier.empty()) {
+    std::string principal = std::move(frontier.back());
+    frontier.pop_back();
+    auto it = by_authorizer_.find(principal);
+    if (it == by_authorizer_.end()) {
+      continue;
+    }
+    for (const Assertion* a : it->second) {
+      for (const std::string& licensee : a->licensee_principals()) {
+        if (visited.insert(licensee).second) {
+          frontier.push_back(licensee);
+          affected.push_back(licensee);
+        }
+      }
+    }
+  }
+  return affected;
 }
 
 }  // namespace discfs::keynote

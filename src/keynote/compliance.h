@@ -12,6 +12,7 @@
 #define DISCFS_SRC_KEYNOTE_COMPLIANCE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/keynote/assertion.h"
@@ -33,6 +34,50 @@ struct ComplianceQuery {
 ComplianceLattice::Value CheckCompliance(
     const std::vector<const Assertion*>& assertions,
     const ComplianceQuery& query, const ComplianceLattice& lattice);
+
+// Principal → assertion postings over the delegation graph. Value in the
+// compliance fixpoint flows along the edge (licensee → authorizer): an
+// assertion raises its authorizer based on its licensees' values, and a
+// principal starts above bottom only if it is an action authorizer. The
+// index therefore answers the two closures the hot path needs:
+//
+//  * RelevantSlice — the assertions backward-reachable from the requesting
+//    principals toward POLICY. Every assertion outside the slice evaluates
+//    its licensees to bottom in the full fixpoint and contributes nothing,
+//    so CheckCompliance over the slice equals the full scan.
+//  * AffectedRequesters — when an assertion is added or removed, the
+//    principals whose query results may change: everything that can reach
+//    one of its licensee principals. Used for scoped cache invalidation.
+class DelegationIndex {
+ public:
+  // `assertion` must outlive the index (the session owns both).
+  void Add(const Assertion* assertion);
+  void Remove(const Assertion* assertion);
+
+  std::vector<const Assertion*> RelevantSlice(
+      const std::vector<std::string>& requesters) const;
+
+  // Includes the assertion's licensee principals themselves (a requester is
+  // trivially affected by a change to an assertion naming it directly).
+  // Call while the assertion is still indexed.
+  std::vector<std::string> AffectedRequesters(const Assertion& assertion) const;
+
+  // Assertions whose Authorizer is `principal` (empty vector if none).
+  const std::vector<const Assertion*>& AuthoredBy(
+      const std::string& principal) const;
+
+  size_t assertion_count() const { return assertion_count_; }
+
+ private:
+  using Postings = std::unordered_map<std::string, std::vector<const Assertion*>>;
+
+  static void EraseFrom(Postings& postings, const std::string& principal,
+                        const Assertion* assertion);
+
+  Postings by_authorizer_;
+  Postings by_licensee_;  // one posting per distinct licensee principal
+  size_t assertion_count_ = 0;
+};
 
 }  // namespace discfs::keynote
 

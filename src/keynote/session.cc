@@ -9,6 +9,7 @@ Status KeyNoteSession::AddPolicyAssertion(std::string text) {
         "policy assertions must have Authorizer \"POLICY\"");
   }
   policies_.push_back(std::make_unique<Assertion>(std::move(assertion)));
+  index_.Add(policies_.back().get());
   return OkStatus();
 }
 
@@ -20,15 +21,21 @@ Result<std::string> KeyNoteSession::AddCredential(std::string text) {
   }
   RETURN_IF_ERROR(assertion.VerifySignature());
   std::string id = assertion.Id();
-  credentials_.emplace(id,
-                       std::make_unique<Assertion>(std::move(assertion)));
+  auto [it, inserted] = credentials_.emplace(
+      id, std::make_unique<Assertion>(std::move(assertion)));
+  if (inserted) {
+    index_.Add(it->second.get());
+  }
   return id;
 }
 
 Status KeyNoteSession::RemoveCredential(const std::string& id) {
-  if (credentials_.erase(id) == 0) {
+  auto it = credentials_.find(id);
+  if (it == credentials_.end()) {
     return NotFoundError("no credential with id " + id);
   }
+  index_.Remove(it->second.get());
+  credentials_.erase(it);
   return OkStatus();
 }
 
@@ -39,9 +46,9 @@ bool KeyNoteSession::HasCredential(const std::string& id) const {
 std::vector<std::string> KeyNoteSession::CredentialIdsByAuthorizer(
     const std::string& principal) const {
   std::vector<std::string> ids;
-  for (const auto& [id, credential] : credentials_) {
-    if (credential->authorizer() == principal) {
-      ids.push_back(id);
+  for (const Assertion* a : index_.AuthoredBy(principal)) {
+    if (!a->is_policy()) {
+      ids.push_back(a->Id());
     }
   }
   return ids;
@@ -54,6 +61,12 @@ const Assertion* KeyNoteSession::FindCredential(const std::string& id) const {
 
 ComplianceLattice::Value KeyNoteSession::Query(
     const ComplianceQuery& query) const {
+  return CheckCompliance(index_.RelevantSlice(query.action_authorizers),
+                         query, lattice_);
+}
+
+ComplianceLattice::Value KeyNoteSession::QueryFullScan(
+    const ComplianceQuery& query) const {
   std::vector<const Assertion*> all;
   all.reserve(policies_.size() + credentials_.size());
   for (const auto& p : policies_) {
@@ -63,6 +76,15 @@ ComplianceLattice::Value KeyNoteSession::Query(
     all.push_back(c.get());
   }
   return CheckCompliance(all, query, lattice_);
+}
+
+std::vector<std::string> KeyNoteSession::AffectedRequesters(
+    const std::string& id) const {
+  const Assertion* credential = FindCredential(id);
+  if (credential == nullptr) {
+    return {};
+  }
+  return index_.AffectedRequesters(*credential);
 }
 
 }  // namespace discfs::keynote

@@ -39,15 +39,27 @@ class KeyNoteSession {
   size_t policy_count() const { return policies_.size(); }
 
   // Ids of all credentials whose Authorizer is `principal` (used when a key
-  // is revoked: its delegations must stop contributing).
+  // is revoked: its delegations must stop contributing). Served from the
+  // by-authorizer posting list, not a scan.
   std::vector<std::string> CredentialIdsByAuthorizer(
       const std::string& principal) const;
 
   // Looks up a credential by id (nullptr if absent).
   const Assertion* FindCredential(const std::string& id) const;
 
-  // Runs the compliance checker over all installed assertions.
+  // Runs the compliance checker over the assertions backward-reachable from
+  // the query's action authorizers (the delegation-graph index slice);
+  // equals QueryFullScan on every input.
   ComplianceLattice::Value Query(const ComplianceQuery& query) const;
+
+  // Reference implementation: the compliance checker over every installed
+  // assertion. Kept for equivalence tests and benchmarks.
+  ComplianceLattice::Value QueryFullScan(const ComplianceQuery& query) const;
+
+  // Principals whose Query results may change when credential `id` is added
+  // or removed (scoped cache invalidation). The credential must currently
+  // be installed; returns an empty vector for unknown ids.
+  std::vector<std::string> AffectedRequesters(const std::string& id) const;
 
   const ComplianceLattice& lattice() const { return lattice_; }
 
@@ -55,6 +67,7 @@ class KeyNoteSession {
   const ComplianceLattice& lattice_;
   std::vector<std::unique_ptr<Assertion>> policies_;
   std::map<std::string, std::unique_ptr<Assertion>> credentials_;  // by id
+  DelegationIndex index_;  // postings over policies_ + credentials_
 };
 
 }  // namespace discfs::keynote

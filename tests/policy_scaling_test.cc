@@ -1,0 +1,343 @@
+// Tests for the indexed compliance engine, the sharded generation-stamped
+// policy cache, and the server's scoped invalidation (ISSUE 1).
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/blockdev/blockdev.h"
+#include "src/crypto/groups.h"
+#include "src/discfs/policy_cache.h"
+#include "src/ffs/ffs.h"
+#include "src/discfs/server.h"
+#include "src/keynote/session.h"
+#include "src/util/clock.h"
+#include "src/util/prng.h"
+#include "src/vfs/vfs.h"
+
+namespace discfs {
+namespace {
+
+using keynote::AssertionBuilder;
+using keynote::ComplianceQuery;
+using keynote::KeyNoteSession;
+using keynote::PermissionLattice;
+using keynote::SignatureAlgorithm;
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+std::string Key(const DsaPrivateKey& k) {
+  return k.public_key().ToKeyNoteString();
+}
+
+// issuer → licensees expression, RWX on `handle` (comment varies the
+// assertion id so repeated grants stay distinct).
+std::string Grant(const DsaPrivateKey& issuer, const std::string& licensees,
+                  const std::string& handle, const std::string& perms,
+                  const std::string& comment = "") {
+  auto builder =
+      AssertionBuilder()
+          .SetAuthorizer(Key(issuer))
+          .SetLicensees(licensees)
+          .SetConditions("(app_domain == \"DisCFS\") && (HANDLE == \"" +
+                         handle + "\") -> \"" + perms + "\";");
+  if (!comment.empty()) {
+    builder.SetComment(comment);
+  }
+  auto signed_text = builder.Sign(issuer, SignatureAlgorithm::kDsaSha1);
+  EXPECT_TRUE(signed_text.ok()) << signed_text.status();
+  return *signed_text;
+}
+
+ComplianceQuery AccessQuery(const std::string& principal,
+                            const std::string& handle) {
+  ComplianceQuery query;
+  query.attributes = {{"app_domain", "DisCFS"},
+                      {"HANDLE", handle},
+                      {"operation", "access"}};
+  query.action_authorizers = {principal};
+  return query;
+}
+
+// ----- sharded policy cache -----
+
+TEST(ShardedPolicyCacheTest, ExpiredEntryIsErasedOnGet) {
+  PolicyCache cache(8, 60);
+  cache.Put("k", 1, 4, 100);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Get("k", 1, 160).has_value());
+  // The dead entry no longer pins capacity.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedPolicyCacheTest, InvalidatePrincipalIsScoped) {
+  PolicyCache cache(256, 60);
+  EXPECT_GT(cache.shard_count(), 1u);
+  cache.Put("alice", 1, 7, 0);
+  cache.Put("alice", 2, 7, 0);
+  cache.Put("bob", 1, 5, 0);
+  cache.InvalidatePrincipal("alice");
+  EXPECT_FALSE(cache.Get("alice", 1, 0).has_value());
+  EXPECT_FALSE(cache.Get("alice", 2, 0).has_value());
+  EXPECT_TRUE(cache.Get("bob", 1, 0).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(ShardedPolicyCacheTest, PutAfterInvalidationIsFresh) {
+  PolicyCache cache(256, 60);
+  cache.Put("alice", 1, 7, 0);
+  cache.InvalidatePrincipal("alice");
+  cache.Put("alice", 1, 4, 0);
+  auto hit = cache.Get("alice", 1, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 4u);
+}
+
+TEST(ShardedPolicyCacheTest, CapacityHoldsAcrossShards) {
+  PolicyCache cache(256, 3600);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    cache.Put("p" + std::to_string(i % 700), i, i % 8, 0);
+  }
+  EXPECT_LE(cache.size(), 256u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// ----- randomized indexed/full-scan equivalence -----
+
+// Random delegation graphs over a small pool of signing keys plus synthetic
+// (non-key) principals; every (requester, handle) query must agree between
+// the indexed slice and the full scan.
+TEST(IndexedQueryTest, MatchesFullScanOnRandomizedGraphs) {
+  std::vector<DsaPrivateKey> keys;
+  for (uint64_t i = 0; i < 5; ++i) {
+    keys.push_back(DsaPrivateKey::Generate(Dsa512(), TestRand(100 + i)));
+  }
+  const char* perms[] = {"R", "RW", "RX", "RWX", "X", "false"};
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Prng prng(seed);
+    KeyNoteSession session(PermissionLattice::Get());
+
+    // Everything any principal can name in a licensees field.
+    std::vector<std::string> principals;
+    for (const auto& k : keys) {
+      principals.push_back(Key(k));
+    }
+    for (int u = 0; u < 6; ++u) {
+      principals.push_back("user" + std::to_string(u));
+    }
+    auto pick_principal = [&]() {
+      return "\"" + principals[prng.NextBelow(principals.size())] + "\"";
+    };
+    auto pick_licensees = [&]() {
+      switch (prng.NextBelow(4)) {
+        case 0:
+          return pick_principal();
+        case 1:
+          return pick_principal() + " && " + pick_principal();
+        case 2:
+          return pick_principal() + " || " + pick_principal();
+        default:
+          return "2-of(" + pick_principal() + ", " + pick_principal() +
+                 ", " + pick_principal() + ")";
+      }
+    };
+
+    // 1-2 policy roots licensing random keys.
+    size_t roots = 1 + prng.NextBelow(2);
+    for (size_t r = 0; r < roots; ++r) {
+      std::string policy =
+          "Authorizer: \"POLICY\"\n"
+          "Licensees: " + pick_licensees() + "\n"
+          "Conditions: app_domain == \"DisCFS\" -> \"" +
+          perms[prng.NextBelow(4)] + "\";\n";
+      ASSERT_TRUE(session.AddPolicyAssertion(policy).ok());
+    }
+
+    // 30 random credentials, each signed by a random key.
+    for (int c = 0; c < 30; ++c) {
+      const DsaPrivateKey& issuer = keys[prng.NextBelow(keys.size())];
+      std::string handle = std::to_string(1 + prng.NextBelow(4));
+      std::string text =
+          Grant(issuer, pick_licensees(), handle,
+                perms[prng.NextBelow(6)], "c" + std::to_string(c));
+      ASSERT_TRUE(session.AddCredential(text).ok());
+    }
+
+    for (const std::string& requester : principals) {
+      for (int h = 1; h <= 4; ++h) {
+        ComplianceQuery query = AccessQuery(requester, std::to_string(h));
+        EXPECT_EQ(session.Query(query), session.QueryFullScan(query))
+            << "seed " << seed << " requester " << requester << " handle "
+            << h;
+      }
+    }
+    // Unknown requester and empty-authorizer edge cases.
+    ComplianceQuery unknown = AccessQuery("stranger", "1");
+    EXPECT_EQ(session.Query(unknown), session.QueryFullScan(unknown));
+    ComplianceQuery empty;
+    empty.attributes = {{"app_domain", "DisCFS"}, {"HANDLE", "1"}};
+    EXPECT_EQ(session.Query(empty), session.QueryFullScan(empty));
+  }
+}
+
+TEST(IndexedQueryTest, CredentialIdsByAuthorizerServedFromIndex) {
+  auto issuer_a = DsaPrivateKey::Generate(Dsa512(), TestRand(11));
+  auto issuer_b = DsaPrivateKey::Generate(Dsa512(), TestRand(12));
+  KeyNoteSession session(PermissionLattice::Get());
+  std::set<std::string> expected_a;
+  for (int i = 0; i < 3; ++i) {
+    auto id = session.AddCredential(
+        Grant(issuer_a, "\"u" + std::to_string(i) + "\"", "1", "RWX"));
+    ASSERT_TRUE(id.ok());
+    expected_a.insert(*id);
+  }
+  ASSERT_TRUE(session.AddCredential(Grant(issuer_b, "\"u9\"", "1", "R")).ok());
+
+  auto ids = session.CredentialIdsByAuthorizer(Key(issuer_a));
+  EXPECT_EQ(std::set<std::string>(ids.begin(), ids.end()), expected_a);
+  EXPECT_EQ(session.CredentialIdsByAuthorizer(Key(issuer_b)).size(), 1u);
+  EXPECT_TRUE(session.CredentialIdsByAuthorizer("nobody").empty());
+
+  // Removal drops the posting.
+  ASSERT_TRUE(session.RemoveCredential(*expected_a.begin()).ok());
+  EXPECT_EQ(session.CredentialIdsByAuthorizer(Key(issuer_a)).size(), 2u);
+}
+
+// ----- server-level scoped invalidation -----
+
+class ScopedInvalidationTest : public ::testing::Test {
+ protected:
+  ScopedInvalidationTest()
+      : clock_(1'000'000),
+        server_key_(DsaPrivateKey::Generate(Dsa512(), TestRand(1))) {
+    auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+    auto fs = Ffs::Format(dev, FfsFormatOptions{256});
+    EXPECT_TRUE(fs.ok());
+    auto vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+    DiscfsServerConfig config;
+    config.server_key = server_key_;
+    config.clock = &clock_;
+    config.rand_bytes = TestRand(99);
+    auto server = DiscfsServer::Create(vfs, std::move(config));
+    EXPECT_TRUE(server.ok()) << server.status();
+    server_ = std::move(server).value();
+  }
+
+  const DsaPrivateKey& ServerKey() const { return server_key_; }
+
+  uint64_t KeynoteQueries() {
+    return server_->counters().keynote_queries.load();
+  }
+
+  FakeClock clock_;
+  DsaPrivateKey server_key_;
+  std::unique_ptr<DiscfsServer> server_;
+};
+
+TEST_F(ScopedInvalidationTest, UnrelatedGrantsStayWarmAcrossSubmit) {
+  ASSERT_TRUE(server_
+                  ->SubmitCredential(Grant(ServerKey(), "\"alice\"", "10",
+                                           "RWX", "alice10"))
+                  .ok());
+  ASSERT_TRUE(
+      server_->SubmitCredential(Grant(ServerKey(), "\"bob\"", "20", "RWX",
+                                      "bob20"))
+          .ok());
+
+  EXPECT_EQ(server_->EffectiveMask("alice", 10), 7u);  // miss → query
+  EXPECT_EQ(server_->EffectiveMask("bob", 20), 7u);    // miss → query
+  uint64_t queries_after_warmup = KeynoteQueries();
+
+  // New, unrelated principal arrives: alice and bob must stay cached.
+  ASSERT_TRUE(server_
+                  ->SubmitCredential(Grant(ServerKey(), "\"carol\"", "30",
+                                           "RWX", "carol30"))
+                  .ok());
+  EXPECT_EQ(server_->EffectiveMask("alice", 10), 7u);
+  EXPECT_EQ(server_->EffectiveMask("bob", 20), 7u);
+  EXPECT_EQ(KeynoteQueries(), queries_after_warmup)
+      << "submit of an unrelated credential re-ran the compliance checker";
+
+  // Carol herself was (conservatively) invalidated and recomputes.
+  EXPECT_EQ(server_->EffectiveMask("carol", 30), 7u);
+  EXPECT_GT(KeynoteQueries(), queries_after_warmup);
+}
+
+TEST_F(ScopedInvalidationTest, RemovalInvalidatesTheDelegationChain) {
+  auto alice = DsaPrivateKey::Generate(Dsa512(), TestRand(7));
+  // server → alice (real key), alice → dave (synthetic requester).
+  auto link = server_->SubmitCredential(
+      Grant(ServerKey(), "\"" + Key(alice) + "\"", "10", "RWX", "link"));
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(
+      server_->SubmitCredential(Grant(alice, "\"dave\"", "10", "RWX",
+                                      "dave10"))
+          .ok());
+  ASSERT_TRUE(server_
+                  ->SubmitCredential(Grant(ServerKey(), "\"bob\"", "20",
+                                           "RWX", "bob20"))
+                  .ok());
+
+  EXPECT_EQ(server_->EffectiveMask("dave", 10), 7u);
+  EXPECT_EQ(server_->EffectiveMask("bob", 20), 7u);
+  uint64_t warm = KeynoteQueries();
+
+  // Cutting the server→alice link must invalidate dave (his chain passes
+  // through alice) but leave bob warm.
+  ASSERT_TRUE(server_->RemoveCredential(*link).ok());
+  EXPECT_EQ(server_->EffectiveMask("dave", 10), 0u);
+  EXPECT_GT(KeynoteQueries(), warm);
+  uint64_t after_dave = KeynoteQueries();
+  EXPECT_EQ(server_->EffectiveMask("bob", 20), 7u);
+  EXPECT_EQ(KeynoteQueries(), after_dave) << "bob was needlessly flushed";
+}
+
+TEST_F(ScopedInvalidationTest, ConcurrentMasksDuringChurnAreConsistent) {
+  ASSERT_TRUE(server_
+                  ->SubmitCredential(Grant(ServerKey(), "\"alice\"", "10",
+                                           "RWX", "alice10"))
+                  .ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load()) {
+        // Alice's grant is never churned: always RWX.
+        if (server_->EffectiveMask("alice", 10) != 7u) {
+          failed.store(true);
+        }
+        // Bob's grant toggles: the mask must be pre- (0) or post- (7)
+        // churn, never anything else.
+        uint32_t bob = server_->EffectiveMask("bob", 20);
+        if (bob != 0u && bob != 7u) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 8; ++round) {
+    auto id = server_->SubmitCredential(
+        Grant(ServerKey(), "\"bob\"", "20", "RWX",
+              "round" + std::to_string(round)));
+    ASSERT_TRUE(id.ok()) << id.status();
+    std::this_thread::yield();
+    ASSERT_TRUE(server_->RemoveCredential(*id).ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace discfs

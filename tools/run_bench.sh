@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs the policy benchmarks, leaving
+# BENCH_policy.json at the repo root (schema: ROADMAP.md "Benchmarks").
+#
+# Usage: tools/run_bench.sh [max_credentials]
+#   max_credentials  cap the policy_scaling sweep (default 10000)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build-release"
+max_credentials="${1:-10000}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" --target policy_scaling ablation_cache
+
+echo "--- policy_scaling (writes BENCH_policy.json) ---"
+"$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
+
+echo "--- ablation_cache ---"
+"$build_dir/ablation_cache"
+
+echo "done: $repo_root/BENCH_policy.json"
