@@ -1,0 +1,314 @@
+// Closed-loop pipelined RPC throughput across the full wire stack:
+// TcpTransport -> SecureChannel -> RpcClient (xid demux) on the client,
+// TcpListener -> ServerHandshake -> RpcDispatcher + shared WorkerPool on
+// the server. One handler (echo after a fixed simulated-I/O delay, the
+// shape of a blocking NFS read) is measured at every {connections,
+// in-flight} tier; with 1 in-flight the runtime degenerates to the old
+// serial call loop, so the speedup column is pipelining's contribution
+// alone.
+//
+// Output: human-readable table on stdout plus BENCH_rpc.json (path from
+// argv[1], default ./BENCH_rpc.json). Schema documented in ROADMAP.md.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "src/crypto/groups.h"
+#include "src/net/transport.h"
+#include "src/rpc/rpc.h"
+#include "src/securechannel/channel.h"
+#include "src/util/prng.h"
+#include "src/util/worker_pool.h"
+
+namespace discfs {
+namespace {
+
+constexpr uint32_t kProg = 7;
+constexpr uint32_t kProcEcho = 1;
+// Long enough that the blocking-I/O phase dominates the per-op CPU cost
+// (crypto + syscalls), which is what pipelining can overlap; the CPU
+// phase serializes on small machines regardless of in-flight depth.
+constexpr auto kSimulatedIo = std::chrono::microseconds(400);
+
+std::function<Bytes(size_t)> BenchRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct LatencySummary {
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+LatencySummary Summarize(std::vector<double> samples_us) {
+  LatencySummary s;
+  if (samples_us.empty()) {
+    return s;
+  }
+  std::sort(samples_us.begin(), samples_us.end());
+  s.p50_us = samples_us[samples_us.size() / 2];
+  s.p99_us = samples_us[std::min(samples_us.size() - 1,
+                                 samples_us.size() * 99 / 100)];
+  return s;
+}
+
+// Server: accepts until the listener closes; every connection's requests
+// run on one shared pool, like DiscfsHost.
+class BenchServer {
+ public:
+  explicit BenchServer(size_t workers, size_t max_inflight)
+      : key_(DsaPrivateKey::Generate(Dsa512(), BenchRand(1))),
+        pool_(workers) {
+    dispatcher_.Register(kProg, kProcEcho,
+                         [](const Bytes& args, const RpcContext&) {
+                           std::this_thread::sleep_for(kSimulatedIo);
+                           return Result<Bytes>(args);
+                         });
+    options_.pool = &pool_;
+    options_.max_inflight_per_conn = max_inflight;
+    auto listener = TcpListener::Listen(0);
+    if (!listener.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n",
+                   listener.status().ToString().c_str());
+      std::abort();
+    }
+    listener_ = std::move(listener).value();
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~BenchServer() {
+    listener_->Shutdown();
+    accept_thread_.join();
+    for (std::thread& t : conn_threads_) {
+      t.join();
+    }
+    pool_.Shutdown();
+  }
+
+  uint16_t port() const { return listener_->port(); }
+  const DsaPublicKey& public_key() const { return key_.public_key(); }
+
+ private:
+  void AcceptLoop() {
+    uint64_t seed = 100;
+    while (true) {
+      auto conn = listener_->Accept();
+      if (!conn.ok()) {
+        return;
+      }
+      auto transport = std::make_shared<std::unique_ptr<TcpTransport>>(
+          std::move(conn).value());
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_threads_.emplace_back([this, transport, seed] {
+        ChannelIdentity identity{key_, BenchRand(seed)};
+        auto channel = SecureChannel::ServerHandshake(std::move(*transport),
+                                                      identity);
+        if (!channel.ok()) {
+          return;
+        }
+        RpcContext ctx;
+        ctx.peer_key = (*channel)->peer_key();
+        dispatcher_.ServeConnection(**channel, ctx, options_);
+      });
+      ++seed;
+    }
+  }
+
+  DsaPrivateKey key_;
+  RpcDispatcher dispatcher_;
+  WorkerPool pool_;
+  ServeOptions options_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+struct TierResult {
+  size_t connections = 0;
+  size_t inflight = 0;
+  size_t ops = 0;
+  double ops_per_s = 0;
+  LatencySummary latency;
+};
+
+// One connection's closed loop: keep `inflight` CallAsyncs outstanding by
+// issuing a new call as the oldest completes. Latency is issue -> resolve
+// of the oldest call, which upper-bounds per-op service time.
+void RunConnection(RpcClient& client, size_t inflight, size_t ops,
+                   std::vector<double>& latencies_us,
+                   std::atomic<bool>& failed) {
+  struct Pending {
+    std::future<Result<Bytes>> future;
+    double issued_at;
+  };
+  std::deque<Pending> window;
+  Bytes payload(64, 0xa5);
+  size_t issued = 0, completed = 0;
+  latencies_us.reserve(ops);
+  while (completed < ops) {
+    while (issued < ops && window.size() < inflight) {
+      window.push_back({client.CallAsync(kProg, kProcEcho, payload), NowSec()});
+      ++issued;
+    }
+    Pending oldest = std::move(window.front());
+    window.pop_front();
+    Result<Bytes> result = oldest.future.get();
+    latencies_us.push_back((NowSec() - oldest.issued_at) * 1e6);
+    if (!result.ok() || *result != payload) {
+      failed.store(true);
+      return;
+    }
+    ++completed;
+  }
+}
+
+TierResult RunTier(BenchServer& server, size_t connections, size_t inflight) {
+  TierResult tier;
+  tier.connections = connections;
+  tier.inflight = inflight;
+  // Scale work with concurrency so every tier runs long enough to measure
+  // without the serial tiers dominating wall-clock.
+  const size_t ops_per_conn =
+      std::min<size_t>(2000, std::max<size_t>(400, 100 * inflight));
+  tier.ops = ops_per_conn * connections;
+
+  std::vector<std::unique_ptr<RpcClient>> clients;
+  for (size_t c = 0; c < connections; ++c) {
+    auto transport = TcpTransport::Connect("127.0.0.1", server.port());
+    if (!transport.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   transport.status().ToString().c_str());
+      std::abort();
+    }
+    DsaPrivateKey client_key =
+        DsaPrivateKey::Generate(Dsa512(), BenchRand(200 + c));
+    ChannelIdentity identity{client_key, BenchRand(300 + c)};
+    auto channel = SecureChannel::ClientHandshake(
+        std::move(transport).value(), identity, server.public_key());
+    if (!channel.ok()) {
+      std::fprintf(stderr, "handshake failed: %s\n",
+                   channel.status().ToString().c_str());
+      std::abort();
+    }
+    clients.push_back(
+        std::make_unique<RpcClient>(std::move(channel).value()));
+  }
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::atomic<bool> failed{false};
+  double t0 = NowSec();
+  std::vector<std::thread> drivers;
+  for (size_t c = 0; c < connections; ++c) {
+    drivers.emplace_back([&, c] {
+      RunConnection(*clients[c], inflight, ops_per_conn, latencies[c],
+                    failed);
+    });
+  }
+  for (std::thread& t : drivers) {
+    t.join();
+  }
+  double elapsed = NowSec() - t0;
+  if (failed.load()) {
+    std::fprintf(stderr, "tier conns=%zu inflight=%zu: call failed\n",
+                 connections, inflight);
+    std::abort();
+  }
+  for (auto& client : clients) {
+    client->Close();
+  }
+
+  std::vector<double> all;
+  for (const auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  tier.ops_per_s = tier.ops / elapsed;
+  tier.latency = Summarize(std::move(all));
+  return tier;
+}
+
+void WriteJson(std::FILE* f, const std::vector<TierResult>& results,
+               double speedup_1conn) {
+  std::fprintf(f, "{\n  \"bench\": \"rpc_pipeline\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"handler_simulated_io_us\": %lld,\n",
+               static_cast<long long>(kSimulatedIo.count()));
+  std::fprintf(f, "  \"pipeline_speedup_1conn\": %.2f,\n", speedup_1conn);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TierResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"connections\": %zu, \"inflight\": %zu, "
+                 "\"ops\": %zu, \"ops_per_s\": %.0f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 r.connections, r.inflight, r.ops, r.ops_per_s,
+                 r.latency.p50_us, r.latency.p99_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+int Run(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_rpc.json";
+
+  // Workers spend most of each request blocked in (simulated) I/O, so the
+  // pool is sized for overlap, not for cores — same reasoning as any
+  // blocking-file-server thread pool.
+  const size_t workers = 16;
+  BenchServer server(workers, /*max_inflight=*/64);
+
+  std::printf("== RPC pipelining: closed-loop throughput (handler = echo "
+              "after %lldus simulated I/O, %zu workers) ==\n",
+              static_cast<long long>(kSimulatedIo.count()), workers);
+  std::printf("%-6s %-9s %10s %12s %10s %10s\n", "conns", "inflight", "ops",
+              "ops/s", "p50 us", "p99 us");
+
+  std::vector<TierResult> results;
+  double serial_1conn = 0, pipelined_1conn = 0;
+  for (size_t connections : {1u, 4u, 16u}) {
+    for (size_t inflight : {1u, 8u, 64u}) {
+      TierResult tier = RunTier(server, connections, inflight);
+      std::printf("%-6zu %-9zu %10zu %12.0f %10.1f %10.1f\n",
+                  tier.connections, tier.inflight, tier.ops, tier.ops_per_s,
+                  tier.latency.p50_us, tier.latency.p99_us);
+      std::fflush(stdout);
+      if (connections == 1 && inflight == 1) {
+        serial_1conn = tier.ops_per_s;
+      }
+      if (connections == 1 && inflight == 64) {
+        pipelined_1conn = tier.ops_per_s;
+      }
+      results.push_back(tier);
+    }
+  }
+
+  double speedup = serial_1conn > 0 ? pipelined_1conn / serial_1conn : 0;
+  std::printf("pipelining speedup (1 conn, 64 in-flight vs 1): %.1fx\n",
+              speedup);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  WriteJson(f, results, speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return speedup >= 3.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace discfs
+
+int main(int argc, char** argv) { return discfs::Run(argc, argv); }

@@ -1,13 +1,85 @@
 #include "src/discfs/host.h"
 
 namespace discfs {
+namespace internal {
+
+void ConnectionSet::Spawn(std::function<void()> serve) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReapFinishedLocked();
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  Conn conn;
+  conn.done = done;
+  conn.thread = std::thread([serve = std::move(serve), done] {
+    serve();
+    done->store(true, std::memory_order_release);
+  });
+  conns_.push_back(std::move(conn));
+}
+
+void ConnectionSet::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConnectionSet::JoinAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Conn& conn : conns_) {
+    if (conn.thread.joinable()) {
+      conn.thread.join();
+    }
+  }
+  conns_.clear();
+}
+
+size_t ConnectionSet::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Conn& conn : conns_) {
+    if (!conn.done->load(std::memory_order_acquire)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace internal
+
+namespace {
+
+size_t ResolveWorkerThreads(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  // NFS handlers block on storage, so workers overlap I/O rather than
+  // compete for cores: keep a floor well above the core count of small
+  // machines and a ceiling to bound memory on big ones.
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw < 8) {
+    hw = 8;
+  }
+  return hw < 16 ? hw : 16;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
-    std::shared_ptr<Vfs> vfs, DiscfsServerConfig config, uint16_t port) {
+    std::shared_ptr<Vfs> vfs, DiscfsServerConfig config, uint16_t port,
+    DiscfsHostOptions options) {
   auto host = std::unique_ptr<DiscfsHost>(new DiscfsHost());
   ASSIGN_OR_RETURN(host->server_,
                    DiscfsServer::Create(std::move(vfs), std::move(config)));
-  ASSIGN_OR_RETURN(host->listener_, TcpListener::Listen(port));
+  host->pool_ = std::make_unique<WorkerPool>(
+      ResolveWorkerThreads(options.worker_threads));
+  host->serve_options_.pool = host->pool_.get();
+  host->serve_options_.max_inflight_per_conn = options.max_inflight_per_conn;
+  ASSIGN_OR_RETURN(host->listener_,
+                   TcpListener::Listen(port, options.bind_addr));
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
   return host;
 }
@@ -18,33 +90,38 @@ void DiscfsHost::AcceptLoop() {
     if (!conn.ok()) {
       return;  // listener closed
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    connection_threads_.emplace_back(
-        [this, transport = std::move(conn).value()]() mutable {
-          (void)server_->ServeConnection(std::move(transport));
-        });
+    // shared_ptr wrapper because std::function requires a copyable closure.
+    auto transport = std::make_shared<std::unique_ptr<TcpTransport>>(
+        std::move(conn).value());
+    connections_.Spawn([this, transport] {
+      (void)server_->ServeConnection(std::move(*transport), serve_options_);
+    });
   }
 }
 
 DiscfsHost::~DiscfsHost() {
-  listener_->Close();
+  // Shutdown (not Close) so the accept thread's blocked accept(2) unblocks
+  // without racing descriptor teardown; the fd closes with the listener.
+  listener_->Shutdown();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (std::thread& t : connection_threads_) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
+  connections_.JoinAll();
+  pool_->Shutdown();
 }
 
 Result<std::unique_ptr<CfsNeHost>> CfsNeHost::Start(std::shared_ptr<Vfs> vfs,
-                                                    uint16_t port) {
+                                                    uint16_t port,
+                                                    DiscfsHostOptions options) {
   auto host = std::unique_ptr<CfsNeHost>(new CfsNeHost());
   host->server_ = std::make_unique<NfsServer>(std::move(vfs));
   host->server_->RegisterAll(host->dispatcher_);
-  ASSIGN_OR_RETURN(host->listener_, TcpListener::Listen(port));
+  host->pool_ = std::make_unique<WorkerPool>(
+      ResolveWorkerThreads(options.worker_threads));
+  host->serve_options_.pool = host->pool_.get();
+  host->serve_options_.max_inflight_per_conn = options.max_inflight_per_conn;
+  ASSIGN_OR_RETURN(host->listener_,
+                   TcpListener::Listen(port, options.bind_addr));
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
   return host;
 }
@@ -55,26 +132,22 @@ void CfsNeHost::AcceptLoop() {
     if (!conn.ok()) {
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    connection_threads_.emplace_back(
-        [this, transport = std::move(conn).value()]() mutable {
-          RpcContext ctx;  // unauthenticated
-          dispatcher_.ServeConnection(*transport, ctx);
-        });
+    auto transport =
+        std::shared_ptr<TcpTransport>(std::move(conn).value().release());
+    connections_.Spawn([this, transport] {
+      RpcContext ctx;  // unauthenticated
+      dispatcher_.ServeConnection(*transport, ctx, serve_options_);
+    });
   }
 }
 
 CfsNeHost::~CfsNeHost() {
-  listener_->Close();
+  listener_->Shutdown();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (std::thread& t : connection_threads_) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
+  connections_.JoinAll();
+  pool_->Shutdown();
 }
 
 Result<std::unique_ptr<NfsClient>> ConnectCfsNe(const std::string& host,

@@ -1,52 +1,111 @@
 // Hosting helpers: run a DisCFS server (secure channel) or a CFS-NE
-// baseline server (plain NFS, no credentials) on a TCP listener with one
-// thread per connection. Used by examples, tests and the benchmark harness;
-// a production deployment would wrap the same Serve loops.
+// baseline server (plain NFS, no credentials) on a TCP listener. Each
+// connection gets a thread for handshake + request decode, but request
+// *execution* is shared: the host owns one WorkerPool and every
+// connection's requests are pipelined through it, so server-side
+// concurrency is bounded by the pool size rather than the connection
+// count. Finished connection threads are reaped as new connections arrive
+// instead of accumulating until destruction.
 #ifndef DISCFS_SRC_DISCFS_HOST_H_
 #define DISCFS_SRC_DISCFS_HOST_H_
 
+#include <atomic>
+#include <functional>
+#include <list>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
-#include <vector>
 
 #include "src/discfs/server.h"
 #include "src/nfs/nfs_client.h"
 #include "src/nfs/nfs_server.h"
+#include "src/util/worker_pool.h"
 
 namespace discfs {
+
+struct DiscfsHostOptions {
+  // Execution threads shared by all connections. 0 = derive from the
+  // hardware: clamp(hardware_concurrency, 8, 16) — handlers block on
+  // storage, so the floor keeps I/O overlapping even on small machines.
+  size_t worker_threads = 0;
+  // Per-connection pipelining bound passed to the RPC dispatcher.
+  size_t max_inflight_per_conn = 64;
+  // Listener bind address ("0.0.0.0" to serve remote peers).
+  std::string bind_addr = "127.0.0.1";
+};
+
+namespace internal {
+
+// Connection bookkeeping shared by both hosts: spawn-with-done-flag plus
+// join-on-accept reaping.
+class ConnectionSet {
+ public:
+  // Runs `serve` on a new tracked thread, joining finished threads first
+  // so the set tracks live connections, not the all-time accept count.
+  void Spawn(std::function<void()> serve);
+  // Joins everything (host shutdown).
+  void JoinAll();
+  // Connections whose serve function has not yet returned.
+  size_t active() const;
+
+ private:
+  void ReapFinishedLocked();
+
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  mutable std::mutex mu_;
+  std::list<Conn> conns_;
+};
+
+}  // namespace internal
 
 // DisCFS over TCP + secure channel.
 class DiscfsHost {
  public:
-  static Result<std::unique_ptr<DiscfsHost>> Start(std::shared_ptr<Vfs> vfs,
-                                                   DiscfsServerConfig config,
-                                                   uint16_t port = 0);
+  static Result<std::unique_ptr<DiscfsHost>> Start(
+      std::shared_ptr<Vfs> vfs, DiscfsServerConfig config, uint16_t port = 0,
+      DiscfsHostOptions options = {});
   ~DiscfsHost();
 
   uint16_t port() const { return listener_->port(); }
   DiscfsServer& server() { return *server_; }
+
+  // --- load introspection ---
+  // Requests currently executing on the shared pool.
+  size_t inflight() const { return pool_->in_flight(); }
+  // Requests decoded but not yet picked up by a worker.
+  size_t queue_depth() const { return pool_->queue_depth(); }
+  // Connections whose serve loop is still running.
+  size_t active_connections() const { return connections_.active(); }
+  size_t worker_threads() const { return pool_->size(); }
 
  private:
   DiscfsHost() = default;
   void AcceptLoop();
 
   std::unique_ptr<DiscfsServer> server_;
+  std::unique_ptr<WorkerPool> pool_;
+  ServeOptions serve_options_;
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
+  internal::ConnectionSet connections_;
 };
 
 // CFS-NE baseline: the same NFS server over plain TCP, every operation
 // allowed ("CFS with encryption turned off and modified to run remotely").
 class CfsNeHost {
  public:
-  static Result<std::unique_ptr<CfsNeHost>> Start(std::shared_ptr<Vfs> vfs,
-                                                  uint16_t port = 0);
+  static Result<std::unique_ptr<CfsNeHost>> Start(
+      std::shared_ptr<Vfs> vfs, uint16_t port = 0,
+      DiscfsHostOptions options = {});
   ~CfsNeHost();
 
   uint16_t port() const { return listener_->port(); }
   NfsServer& server() { return *server_; }
+  size_t active_connections() const { return connections_.active(); }
 
  private:
   CfsNeHost() = default;
@@ -54,10 +113,11 @@ class CfsNeHost {
 
   std::unique_ptr<NfsServer> server_;
   RpcDispatcher dispatcher_;
+  std::unique_ptr<WorkerPool> pool_;
+  ServeOptions serve_options_;
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
+  internal::ConnectionSet connections_;
 };
 
 // Connects an NfsClient to a CfsNeHost.

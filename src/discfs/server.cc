@@ -54,13 +54,18 @@ Result<std::unique_ptr<DiscfsServer>> DiscfsServer::Create(
 }
 
 Status DiscfsServer::ServeConnection(std::unique_ptr<MsgStream> transport) {
+  return ServeConnection(std::move(transport), ServeOptions{});
+}
+
+Status DiscfsServer::ServeConnection(std::unique_ptr<MsgStream> transport,
+                                     const ServeOptions& options) {
   ChannelIdentity identity{config_.server_key, config_.rand_bytes};
   ASSIGN_OR_RETURN(std::unique_ptr<SecureChannel> channel,
                    SecureChannel::ServerHandshake(std::move(transport),
                                                   identity));
   RpcContext ctx;
   ctx.peer_key = channel->peer_key();
-  dispatcher_.ServeConnection(*channel, ctx);
+  dispatcher_.ServeConnection(*channel, ctx, options);
   return OkStatus();
 }
 

@@ -58,8 +58,15 @@ class DiscfsServer {
       std::shared_ptr<Vfs> vfs, DiscfsServerConfig config);
 
   // Performs the server handshake on a raw transport and serves RPCs until
-  // the peer disconnects. Blocking; run one thread per connection.
+  // the peer disconnects. Blocking; run one thread per connection. Serial:
+  // each request is handled inline on the connection thread.
   Status ServeConnection(std::unique_ptr<MsgStream> transport);
+
+  // Pipelined variant: requests are executed on options.pool and replies
+  // are written out of order, bounded by options.max_inflight_per_conn.
+  // Tests and benches pin concurrency through `options`.
+  Status ServeConnection(std::unique_ptr<MsgStream> transport,
+                         const ServeOptions& options);
 
   // --- local administration (not exposed over RPC) ---
   Status AddPolicyAssertion(const std::string& text);

@@ -4,9 +4,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <condition_variable>
+#include <cerrno>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -16,14 +18,31 @@
 namespace discfs {
 namespace {
 
-Status SendAll(int fd, const uint8_t* data, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+// Gathered send of the whole iovec, restarting on EINTR and resuming after
+// partial writes. sendmsg (not writev) so MSG_NOSIGNAL suppresses SIGPIPE
+// when the peer has already gone away.
+Status SendAllVec(int fd, struct iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
       return UnavailableError(StrPrintf("send failed: %s", strerror(errno)));
     }
-    sent += static_cast<size_t>(n);
+    size_t left = static_cast<size_t>(n);
+    while (iovcnt > 0 && left >= iov[0].iov_len) {
+      left -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov[0].iov_base = static_cast<uint8_t*>(iov[0].iov_base) + left;
+      iov[0].iov_len -= left;
+    }
   }
   return OkStatus();
 }
@@ -36,6 +55,9 @@ Status RecvAll(int fd, uint8_t* data, size_t len) {
       return UnavailableError("peer closed connection");
     }
     if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
       return UnavailableError(StrPrintf("recv failed: %s", strerror(errno)));
     }
     got += static_cast<size_t>(n);
@@ -76,7 +98,8 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
 }
 
 Status TcpTransport::Send(const Bytes& message) {
-  if (fd_ < 0) {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) {
     return UnavailableError("transport closed");
   }
   if (message.size() > kMaxFrame) {
@@ -88,16 +111,23 @@ Status TcpTransport::Send(const Bytes& message) {
   hdr[1] = static_cast<uint8_t>(len >> 16);
   hdr[2] = static_cast<uint8_t>(len >> 8);
   hdr[3] = static_cast<uint8_t>(len);
-  RETURN_IF_ERROR(SendAll(fd_, hdr, 4));
-  return SendAll(fd_, message.data(), message.size());
+  // Header and payload go out in one gathered syscall: fewer syscalls per
+  // frame and no header-only segment when Nagle is off.
+  struct iovec iov[2];
+  iov[0].iov_base = hdr;
+  iov[0].iov_len = sizeof(hdr);
+  iov[1].iov_base = const_cast<uint8_t*>(message.data());
+  iov[1].iov_len = message.size();
+  return SendAllVec(fd, iov, message.empty() ? 1 : 2);
 }
 
 Result<Bytes> TcpTransport::Recv() {
-  if (fd_ < 0) {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) {
     return UnavailableError("transport closed");
   }
   uint8_t hdr[4];
-  RETURN_IF_ERROR(RecvAll(fd_, hdr, 4));
+  RETURN_IF_ERROR(RecvAll(fd, hdr, 4));
   uint32_t len = (static_cast<uint32_t>(hdr[0]) << 24) |
                  (static_cast<uint32_t>(hdr[1]) << 16) |
                  (static_cast<uint32_t>(hdr[2]) << 8) |
@@ -106,21 +136,29 @@ Result<Bytes> TcpTransport::Recv() {
     return DataLossError("oversized frame");
   }
   Bytes out(len);
-  RETURN_IF_ERROR(RecvAll(fd_, out.data(), len));
+  RETURN_IF_ERROR(RecvAll(fd, out.data(), len));
   return out;
 }
 
+void TcpTransport::Shutdown() {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
 void TcpTransport::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
 TcpListener::~TcpListener() { Close(); }
 
-Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    uint16_t port, const std::string& bind_addr) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return UnavailableError("socket() failed");
@@ -130,7 +168,12 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (bind_addr.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad bind address: " + bind_addr);
+  }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return UnavailableError(StrPrintf("bind failed: %s", strerror(errno)));
@@ -149,10 +192,14 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
 }
 
 Result<std::unique_ptr<TcpTransport>> TcpListener::Accept() {
-  if (fd_ < 0) {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) {
     return UnavailableError("listener closed");
   }
-  int client = ::accept(fd_, nullptr, nullptr);
+  int client;
+  do {
+    client = ::accept(fd, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
   if (client < 0) {
     return UnavailableError(StrPrintf("accept failed: %s", strerror(errno)));
   }
@@ -161,11 +208,18 @@ Result<std::unique_ptr<TcpTransport>> TcpListener::Accept() {
   return std::make_unique<TcpTransport>(client);
 }
 
+void TcpListener::Shutdown() {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

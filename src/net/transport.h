@@ -5,9 +5,16 @@
 // SecureChannel wraps any transport and also implements it, so swapping
 // "plain NFS" (CFS-NE baseline) for "NFS over IPsec" (DisCFS) is a one-line
 // change in the stack — matching the paper's layering.
+//
+// Threading contract: one thread may sit in Recv while another thread calls
+// Send — the RPC demux loop depends on that split. Shutdown may be called
+// from any thread and reliably unblocks a Recv in progress; Close
+// additionally releases resources and must not race a blocked Recv (callers
+// Shutdown first, join the receiver, then Close/destroy).
 #ifndef DISCFS_SRC_NET_TRANSPORT_H_
 #define DISCFS_SRC_NET_TRANSPORT_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -25,6 +32,11 @@ class MsgStream {
   // closed and all buffered messages are drained.
   virtual Result<Bytes> Recv() = 0;
   virtual void Close() = 0;
+  // Tears down the stream's data flow without releasing resources: any
+  // blocked Recv (and subsequent calls) fail with UNAVAILABLE. Safe to call
+  // concurrently with Send/Recv; defaults to Close for transports whose
+  // Close already has that property.
+  virtual void Shutdown() { Close(); }
 };
 
 // TCP transport with u32 length-prefixed framing.
@@ -38,28 +50,37 @@ class TcpTransport : public MsgStream {
   Status Send(const Bytes& message) override;
   Result<Bytes> Recv() override;
   void Close() override;
+  // shutdown(2) both directions but keeps the descriptor open, so a Recv
+  // blocked in recv(2) returns instead of racing a close(2)/fd-reuse.
+  void Shutdown() override;
 
   // Takes ownership of a connected socket (used by the listener).
   explicit TcpTransport(int fd) : fd_(fd) {}
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 class TcpListener {
  public:
   ~TcpListener();
 
-  // Binds to 127.0.0.1:port; port 0 picks a free port (see port()).
-  static Result<std::unique_ptr<TcpListener>> Listen(uint16_t port);
+  // Binds to bind_addr:port; port 0 picks a free port (see port()). The
+  // default bind address stays loopback for tests and local benches; pass
+  // "0.0.0.0" (or a specific interface address) to serve remote peers.
+  static Result<std::unique_ptr<TcpListener>> Listen(
+      uint16_t port, const std::string& bind_addr = "127.0.0.1");
 
   Result<std::unique_ptr<TcpTransport>> Accept();
   uint16_t port() const { return port_; }
+  // Unblocks a blocked Accept (which then returns an error) while keeping
+  // the descriptor alive; any-thread-safe, like TcpTransport::Shutdown.
+  void Shutdown();
   void Close();
 
  private:
   TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 

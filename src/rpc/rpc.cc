@@ -1,5 +1,7 @@
 #include "src/rpc/rpc.h"
 
+#include <condition_variable>
+
 #include "src/util/strings.h"
 #include "src/wire/xdr.h"
 
@@ -9,61 +11,7 @@ namespace {
 constexpr uint32_t kTypeCall = 0;
 constexpr uint32_t kTypeReply = 1;
 
-}  // namespace
-
-Result<Bytes> RpcClient::Call(uint32_t prog, uint32_t proc,
-                              const Bytes& args) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint32_t xid = next_xid_++;
-  XdrWriter w;
-  w.PutU32(xid);
-  w.PutU32(kTypeCall);
-  w.PutU32(prog);
-  w.PutU32(proc);
-  w.PutOpaque(args);
-  RETURN_IF_ERROR(stream_->Send(w.Take()));
-
-  ASSIGN_OR_RETURN(Bytes frame, stream_->Recv());
-  XdrReader r(frame);
-  ASSIGN_OR_RETURN(uint32_t reply_xid, r.GetU32());
-  ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
-  ASSIGN_OR_RETURN(uint32_t status_code, r.GetU32());
-  ASSIGN_OR_RETURN(Bytes body, r.GetOpaque());
-  if (type != kTypeReply || reply_xid != xid) {
-    return DataLossError("mismatched RPC reply");
-  }
-  if (status_code != 0) {
-    return Status(static_cast<StatusCode>(status_code), ToString(body));
-  }
-  return body;
-}
-
-void RpcDispatcher::Register(uint32_t prog, uint32_t proc, Handler handler) {
-  handlers_[{prog, proc}] = std::move(handler);
-}
-
-Status RpcDispatcher::ServeOne(MsgStream& stream,
-                               const RpcContext& ctx) const {
-  ASSIGN_OR_RETURN(Bytes frame, stream.Recv());
-  XdrReader r(frame);
-  ASSIGN_OR_RETURN(uint32_t xid, r.GetU32());
-  ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
-  ASSIGN_OR_RETURN(uint32_t prog, r.GetU32());
-  ASSIGN_OR_RETURN(uint32_t proc, r.GetU32());
-  ASSIGN_OR_RETURN(Bytes args, r.GetOpaque());
-  if (type != kTypeCall) {
-    return DataLossError("expected RPC call frame");
-  }
-
-  Result<Bytes> result = [&]() -> Result<Bytes> {
-    auto it = handlers_.find({prog, proc});
-    if (it == handlers_.end()) {
-      return UnimplementedError(
-          StrPrintf("no handler for prog %u proc %u", prog, proc));
-    }
-    return it->second(args, ctx);
-  }();
-
+Bytes EncodeReply(uint32_t xid, const Result<Bytes>& result) {
   XdrWriter w;
   w.PutU32(xid);
   w.PutU32(kTypeReply);
@@ -74,7 +22,183 @@ Status RpcDispatcher::ServeOne(MsgStream& stream,
     w.PutU32(static_cast<uint32_t>(result.status().code()));
     w.PutOpaque(ToBytes(result.status().message()));
   }
-  return stream.Send(w.Take());
+  return w.Take();
+}
+
+struct DecodedCall {
+  uint32_t xid = 0;
+  uint32_t prog = 0;
+  uint32_t proc = 0;
+  Bytes args;
+};
+
+Result<DecodedCall> DecodeCall(const Bytes& frame) {
+  XdrReader r(frame);
+  DecodedCall call;
+  ASSIGN_OR_RETURN(call.xid, r.GetU32());
+  ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
+  ASSIGN_OR_RETURN(call.prog, r.GetU32());
+  ASSIGN_OR_RETURN(call.proc, r.GetU32());
+  ASSIGN_OR_RETURN(call.args, r.GetOpaque());
+  if (type != kTypeCall) {
+    return DataLossError("expected RPC call frame");
+  }
+  return call;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- client
+
+RpcClient::RpcClient(std::unique_ptr<MsgStream> stream)
+    : stream_(std::move(stream)),
+      demux_thread_([this] { DemuxLoop(); }) {}
+
+RpcClient::~RpcClient() {
+  Close();
+  if (demux_thread_.joinable()) {
+    demux_thread_.join();
+  }
+}
+
+std::future<Result<Bytes>> RpcClient::CallAsync(uint32_t prog, uint32_t proc,
+                                                const Bytes& args) {
+  std::promise<Result<Bytes>> promise;
+  std::future<Result<Bytes>> future = promise.get_future();
+
+  uint32_t xid;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (broken_) {
+      promise.set_value(broken_status_);
+      return future;
+    }
+    xid = next_xid_++;
+    pending_.emplace(xid, std::move(promise));
+  }
+
+  XdrWriter w;
+  w.PutU32(xid);
+  w.PutU32(kTypeCall);
+  w.PutU32(prog);
+  w.PutU32(proc);
+  w.PutOpaque(args);
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    sent = stream_->Send(w.Take());
+  }
+  if (!sent.ok()) {
+    // Withdraw the pending slot (unless the demux thread already failed it
+    // while tearing the connection down) and resolve the future directly.
+    std::unique_lock<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(xid);
+    if (it != pending_.end()) {
+      std::promise<Result<Bytes>> orphan = std::move(it->second);
+      pending_.erase(it);
+      lock.unlock();
+      orphan.set_value(sent);
+    }
+  }
+  return future;
+}
+
+Result<Bytes> RpcClient::Call(uint32_t prog, uint32_t proc,
+                              const Bytes& args) {
+  return CallAsync(prog, proc, args).get();
+}
+
+void RpcClient::DemuxLoop() {
+  while (true) {
+    Result<Bytes> frame = stream_->Recv();
+    if (!frame.ok()) {
+      FailAllPending(frame.status());
+      return;
+    }
+    XdrReader r(*frame);
+    auto xid = r.GetU32();
+    auto type = r.GetU32();
+    auto status_code = r.GetU32();
+    auto body = r.GetOpaque();
+    if (!xid.ok() || !type.ok() || !status_code.ok() || !body.ok() ||
+        *type != kTypeReply) {
+      // The framing is corrupt; nothing later on this stream can be
+      // trusted to demux correctly.
+      FailAllPending(DataLossError("malformed RPC reply frame"));
+      stream_->Shutdown();
+      return;
+    }
+
+    std::promise<Result<Bytes>> promise;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_.find(*xid);
+      if (it == pending_.end()) {
+        continue;  // stale or duplicate xid; drop it
+      }
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+    if (*status_code != 0) {
+      promise.set_value(
+          Status(static_cast<StatusCode>(*status_code), ToString(*body)));
+    } else {
+      promise.set_value(std::move(*body));
+    }
+  }
+}
+
+void RpcClient::FailAllPending(const Status& status) {
+  std::unordered_map<uint32_t, std::promise<Result<Bytes>>> failed;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!broken_) {
+      broken_ = true;
+      broken_status_ = status;
+    }
+    failed.swap(pending_);
+  }
+  for (auto& [xid, promise] : failed) {
+    promise.set_value(broken_status_);
+  }
+}
+
+void RpcClient::Close() {
+  FailAllPending(UnavailableError("RPC client closed"));
+  // Shutdown (not Close) so the demux thread's blocked Recv unblocks
+  // without racing descriptor teardown; the stream is released when the
+  // client is destroyed.
+  stream_->Shutdown();
+}
+
+size_t RpcClient::inflight() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_.size();
+}
+
+// ------------------------------------------------------------- dispatcher
+
+void RpcDispatcher::Register(uint32_t prog, uint32_t proc, Handler handler) {
+  handlers_[{prog, proc}] = std::move(handler);
+}
+
+Result<Bytes> RpcDispatcher::Dispatch(uint32_t prog, uint32_t proc,
+                                      const Bytes& args,
+                                      const RpcContext& ctx) const {
+  auto it = handlers_.find({prog, proc});
+  if (it == handlers_.end()) {
+    return UnimplementedError(
+        StrPrintf("no handler for prog %u proc %u", prog, proc));
+  }
+  return it->second(args, ctx);
+}
+
+Status RpcDispatcher::ServeOne(MsgStream& stream,
+                               const RpcContext& ctx) const {
+  ASSIGN_OR_RETURN(Bytes frame, stream.Recv());
+  ASSIGN_OR_RETURN(DecodedCall call, DecodeCall(frame));
+  return stream.Send(EncodeReply(
+      call.xid, Dispatch(call.prog, call.proc, call.args, ctx)));
 }
 
 void RpcDispatcher::ServeConnection(MsgStream& stream,
@@ -85,6 +209,65 @@ void RpcDispatcher::ServeConnection(MsgStream& stream,
       return;  // peer went away (or stream corrupted); connection is done
     }
   }
+}
+
+void RpcDispatcher::ServeConnection(MsgStream& stream, const RpcContext& ctx,
+                                    const ServeOptions& options) const {
+  if (options.pool == nullptr) {
+    ServeConnection(stream, ctx);
+    return;
+  }
+
+  // Shared by the recv loop (this thread) and the pool tasks. Reference
+  // counted: a worker's final notify may run concurrently with this
+  // function returning, so the last task to finish frees the block.
+  // `stream` and `ctx` stay stack-borrowed — the drain wait below keeps
+  // them valid until every worker has written its reply.
+  struct ConnState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t inflight = 0;
+    std::mutex write_mu;  // one reply frame on the wire at a time
+  };
+  auto state = std::make_shared<ConnState>();
+  const size_t max_inflight =
+      options.max_inflight_per_conn > 0 ? options.max_inflight_per_conn : 1;
+
+  while (true) {
+    Result<Bytes> frame = stream.Recv();
+    if (!frame.ok()) {
+      break;  // peer went away
+    }
+    Result<DecodedCall> call = DecodeCall(*frame);
+    if (!call.ok()) {
+      break;  // framing is corrupt; stop reading, drain, hang up
+    }
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock,
+                     [&] { return state->inflight < max_inflight; });
+      ++state->inflight;
+    }
+    options.pool->Submit([this, &stream, &ctx, state,
+                          call = std::move(*call)] {
+      Bytes reply = EncodeReply(
+          call.xid, Dispatch(call.prog, call.proc, call.args, ctx));
+      {
+        std::lock_guard<std::mutex> write_lock(state->write_mu);
+        (void)stream.Send(reply);  // peer may already be gone; that's fine
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->inflight;
+      }
+      state->cv.notify_all();
+    });
+  }
+
+  // Every accepted request holds a slot until its reply is written; wait
+  // for them so `stream` and `ctx` stay valid for the workers.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->inflight == 0; });
 }
 
 }  // namespace discfs

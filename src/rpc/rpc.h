@@ -1,23 +1,35 @@
-// Minimal SunRPC-style request/reply layer over any MsgStream.
+// Minimal SunRPC-style request/reply layer over any MsgStream, with
+// pipelining on both ends.
 //
 // Call frame:   u32 xid | u32 type(0) | u32 prog | u32 proc | opaque args
 // Reply frame:  u32 xid | u32 type(1) | u32 accept_status | opaque result
 // accept_status 0 = success (result = procedure output), non-zero = error
 // (result = UTF-8 error message; the status code is a StatusCode).
+//
+// Client side: RpcClient runs a receive-demux thread per connection and
+// matches replies to calls by xid, so any number of calls can be in flight
+// on one stream (CallAsync); the blocking Call is a one-deep special case.
+//
+// Server side: RpcDispatcher::ServeConnection can hand decoded requests to
+// a shared WorkerPool and write replies out of order under a per-connection
+// write lock, so one slow procedure no longer head-of-line-blocks every
+// other request on the same connection.
 #ifndef DISCFS_SRC_RPC_RPC_H_
 #define DISCFS_SRC_RPC_RPC_H_
 
-#include <atomic>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/crypto/dsa.h"
 #include "src/net/transport.h"
 #include "src/util/status.h"
+#include "src/util/worker_pool.h"
 
 namespace discfs {
 
@@ -30,19 +42,59 @@ struct RpcContext {
 
 class RpcClient {
  public:
-  // Takes ownership of the stream (plain transport or secure channel).
-  explicit RpcClient(std::unique_ptr<MsgStream> stream)
-      : stream_(std::move(stream)) {}
+  // Takes ownership of the stream (plain transport or secure channel) and
+  // starts the receive-demux thread.
+  explicit RpcClient(std::unique_ptr<MsgStream> stream);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
 
   // Blocking call; returns the procedure result or the server-side error.
+  // Concurrent callers pipeline on the shared connection.
   Result<Bytes> Call(uint32_t prog, uint32_t proc, const Bytes& args);
 
-  void Close() { stream_->Close(); }
+  // Starts a call and returns immediately; the future resolves when the
+  // matching reply arrives (or with the connection error if the stream
+  // breaks or Close is called first — in-flight calls fail fast, they
+  // never hang).
+  std::future<Result<Bytes>> CallAsync(uint32_t prog, uint32_t proc,
+                                       const Bytes& args);
+
+  // Fails all in-flight calls, makes future calls fail immediately, and
+  // tears down the stream. Safe to call from any thread, including while
+  // calls are blocked.
+  void Close();
+
+  // Calls awaiting a reply right now (diagnostics).
+  size_t inflight() const;
 
  private:
+  void DemuxLoop();
+  // Marks the connection broken (first status wins) and fails every
+  // pending call with it.
+  void FailAllPending(const Status& status);
+
   std::unique_ptr<MsgStream> stream_;
-  std::mutex mu_;  // one outstanding call at a time per connection
-  uint32_t next_xid_ = 1;
+  std::mutex send_mu_;  // serializes call frames onto the stream
+
+  mutable std::mutex pending_mu_;
+  uint32_t next_xid_ = 1;                                    // guarded by pending_mu_
+  std::unordered_map<uint32_t, std::promise<Result<Bytes>>> pending_;
+  bool broken_ = false;    // guarded by pending_mu_
+  Status broken_status_;   // guarded by pending_mu_
+
+  std::thread demux_thread_;
+};
+
+// How ServeConnection schedules handler execution.
+struct ServeOptions {
+  // Shared execution pool. When null, requests are handled inline on the
+  // connection thread (the pre-pipelining behavior).
+  WorkerPool* pool = nullptr;
+  // Backpressure: the connection stops reading new requests while this many
+  // are being executed or awaiting their reply write.
+  size_t max_inflight_per_conn = 64;
 };
 
 class RpcDispatcher {
@@ -56,10 +108,20 @@ class RpcDispatcher {
   // UNAVAILABLE when the peer disconnects.
   Status ServeOne(MsgStream& stream, const RpcContext& ctx) const;
 
-  // Serves until the peer disconnects.
+  // Serves until the peer disconnects, one request at a time.
   void ServeConnection(MsgStream& stream, const RpcContext& ctx) const;
 
+  // Pipelined variant: decodes requests on this thread, executes them on
+  // options.pool (inline when null), and writes replies as they complete —
+  // out of order — under a per-connection write lock. Returns only after
+  // every accepted request has been answered (or its reply write failed).
+  void ServeConnection(MsgStream& stream, const RpcContext& ctx,
+                       const ServeOptions& options) const;
+
  private:
+  Result<Bytes> Dispatch(uint32_t prog, uint32_t proc, const Bytes& args,
+                         const RpcContext& ctx) const;
+
   std::map<std::pair<uint32_t, uint32_t>, Handler> handlers_;
 };
 

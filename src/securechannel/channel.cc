@@ -183,6 +183,9 @@ Result<std::unique_ptr<SecureChannel>> SecureChannel::ServerHandshake(
 }
 
 Status SecureChannel::Send(const Bytes& message) {
+  // Seal and write under one lock so sequence numbers reach the wire in
+  // order; the receiver's replay window then only ever advances.
+  std::lock_guard<std::mutex> lock(send_mu_);
   ++send_seq_;
   XdrWriter aad_writer;
   aad_writer.PutU64(send_seq_);
@@ -195,6 +198,7 @@ Status SecureChannel::Send(const Bytes& message) {
 }
 
 Result<Bytes> SecureChannel::Recv() {
+  std::unique_lock<std::mutex> lock(recv_mu_);
   ASSIGN_OR_RETURN(Bytes frame, transport_->Recv());
   XdrReader r(frame);
   ASSIGN_OR_RETURN(uint64_t seq, r.GetU64());
@@ -215,5 +219,7 @@ Result<Bytes> SecureChannel::Recv() {
 }
 
 void SecureChannel::Close() { transport_->Close(); }
+
+void SecureChannel::Shutdown() { transport_->Shutdown(); }
 
 }  // namespace discfs

@@ -25,6 +25,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "src/crypto/aead.h"
@@ -55,10 +56,15 @@ class SecureChannel : public MsgStream {
   static Result<std::unique_ptr<SecureChannel>> ServerHandshake(
       std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity);
 
-  // MsgStream: AEAD-sealed records over the inner transport.
+  // MsgStream: AEAD-sealed records over the inner transport. Send and Recv
+  // each serialize internally but never against each other: the send state
+  // (sequence counter) and receive state (replay window) are disjoint and
+  // carry their own locks, so the RPC demux loop can sit in Recv while
+  // worker threads stream replies through Send.
   Status Send(const Bytes& message) override;
   Result<Bytes> Recv() override;
   void Close() override;
+  void Shutdown() override;
 
   // The authenticated identity of the other endpoint. For the server this
   // is the client key that DisCFS binds NFS requests to.
@@ -74,8 +80,14 @@ class SecureChannel : public MsgStream {
   Aead send_aead_;
   Aead recv_aead_;
   DsaPublicKey peer_key_;
-  uint64_t send_seq_ = 0;
-  ReplayWindow recv_window_;
+  // Send direction: sequence allocation and the transport write happen
+  // under send_mu_ so records hit the wire in sequence order.
+  std::mutex send_mu_;
+  uint64_t send_seq_ = 0;  // guarded by send_mu_
+  // Receive direction: the blocking transport read and the replay-window
+  // update happen under recv_mu_ (never held by a sender).
+  std::mutex recv_mu_;
+  ReplayWindow recv_window_;  // guarded by recv_mu_
 };
 
 }  // namespace discfs

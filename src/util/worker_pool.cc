@@ -1,0 +1,72 @@
+#include "src/util/worker_pool.h"
+
+namespace discfs {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
+  }
+  task();  // pool is shut down: run inline so the work is never dropped
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t WorkerPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+    if (queue_.empty()) {
+      return;  // stopping and fully drained
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+  }
+}
+
+}  // namespace discfs

@@ -1,0 +1,63 @@
+// Shared fixed-size worker pool for the RPC runtime.
+//
+// The dispatcher hands every decoded request to one pool instead of
+// spawning threads, so total server-side execution concurrency is bounded
+// by the pool size no matter how many connections are open. Tasks are
+// plain closures; completion ordering is whatever the scheduler produces
+// (the RPC layer matches replies to calls by xid, not by order).
+#ifndef DISCFS_SRC_UTIL_WORKER_POOL_H_
+#define DISCFS_SRC_UTIL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace discfs {
+
+class WorkerPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit WorkerPool(size_t num_threads);
+
+  // Drains remaining tasks and joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues `task`. Never drops work: after Shutdown the task runs inline
+  // in the caller's thread, so producers that block on task side effects
+  // (e.g. a connection draining its in-flight replies) cannot deadlock
+  // against pool teardown.
+  void Submit(std::function<void()> task);
+
+  // Stops accepting queued execution, runs everything already queued, and
+  // joins the workers. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t size() const { return workers_.size(); }
+
+  // Tasks queued but not yet picked up by a worker.
+  size_t queue_depth() const;
+
+  // Tasks currently executing on a worker.
+  size_t in_flight() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_UTIL_WORKER_POOL_H_

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Builds the Release tree and runs the policy benchmarks, leaving
-# BENCH_policy.json at the repo root (schema: ROADMAP.md "Benchmarks").
+# Builds the Release tree and runs the policy + RPC benchmarks, leaving
+# BENCH_policy.json and BENCH_rpc.json at the repo root (schemas:
+# ROADMAP.md "Benchmarks").
 #
 # Usage: tools/run_bench.sh [max_credentials]
 #   max_credentials  cap the policy_scaling sweep (default 10000)
@@ -11,7 +12,8 @@ build_dir="$repo_root/build-release"
 max_credentials="${1:-10000}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j "$(nproc)" --target policy_scaling ablation_cache
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target policy_scaling ablation_cache rpc_pipeline
 
 echo "--- policy_scaling (writes BENCH_policy.json) ---"
 "$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
@@ -19,4 +21,7 @@ echo "--- policy_scaling (writes BENCH_policy.json) ---"
 echo "--- ablation_cache ---"
 "$build_dir/ablation_cache"
 
-echo "done: $repo_root/BENCH_policy.json"
+echo "--- rpc_pipeline (writes BENCH_rpc.json; fails if pipelining < 3x) ---"
+"$build_dir/rpc_pipeline" "$repo_root/BENCH_rpc.json"
+
+echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds with -DDISCFS_SANITIZE=thread and runs the concurrency-heavy
+# tests: the RPC runtime intentionally races replies across worker threads,
+# the secure channel splits send/recv state, and the multiserver test
+# exercises the whole stack end-to-end over TCP.
+#
+# Usage: tools/run_tsan.sh [extra ctest -R regex]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build-tsan"
+test_regex="${1:-transport_test|rpc_pipeline_test|discfs_multiserver_test|security_test}"
+
+cmake -B "$build_dir" -S "$repo_root" -DDISCFS_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target transport_test rpc_pipeline_test discfs_multiserver_test \
+  security_test
+
+cd "$build_dir"
+TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "$test_regex"
+echo "TSAN clean: $test_regex"
