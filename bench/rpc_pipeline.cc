@@ -1,24 +1,36 @@
 // Closed-loop pipelined RPC throughput across the full wire stack:
-// TcpTransport -> SecureChannel -> RpcClient (xid demux) on the client,
-// TcpListener -> ServerHandshake -> RpcDispatcher + shared WorkerPool on
-// the server. One handler (echo after a fixed simulated-I/O delay, the
-// shape of a blocking NFS read) is measured at every {connections,
-// in-flight} tier; with 1 in-flight the runtime degenerates to the old
-// serial call loop, so the speedup column is pipelining's contribution
-// alone.
+// TcpTransport -> SecureChannel -> RpcClient on the client, TcpListener ->
+// ServerHandshake (on the worker pool) -> RpcConnection on a shared epoll
+// EventLoop on the server. Both sides run the PR 3 event-driven runtime:
+// one poller thread per side demuxes every connection, so the total thread
+// count is O(workers + pollers + drivers) no matter how many connections a
+// tier opens — which the connections sweep (64 and 256) proves by sampling
+// /proc/self/status during each tier and gating on the delta.
+//
+// One handler (echo after a fixed simulated-I/O delay, the shape of a
+// blocking NFS read) is measured at every {connections, in-flight} tier;
+// with 1 in-flight the runtime degenerates to the old serial call loop, so
+// the speedup column is pipelining's contribution alone.
 //
 // Output: human-readable table on stdout plus BENCH_rpc.json (path from
-// argv[1], default ./BENCH_rpc.json). Schema documented in ROADMAP.md.
+// argv[1], default ./BENCH_rpc.json). Schema documented in ROADMAP.md and
+// enforced by tools/check_bench_schema.py.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/crypto/groups.h"
+#include "src/net/event_loop.h"
 #include "src/net/transport.h"
 #include "src/rpc/rpc.h"
 #include "src/securechannel/channel.h"
@@ -46,6 +58,19 @@ double NowSec() {
       .count();
 }
 
+// Threads currently in this process (the whole bench runs in one process,
+// so this covers server poller + workers + client poller + drivers).
+size_t CurrentThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::atoll(line.c_str() + 8));
+    }
+  }
+  return 0;
+}
+
 struct LatencySummary {
   double p50_us = 0;
   double p99_us = 0;
@@ -63,8 +88,9 @@ LatencySummary Summarize(std::vector<double> samples_us) {
   return s;
 }
 
-// Server: accepts until the listener closes; every connection's requests
-// run on one shared pool, like DiscfsHost.
+// Server: accepts until the listener closes; every connection handshakes
+// on the shared pool and is then served from one EventLoop, like
+// DiscfsHost.
 class BenchServer {
  public:
   explicit BenchServer(size_t workers, size_t max_inflight)
@@ -75,8 +101,9 @@ class BenchServer {
                            std::this_thread::sleep_for(kSimulatedIo);
                            return Result<Bytes>(args);
                          });
+    options_.loop = &loop_;
     options_.pool = &pool_;
-    options_.max_inflight_per_conn = max_inflight;
+    options_.max_inflight = max_inflight;
     auto listener = TcpListener::Listen(0);
     if (!listener.ok()) {
       std::fprintf(stderr, "listen failed: %s\n",
@@ -90,8 +117,13 @@ class BenchServer {
   ~BenchServer() {
     listener_->Shutdown();
     accept_thread_.join();
-    for (std::thread& t : conn_threads_) {
-      t.join();
+    std::vector<std::shared_ptr<RpcConnection>> conns;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns.swap(conns_);
+    }
+    for (auto& conn : conns) {
+      conn->Abort();
     }
     pool_.Shutdown();
   }
@@ -109,8 +141,7 @@ class BenchServer {
       }
       auto transport = std::make_shared<std::unique_ptr<TcpTransport>>(
           std::move(conn).value());
-      std::lock_guard<std::mutex> lock(mu_);
-      conn_threads_.emplace_back([this, transport, seed] {
+      pool_.Submit([this, transport, seed] {
         ChannelIdentity identity{key_, BenchRand(seed)};
         auto channel = SecureChannel::ServerHandshake(std::move(*transport),
                                                       identity);
@@ -119,7 +150,13 @@ class BenchServer {
         }
         RpcContext ctx;
         ctx.peer_key = (*channel)->peer_key();
-        dispatcher_.ServeConnection(**channel, ctx, options_);
+        auto served = RpcConnection::Start(
+            &dispatcher_, std::move(channel).value(), std::move(ctx),
+            options_);
+        if (served.ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          conns_.push_back(std::move(served).value());
+        }
       });
       ++seed;
     }
@@ -127,12 +164,13 @@ class BenchServer {
 
   DsaPrivateKey key_;
   RpcDispatcher dispatcher_;
+  EventLoop loop_;
   WorkerPool pool_;
-  ServeOptions options_;
+  RpcConnection::Options options_;
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;
   std::mutex mu_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<std::shared_ptr<RpcConnection>> conns_;
 };
 
 struct TierResult {
@@ -140,6 +178,7 @@ struct TierResult {
   size_t inflight = 0;
   size_t ops = 0;
   double ops_per_s = 0;
+  size_t threads = 0;  // peak process thread count observed mid-tier
   LatencySummary latency;
 };
 
@@ -174,16 +213,60 @@ void RunConnection(RpcClient& client, size_t inflight, size_t ops,
   }
 }
 
-TierResult RunTier(BenchServer& server, size_t connections, size_t inflight) {
+// Batch closed loop over a group of connections: one driver keeps
+// `inflight` calls outstanding on each of its clients, collecting a full
+// window per client per round. Used by the connections sweep so the driver
+// count stays fixed (8) while connections scale — keeping the bench's own
+// thread usage flat, so the /proc sample measures the runtime, not the
+// harness.
+void RunConnectionGroup(const std::vector<RpcClient*>& clients,
+                        size_t inflight, size_t rounds,
+                        std::vector<double>& latencies_us,
+                        std::atomic<bool>& failed) {
+  struct Pending {
+    std::future<Result<Bytes>> future;
+    double issued_at;
+  };
+  Bytes payload(64, 0xa5);
+  latencies_us.reserve(clients.size() * inflight * rounds);
+  std::vector<Pending> window;
+  window.reserve(clients.size() * inflight);
+  for (size_t round = 0; round < rounds; ++round) {
+    window.clear();
+    for (RpcClient* client : clients) {
+      for (size_t i = 0; i < inflight; ++i) {
+        window.push_back(
+            {client->CallAsync(kProg, kProcEcho, payload), NowSec()});
+      }
+    }
+    for (Pending& pending : window) {
+      Result<Bytes> result = pending.future.get();
+      latencies_us.push_back((NowSec() - pending.issued_at) * 1e6);
+      if (!result.ok() || *result != payload) {
+        failed.store(true);
+        return;
+      }
+    }
+  }
+}
+
+TierResult RunTier(BenchServer& server, const DsaPrivateKey& client_key,
+                   size_t connections, size_t inflight) {
   TierResult tier;
   tier.connections = connections;
   tier.inflight = inflight;
   // Scale work with concurrency so every tier runs long enough to measure
   // without the serial tiers dominating wall-clock.
+  const bool sweep = connections > 16;
+  const size_t rounds = sweep ? (connections >= 256 ? 5 : 6) : 0;
   const size_t ops_per_conn =
-      std::min<size_t>(2000, std::max<size_t>(400, 100 * inflight));
+      sweep ? rounds * inflight
+            : std::min<size_t>(2000, std::max<size_t>(400, 100 * inflight));
   tier.ops = ops_per_conn * connections;
 
+  // All clients demux on one shared poller — the client-side half of the
+  // flat-thread story.
+  EventLoop client_loop;
   std::vector<std::unique_ptr<RpcClient>> clients;
   for (size_t c = 0; c < connections; ++c) {
     auto transport = TcpTransport::Connect("127.0.0.1", server.port());
@@ -192,8 +275,6 @@ TierResult RunTier(BenchServer& server, size_t connections, size_t inflight) {
                    transport.status().ToString().c_str());
       std::abort();
     }
-    DsaPrivateKey client_key =
-        DsaPrivateKey::Generate(Dsa512(), BenchRand(200 + c));
     ChannelIdentity identity{client_key, BenchRand(300 + c)};
     auto channel = SecureChannel::ClientHandshake(
         std::move(transport).value(), identity, server.public_key());
@@ -202,24 +283,51 @@ TierResult RunTier(BenchServer& server, size_t connections, size_t inflight) {
                    channel.status().ToString().c_str());
       std::abort();
     }
-    clients.push_back(
-        std::make_unique<RpcClient>(std::move(channel).value()));
+    clients.push_back(std::make_unique<RpcClient>(std::move(channel).value(),
+                                                  &client_loop));
   }
 
-  std::vector<std::vector<double>> latencies(connections);
+  const size_t drivers = sweep ? 8 : connections;
+  std::vector<std::vector<double>> latencies(drivers);
   std::atomic<bool> failed{false};
+  std::atomic<bool> tier_done{false};
   double t0 = NowSec();
-  std::vector<std::thread> drivers;
-  for (size_t c = 0; c < connections; ++c) {
-    drivers.emplace_back([&, c] {
-      RunConnection(*clients[c], inflight, ops_per_conn, latencies[c],
-                    failed);
+  std::vector<std::thread> driver_threads;
+  for (size_t d = 0; d < drivers; ++d) {
+    driver_threads.emplace_back([&, d] {
+      if (!sweep) {
+        RunConnection(*clients[d], inflight, ops_per_conn, latencies[d],
+                      failed);
+        return;
+      }
+      std::vector<RpcClient*> group;
+      for (size_t c = d; c < connections; c += drivers) {
+        group.push_back(clients[c].get());
+      }
+      RunConnectionGroup(group, inflight, rounds, latencies[d], failed);
     });
   }
-  for (std::thread& t : drivers) {
+  // Sample the process thread count mid-tier (a few times, keep the max)
+  // from a helper so the sampling cadence never pads the measured wall
+  // time of short tiers: this is the number the connections sweep gates
+  // on.
+  std::atomic<size_t> peak_threads{0};
+  std::thread sampler([&] {
+    do {
+      size_t now = CurrentThreadCount();
+      size_t prev = peak_threads.load();
+      while (now > prev && !peak_threads.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    } while (!tier_done.load());
+  });
+  for (std::thread& t : driver_threads) {
     t.join();
   }
   double elapsed = NowSec() - t0;
+  tier_done.store(true);
+  sampler.join();
+  tier.threads = peak_threads.load();
   if (failed.load()) {
     std::fprintf(stderr, "tier conns=%zu inflight=%zu: call failed\n",
                  connections, inflight);
@@ -228,10 +336,11 @@ TierResult RunTier(BenchServer& server, size_t connections, size_t inflight) {
   for (auto& client : clients) {
     client->Close();
   }
+  clients.clear();  // unregister from client_loop before it dies
 
   std::vector<double> all;
-  for (const auto& per_conn : latencies) {
-    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  for (const auto& per_driver : latencies) {
+    all.insert(all.end(), per_driver.begin(), per_driver.end());
   }
   tier.ops_per_s = tier.ops / elapsed;
   tier.latency = Summarize(std::move(all));
@@ -239,21 +348,22 @@ TierResult RunTier(BenchServer& server, size_t connections, size_t inflight) {
 }
 
 void WriteJson(std::FILE* f, const std::vector<TierResult>& results,
-               double speedup_1conn) {
+               double speedup_1conn, long thread_delta) {
   std::fprintf(f, "{\n  \"bench\": \"rpc_pipeline\",\n");
   std::fprintf(f, "  \"schema_version\": 1,\n");
   std::fprintf(f, "  \"handler_simulated_io_us\": %lld,\n",
                static_cast<long long>(kSimulatedIo.count()));
   std::fprintf(f, "  \"pipeline_speedup_1conn\": %.2f,\n", speedup_1conn);
+  std::fprintf(f, "  \"thread_delta_64_to_256\": %ld,\n", thread_delta);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const TierResult& r = results[i];
     std::fprintf(f,
                  "    {\"connections\": %zu, \"inflight\": %zu, "
                  "\"ops\": %zu, \"ops_per_s\": %.0f, "
-                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"threads\": %zu}%s\n",
                  r.connections, r.inflight, r.ops, r.ops_per_s,
-                 r.latency.p50_us, r.latency.p99_us,
+                 r.latency.p50_us, r.latency.p99_us, r.threads,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -267,45 +377,86 @@ int Run(int argc, char** argv) {
   // blocking-file-server thread pool.
   const size_t workers = 16;
   BenchServer server(workers, /*max_inflight=*/64);
+  // One client identity shared by every connection: the sweep measures the
+  // runtime, not 256 key generations.
+  DsaPrivateKey client_key = DsaPrivateKey::Generate(Dsa512(), BenchRand(200));
 
   std::printf("== RPC pipelining: closed-loop throughput (handler = echo "
-              "after %lldus simulated I/O, %zu workers) ==\n",
+              "after %lldus simulated I/O, %zu workers, event-loop "
+              "runtime) ==\n",
               static_cast<long long>(kSimulatedIo.count()), workers);
-  std::printf("%-6s %-9s %10s %12s %10s %10s\n", "conns", "inflight", "ops",
-              "ops/s", "p50 us", "p99 us");
+  std::printf("%-6s %-9s %10s %12s %10s %10s %8s\n", "conns", "inflight",
+              "ops", "ops/s", "p50 us", "p99 us", "threads");
+
+  struct TierSpec {
+    size_t connections;
+    size_t inflight;
+  };
+  // The {1,4,16} x {1,8,64} grid matches PR 2 for comparability; the 64-
+  // and 256-connection tiers are the PR 3 sweep proving thread flatness.
+  const std::vector<TierSpec> specs = {
+      {1, 1},  {1, 8},  {1, 64},  {4, 1},  {4, 8},  {4, 64},
+      {16, 1}, {16, 8}, {16, 64}, {64, 16}, {256, 8},
+  };
 
   std::vector<TierResult> results;
   double serial_1conn = 0, pipelined_1conn = 0;
-  for (size_t connections : {1u, 4u, 16u}) {
-    for (size_t inflight : {1u, 8u, 64u}) {
-      TierResult tier = RunTier(server, connections, inflight);
-      std::printf("%-6zu %-9zu %10zu %12.0f %10.1f %10.1f\n",
-                  tier.connections, tier.inflight, tier.ops, tier.ops_per_s,
-                  tier.latency.p50_us, tier.latency.p99_us);
-      std::fflush(stdout);
-      if (connections == 1 && inflight == 1) {
-        serial_1conn = tier.ops_per_s;
-      }
-      if (connections == 1 && inflight == 64) {
-        pipelined_1conn = tier.ops_per_s;
-      }
-      results.push_back(tier);
+  size_t threads_64 = 0, threads_256 = 0;
+  for (const TierSpec& spec : specs) {
+    TierResult tier = RunTier(server, client_key, spec.connections,
+                              spec.inflight);
+    std::printf("%-6zu %-9zu %10zu %12.0f %10.1f %10.1f %8zu\n",
+                tier.connections, tier.inflight, tier.ops, tier.ops_per_s,
+                tier.latency.p50_us, tier.latency.p99_us, tier.threads);
+    std::fflush(stdout);
+    if (spec.connections == 1 && spec.inflight == 1) {
+      serial_1conn = tier.ops_per_s;
     }
+    if (spec.connections == 1 && spec.inflight == 64) {
+      pipelined_1conn = tier.ops_per_s;
+    }
+    if (spec.connections == 64) {
+      threads_64 = tier.threads;
+    }
+    if (spec.connections == 256) {
+      threads_256 = tier.threads;
+    }
+    results.push_back(tier);
   }
 
   double speedup = serial_1conn > 0 ? pipelined_1conn / serial_1conn : 0;
+  long thread_delta = static_cast<long>(threads_256) -
+                      static_cast<long>(threads_64);
   std::printf("pipelining speedup (1 conn, 64 in-flight vs 1): %.1fx\n",
               speedup);
+  std::printf("threads at 64 conns: %zu, at 256 conns: %zu (delta %ld; "
+              "192 extra connections, both sides)\n",
+              threads_64, threads_256, thread_delta);
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
     return 1;
   }
-  WriteJson(f, results, speedup);
+  WriteJson(f, results, speedup, thread_delta);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
-  return speedup >= 3.0 ? 0 : 1;
+
+  // Self-gates: pipelining must pull its weight, and 192 additional
+  // connections must not add threads (a handful of slack covers transient
+  // reap/spawn noise) — the event-loop runtime's core promise.
+  if (speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: pipeline speedup %.2f < 3x\n", speedup);
+    return 1;
+  }
+  if (thread_delta > 8) {
+    std::fprintf(stderr,
+                 "FAIL: thread count grew by %ld from 64 to 256 conns "
+                 "(not O(workers + poller))\n",
+                 thread_delta);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

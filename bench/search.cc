@@ -81,11 +81,10 @@ Result<SourceTreeInfo> BuildSourceTree(FsBackend& backend,
                                        const SourceTreeSpec& spec) {
   Prng prng(spec.seed);
   SourceTreeInfo info;
-  static const char* const kDirNames[] = {"kern",    "vfs",  "net",  "dev",
-                                          "arch",    "ufs",  "nfs",  "crypto",
-                                          "compat",  "ddb",  "isofs", "miscfs",
-                                          "netinet", "scsi", "stand", "sys",
-                                          "uvm",     "msdosfs", "ntfs", "adosfs"};
+  static const char* const kDirNames[] = {
+      "kern",   "vfs", "net",   "dev",     "arch",    "ufs",  "nfs",
+      "crypto", "compat", "ddb", "isofs",  "miscfs",  "netinet", "scsi",
+      "stand",  "sys", "uvm",   "msdosfs", "ntfs",    "adosfs"};
   for (size_t d = 0; d < spec.directories; ++d) {
     std::string dir = spec.root + "/" +
                       kDirNames[d % std::size(kDirNames)] +

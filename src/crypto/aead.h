@@ -17,7 +17,8 @@ class Aead {
   explicit Aead(Bytes key);
 
   // Returns ciphertext || 16-byte tag.
-  Bytes Seal(const Bytes& nonce, const Bytes& aad, const Bytes& plaintext) const;
+  Bytes Seal(const Bytes& nonce, const Bytes& aad,
+             const Bytes& plaintext) const;
 
   // Verifies the tag and decrypts. Fails with UNAUTHENTICATED on any
   // tampering of ciphertext, tag, nonce, or aad.

@@ -190,8 +190,10 @@ void Sha256::Compress(const uint8_t block[64]) {
     w[i] = Load32BE(block + 4 * i);
   }
   for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = Rotr32(w[i - 15], 7) ^ Rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    uint32_t s0 =
+        Rotr32(w[i - 15], 7) ^ Rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    uint32_t s1 =
+        Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
   uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
@@ -288,7 +290,8 @@ void Sha512::Compress(const uint8_t block[128]) {
     w[i] = Load64BE(block + 8 * i);
   }
   for (int i = 16; i < 80; ++i) {
-    uint64_t s0 = Rotr64(w[i - 15], 1) ^ Rotr64(w[i - 15], 8) ^ (w[i - 15] >> 7);
+    uint64_t s0 =
+        Rotr64(w[i - 15], 1) ^ Rotr64(w[i - 15], 8) ^ (w[i - 15] >> 7);
     uint64_t s1 = Rotr64(w[i - 2], 19) ^ Rotr64(w[i - 2], 61) ^ (w[i - 2] >> 6);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }

@@ -3,49 +3,45 @@
 namespace discfs {
 namespace internal {
 
-void ConnectionSet::Spawn(std::function<void()> serve) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ReapFinishedLocked();
-  auto done = std::make_shared<std::atomic<bool>>(false);
-  Conn conn;
-  conn.done = done;
-  conn.thread = std::thread([serve = std::move(serve), done] {
-    serve();
-    done->store(true, std::memory_order_release);
-  });
-  conns_.push_back(std::move(conn));
+bool LoopConnectionSet::Add(std::shared_ptr<RpcConnection> conn) {
+  RpcConnection* key = conn.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) {
+      return false;
+    }
+    conns_.emplace(key, std::move(conn));
+  }
+  // The connection may have finished (peer vanished mid-handshake) before
+  // it was tracked, in which case its on-closed hook missed the map entry.
+  if (key->closed()) {
+    Remove(key);
+  }
+  return true;
 }
 
-void ConnectionSet::ReapFinishedLocked() {
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->done->load(std::memory_order_acquire)) {
-      it->thread.join();
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
+void LoopConnectionSet::Remove(RpcConnection* conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.erase(conn);
+}
+
+void LoopConnectionSet::CloseAll() {
+  std::unordered_map<RpcConnection*, std::shared_ptr<RpcConnection>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closing_ = true;
+    snapshot.swap(conns_);
+  }
+  // Abort outside the lock: each connection's on-closed hook calls Remove,
+  // which takes it again.
+  for (auto& [ptr, conn] : snapshot) {
+    conn->Abort();
   }
 }
 
-void ConnectionSet::JoinAll() {
+size_t LoopConnectionSet::active() const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (Conn& conn : conns_) {
-    if (conn.thread.joinable()) {
-      conn.thread.join();
-    }
-  }
-  conns_.clear();
-}
-
-size_t ConnectionSet::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t n = 0;
-  for (const Conn& conn : conns_) {
-    if (!conn.done->load(std::memory_order_acquire)) {
-      ++n;
-    }
-  }
-  return n;
+  return conns_.size();
 }
 
 }  // namespace internal
@@ -66,6 +62,17 @@ size_t ResolveWorkerThreads(size_t requested) {
   return hw < 16 ? hw : 16;
 }
 
+RpcConnection::Options MakeConnOptions(EventLoop* loop, WorkerPool* pool,
+                                       const DiscfsHostOptions& options) {
+  RpcConnection::Options conn_options;
+  conn_options.loop = loop;
+  conn_options.pool = pool;
+  conn_options.max_inflight = options.max_inflight_per_conn;
+  conn_options.send_queue_limit = options.send_queue_limit;
+  conn_options.admission_queue_limit = options.admission_queue_limit;
+  return conn_options;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
@@ -74,14 +81,18 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
   auto host = std::unique_ptr<DiscfsHost>(new DiscfsHost());
   ASSIGN_OR_RETURN(host->server_,
                    DiscfsServer::Create(std::move(vfs), std::move(config)));
+  host->loop_ = std::make_unique<EventLoop>();
   host->pool_ = std::make_unique<WorkerPool>(
       ResolveWorkerThreads(options.worker_threads));
-  host->serve_options_.pool = host->pool_.get();
-  host->serve_options_.max_inflight_per_conn = options.max_inflight_per_conn;
+  host->options_ = options;
   ASSIGN_OR_RETURN(host->listener_,
                    TcpListener::Listen(port, options.bind_addr));
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
   return host;
+}
+
+RpcConnection::Options DiscfsHost::ConnOptions() const {
+  return MakeConnOptions(loop_.get(), pool_.get(), options_);
 }
 
 void DiscfsHost::AcceptLoop() {
@@ -91,10 +102,20 @@ void DiscfsHost::AcceptLoop() {
       return;  // listener closed
     }
     // shared_ptr wrapper because std::function requires a copyable closure.
+    // The handshake blocks (two round trips + DSA), so it runs on the pool
+    // rather than on the accept thread or the loop.
     auto transport = std::make_shared<std::unique_ptr<TcpTransport>>(
         std::move(conn).value());
-    connections_.Spawn([this, transport] {
-      (void)server_->ServeConnection(std::move(*transport), serve_options_);
+    pool_->Submit([this, transport] {
+      auto served = server_->ServeOnLoop(
+          std::move(*transport), ConnOptions(),
+          [this](RpcConnection* c) { connections_.Remove(c); });
+      if (!served.ok()) {
+        return;  // handshake failed; the socket dies with the transport
+      }
+      if (!connections_.Add(*served)) {
+        (*served)->Abort();  // host is shutting down
+      }
     });
   }
 }
@@ -106,8 +127,14 @@ DiscfsHost::~DiscfsHost() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  connections_.JoinAll();
+  // No new sockets can arrive now. Abort live connections (their loop
+  // callbacks quiesce before Abort returns), then drain the pool — any
+  // queued handshake task sees the closing set and aborts its connection,
+  // and in-flight handlers drop their replies. The loop dies last so every
+  // posted closure either ran or is destroyed with it.
+  connections_.CloseAll();
   pool_->Shutdown();
+  loop_.reset();
 }
 
 Result<std::unique_ptr<CfsNeHost>> CfsNeHost::Start(std::shared_ptr<Vfs> vfs,
@@ -116,10 +143,10 @@ Result<std::unique_ptr<CfsNeHost>> CfsNeHost::Start(std::shared_ptr<Vfs> vfs,
   auto host = std::unique_ptr<CfsNeHost>(new CfsNeHost());
   host->server_ = std::make_unique<NfsServer>(std::move(vfs));
   host->server_->RegisterAll(host->dispatcher_);
+  host->loop_ = std::make_unique<EventLoop>();
   host->pool_ = std::make_unique<WorkerPool>(
       ResolveWorkerThreads(options.worker_threads));
-  host->serve_options_.pool = host->pool_.get();
-  host->serve_options_.max_inflight_per_conn = options.max_inflight_per_conn;
+  host->options_ = options;
   ASSIGN_OR_RETURN(host->listener_,
                    TcpListener::Listen(port, options.bind_addr));
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
@@ -132,12 +159,20 @@ void CfsNeHost::AcceptLoop() {
     if (!conn.ok()) {
       return;
     }
-    auto transport =
-        std::shared_ptr<TcpTransport>(std::move(conn).value().release());
-    connections_.Spawn([this, transport] {
-      RpcContext ctx;  // unauthenticated
-      dispatcher_.ServeConnection(*transport, ctx, serve_options_);
-    });
+    // No handshake on the baseline: the accepted socket registers on the
+    // loop straight from the accept thread.
+    std::shared_ptr<MsgStream> transport = std::move(conn).value();
+    RpcContext ctx;  // unauthenticated
+    auto served = RpcConnection::Start(
+        &dispatcher_, std::move(transport), std::move(ctx),
+        MakeConnOptions(loop_.get(), pool_.get(), options_),
+        [this](RpcConnection* c) { connections_.Remove(c); });
+    if (!served.ok()) {
+      continue;
+    }
+    if (!connections_.Add(*served)) {
+      (*served)->Abort();
+    }
   }
 }
 
@@ -146,8 +181,9 @@ CfsNeHost::~CfsNeHost() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  connections_.JoinAll();
+  connections_.CloseAll();
   pool_->Shutdown();
+  loop_.reset();
 }
 
 Result<std::unique_ptr<NfsClient>> ConnectCfsNe(const std::string& host,

@@ -1,23 +1,24 @@
 // Hosting helpers: run a DisCFS server (secure channel) or a CFS-NE
-// baseline server (plain NFS, no credentials) on a TCP listener. Each
-// connection gets a thread for handshake + request decode, but request
-// *execution* is shared: the host owns one WorkerPool and every
-// connection's requests are pipelined through it, so server-side
-// concurrency is bounded by the pool size rather than the connection
-// count. Finished connection threads are reaped as new connections arrive
-// instead of accumulating until destruction.
+// baseline server (plain NFS, no credentials) on a TCP listener. There is
+// no thread per connection anywhere: one accept thread feeds new sockets
+// to the shared WorkerPool (which runs the blocking handshake), after
+// which every connection is served from one shared epoll EventLoop —
+// decode on readability, execute on the pool, reply through a bounded
+// per-connection send queue drained by the loop. Total runtime threads are
+// O(workers + 1 poller + 1 acceptor) no matter how many connections are
+// open, and an optional global admission bound busy-rejects new requests
+// once the pool's queue backs up.
 #ifndef DISCFS_SRC_DISCFS_HOST_H_
 #define DISCFS_SRC_DISCFS_HOST_H_
 
-#include <atomic>
-#include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "src/discfs/server.h"
+#include "src/net/event_loop.h"
 #include "src/nfs/nfs_client.h"
 #include "src/nfs/nfs_server.h"
 #include "src/util/worker_pool.h"
@@ -29,35 +30,41 @@ struct DiscfsHostOptions {
   // hardware: clamp(hardware_concurrency, 8, 16) — handlers block on
   // storage, so the floor keeps I/O overlapping even on small machines.
   size_t worker_threads = 0;
-  // Per-connection pipelining bound passed to the RPC dispatcher.
+  // Per-connection pipelining bound (requests executing or awaiting their
+  // reply) — reads pause at this depth.
   size_t max_inflight_per_conn = 64;
+  // Per-connection bound on replies queued for the loop's writer; a full
+  // queue blocks the executing worker (backpressure) rather than growing.
+  size_t send_queue_limit = 128;
+  // Global admission bound: once the shared pool's queue depth reaches
+  // this, new requests get a RESOURCE_EXHAUSTED busy reply instead of
+  // queueing behind everyone else's, so connection fan-in cannot blow tail
+  // latency. 0 disables admission control.
+  size_t admission_queue_limit = 0;
   // Listener bind address ("0.0.0.0" to serve remote peers).
   std::string bind_addr = "127.0.0.1";
 };
 
 namespace internal {
 
-// Connection bookkeeping shared by both hosts: spawn-with-done-flag plus
-// join-on-accept reaping.
-class ConnectionSet {
+// Live-connection bookkeeping shared by both hosts: connections register
+// on creation, self-remove when the loop finishes them, and the host
+// aborts whatever is left on shutdown.
+class LoopConnectionSet {
  public:
-  // Runs `serve` on a new tracked thread, joining finished threads first
-  // so the set tracks live connections, not the all-time accept count.
-  void Spawn(std::function<void()> serve);
-  // Joins everything (host shutdown).
-  void JoinAll();
-  // Connections whose serve function has not yet returned.
+  // Registers a live connection; returns false (and does not register)
+  // once CloseAll has run — the caller must abort the connection.
+  bool Add(std::shared_ptr<RpcConnection> conn);
+  // Self-removal from a connection's on-closed hook.
+  void Remove(RpcConnection* conn);
+  // Aborts every live connection and rejects future Adds.
+  void CloseAll();
   size_t active() const;
 
  private:
-  void ReapFinishedLocked();
-
-  struct Conn {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
   mutable std::mutex mu_;
-  std::list<Conn> conns_;
+  std::unordered_map<RpcConnection*, std::shared_ptr<RpcConnection>> conns_;
+  bool closing_ = false;
 };
 
 }  // namespace internal
@@ -78,20 +85,22 @@ class DiscfsHost {
   size_t inflight() const { return pool_->in_flight(); }
   // Requests decoded but not yet picked up by a worker.
   size_t queue_depth() const { return pool_->queue_depth(); }
-  // Connections whose serve loop is still running.
+  // Connections registered on the event loop (post-handshake, pre-close).
   size_t active_connections() const { return connections_.active(); }
   size_t worker_threads() const { return pool_->size(); }
 
  private:
   DiscfsHost() = default;
   void AcceptLoop();
+  RpcConnection::Options ConnOptions() const;
 
   std::unique_ptr<DiscfsServer> server_;
+  std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<WorkerPool> pool_;
-  ServeOptions serve_options_;
+  DiscfsHostOptions options_;
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;
-  internal::ConnectionSet connections_;
+  internal::LoopConnectionSet connections_;
 };
 
 // CFS-NE baseline: the same NFS server over plain TCP, every operation
@@ -113,11 +122,12 @@ class CfsNeHost {
 
   std::unique_ptr<NfsServer> server_;
   RpcDispatcher dispatcher_;
+  std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<WorkerPool> pool_;
-  ServeOptions serve_options_;
+  DiscfsHostOptions options_;
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;
-  internal::ConnectionSet connections_;
+  internal::LoopConnectionSet connections_;
 };
 
 // Connects an NfsClient to a CfsNeHost.

@@ -69,6 +69,19 @@ Status DiscfsServer::ServeConnection(std::unique_ptr<MsgStream> transport,
   return OkStatus();
 }
 
+Result<std::shared_ptr<RpcConnection>> DiscfsServer::ServeOnLoop(
+    std::unique_ptr<MsgStream> transport, const RpcConnection::Options& options,
+    RpcConnection::ClosedFn on_closed) {
+  ChannelIdentity identity{config_.server_key, config_.rand_bytes};
+  ASSIGN_OR_RETURN(std::unique_ptr<SecureChannel> channel,
+                   SecureChannel::ServerHandshake(std::move(transport),
+                                                  identity));
+  RpcContext ctx;
+  ctx.peer_key = channel->peer_key();
+  return RpcConnection::Start(&dispatcher_, std::move(channel),
+                              std::move(ctx), options, std::move(on_closed));
+}
+
 Status DiscfsServer::CheckAccess(const NfsAccessRequest& request) {
   counters_.access_checks.fetch_add(1, std::memory_order_relaxed);
   if (request.ctx == nullptr || !request.ctx->peer_key.has_value()) {

@@ -68,6 +68,15 @@ class DiscfsServer {
   Status ServeConnection(std::unique_ptr<MsgStream> transport,
                          const ServeOptions& options);
 
+  // Event-driven variant: performs the (blocking) server handshake on the
+  // calling thread — hosts run it on a worker — then registers the
+  // authenticated channel on options.loop and returns the live connection.
+  // Serving continues entirely on the loop + pool.
+  Result<std::shared_ptr<RpcConnection>> ServeOnLoop(
+      std::unique_ptr<MsgStream> transport,
+      const RpcConnection::Options& options,
+      RpcConnection::ClosedFn on_closed = nullptr);
+
   // --- local administration (not exposed over RPC) ---
   Status AddPolicyAssertion(const std::string& text);
   Result<std::string> SubmitCredential(const std::string& text);

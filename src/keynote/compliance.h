@@ -69,7 +69,8 @@ class DelegationIndex {
   size_t assertion_count() const { return assertion_count_; }
 
  private:
-  using Postings = std::unordered_map<std::string, std::vector<const Assertion*>>;
+  using Postings =
+      std::unordered_map<std::string, std::vector<const Assertion*>>;
 
   static void EraseFrom(Postings& postings, const std::string& principal,
                         const Assertion* assertion);

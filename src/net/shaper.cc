@@ -9,7 +9,8 @@ namespace discfs {
 void ShapedStream::Delay(size_t bytes) const {
   uint64_t us = model_.latency_us;
   if (model_.mbps > 0) {
-    us += static_cast<uint64_t>(bytes * 8.0 / model_.mbps);  // bits / (Mbps) = us
+    us +=
+        static_cast<uint64_t>(bytes * 8.0 / model_.mbps);  // bits/Mbps = us
   }
   if (us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(us));

@@ -47,25 +47,8 @@ Status SendAllVec(int fd, struct iovec* iov, int iovcnt) {
   return OkStatus();
 }
 
-Status RecvAll(int fd, uint8_t* data, size_t len) {
-  size_t got = 0;
-  while (got < len) {
-    ssize_t n = ::recv(fd, data + got, len - got, 0);
-    if (n == 0) {
-      return UnavailableError("peer closed connection");
-    }
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return UnavailableError(StrPrintf("recv failed: %s", strerror(errno)));
-    }
-    got += static_cast<size_t>(n);
-  }
-  return OkStatus();
-}
-
 constexpr size_t kMaxFrame = 1 << 26;  // 64 MiB sanity limit
+constexpr size_t kRecvChunk = 64 * 1024;
 
 }  // namespace
 
@@ -121,13 +104,43 @@ Status TcpTransport::Send(const Bytes& message) {
   return SendAllVec(fd, iov, message.empty() ? 1 : 2);
 }
 
-Result<Bytes> TcpTransport::Recv() {
-  int fd = fd_.load(std::memory_order_acquire);
-  if (fd < 0) {
-    return UnavailableError("transport closed");
+Result<bool> TcpTransport::FillRecvBuffer(int fd, bool nonblocking) {
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // creep upward across long-lived connections.
+  if (rpos_ > 0 && (rpos_ == rbuf_.size() || rpos_ >= kRecvChunk)) {
+    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + rpos_);
+    rpos_ = 0;
   }
-  uint8_t hdr[4];
-  RETURN_IF_ERROR(RecvAll(fd, hdr, 4));
+  // Read into scratch and append only what arrived: growing rbuf_ first
+  // would zero-initialize the whole chunk on every call (including EAGAIN
+  // probes), which dominates small-message receive cost.
+  uint8_t scratch[kRecvChunk];
+  while (true) {
+    ssize_t n = ::recv(fd, scratch, sizeof(scratch),
+                       nonblocking ? MSG_DONTWAIT : 0);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), scratch, scratch + n);
+      return true;
+    }
+    if (n == 0) {
+      return UnavailableError("peer closed connection");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (nonblocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return false;
+    }
+    return UnavailableError(StrPrintf("recv failed: %s", strerror(errno)));
+  }
+}
+
+Result<bool> TcpTransport::ExtractFrame(Bytes* out) {
+  size_t avail = rbuf_.size() - rpos_;
+  if (avail < 4) {
+    return false;
+  }
+  const uint8_t* hdr = rbuf_.data() + rpos_;
   uint32_t len = (static_cast<uint32_t>(hdr[0]) << 24) |
                  (static_cast<uint32_t>(hdr[1]) << 16) |
                  (static_cast<uint32_t>(hdr[2]) << 8) |
@@ -135,9 +148,124 @@ Result<Bytes> TcpTransport::Recv() {
   if (len > kMaxFrame) {
     return DataLossError("oversized frame");
   }
-  Bytes out(len);
-  RETURN_IF_ERROR(RecvAll(fd, out.data(), len));
-  return out;
+  if (avail < 4 + static_cast<size_t>(len)) {
+    return false;
+  }
+  out->assign(rbuf_.begin() + rpos_ + 4, rbuf_.begin() + rpos_ + 4 + len);
+  rpos_ += 4 + len;
+  return true;
+}
+
+Result<Bytes> TcpTransport::Recv() {
+  while (true) {
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) {
+      return UnavailableError("transport closed");
+    }
+    Bytes out;
+    ASSIGN_OR_RETURN(bool have, ExtractFrame(&out));
+    if (have) {
+      return out;
+    }
+    ASSIGN_OR_RETURN(bool appended, FillRecvBuffer(fd, /*nonblocking=*/false));
+    (void)appended;  // blocking fill always appends or errors
+  }
+}
+
+Result<std::optional<Bytes>> TcpTransport::TryRecv() {
+  while (true) {
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) {
+      return UnavailableError("transport closed");
+    }
+    Bytes out;
+    ASSIGN_OR_RETURN(bool have, ExtractFrame(&out));
+    if (have) {
+      return std::optional<Bytes>(std::move(out));
+    }
+    ASSIGN_OR_RETURN(bool progressed, FillRecvBuffer(fd, /*nonblocking=*/true));
+    if (!progressed) {
+      return std::optional<Bytes>();  // socket drained; poll and retry
+    }
+  }
+}
+
+Result<bool> TcpTransport::SendNonBlocking(const Bytes& message) {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) {
+    return UnavailableError("transport closed");
+  }
+  if (message.size() > kMaxFrame) {
+    return InvalidArgumentError("frame too large");
+  }
+  uint8_t hdr[4];
+  uint32_t len = static_cast<uint32_t>(message.size());
+  hdr[0] = static_cast<uint8_t>(len >> 24);
+  hdr[1] = static_cast<uint8_t>(len >> 16);
+  hdr[2] = static_cast<uint8_t>(len >> 8);
+  hdr[3] = static_cast<uint8_t>(len);
+  if (opos_ == obuf_.size()) {
+    // Fast path: nothing buffered — try one gathered non-blocking sendmsg
+    // and only buffer the remainder the kernel did not take.
+    obuf_.clear();
+    opos_ = 0;
+    struct iovec iov[2];
+    iov[0].iov_base = hdr;
+    iov[0].iov_len = sizeof(hdr);
+    iov[1].iov_base = const_cast<uint8_t*>(message.data());
+    iov[1].iov_len = message.size();
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = message.empty() ? 1 : 2;
+    ssize_t n;
+    do {
+      n = ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return UnavailableError(StrPrintf("send failed: %s", strerror(errno)));
+    }
+    size_t sent = n > 0 ? static_cast<size_t>(n) : 0;
+    size_t total = sizeof(hdr) + message.size();
+    if (sent == total) {
+      return true;
+    }
+    if (sent < sizeof(hdr)) {
+      obuf_.insert(obuf_.end(), hdr + sent, hdr + sizeof(hdr));
+      obuf_.insert(obuf_.end(), message.begin(), message.end());
+    } else {
+      obuf_.insert(obuf_.end(), message.begin() + (sent - sizeof(hdr)),
+                   message.end());
+    }
+    return false;
+  }
+  // Output already pending: preserve frame order by appending behind it.
+  obuf_.insert(obuf_.end(), hdr, hdr + sizeof(hdr));
+  obuf_.insert(obuf_.end(), message.begin(), message.end());
+  return FlushSend();
+}
+
+Result<bool> TcpTransport::FlushSend() {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) {
+    return UnavailableError("transport closed");
+  }
+  while (opos_ < obuf_.size()) {
+    ssize_t n = ::send(fd, obuf_.data() + opos_, obuf_.size() - opos_,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return false;
+      }
+      return UnavailableError(StrPrintf("send failed: %s", strerror(errno)));
+    }
+    opos_ += static_cast<size_t>(n);
+  }
+  obuf_.clear();
+  opos_ = 0;
+  return true;
 }
 
 void TcpTransport::Shutdown() {

@@ -11,11 +11,21 @@
 // from any thread and reliably unblocks a Recv in progress; Close
 // additionally releases resources and must not race a blocked Recv (callers
 // Shutdown first, join the receiver, then Close/destroy).
+//
+// Event-loop integration: streams backed by a kernel fd also expose a
+// non-blocking face — PollFd() for epoll registration, TryRecv() to drain
+// whatever is already available, and SendNonBlocking()/FlushSend() so a
+// single writer (the loop) can push output without ever parking in
+// sendmsg(2). The blocking and non-blocking receive paths share one
+// reassembly buffer, so a connection may handshake with blocking Recv and
+// then hand the same stream to an event loop. At most one thread may use
+// the receive side at a time, and at most one the non-blocking send side.
 #ifndef DISCFS_SRC_NET_TRANSPORT_H_
 #define DISCFS_SRC_NET_TRANSPORT_H_
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/util/bytes.h"
@@ -37,6 +47,30 @@ class MsgStream {
   // concurrently with Send/Recv; defaults to Close for transports whose
   // Close already has that property.
   virtual void Shutdown() { Close(); }
+
+  // --- non-blocking face (event-loop integration) ---
+  // Kernel fd to poll for readiness, or -1 when the stream has none
+  // (in-process transports); callers fall back to blocking threads then.
+  virtual int PollFd() const { return -1; }
+  // Never blocks. Returns a complete message when one can be assembled
+  // from buffered + immediately-available bytes, std::nullopt when the
+  // stream is merely drained (poll for readability and retry), and an
+  // error once the stream is broken or the peer is gone.
+  virtual Result<std::optional<Bytes>> TryRecv() {
+    return UnimplementedError("TryRecv unsupported on this stream");
+  }
+  // Attempts to send without blocking. Returns true when the message (and
+  // any previously buffered output) fully reached the kernel, false when
+  // output remains buffered — poll for writability and call FlushSend().
+  // The message is accepted (owned by the stream) in both non-error cases.
+  // Default: blocking Send, which trivially satisfies the contract.
+  virtual Result<bool> SendNonBlocking(const Bytes& message) {
+    RETURN_IF_ERROR(Send(message));
+    return true;
+  }
+  // Pushes previously buffered output toward the kernel without blocking;
+  // true once nothing remains buffered.
+  virtual Result<bool> FlushSend() { return true; }
 };
 
 // TCP transport with u32 length-prefixed framing.
@@ -54,11 +88,28 @@ class TcpTransport : public MsgStream {
   // blocked in recv(2) returns instead of racing a close(2)/fd-reuse.
   void Shutdown() override;
 
+  int PollFd() const override { return fd_.load(std::memory_order_acquire); }
+  Result<std::optional<Bytes>> TryRecv() override;
+  Result<bool> SendNonBlocking(const Bytes& message) override;
+  Result<bool> FlushSend() override;
+
   // Takes ownership of a connected socket (used by the listener).
   explicit TcpTransport(int fd) : fd_(fd) {}
 
  private:
+  // Appends available bytes to rbuf_; MSG_DONTWAIT when `nonblocking`.
+  // Returns false on EAGAIN (nonblocking only), UNAVAILABLE on EOF/error.
+  Result<bool> FillRecvBuffer(int fd, bool nonblocking);
+  // Extracts one complete length-prefixed frame from rbuf_ if present.
+  Result<bool> ExtractFrame(Bytes* out);
+
   std::atomic<int> fd_{-1};
+  // Receive reassembly buffer (single receiving thread at a time).
+  Bytes rbuf_;
+  size_t rpos_ = 0;  // consumed prefix of rbuf_
+  // Output not yet accepted by the kernel (single non-blocking sender).
+  Bytes obuf_;
+  size_t opos_ = 0;  // consumed prefix of obuf_
 };
 
 class TcpListener {

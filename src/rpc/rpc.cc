@@ -1,5 +1,6 @@
 #include "src/rpc/rpc.h"
 
+#include <algorithm>
 #include <condition_variable>
 
 #include "src/util/strings.h"
@@ -50,12 +51,31 @@ Result<DecodedCall> DecodeCall(const Bytes& frame) {
 
 // ---------------------------------------------------------------- client
 
-RpcClient::RpcClient(std::unique_ptr<MsgStream> stream)
-    : stream_(std::move(stream)),
-      demux_thread_([this] { DemuxLoop(); }) {}
+RpcClient::RpcClient(std::unique_ptr<MsgStream> stream, EventLoop* loop)
+    : stream_(std::move(stream)) {
+  int fd = loop != nullptr ? stream_->PollFd() : -1;
+  if (fd >= 0) {
+    loop_ = loop;
+    loop_fd_ = fd;
+    Status st =
+        loop_->Register(fd, /*want_read=*/true, /*want_write=*/false,
+                        [this](uint32_t) { OnReadable(); });
+    if (st.ok()) {
+      return;
+    }
+    loop_ = nullptr;
+    loop_fd_ = -1;
+  }
+  demux_thread_ = std::thread([this] { DemuxLoop(); });
+}
 
 RpcClient::~RpcClient() {
   Close();
+  if (loop_ != nullptr) {
+    // Waits out any in-flight readability callback, so destroying stream_
+    // below cannot race the demux path.
+    loop_->Unregister(loop_fd_);
+  }
   if (demux_thread_.joinable()) {
     demux_thread_.join();
   }
@@ -89,7 +109,7 @@ std::future<Result<Bytes>> RpcClient::CallAsync(uint32_t prog, uint32_t proc,
     sent = stream_->Send(w.Take());
   }
   if (!sent.ok()) {
-    // Withdraw the pending slot (unless the demux thread already failed it
+    // Withdraw the pending slot (unless the demux path already failed it
     // while tearing the connection down) and resolve the future directly.
     std::unique_lock<std::mutex> lock(pending_mu_);
     auto it = pending_.find(xid);
@@ -108,6 +128,38 @@ Result<Bytes> RpcClient::Call(uint32_t prog, uint32_t proc,
   return CallAsync(prog, proc, args).get();
 }
 
+bool RpcClient::ProcessReply(const Bytes& frame) {
+  XdrReader r(frame);
+  auto xid = r.GetU32();
+  auto type = r.GetU32();
+  auto status_code = r.GetU32();
+  auto body = r.GetOpaque();
+  if (!xid.ok() || !type.ok() || !status_code.ok() || !body.ok() ||
+      *type != kTypeReply) {
+    // The framing is corrupt; nothing later on this stream can be trusted
+    // to demux correctly.
+    return false;
+  }
+
+  std::promise<Result<Bytes>> promise;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(*xid);
+    if (it == pending_.end()) {
+      return true;  // stale or duplicate xid; drop it
+    }
+    promise = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (*status_code != 0) {
+    promise.set_value(
+        Status(static_cast<StatusCode>(*status_code), ToString(*body)));
+  } else {
+    promise.set_value(std::move(*body));
+  }
+  return true;
+}
+
 void RpcClient::DemuxLoop() {
   while (true) {
     Result<Bytes> frame = stream_->Recv();
@@ -115,35 +167,30 @@ void RpcClient::DemuxLoop() {
       FailAllPending(frame.status());
       return;
     }
-    XdrReader r(*frame);
-    auto xid = r.GetU32();
-    auto type = r.GetU32();
-    auto status_code = r.GetU32();
-    auto body = r.GetOpaque();
-    if (!xid.ok() || !type.ok() || !status_code.ok() || !body.ok() ||
-        *type != kTypeReply) {
-      // The framing is corrupt; nothing later on this stream can be
-      // trusted to demux correctly.
+    if (!ProcessReply(*frame)) {
       FailAllPending(DataLossError("malformed RPC reply frame"));
       stream_->Shutdown();
       return;
     }
+  }
+}
 
-    std::promise<Result<Bytes>> promise;
-    {
-      std::lock_guard<std::mutex> lock(pending_mu_);
-      auto it = pending_.find(*xid);
-      if (it == pending_.end()) {
-        continue;  // stale or duplicate xid; drop it
-      }
-      promise = std::move(it->second);
-      pending_.erase(it);
+void RpcClient::OnReadable() {
+  while (true) {
+    Result<std::optional<Bytes>> frame = stream_->TryRecv();
+    if (!frame.ok()) {
+      FailAllPending(frame.status());
+      loop_->Unregister(loop_fd_);  // from the loop thread: returns at once
+      return;
     }
-    if (*status_code != 0) {
-      promise.set_value(
-          Status(static_cast<StatusCode>(*status_code), ToString(*body)));
-    } else {
-      promise.set_value(std::move(*body));
+    if (!frame->has_value()) {
+      return;  // socket drained; the poller calls back on the next bytes
+    }
+    if (!ProcessReply(**frame)) {
+      FailAllPending(DataLossError("malformed RPC reply frame"));
+      stream_->Shutdown();
+      loop_->Unregister(loop_fd_);
+      return;
     }
   }
 }
@@ -165,9 +212,9 @@ void RpcClient::FailAllPending(const Status& status) {
 
 void RpcClient::Close() {
   FailAllPending(UnavailableError("RPC client closed"));
-  // Shutdown (not Close) so the demux thread's blocked Recv unblocks
-  // without racing descriptor teardown; the stream is released when the
-  // client is destroyed.
+  // Shutdown (not Close) so a blocked demux Recv unblocks without racing
+  // descriptor teardown; the stream is released when the client is
+  // destroyed.
   stream_->Shutdown();
 }
 
@@ -268,6 +315,371 @@ void RpcDispatcher::ServeConnection(MsgStream& stream, const RpcContext& ctx,
   // for them so `stream` and `ctx` stay valid for the workers.
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] { return state->inflight == 0; });
+}
+
+// --------------------------------------------------- event-driven serving
+
+RpcConnection::RpcConnection(const RpcDispatcher* dispatcher,
+                             std::shared_ptr<MsgStream> stream,
+                             RpcContext ctx, const Options& options,
+                             ClosedFn on_closed)
+    : dispatcher_(dispatcher),
+      stream_(std::move(stream)),
+      ctx_(std::move(ctx)),
+      opts_(options),
+      on_closed_(std::move(on_closed)) {
+  if (opts_.max_inflight == 0) {
+    opts_.max_inflight = 1;
+  }
+  if (opts_.send_queue_limit == 0) {
+    opts_.send_queue_limit = 1;
+  }
+}
+
+RpcConnection::~RpcConnection() = default;
+
+Result<std::shared_ptr<RpcConnection>> RpcConnection::Start(
+    const RpcDispatcher* dispatcher, std::shared_ptr<MsgStream> stream,
+    RpcContext ctx, const Options& options, ClosedFn on_closed) {
+  if (options.loop == nullptr || options.pool == nullptr) {
+    return InvalidArgumentError("RpcConnection requires a loop and a pool");
+  }
+  int fd = stream->PollFd();
+  if (fd < 0) {
+    return InvalidArgumentError(
+        "stream has no pollable fd; use ServeConnection on a thread");
+  }
+  auto conn = std::shared_ptr<RpcConnection>(
+      new RpcConnection(dispatcher, std::move(stream), std::move(ctx),
+                        options, std::move(on_closed)));
+  conn->fd_ = fd;
+  // The registered callback keeps the connection alive until it is
+  // unregistered (FinishClose or Abort breaks the cycle).
+  Status st = options.loop->Register(
+      fd, /*want_read=*/true, /*want_write=*/false,
+      [conn](uint32_t events) { conn->OnEvent(events); });
+  if (!st.ok()) {
+    return st;
+  }
+  // Frames pipelined behind the handshake may already sit in the stream's
+  // reassembly buffer where readability will never fire for them; pump
+  // once to pick them up.
+  options.loop->Post([conn] { conn->PumpReads(); });
+  return conn;
+}
+
+void RpcConnection::OnEvent(uint32_t events) {
+  if (events & EventLoop::kWritable) {
+    Drain();
+  }
+  if (events & EventLoop::kReadable) {
+    PumpReads();
+  }
+  if (events & EventLoop::kError) {
+    // EPOLLHUP/EPOLLERR are reported regardless of the interest mask, so
+    // a paused (mask-0) connection would spin the level-triggered poller
+    // at 100% CPU: nothing consumes the condition. The socket is dead
+    // both ways (RST/err) — tear it down now; in-flight handlers finish
+    // on the pool and their replies are dropped.
+    std::lock_guard<std::mutex> lock(mu_);
+    bool reads_consume = read_open_ && !read_paused_ && !closed_ &&
+                         inflight_ < opts_.max_inflight;
+    if (!closed_ && !reads_consume) {
+      read_open_ = false;
+      send_broken_ = true;
+      send_queue_.clear();
+      cv_.notify_all();  // unblock workers waiting on queue space
+      opts_.loop->Unregister(fd_);  // loop thread: no self-wait, idempotent
+      MaybeFinishLocked();
+    }
+  }
+}
+
+void RpcConnection::UpdateInterestLocked() {
+  if (closed_) {
+    return;
+  }
+  bool want_read = read_open_ && !read_paused_;
+  if (want_read == applied_read_ && want_write_ == applied_write_) {
+    return;  // epoll already has this interest set
+  }
+  applied_read_ = want_read;
+  applied_write_ = want_write_;
+  (void)opts_.loop->ModifyInterest(fd_, want_read, want_write_);
+}
+
+void RpcConnection::PumpReads() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || !read_open_) {
+        return;
+      }
+      if (inflight_ >= opts_.max_inflight) {
+        if (!read_paused_) {
+          read_paused_ = true;
+          UpdateInterestLocked();
+        }
+        return;
+      }
+    }
+    Result<std::optional<Bytes>> frame = stream_->TryRecv();
+    if (frame.ok() && !frame->has_value()) {
+      return;  // socket drained; wait for the next readability event
+    }
+    Result<DecodedCall> call =
+        frame.ok() ? DecodeCall(**frame) : Result<DecodedCall>(frame.status());
+    if (!call.ok()) {
+      // Peer hung up or the framing is corrupt: stop accepting requests,
+      // let in-flight replies drain, then close.
+      std::lock_guard<std::mutex> lock(mu_);
+      read_open_ = false;
+      UpdateInterestLocked();
+      MaybeFinishLocked();
+      return;
+    }
+    if (opts_.admission_queue_limit > 0 &&
+        opts_.pool->queue_depth() >= opts_.admission_queue_limit) {
+      // Global admission bound: answer busy without touching the pool.
+      // Control replies push without blocking (stalling the loop would
+      // stall every connection), but a reject storm must not grow the
+      // queue unboundedly either: once the queue reaches its limit,
+      // pause reads until the drain works it back down.
+      busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!closed_ && !send_broken_) {
+        PushReplyAndDrainLocked(
+            EncodeReply(call->xid, ResourceExhaustedError(
+                                       "server busy: admission limit "
+                                       "reached")),
+            lock);
+        if (!closed_ && send_queue_.size() >= opts_.send_queue_limit &&
+            !read_paused_) {
+          read_paused_ = true;
+          UpdateInterestLocked();
+          return;
+        }
+      }
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++inflight_;
+    }
+    auto self = shared_from_this();
+    opts_.pool->Submit(
+        [self, call = std::move(*call)]() mutable {
+          self->ExecuteOnPool(call.xid, call.prog, call.proc,
+                              std::move(call.args));
+        });
+  }
+}
+
+void RpcConnection::ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc,
+                                  Bytes args) {
+  Bytes reply = EncodeReply(xid, dispatcher_->Dispatch(prog, proc, args, ctx_));
+  EnqueueReply(std::move(reply));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    if (ShouldResumeReadsLocked()) {
+      ResumeReadsLocked();
+    }
+    MaybeFinishLocked();
+  }
+}
+
+bool RpcConnection::ShouldResumeReadsLocked() const {
+  if (!read_paused_ || !read_open_ || closed_ || send_broken_) {
+    return false;
+  }
+  // Hysteresis: resume reads at half the cap, not cap-1, so a client
+  // pinned at max_inflight costs one pause/resume round trip (epoll_ctl
+  // + loop wakeup) per half-window of requests instead of per request.
+  const size_t low_water = opts_.max_inflight > 1 ? opts_.max_inflight / 2 : 1;
+  return inflight_ < low_water && send_queue_.size() < opts_.send_queue_limit;
+}
+
+void RpcConnection::ResumeReadsLocked() {
+  read_paused_ = false;
+  // Interest changes and read pumping belong to the loop thread; frames
+  // may be waiting in the stream's reassembly buffer where readability
+  // will not fire again, so pump explicitly.
+  auto self = shared_from_this();
+  opts_.loop->Post([self] {
+    {
+      std::lock_guard<std::mutex> lock(self->mu_);
+      if (self->closed_) {
+        return;
+      }
+      self->UpdateInterestLocked();
+    }
+    self->PumpReads();
+  });
+}
+
+void RpcConnection::EnqueueReply(Bytes frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!opts_.loop->InLoopThread()) {
+    // Backpressure: hold this worker (and its in-flight slot, which pauses
+    // reads) until the writer frees queue space.
+    cv_.wait(lock, [&] {
+      return closed_ || send_broken_ ||
+             send_queue_.size() < opts_.send_queue_limit;
+    });
+  }
+  if (closed_ || send_broken_) {
+    return;  // connection is gone; the reply has nowhere to go
+  }
+  PushReplyAndDrainLocked(std::move(frame), lock);
+}
+
+void RpcConnection::PushReplyAndDrainLocked(
+    Bytes frame, std::unique_lock<std::mutex>& lock) {
+  send_queue_.push_back(std::move(frame));
+  queue_peak_ = std::max(queue_peak_, send_queue_.size());
+  // Whoever finds the writer token free drains inline — usually the worker
+  // that just finished this request, which seals and sends with zero
+  // thread hops when the wire is idle. With the wire backed up
+  // (flush_pending_), workers hand off instead: the armed EPOLLOUT event
+  // resumes draining on the loop.
+  if (draining_ || flush_pending_ || send_broken_) {
+    return;
+  }
+  draining_ = true;
+  DrainQueueLocked(lock);
+}
+
+void RpcConnection::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    return;  // another thread holds the writer token; it will re-check
+  }
+  draining_ = true;
+  DrainQueueLocked(lock);
+}
+
+void RpcConnection::DrainQueueLocked(std::unique_lock<std::mutex>& lock) {
+  // Requires: draining_ token held by this thread. The stream's send side
+  // is only ever touched by the token holder, so there is exactly one
+  // writer at any moment even though the token migrates between workers
+  // and the loop.
+  while (!closed_ && !send_broken_) {
+    if (flush_pending_) {
+      lock.unlock();
+      Result<bool> flushed = stream_->FlushSend();
+      lock.lock();
+      if (!flushed.ok()) {
+        send_broken_ = true;
+        break;
+      }
+      flush_pending_ = !flushed.value();
+      if (flush_pending_) {
+        break;  // kernel buffer still full; wait for writability
+      }
+      continue;
+    }
+    if (send_queue_.empty()) {
+      break;
+    }
+    Bytes frame = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    cv_.notify_all();  // queue space freed; unblock a waiting worker
+    lock.unlock();
+    Result<bool> sent = stream_->SendNonBlocking(frame);
+    lock.lock();
+    if (!sent.ok()) {
+      send_broken_ = true;
+      break;
+    }
+    flush_pending_ = !sent.value();
+  }
+  draining_ = false;
+  if (send_broken_) {
+    send_queue_.clear();
+    cv_.notify_all();
+  }
+  if (!closed_) {
+    want_write_ = flush_pending_ && !send_broken_;
+    // A busy-reject storm pauses reads on a full queue without any
+    // in-flight work, so the drain is the only party who can restart
+    // them once it frees queue space.
+    if (ShouldResumeReadsLocked()) {
+      ResumeReadsLocked();
+    }
+    UpdateInterestLocked();
+    MaybeFinishLocked();
+  }
+}
+
+void RpcConnection::MaybeFinishLocked() {
+  if (closed_ || finish_scheduled_ || read_open_ || inflight_ > 0) {
+    return;
+  }
+  if (!send_broken_ && (!send_queue_.empty() || flush_pending_)) {
+    return;  // still replies to deliver
+  }
+  finish_scheduled_ = true;
+  auto self = shared_from_this();
+  opts_.loop->Post([self] { self->FinishClose(); });
+}
+
+void RpcConnection::FinishClose() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+    send_queue_.clear();
+    cv_.notify_all();
+  }
+  opts_.loop->Unregister(fd_);  // from the loop thread: returns at once
+  stream_->Shutdown();
+  InvokeClosed();
+}
+
+void RpcConnection::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+    send_queue_.clear();
+    cv_.notify_all();
+  }
+  // Waits out any in-flight loop callback for this fd, so the caller can
+  // rely on full quiescence afterwards.
+  opts_.loop->Unregister(fd_);
+  stream_->Shutdown();
+  InvokeClosed();
+}
+
+void RpcConnection::InvokeClosed() {
+  ClosedFn cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = std::move(on_closed_);
+    on_closed_ = nullptr;
+  }
+  if (cb) {
+    cb(this);
+  }
+}
+
+bool RpcConnection::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t RpcConnection::send_queue_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_peak_;
+}
+
+uint64_t RpcConnection::busy_rejected() const {
+  return busy_rejected_.load(std::memory_order_relaxed);
 }
 
 }  // namespace discfs

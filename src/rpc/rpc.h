@@ -6,17 +6,25 @@
 // accept_status 0 = success (result = procedure output), non-zero = error
 // (result = UTF-8 error message; the status code is a StatusCode).
 //
-// Client side: RpcClient runs a receive-demux thread per connection and
-// matches replies to calls by xid, so any number of calls can be in flight
-// on one stream (CallAsync); the blocking Call is a one-deep special case.
+// Client side: RpcClient matches replies to calls by xid, so any number of
+// calls can be in flight on one stream (CallAsync); the blocking Call is a
+// one-deep special case. Demux runs either on a dedicated thread per client
+// (the default, and the only option for fd-less streams) or — when an
+// EventLoop is supplied — as a readability callback on a shared poller, so
+// a proxy holding thousands of upstream connections needs one thread, not
+// thousands.
 //
-// Server side: RpcDispatcher::ServeConnection can hand decoded requests to
-// a shared WorkerPool and write replies out of order under a per-connection
-// write lock, so one slow procedure no longer head-of-line-blocks every
-// other request on the same connection.
+// Server side: RpcDispatcher::ServeConnection hands decoded requests to a
+// shared WorkerPool from a per-connection recv thread (PR 2), and
+// RpcConnection serves a stream entirely from an EventLoop: decode on
+// readability, execute on the pool, and reply through a bounded
+// per-connection send queue drained by a single writer (the loop), with an
+// optional global admission bound that busy-rejects when the pool backs up.
 #ifndef DISCFS_SRC_RPC_RPC_H_
 #define DISCFS_SRC_RPC_RPC_H_
 
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "src/crypto/dsa.h"
+#include "src/net/event_loop.h"
 #include "src/net/transport.h"
 #include "src/util/status.h"
 #include "src/util/worker_pool.h"
@@ -42,9 +51,13 @@ struct RpcContext {
 
 class RpcClient {
  public:
-  // Takes ownership of the stream (plain transport or secure channel) and
-  // starts the receive-demux thread.
-  explicit RpcClient(std::unique_ptr<MsgStream> stream);
+  // Takes ownership of the stream (plain transport or secure channel).
+  // With `loop` null (or a stream that has no pollable fd), replies are
+  // demuxed on a dedicated receive thread. With a loop and a pollable
+  // stream, the client registers on the shared poller instead — N clients,
+  // one thread.
+  explicit RpcClient(std::unique_ptr<MsgStream> stream,
+                     EventLoop* loop = nullptr);
   ~RpcClient();
 
   RpcClient(const RpcClient&) = delete;
@@ -71,6 +84,11 @@ class RpcClient {
 
  private:
   void DemuxLoop();
+  // Drains TryRecv on the event loop until the socket is empty or broken.
+  void OnReadable();
+  // Resolves one reply frame against the pending table. Returns false when
+  // the frame is malformed (the stream can no longer be trusted).
+  bool ProcessReply(const Bytes& frame);
   // Marks the connection broken (first status wins) and fails every
   // pending call with it.
   void FailAllPending(const Status& status);
@@ -79,11 +97,15 @@ class RpcClient {
   std::mutex send_mu_;  // serializes call frames onto the stream
 
   mutable std::mutex pending_mu_;
-  uint32_t next_xid_ = 1;                                    // guarded by pending_mu_
+  uint32_t next_xid_ = 1;  // guarded by pending_mu_
   std::unordered_map<uint32_t, std::promise<Result<Bytes>>> pending_;
-  bool broken_ = false;    // guarded by pending_mu_
-  Status broken_status_;   // guarded by pending_mu_
+  bool broken_ = false;   // guarded by pending_mu_
+  Status broken_status_;  // guarded by pending_mu_
 
+  // Exactly one demux mechanism is active: loop_fd_ >= 0 means the client
+  // is registered on loop_; otherwise demux_thread_ runs DemuxLoop.
+  EventLoop* loop_ = nullptr;
+  int loop_fd_ = -1;
   std::thread demux_thread_;
 };
 
@@ -118,11 +140,118 @@ class RpcDispatcher {
   void ServeConnection(MsgStream& stream, const RpcContext& ctx,
                        const ServeOptions& options) const;
 
- private:
+  // Dispatches one decoded request (shared with RpcConnection).
   Result<Bytes> Dispatch(uint32_t prog, uint32_t proc, const Bytes& args,
                          const RpcContext& ctx) const;
 
+ private:
   std::map<std::pair<uint32_t, uint32_t>, Handler> handlers_;
+};
+
+// One event-driven server connection. Requests are decoded on the loop as
+// the socket becomes readable and executed on the shared WorkerPool;
+// replies go through a bounded per-connection send queue drained by a
+// single writer — whichever thread holds the writer token. On an idle wire
+// that is the worker that finished the request (seal + gathered
+// non-blocking send, zero thread hops); once the kernel buffer fills the
+// workers hand off and the loop's EPOLLOUT event resumes the drain, so no
+// thread ever parks inside a send. When the queue is full the executing
+// worker blocks (backpressure), which holds its in-flight slot and in turn
+// pauses reading from this connection.
+class RpcConnection : public std::enable_shared_from_this<RpcConnection> {
+ public:
+  struct Options {
+    EventLoop* loop = nullptr;  // required
+    WorkerPool* pool = nullptr;  // required
+    // Per-connection bound on requests executing or awaiting reply.
+    size_t max_inflight = 64;
+    // Per-connection bound on replies queued for the writer.
+    size_t send_queue_limit = 128;
+    // Global admission bound: when the shared pool's queue depth reaches
+    // this, new requests are rejected with RESOURCE_EXHAUSTED instead of
+    // queued, so connection fan-in cannot blow tail latency. 0 = off.
+    size_t admission_queue_limit = 0;
+  };
+  // Invoked once, on whichever thread finishes the connection (the loop
+  // for peer-initiated close, the Abort caller otherwise). The connection
+  // is fully quiesced: deregistered and accepting no new work.
+  using ClosedFn = std::function<void(RpcConnection*)>;
+
+  // Registers the stream on options.loop and starts serving. Fails when
+  // the stream has no pollable fd. The dispatcher must outlive the
+  // connection; the stream is shared with in-flight worker tasks.
+  static Result<std::shared_ptr<RpcConnection>> Start(
+      const RpcDispatcher* dispatcher, std::shared_ptr<MsgStream> stream,
+      RpcContext ctx, const Options& options, ClosedFn on_closed = nullptr);
+
+  ~RpcConnection();
+
+  RpcConnection(const RpcConnection&) = delete;
+  RpcConnection& operator=(const RpcConnection&) = delete;
+
+  // Force-closes from any thread: drops queued replies, unblocks workers,
+  // deregisters from the loop. In-flight handlers finish on the pool but
+  // their replies are discarded. Idempotent.
+  void Abort();
+
+  bool closed() const;
+
+  // --- stats (tests and load introspection) ---
+  // Highest send-queue depth observed (≤ send_queue_limit unless busy
+  // rejects, which bypass the bound so they can never deadlock the loop).
+  size_t send_queue_peak() const;
+  // Requests rejected by the global admission bound.
+  uint64_t busy_rejected() const;
+
+ private:
+  RpcConnection(const RpcDispatcher* dispatcher,
+                std::shared_ptr<MsgStream> stream, RpcContext ctx,
+                const Options& options, ClosedFn on_closed);
+
+  void OnEvent(uint32_t events);      // loop thread
+  void PumpReads();                   // loop thread
+  void Drain();                       // loop thread (EPOLLOUT entry)
+  void ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc, Bytes args);
+  void EnqueueReply(Bytes frame);     // worker thread; blocks when full
+  // Appends a reply and drains inline when the writer token is free.
+  void PushReplyAndDrainLocked(Bytes frame,
+                               std::unique_lock<std::mutex>& lock);
+  // Sends queued replies until empty or EAGAIN. Requires draining_ (the
+  // writer token) held by this thread; releases it before returning.
+  void DrainQueueLocked(std::unique_lock<std::mutex>& lock);
+  void UpdateInterestLocked();        // any thread, mu_ held
+  // True when paused reads should restart: below the in-flight low-water
+  // mark (hysteresis) and with room in the send queue.
+  bool ShouldResumeReadsLocked() const;
+  // Clears the pause and posts an interest-update + read pump to the loop.
+  void ResumeReadsLocked();
+  void MaybeFinishLocked();
+  void FinishClose();                 // loop thread
+  void InvokeClosed();
+
+  const RpcDispatcher* dispatcher_;
+  std::shared_ptr<MsgStream> stream_;
+  RpcContext ctx_;
+  Options opts_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Bytes> send_queue_;
+  ClosedFn on_closed_;         // consumed by whichever side closes first
+  size_t inflight_ = 0;        // executing or awaiting reply enqueue
+  size_t queue_peak_ = 0;
+  bool read_open_ = true;      // still accepting new requests
+  bool read_paused_ = false;   // paused by the in-flight bound
+  bool applied_read_ = true;   // interest set last pushed to epoll
+  bool applied_write_ = false;
+  bool want_write_ = false;    // EPOLLOUT armed (kernel buffer full)
+  bool flush_pending_ = false; // transport holds buffered output
+  bool draining_ = false;      // writer token: exactly one thread sends
+  bool finish_scheduled_ = false;
+  bool send_broken_ = false;   // write side failed; replies are discarded
+  bool closed_ = false;
+  std::atomic<uint64_t> busy_rejected_{0};
 };
 
 }  // namespace discfs

@@ -182,10 +182,7 @@ Result<std::unique_ptr<SecureChannel>> SecureChannel::ServerHandshake(
       std::move(keys.client_to_server), std::move(client_key)));
 }
 
-Status SecureChannel::Send(const Bytes& message) {
-  // Seal and write under one lock so sequence numbers reach the wire in
-  // order; the receiver's replay window then only ever advances.
-  std::lock_guard<std::mutex> lock(send_mu_);
+Bytes SecureChannel::SealRecord(const Bytes& message) {
   ++send_seq_;
   XdrWriter aad_writer;
   aad_writer.PutU64(send_seq_);
@@ -194,12 +191,27 @@ Status SecureChannel::Send(const Bytes& message) {
   XdrWriter w;
   w.PutU64(send_seq_);
   w.PutOpaque(sealed);
-  return transport_->Send(w.Take());
+  return w.Take();
 }
 
-Result<Bytes> SecureChannel::Recv() {
-  std::unique_lock<std::mutex> lock(recv_mu_);
-  ASSIGN_OR_RETURN(Bytes frame, transport_->Recv());
+Status SecureChannel::Send(const Bytes& message) {
+  // Seal and write under one lock so sequence numbers reach the wire in
+  // order; the receiver's replay window then only ever advances.
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return transport_->Send(SealRecord(message));
+}
+
+Result<bool> SecureChannel::SendNonBlocking(const Bytes& message) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return transport_->SendNonBlocking(SealRecord(message));
+}
+
+Result<bool> SecureChannel::FlushSend() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return transport_->FlushSend();
+}
+
+Result<Bytes> SecureChannel::OpenRecord(const Bytes& frame) {
   XdrReader r(frame);
   ASSIGN_OR_RETURN(uint64_t seq, r.GetU64());
   ASSIGN_OR_RETURN(Bytes sealed, r.GetOpaque());
@@ -216,6 +228,22 @@ Result<Bytes> SecureChannel::Recv() {
     return UnauthenticatedError("replayed or stale record");
   }
   return plain;
+}
+
+Result<Bytes> SecureChannel::Recv() {
+  std::unique_lock<std::mutex> lock(recv_mu_);
+  ASSIGN_OR_RETURN(Bytes frame, transport_->Recv());
+  return OpenRecord(frame);
+}
+
+Result<std::optional<Bytes>> SecureChannel::TryRecv() {
+  std::unique_lock<std::mutex> lock(recv_mu_);
+  ASSIGN_OR_RETURN(std::optional<Bytes> frame, transport_->TryRecv());
+  if (!frame.has_value()) {
+    return std::optional<Bytes>();
+  }
+  ASSIGN_OR_RETURN(Bytes plain, OpenRecord(*frame));
+  return std::optional<Bytes>(std::move(plain));
 }
 
 void SecureChannel::Close() { transport_->Close(); }

@@ -66,6 +66,16 @@ class SecureChannel : public MsgStream {
   void Close() override;
   void Shutdown() override;
 
+  // Non-blocking face for event-loop serving: readiness comes from the
+  // inner transport's fd; TryRecv opens a record only when a whole sealed
+  // frame is already available, and SendNonBlocking seals under the send
+  // lock (sequence order preserved) before handing the wire bytes to the
+  // transport's buffered non-blocking sender.
+  int PollFd() const override { return transport_->PollFd(); }
+  Result<std::optional<Bytes>> TryRecv() override;
+  Result<bool> SendNonBlocking(const Bytes& message) override;
+  Result<bool> FlushSend() override;
+
   // The authenticated identity of the other endpoint. For the server this
   // is the client key that DisCFS binds NFS requests to.
   const DsaPublicKey& peer_key() const { return peer_key_; }
@@ -75,6 +85,10 @@ class SecureChannel : public MsgStream {
                 Bytes recv_key, DsaPublicKey peer_key);
 
   static Bytes BuildNonce(uint64_t seq);
+  // Authenticates + replay-checks one wire record (recv_mu_ held).
+  Result<Bytes> OpenRecord(const Bytes& frame);
+  // Seals `message` into a wire record (send_mu_ held).
+  Bytes SealRecord(const Bytes& message);
 
   std::unique_ptr<MsgStream> transport_;
   Aead send_aead_;

@@ -23,7 +23,8 @@ std::string ToLowerAscii(std::string_view s);
 // case-insensitive).
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
-std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 }  // namespace discfs
 

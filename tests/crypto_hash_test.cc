@@ -28,7 +28,8 @@ TEST(Sha1, Abc) {
 
 TEST(Sha1, TwoBlockMessage) {
   EXPECT_EQ(
-      HexOf(Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      HexOf(Sha1::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
       "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
 }
 

@@ -172,7 +172,8 @@ TEST(RpcPipeline, CallAsyncDemuxesOutOfOrderReplies) {
     ++arrived;
     cv.notify_all();
     if (!cv.wait_for(lock, 10s, [&] { return arrived == kCalls; })) {
-      return DeadlineExceededError("pipelining stalled: requests never overlapped");
+      return DeadlineExceededError(
+          "pipelining stalled: requests never overlapped");
     }
     if (!cv.wait_for(lock, 10s, [&] { return turn == id; })) {
       return DeadlineExceededError("release order stalled");
@@ -331,10 +332,13 @@ TEST(RpcPipeline, HostReapsConnectionsAndServesPipelined) {
     (*client)->Close();
   }
 
-  // Served connections wind down; Spawn-time reaping keeps the thread list
-  // bounded by live connections, and the pool idles at zero.
+  // Served connections wind down: the loop unregisters each one when its
+  // peer closes, and the pool idles at zero. A connection can finish a
+  // hair before its worker task's epilogue returns to the pool, so wait
+  // for all three gauges together.
   auto deadline = std::chrono::steady_clock::now() + 10s;
-  while ((*host)->active_connections() != 0 &&
+  while (((*host)->active_connections() != 0 || (*host)->inflight() != 0 ||
+          (*host)->queue_depth() != 0) &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(10ms);
   }

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validates BENCH_policy.json / BENCH_rpc.json against schema_version 1.
+
+Stdlib only, so the bench-smoke CI job and tools/run_bench.sh can call it
+anywhere a python3 exists. Checks required keys per tier, tier-set shape
+(the rpc bench must carry the 1-connection speedup tiers and the 64/256
+connections sweep), and basic sanity (positive throughput, monotone
+credential tiers). Exits non-zero with a per-file error list on any
+violation.
+
+Usage: check_bench_schema.py BENCH_policy.json BENCH_rpc.json
+       (pass one or both, in any order; files are dispatched on their
+        "bench" field)
+"""
+
+import json
+import sys
+
+POLICY_TIER_KEYS = {
+    "credentials",
+    "principals",
+    "admit_s",
+    "indexed_miss_us",
+    "fullscan_miss_us",
+    "warm_hit_ops_per_s",
+    "warm_hit_rate",
+    "survivor_hit_rate_after_submit",
+    "invalidated_principals",
+    "indexed_matches_fullscan",
+}
+MISS_KEYS = {"mean", "p50", "p99"}
+
+RPC_TOP_KEYS = {
+    "bench",
+    "schema_version",
+    "handler_simulated_io_us",
+    "pipeline_speedup_1conn",
+    "thread_delta_64_to_256",
+    "results",
+}
+RPC_TIER_KEYS = {
+    "connections",
+    "inflight",
+    "ops",
+    "ops_per_s",
+    "p50_us",
+    "p99_us",
+    "threads",
+}
+# The speedup gate needs both of these present...
+RPC_REQUIRED_TIERS = {(1, 1), (1, 64)}
+# ...and the flat-thread gate needs the connections sweep.
+RPC_REQUIRED_SWEEP_CONNECTIONS = {64, 256}
+
+
+def check_policy(doc, errors):
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        return
+    last_credentials = 0
+    for i, tier in enumerate(results):
+        missing = POLICY_TIER_KEYS - tier.keys()
+        if missing:
+            errors.append(f"results[{i}] missing keys: {sorted(missing)}")
+            continue
+        for key in ("indexed_miss_us", "fullscan_miss_us"):
+            sub = tier[key]
+            if not isinstance(sub, dict) or MISS_KEYS - sub.keys():
+                errors.append(f"results[{i}].{key} must have {sorted(MISS_KEYS)}")
+        if tier["credentials"] <= last_credentials:
+            errors.append(f"results[{i}] credentials tiers must increase")
+        last_credentials = tier["credentials"]
+        if tier["warm_hit_ops_per_s"] <= 0:
+            errors.append(f"results[{i}] warm_hit_ops_per_s must be positive")
+        if tier["indexed_matches_fullscan"] is not True:
+            errors.append(f"results[{i}] indexed result diverged from fullscan")
+
+
+def check_rpc(doc, errors):
+    missing_top = RPC_TOP_KEYS - doc.keys()
+    if missing_top:
+        errors.append(f"missing top-level keys: {sorted(missing_top)}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        return
+    tiers = set()
+    for i, tier in enumerate(results):
+        missing = RPC_TIER_KEYS - tier.keys()
+        if missing:
+            errors.append(f"results[{i}] missing keys: {sorted(missing)}")
+            continue
+        tiers.add((tier["connections"], tier["inflight"]))
+        if tier["ops_per_s"] <= 0:
+            errors.append(f"results[{i}] ops_per_s must be positive")
+        if tier["threads"] <= 0:
+            errors.append(f"results[{i}] threads must be positive")
+    missing_tiers = RPC_REQUIRED_TIERS - tiers
+    if missing_tiers:
+        errors.append(f"missing speedup tiers: {sorted(missing_tiers)}")
+    connections = {c for c, _ in tiers}
+    missing_sweep = RPC_REQUIRED_SWEEP_CONNECTIONS - connections
+    if missing_sweep:
+        errors.append(f"missing connections-sweep tiers: {sorted(missing_sweep)}")
+
+
+CHECKERS = {"policy_scaling": check_policy, "rpc_pipeline": check_rpc}
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [str(e)]
+    if doc.get("schema_version") != 1:
+        errors.append(f"schema_version must be 1, got {doc.get('schema_version')}")
+    checker = CHECKERS.get(doc.get("bench"))
+    if checker is None:
+        errors.append(f"unknown bench kind: {doc.get('bench')!r}")
+    else:
+        checker(doc, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: FAIL")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Builds the Release tree and runs the policy + RPC benchmarks, leaving
 # BENCH_policy.json and BENCH_rpc.json at the repo root (schemas:
-# ROADMAP.md "Benchmarks").
+# ROADMAP.md "Benchmarks", enforced by tools/check_bench_schema.py).
 #
 # Usage: tools/run_bench.sh [max_credentials]
 #   max_credentials  cap the policy_scaling sweep (default 10000)
 set -euo pipefail
+
+die() {
+  echo "run_bench.sh: error: $*" >&2
+  exit 1
+}
+
+command -v cmake >/dev/null 2>&1 || die "cmake not found in PATH"
+command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 ||
+  command -v clang++ >/dev/null 2>&1 || die "no C++ compiler found in PATH"
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build-release"
@@ -21,7 +30,16 @@ echo "--- policy_scaling (writes BENCH_policy.json) ---"
 echo "--- ablation_cache ---"
 "$build_dir/ablation_cache"
 
-echo "--- rpc_pipeline (writes BENCH_rpc.json; fails if pipelining < 3x) ---"
+echo "--- rpc_pipeline (writes BENCH_rpc.json; fails below 3x pipelining"
+echo "    speedup or when 64->256 connections grows the thread count) ---"
 "$build_dir/rpc_pipeline" "$repo_root/BENCH_rpc.json"
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "--- schema validation ---"
+  python3 "$repo_root/tools/check_bench_schema.py" \
+    "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json"
+else
+  echo "warning: python3 not found; skipping bench schema validation" >&2
+fi
 
 echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json"

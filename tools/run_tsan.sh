@@ -1,21 +1,31 @@
 #!/usr/bin/env bash
 # Builds with -DDISCFS_SANITIZE=thread and runs the concurrency-heavy
 # tests: the RPC runtime intentionally races replies across worker threads,
-# the secure channel splits send/recv state, and the multiserver test
-# exercises the whole stack end-to-end over TCP.
+# the event loop dispatches every connection from one poller, the secure
+# channel splits send/recv state, and the multiserver test exercises the
+# whole stack end-to-end over TCP.
 #
 # Usage: tools/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
 
+die() {
+  echo "run_tsan.sh: error: $*" >&2
+  exit 1
+}
+
+command -v cmake >/dev/null 2>&1 || die "cmake not found in PATH"
+command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 ||
+  command -v clang++ >/dev/null 2>&1 || die "no C++ compiler found in PATH"
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
-test_regex="${1:-transport_test|rpc_pipeline_test|discfs_multiserver_test|security_test}"
+test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test}"
 
 cmake -B "$build_dir" -S "$repo_root" -DDISCFS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target transport_test rpc_pipeline_test discfs_multiserver_test \
-  security_test
+  --target transport_test rpc_pipeline_test event_loop_test \
+  discfs_multiserver_test security_test
 
 cd "$build_dir"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "$test_regex"
