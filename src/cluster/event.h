@@ -1,0 +1,57 @@
+// Churn events replicated by the coherence fabric (PR 4).
+//
+// A DisCFS server turns every local credential-set mutation into one of
+// these events and appends it to its CoherenceEventLog; peers apply the
+// event against their own policy cache and revocation state. The event
+// carries the *invalidation closure* (AffectedRequesters at the origin),
+// not credential text: a replica that never saw the credential can still
+// bump exactly the principals whose cached grants may have changed, so
+// unaffected entries stay warm cluster-wide.
+#ifndef DISCFS_SRC_CLUSTER_EVENT_H_
+#define DISCFS_SRC_CLUSTER_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace discfs::cluster {
+
+struct CoherenceEvent {
+  enum class Type : uint32_t {
+    // A credential was admitted at the origin; cached masks for the listed
+    // principals may now be stale (typically too *narrow*).
+    kSubmit = 1,
+    // A credential was withdrawn/revoked; receivers mirror the revocation
+    // and drop the listed principals' cached grants.
+    kRemove = 2,
+    // A key was revoked; receivers mirror the key revocation, expel the
+    // key's delegations, and drop the listed principals' cached grants.
+    kRevokeKey = 3,
+    // Scope is unknowable (policy change, or the origin's log was
+    // compacted past the receiver's cursor): flush everything.
+    kInvalidateAll = 4,
+  };
+
+  Type type = Type::kInvalidateAll;
+  std::string credential_id;  // kSubmit / kRemove
+  std::string principal;      // kRevokeKey: the revoked key
+  // AffectedRequesters closure computed at the origin while the delegation
+  // chain was still installed there.
+  std::vector<std::string> principals;
+
+  bool operator==(const CoherenceEvent& o) const {
+    return type == o.type && credential_id == o.credential_id &&
+           principal == o.principal && principals == o.principals;
+  }
+};
+
+// A log entry: the origin assigns seq (monotone, starting at 1) and peers
+// ack/dedup by it.
+struct SequencedEvent {
+  uint64_t seq = 0;
+  CoherenceEvent event;
+};
+
+}  // namespace discfs::cluster
+
+#endif  // DISCFS_SRC_CLUSTER_EVENT_H_

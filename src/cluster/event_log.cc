@@ -1,0 +1,51 @@
+#include "src/cluster/event_log.h"
+
+namespace discfs::cluster {
+
+CoherenceEventLog::CoherenceEventLog(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+uint64_t CoherenceEventLog::Append(CoherenceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++head_;
+  events_.push_back(SequencedEvent{head_, std::move(event)});
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+  return head_;
+}
+
+std::vector<SequencedEvent> CoherenceEventLog::ReadAfter(
+    uint64_t cursor, size_t max, bool* compacted) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t first = events_.empty() ? head_ + 1 : events_.front().seq;
+  *compacted = cursor < head_ && cursor + 1 < first;
+  std::vector<SequencedEvent> out;
+  for (const SequencedEvent& entry : events_) {
+    if (entry.seq <= cursor) {
+      continue;
+    }
+    if (out.size() >= max) {
+      break;
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+uint64_t CoherenceEventLog::head_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+uint64_t CoherenceEventLog::first_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.empty() ? head_ + 1 : events_.front().seq;
+}
+
+size_t CoherenceEventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace discfs::cluster

@@ -1,0 +1,53 @@
+// Bounded, monotonically sequence-numbered log of churn events — the
+// replication source the coherence fabric's peer senders read from.
+//
+// Appends assign dense sequence numbers starting at 1. The log retains at
+// most `capacity` events; older entries are compacted away (dropped from
+// the front). A reader whose cursor has been compacted past cannot replay
+// the missing prefix — ReadAfter reports that as a gap and the sender
+// falls back to shipping a full invalidation that stands in for everything
+// lost, followed by the retained suffix (see CoherenceFabric).
+#ifndef DISCFS_SRC_CLUSTER_EVENT_LOG_H_
+#define DISCFS_SRC_CLUSTER_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/cluster/event.h"
+
+namespace discfs::cluster {
+
+class CoherenceEventLog {
+ public:
+  // capacity 0 is clamped to 1 (a log that retains nothing could never
+  // replay, only full-invalidate).
+  explicit CoherenceEventLog(size_t capacity);
+
+  // Appends and returns the assigned sequence number.
+  uint64_t Append(CoherenceEvent event);
+
+  // Copies events with seq > cursor, oldest first, at most `max`.
+  // *compacted is set when cursor+1 is no longer retained — the caller
+  // must cover the lost prefix with a full invalidation (the returned
+  // events are the retained suffix, still worth replaying afterwards).
+  std::vector<SequencedEvent> ReadAfter(uint64_t cursor, size_t max,
+                                        bool* compacted) const;
+
+  // Latest assigned sequence number (0 when nothing was ever appended).
+  uint64_t head_seq() const;
+  // Oldest retained sequence number; head_seq()+1 when the log is empty.
+  uint64_t first_seq() const;
+  size_t size() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t head_ = 0;                  // guarded by mu_
+  std::deque<SequencedEvent> events_;  // guarded by mu_
+};
+
+}  // namespace discfs::cluster
+
+#endif  // DISCFS_SRC_CLUSTER_EVENT_LOG_H_

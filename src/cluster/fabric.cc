@@ -1,0 +1,470 @@
+#include "src/cluster/fabric.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/cluster/protocol.h"
+#include "src/crypto/sysrand.h"
+#include "src/net/transport.h"
+#include "src/rpc/rpc.h"
+
+namespace discfs::cluster {
+namespace {
+
+// Forwards to a stream owned by someone else. The peer sender keeps true
+// ownership of its TcpTransport so a concurrent Stop can always Shutdown
+// the live fd; the secure channel (and the RpcClient above it) own only
+// this view, whose Close intentionally degrades to Shutdown — the fd is
+// released by the owner, after the channel is gone, avoiding the
+// fd-reuse-while-registered race.
+class BorrowedStream : public MsgStream {
+ public:
+  explicit BorrowedStream(MsgStream* inner) : inner_(inner) {}
+
+  Status Send(const Bytes& message) override { return inner_->Send(message); }
+  Result<Bytes> Recv() override { return inner_->Recv(); }
+  void Close() override { inner_->Shutdown(); }
+  void Shutdown() override { inner_->Shutdown(); }
+  int PollFd() const override { return inner_->PollFd(); }
+  Result<std::optional<Bytes>> TryRecv() override { return inner_->TryRecv(); }
+  Result<bool> SendNonBlocking(const Bytes& message) override {
+    return inner_->SendNonBlocking(message);
+  }
+  Result<bool> FlushSend() override { return inner_->FlushSend(); }
+
+ private:
+  MsgStream* inner_;
+};
+
+}  // namespace
+
+// One outbound replication link. A dedicated thread drives the blocking
+// connect/handshake/push cycle (peers are few — one per cluster member —
+// so a thread each is cheap); replies still demux on the shared EventLoop
+// through the RpcClient. The thread owns the connection state; Stop and
+// the pause seam only poke it under mu_.
+class CoherenceFabric::PeerSender {
+ public:
+  PeerSender(CoherenceFabric* fabric, PeerConfig peer)
+      : fabric_(fabric),
+        peer_(std::move(peer)),
+        address_(peer_.host + ":" + std::to_string(peer_.port)) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~PeerSender() {
+    Stop();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  void Stop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    if (client_ != nullptr) {
+      client_->Close();  // fails a blocked Call fast
+    }
+    if (transport_ != nullptr) {
+      transport_->Shutdown();  // unblocks a mid-handshake Recv
+    }
+    cv_.notify_all();
+  }
+
+  void SetPaused(bool paused) {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = paused;
+    if (paused && client_ != nullptr) {
+      // Drop the link so resuming exercises the reconnect path.
+      client_->Close();
+    }
+    cv_.notify_all();
+  }
+
+  void NotifyNewEvents() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+
+  uint64_t acked() const { return acked_.load(std::memory_order_acquire); }
+
+  PeerStats stats() const {
+    PeerStats s;
+    s.address = address_;
+    s.acked_seq = acked();
+    s.connects = connects_.load(std::memory_order_relaxed);
+    s.connect_failures = connect_failures_.load(std::memory_order_relaxed);
+    s.full_invalidations_sent =
+        full_invalidations_sent_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    s.connected = client_ != nullptr;
+    return s;
+  }
+
+ private:
+  void Run() {
+    std::chrono::milliseconds backoff =
+        fabric_->config_.tuning.reconnect_initial;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return !paused_ || stop_; });
+        if (stop_) {
+          break;
+        }
+      }
+      RpcClient* client = CurrentClient();
+      if (client == nullptr) {
+        if (!Connect()) {
+          if (WaitStopped(backoff)) {
+            break;
+          }
+          backoff =
+              std::min(backoff * 2, fabric_->config_.tuning.reconnect_max);
+          continue;
+        }
+        backoff = fabric_->config_.tuning.reconnect_initial;
+        continue;  // re-check stop/pause before pushing
+      }
+
+      bool compacted = false;
+      std::vector<SequencedEvent> batch = fabric_->log_.ReadAfter(
+          acked(), fabric_->config_.tuning.batch_max, &compacted);
+      if (compacted) {
+        // The log no longer holds cursor+1: one full invalidation stands
+        // in for the lost prefix (seq = last lost entry), after which the
+        // retained suffix replays normally.
+        SequencedEvent flush;
+        flush.seq = fabric_->log_.first_seq() - 1;
+        flush.event.type = CoherenceEvent::Type::kInvalidateAll;
+        if (PushBatch(client, {flush})) {
+          full_invalidations_sent_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (batch.empty()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] {
+          return stop_ || paused_ ||
+                 fabric_->log_.head_seq() >
+                     acked_.load(std::memory_order_acquire);
+        });
+        if (stop_) {
+          break;
+        }
+        continue;
+      }
+      PushBatch(client, batch);
+    }
+    Disconnect();
+  }
+
+  RpcClient* CurrentClient() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return client_.get();
+  }
+
+  // Calls a cluster procedure under the configured deadline. A peer that
+  // dies without RST never replies; on expiry the connection is closed
+  // (which fails the in-flight call) so the reconnect loop takes over
+  // instead of this sender waiting forever.
+  Result<Bytes> TimedCall(RpcClient* client, ClusterProc proc,
+                          const Bytes& args) {
+    std::future<Result<Bytes>> reply = client->CallAsync(
+        kClusterProgram, static_cast<uint32_t>(proc), args);
+    if (reply.wait_for(fabric_->config_.tuning.call_timeout) ==
+        std::future_status::timeout) {
+      client->Close();  // fails the pending call; the future resolves now
+      (void)reply.get();
+      return DeadlineExceededError("cluster peer call timed out");
+    }
+    return reply.get();
+  }
+
+  // Returns true when stop was requested during the wait.
+  bool WaitStopped(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return stop_; });
+  }
+
+  bool Connect() {
+    auto transport = TcpTransport::Connect(
+        peer_.host, peer_.port,
+        static_cast<int>(
+            fabric_->config_.tuning.connect_timeout.count()));
+    if (!transport.ok()) {
+      connect_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) {
+        return false;
+      }
+      transport_ = std::move(transport).value();
+    }
+    // The handshake borrows the transport: Stop can Shutdown it at any
+    // point without an ownership race (see BorrowedStream).
+    auto channel = SecureChannel::ClientHandshake(
+        std::make_unique<BorrowedStream>(transport_.get()),
+        fabric_->config_.identity, peer_.expected_key);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!channel.ok() || stop_) {
+        transport_.reset();
+        connect_failures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      client_ = std::make_unique<RpcClient>(std::move(channel).value(),
+                                            fabric_->config_.loop);
+    }
+    // Learn where the peer wants us to resume (its cursor for our origin;
+    // 0 from a fresh peer replays everything retained). The incarnation
+    // id lets a peer that outlived our restart detect that our sequence
+    // space is new and reset, instead of deduplicating the reborn log
+    // against the dead incarnation's numbering forever.
+    HelloRequest hello;
+    hello.origin = fabric_->config_.node_id;
+    hello.incarnation = fabric_->incarnation_;
+    hello.head_seq = fabric_->log_.head_seq();
+    auto reply =
+        TimedCall(CurrentClient(), ClusterProc::kHello, EncodeHello(hello));
+    uint64_t cursor = 0;
+    bool ok = reply.ok();
+    if (ok) {
+      XdrReader r(*reply);
+      auto decoded = r.GetU64();
+      ok = decoded.ok();
+      if (ok) {
+        cursor = *decoded;
+      }
+    }
+    if (!ok) {
+      Disconnect();
+      connect_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // A well-behaved peer never claims more than we offered; clamp so a
+    // confused one cannot stall this sender waiting for unreachable seqs.
+    cursor = std::min(cursor, hello.head_seq);
+    acked_.store(cursor, std::memory_order_release);
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    fabric_->NoteAck();
+    return true;
+  }
+
+  // Sends one push and advances the cursor from the reply. On any failure
+  // the connection is dropped (the next loop iteration reconnects and
+  // resumes from the receiver's authoritative cursor).
+  bool PushBatch(RpcClient* client, const std::vector<SequencedEvent>& batch) {
+    PushRequest request;
+    request.origin = fabric_->config_.node_id;
+    request.events = batch;
+    auto reply = TimedCall(client, ClusterProc::kPush, EncodePush(request));
+    if (!reply.ok()) {
+      Disconnect();
+      return false;
+    }
+    XdrReader r(*reply);
+    auto cursor = r.GetU64();
+    if (!cursor.ok()) {
+      Disconnect();
+      return false;
+    }
+    uint64_t prev = acked_.load(std::memory_order_acquire);
+    if (*cursor > prev) {
+      acked_.store(*cursor, std::memory_order_release);
+    }
+    fabric_->NoteAck();
+    return true;
+  }
+
+  void Disconnect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (client_ != nullptr) {
+      client_->Close();
+      client_.reset();  // unregisters from the loop before the fd dies
+    }
+    transport_.reset();
+  }
+
+  CoherenceFabric* fabric_;
+  const PeerConfig peer_;
+  const std::string address_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;    // guarded by mu_
+  bool paused_ = false;  // guarded by mu_
+  // Connection state: created/destroyed only by the sender thread, always
+  // under mu_, so Stop/SetPaused can safely poke whatever exists.
+  std::unique_ptr<TcpTransport> transport_;  // guarded by mu_
+  std::unique_ptr<RpcClient> client_;        // guarded by mu_
+
+  std::atomic<uint64_t> acked_{0};
+  std::atomic<uint64_t> connects_{0};
+  std::atomic<uint64_t> connect_failures_{0};
+  std::atomic<uint64_t> full_invalidations_sent_{0};
+  std::thread thread_;
+};
+
+CoherenceFabric::CoherenceFabric(FabricConfig config)
+    : config_(std::move(config)), log_(config_.tuning.log_capacity) {
+  // Always from the system entropy pool, never config.identity.rand_bytes:
+  // a deterministic (seeded) rand would reproduce the same incarnation
+  // after a restart, and restart detection is the whole point.
+  for (uint8_t b : SysRandomBytes(sizeof(incarnation_))) {
+    incarnation_ = (incarnation_ << 8) | b;
+  }
+  if (incarnation_ == 0) {
+    incarnation_ = 1;  // 0 marks "never heard a Hello" on receivers
+  }
+}
+
+CoherenceFabric::~CoherenceFabric() {
+  std::vector<std::unique_ptr<PeerSender>> peers;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peers.swap(peers_);
+  }
+  peers.clear();  // each dtor stops and joins its sender thread
+}
+
+void CoherenceFabric::AddPeer(PeerConfig peer) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  peers_.push_back(std::make_unique<PeerSender>(this, std::move(peer)));
+}
+
+uint64_t CoherenceFabric::Publish(CoherenceEvent event) {
+  uint64_t seq = log_.Append(std::move(event));
+  published_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  for (auto& peer : peers_) {
+    peer->NotifyNewEvents();
+  }
+  return seq;
+}
+
+CoherenceFabric::RecvState& CoherenceFabric::RecvStateFor(
+    const std::string& origin) {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  return recv_cursors_[origin];  // node-stable; entries are never erased
+}
+
+void CoherenceFabric::ApplyResetFlush() {
+  CoherenceEvent flush;
+  flush.type = CoherenceEvent::Type::kInvalidateAll;
+  if (config_.apply) {
+    config_.apply(flush);
+  }
+  full_invalidations_applied_.fetch_add(1, std::memory_order_relaxed);
+  applied_.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t CoherenceFabric::HandleHello(const std::string& origin,
+                                      uint64_t incarnation,
+                                      uint64_t origin_head) {
+  RecvState& state = RecvStateFor(origin);
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t cursor = state.cursor.load(std::memory_order_relaxed);
+  bool restarted = false;
+  if (state.incarnation != incarnation) {
+    // First Hello from this incarnation. A nonzero cursor belongs to a
+    // dead incarnation whose sequence space restarted: without a reset
+    // we would dedup the reborn origin's events 1..cursor — including
+    // revocations — forever.
+    restarted = cursor > 0;
+    state.incarnation = incarnation;
+    cursor = 0;
+    state.cursor.store(0, std::memory_order_release);
+  } else if (cursor > origin_head) {
+    // Same incarnation cannot regress its head; reset defensively.
+    restarted = true;
+    cursor = 0;
+    state.cursor.store(0, std::memory_order_release);
+  }
+  if (restarted) {
+    // Scoped state learned from the dead incarnation is of unknowable
+    // coverage now — flush, then let the replay rebuild warmth.
+    ApplyResetFlush();
+  }
+  return cursor;
+}
+
+uint64_t CoherenceFabric::HandlePush(
+    const std::string& origin, const std::vector<SequencedEvent>& events) {
+  // state.mu is held across apply so concurrent pushes from one origin
+  // (reconnect racing a stale connection) cannot reorder application;
+  // pushes from different origins apply concurrently.
+  RecvState& state = RecvStateFor(origin);
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t cursor = state.cursor.load(std::memory_order_relaxed);
+  for (const SequencedEvent& entry : events) {
+    if (entry.seq <= cursor) {
+      duplicates_skipped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (config_.apply) {
+      config_.apply(entry.event);
+    }
+    if (entry.event.type == CoherenceEvent::Type::kInvalidateAll) {
+      full_invalidations_applied_.fetch_add(1, std::memory_order_relaxed);
+    }
+    applied_.fetch_add(1, std::memory_order_release);
+    cursor = entry.seq;
+    state.cursor.store(cursor, std::memory_order_release);
+  }
+  return cursor;
+}
+
+bool CoherenceFabric::WaitForAck(uint64_t seq,
+                                 std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(peers_mu_);
+  return ack_cv_.wait_until(lock, deadline, [this, seq] {
+    for (const auto& peer : peers_) {
+      if (peer->acked() < seq) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void CoherenceFabric::NoteAck() {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  ack_cv_.notify_all();
+}
+
+FabricStats CoherenceFabric::stats() const {
+  FabricStats s;
+  s.published = published_.load(std::memory_order_relaxed);
+  s.applied = applied_.load(std::memory_order_relaxed);
+  s.duplicates_skipped = duplicates_skipped_.load(std::memory_order_relaxed);
+  s.full_invalidations_applied =
+      full_invalidations_applied_.load(std::memory_order_relaxed);
+  s.head_seq = log_.head_seq();
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  s.peers.reserve(peers_.size());
+  for (const auto& peer : peers_) {
+    s.peers.push_back(peer->stats());
+  }
+  return s;
+}
+
+uint64_t CoherenceFabric::ReceiveCursor(const std::string& origin) const {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  auto it = recv_cursors_.find(origin);
+  return it == recv_cursors_.end()
+             ? 0
+             : it->second.cursor.load(std::memory_order_acquire);
+}
+
+void CoherenceFabric::SetPeerPausedForTest(size_t index, bool paused) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  if (index < peers_.size()) {
+    peers_[index]->SetPaused(paused);
+  }
+}
+
+}  // namespace discfs::cluster

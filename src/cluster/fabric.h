@@ -1,0 +1,209 @@
+// Coherence fabric (PR 4): replicates credential-churn invalidation events
+// to every peer DisCFS server, so a revocation accepted anywhere drops the
+// affected cached grants everywhere — scoped (per-principal generation
+// bumps), not a global flush.
+//
+// Topology is a static full mesh: the server that accepts a mutation
+// appends an event to its local CoherenceEventLog and one PeerSender per
+// configured peer pushes it over the existing runtime — TcpTransport →
+// SecureChannel (the sender authenticates with the server's own channel
+// key; receivers check it against their cluster trust set) → RpcClient
+// demuxed on the host's shared EventLoop. Events are never forwarded
+// peer-to-peer, so there are no replication cycles.
+//
+// Delivery: at-least-once with per-peer acked cursors. A sender replays
+// from the receiver's cursor (learned via Hello on every connect) after a
+// disconnect; receivers skip duplicates by sequence number, making
+// application exactly-once per origin. Reconnects back off exponentially.
+// When the origin's log has been compacted past a receiver's cursor, the
+// sender ships one kInvalidateAll standing in for the lost prefix, then
+// replays the retained suffix — a blunt flush is always a safe
+// over-approximation of the lost scoped bumps (the residual risk, lost
+// *revocation* events, is bounded by credential lifetimes; see ROADMAP).
+#ifndef DISCFS_SRC_CLUSTER_FABRIC_H_
+#define DISCFS_SRC_CLUSTER_FABRIC_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/event_log.h"
+#include "src/crypto/dsa.h"
+#include "src/net/event_loop.h"
+#include "src/securechannel/channel.h"
+
+namespace discfs::cluster {
+
+struct PeerConfig {
+  std::string host;
+  uint16_t port = 0;
+  // Pins the peer's channel key (self-certifying connect). Unset accepts
+  // whatever key the peer presents — fine when the *receiver* enforces the
+  // trust set, which it always does.
+  std::optional<DsaPublicKey> expected_key;
+};
+
+struct FabricTuning {
+  // Events retained for replay; reconnecting peers whose cursor fell
+  // behind by more than this get a full invalidation instead.
+  size_t log_capacity = 4096;
+  // Max events per push RPC.
+  size_t batch_max = 128;
+  // Exponential reconnect backoff bounds.
+  std::chrono::milliseconds reconnect_initial{10};
+  std::chrono::milliseconds reconnect_max{1000};
+  // Bound on each TCP connect attempt, so a blackholed peer (SYNs
+  // dropped, not refused) cannot pin a sender — or fabric teardown —
+  // for the kernel's multi-minute connect timeout.
+  std::chrono::milliseconds connect_timeout{1000};
+  // Bound on each Hello/Push RPC once connected: a peer that dies
+  // without RST (power loss, partition) would otherwise hold its sender
+  // in a reply wait forever, silently stopping revocation replication
+  // to it. On expiry the link is dropped and the reconnect loop takes
+  // over.
+  std::chrono::milliseconds call_timeout{10000};
+};
+
+struct FabricConfig {
+  // Stable unique origin stamp for this server's events (DiscfsHost uses
+  // the server's public key string).
+  std::string node_id;
+  // Shared poller the peer RpcClients demux on. Required; must outlive
+  // the fabric.
+  EventLoop* loop = nullptr;
+  // Channel identity for outbound peer links (the server's own key).
+  ChannelIdentity identity;
+  // Remote events land here, in per-origin sequence order; different
+  // origins may apply concurrently. Must be safe to call from RPC worker
+  // threads and must not call back into Publish.
+  std::function<void(const CoherenceEvent&)> apply;
+  FabricTuning tuning;
+};
+
+struct PeerStats {
+  std::string address;        // "host:port"
+  bool connected = false;
+  uint64_t acked_seq = 0;     // receiver-confirmed cursor for this peer
+  uint64_t connects = 0;      // successful (re)connections
+  uint64_t connect_failures = 0;
+  uint64_t full_invalidations_sent = 0;
+};
+
+struct FabricStats {
+  uint64_t published = 0;                  // events appended locally
+  uint64_t applied = 0;                    // remote events applied
+  uint64_t duplicates_skipped = 0;         // at-least-once redeliveries
+  uint64_t full_invalidations_applied = 0;
+  uint64_t head_seq = 0;                   // local log head
+  std::vector<PeerStats> peers;
+};
+
+class CoherenceFabric {
+ public:
+  explicit CoherenceFabric(FabricConfig config);
+  // Stops and joins every peer sender. Callers must quiesce the receive
+  // half first (drain the RPC workers that call HandleHello/HandlePush).
+  ~CoherenceFabric();
+
+  CoherenceFabric(const CoherenceFabric&) = delete;
+  CoherenceFabric& operator=(const CoherenceFabric&) = delete;
+
+  // Adds a peer and starts pushing to it (from the current cursor the
+  // peer reports, so a peer added late still converges). Any-thread-safe.
+  void AddPeer(PeerConfig peer);
+
+  // Appends a local churn event and wakes the senders. Returns the
+  // assigned sequence number. Safe to call under the server's state lock:
+  // replication is asynchronous and never calls back.
+  uint64_t Publish(CoherenceEvent event);
+
+  // --- receive half (wired into the server's RPC dispatcher) ---
+  // Returns this receiver's last applied sequence number for `origin`.
+  // A cursor stored under a *different* incarnation id belongs to a dead
+  // incarnation of the origin whose sequence space restarted: the cursor
+  // resets to 0 and the cache is flushed, so the reborn origin's events
+  // apply instead of deduplicating against the old numbering. The same
+  // reset guards a same-incarnation head regression (defensive; cannot
+  // happen with an honest peer).
+  uint64_t HandleHello(const std::string& origin, uint64_t incarnation,
+                       uint64_t origin_head);
+  // Applies `events` in order, skipping those at or below the origin's
+  // cursor; returns the cursor after application.
+  uint64_t HandlePush(const std::string& origin,
+                      const std::vector<SequencedEvent>& events);
+
+  // Blocks until every peer's acked cursor reaches `seq` (false on
+  // timeout). The convergence barrier tests and benches sit on.
+  bool WaitForAck(uint64_t seq, std::chrono::milliseconds timeout);
+
+  FabricStats stats() const;
+  // Cheap atomic read for hot polling (propagation benches).
+  uint64_t events_applied() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  // Last applied sequence number for `origin` (0 if never heard from).
+  uint64_t ReceiveCursor(const std::string& origin) const;
+  const std::string& node_id() const { return config_.node_id; }
+
+  // Test seam: while paused, the sender for peers_[index] neither pushes
+  // nor reconnects — simulates a long partition without socket churn.
+  void SetPeerPausedForTest(size_t index, bool paused);
+
+ private:
+  class PeerSender;
+
+  // Wakes WaitForAck waiters after a sender's cursor advanced.
+  void NoteAck();
+
+  FabricConfig config_;
+  CoherenceEventLog log_;
+
+  // Sender side. peers_mu_ guards the peer list and is the ack-waiters'
+  // monitor; it is never held while calling into apply or the log.
+  mutable std::mutex peers_mu_;
+  std::condition_variable ack_cv_;
+  std::vector<std::unique_ptr<PeerSender>> peers_;
+
+  struct RecvState {
+    // Serializes Hello/Push application for this origin (held across
+    // apply, so one origin's events land in sequence order while other
+    // origins apply concurrently).
+    std::mutex mu;
+    uint64_t incarnation = 0;  // guarded by mu; 0 until the first Hello
+    // Last applied seq from that incarnation. Advanced under mu; atomic
+    // so stats/ReceiveCursor read it without joining the apply convoy.
+    std::atomic<uint64_t> cursor{0};
+  };
+
+  // Returns the origin's state, creating it on first contact.
+  RecvState& RecvStateFor(const std::string& origin);
+
+  // Applies a full flush and charges it to the counters (state.mu held).
+  void ApplyResetFlush();
+
+  // Receive side. recv_mu_ only guards the map itself (entries are
+  // node-stable and never erased); application serializes per origin on
+  // RecvState::mu. Neither is ever taken together with peers_mu_.
+  mutable std::mutex recv_mu_;
+  std::unordered_map<std::string, RecvState> recv_cursors_;
+
+  // Drawn fresh at construction; lets peers detect that this fabric's
+  // sequence numbering restarted.
+  uint64_t incarnation_ = 0;
+
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> duplicates_skipped_{0};
+  std::atomic<uint64_t> full_invalidations_applied_{0};
+};
+
+}  // namespace discfs::cluster
+
+#endif  // DISCFS_SRC_CLUSTER_FABRIC_H_

@@ -1,0 +1,91 @@
+#include "src/cluster/protocol.h"
+
+namespace discfs::cluster {
+namespace {
+
+// Events are small (ids + principal key strings); a batch holding more
+// than this is malformed or hostile.
+constexpr size_t kMaxEventsPerPush = 4096;
+constexpr size_t kMaxPrincipalsPerEvent = 1 << 16;
+
+}  // namespace
+
+void EncodeSequencedEvent(XdrWriter& w, const SequencedEvent& event) {
+  w.PutU64(event.seq);
+  w.PutU32(static_cast<uint32_t>(event.event.type));
+  w.PutString(event.event.credential_id);
+  w.PutString(event.event.principal);
+  w.PutU32(static_cast<uint32_t>(event.event.principals.size()));
+  for (const std::string& principal : event.event.principals) {
+    w.PutString(principal);
+  }
+}
+
+Result<SequencedEvent> DecodeSequencedEvent(XdrReader& r) {
+  SequencedEvent out;
+  ASSIGN_OR_RETURN(out.seq, r.GetU64());
+  ASSIGN_OR_RETURN(uint32_t type, r.GetU32());
+  if (type < static_cast<uint32_t>(CoherenceEvent::Type::kSubmit) ||
+      type > static_cast<uint32_t>(CoherenceEvent::Type::kInvalidateAll)) {
+    return InvalidArgumentError("unknown coherence event type " +
+                                std::to_string(type));
+  }
+  out.event.type = static_cast<CoherenceEvent::Type>(type);
+  ASSIGN_OR_RETURN(out.event.credential_id, r.GetString());
+  ASSIGN_OR_RETURN(out.event.principal, r.GetString());
+  ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > kMaxPrincipalsPerEvent) {
+    return InvalidArgumentError("coherence event principal list too large");
+  }
+  out.event.principals.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(std::string principal, r.GetString());
+    out.event.principals.push_back(std::move(principal));
+  }
+  return out;
+}
+
+Bytes EncodeHello(const HelloRequest& request) {
+  XdrWriter w;
+  w.PutString(request.origin);
+  w.PutU64(request.incarnation);
+  w.PutU64(request.head_seq);
+  return w.Take();
+}
+
+Result<HelloRequest> DecodeHello(const Bytes& args) {
+  XdrReader r(args);
+  HelloRequest out;
+  ASSIGN_OR_RETURN(out.origin, r.GetString());
+  ASSIGN_OR_RETURN(out.incarnation, r.GetU64());
+  ASSIGN_OR_RETURN(out.head_seq, r.GetU64());
+  return out;
+}
+
+Bytes EncodePush(const PushRequest& request) {
+  XdrWriter w;
+  w.PutString(request.origin);
+  w.PutU32(static_cast<uint32_t>(request.events.size()));
+  for (const SequencedEvent& event : request.events) {
+    EncodeSequencedEvent(w, event);
+  }
+  return w.Take();
+}
+
+Result<PushRequest> DecodePush(const Bytes& args) {
+  XdrReader r(args);
+  PushRequest out;
+  ASSIGN_OR_RETURN(out.origin, r.GetString());
+  ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > kMaxEventsPerPush) {
+    return InvalidArgumentError("coherence push batch too large");
+  }
+  out.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(SequencedEvent event, DecodeSequencedEvent(r));
+    out.events.push_back(std::move(event));
+  }
+  return out;
+}
+
+}  // namespace discfs::cluster

@@ -1,0 +1,67 @@
+// Cluster coherence wire protocol: a private RPC program (next to NFS and
+// the DisCFS control program on the same secure channel) that peer DisCFS
+// servers use to push invalidation events to each other.
+//
+// Both procedures authenticate like everything else on the channel: the
+// receiving server only honors them when the peer's channel key is in its
+// configured cluster trust set.
+//
+//   kHello: origin node id + the origin's incarnation id + current log
+//       head -> u64 (the receiver's last applied sequence number for
+//       that origin). Sent once per connection so a reconnecting sender
+//       knows where to resume. The incarnation id is drawn fresh every
+//       time a fabric starts: a receiver holding a cursor from a
+//       *different* incarnation has outlived an origin restart — the
+//       reborn origin's sequence numbers restart too, so the receiver
+//       resets its cursor to 0 and flushes, rather than silently
+//       deduplicating the new incarnation's events against the old one's
+//       sequence space.
+//   kPush:  origin node id + sequenced events -> u64 (the receiver's
+//       cursor after applying). Events at or below the cursor are skipped
+//       (at-least-once delivery; the cursor makes application exactly-once
+//       per origin).
+#ifndef DISCFS_SRC_CLUSTER_PROTOCOL_H_
+#define DISCFS_SRC_CLUSTER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/event.h"
+#include "src/util/status.h"
+#include "src/wire/xdr.h"
+
+namespace discfs::cluster {
+
+// Private RPC program number for the coherence fabric (kDiscfsProgram + 1;
+// NFS keeps 100003 and DisCFS 200390 on the same channel).
+inline constexpr uint32_t kClusterProgram = 200391;
+
+enum class ClusterProc : uint32_t {
+  kHello = 1,  // origin node id -> u64 cursor
+  kPush = 2,   // origin node id + events -> u64 cursor after apply
+};
+
+struct HelloRequest {
+  std::string origin;
+  uint64_t incarnation = 0;  // nonzero, fresh per fabric start
+  uint64_t head_seq = 0;  // the origin's latest assigned sequence number
+};
+
+struct PushRequest {
+  std::string origin;
+  std::vector<SequencedEvent> events;
+};
+
+void EncodeSequencedEvent(XdrWriter& w, const SequencedEvent& event);
+Result<SequencedEvent> DecodeSequencedEvent(XdrReader& r);
+
+Bytes EncodeHello(const HelloRequest& request);
+Result<HelloRequest> DecodeHello(const Bytes& args);
+
+Bytes EncodePush(const PushRequest& request);
+Result<PushRequest> DecodePush(const Bytes& args);
+
+}  // namespace discfs::cluster
+
+#endif  // DISCFS_SRC_CLUSTER_PROTOCOL_H_

@@ -1,5 +1,7 @@
 #include "src/discfs/host.h"
 
+#include "src/crypto/sysrand.h"
+
 namespace discfs {
 namespace internal {
 
@@ -23,6 +25,17 @@ bool LoopConnectionSet::Add(std::shared_ptr<RpcConnection> conn) {
 void LoopConnectionSet::Remove(RpcConnection* conn) {
   std::lock_guard<std::mutex> lock(mu_);
   conns_.erase(conn);
+}
+
+void LoopConnectionSet::AbortActive() {
+  std::unordered_map<RpcConnection*, std::shared_ptr<RpcConnection>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = conns_;  // copy: each Abort triggers Remove via on-closed
+  }
+  for (auto& [ptr, conn] : snapshot) {
+    conn->Abort();
+  }
 }
 
 void LoopConnectionSet::CloseAll() {
@@ -78,6 +91,15 @@ RpcConnection::Options MakeConnOptions(EventLoop* loop, WorkerPool* pool,
 Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
     std::shared_ptr<Vfs> vfs, DiscfsServerConfig config, uint16_t port,
     DiscfsHostOptions options) {
+  const bool cluster = options.cluster_enabled ||
+                       !options.cluster_peers.empty() ||
+                       !config.cluster_trusted_keys.empty();
+  // The fabric's outbound links authenticate with the server's own
+  // channel identity; capture it before the config moves into the server.
+  ChannelIdentity identity{config.server_key, config.rand_bytes};
+  if (!identity.rand_bytes) {
+    identity.rand_bytes = [](size_t n) { return SysRandomBytes(n); };
+  }
   auto host = std::unique_ptr<DiscfsHost>(new DiscfsHost());
   ASSIGN_OR_RETURN(host->server_,
                    DiscfsServer::Create(std::move(vfs), std::move(config)));
@@ -85,10 +107,39 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
   host->pool_ = std::make_unique<WorkerPool>(
       ResolveWorkerThreads(options.worker_threads));
   host->options_ = options;
+  if (cluster) {
+    cluster::FabricConfig fabric_config;
+    fabric_config.node_id = host->server_->public_key().ToKeyNoteString();
+    fabric_config.loop = host->loop_.get();
+    fabric_config.identity = std::move(identity);
+    fabric_config.tuning = options.cluster_tuning;
+    fabric_config.apply = [srv = host->server_.get()](
+                              const cluster::CoherenceEvent& event) {
+      srv->ApplyRemoteEvent(event);
+    };
+    host->fabric_ =
+        std::make_unique<cluster::CoherenceFabric>(std::move(fabric_config));
+    host->server_->AttachCoherenceFabric(host->fabric_.get());
+    for (cluster::PeerConfig& peer : options.cluster_peers) {
+      host->fabric_->AddPeer(std::move(peer));
+    }
+    // The fabric owns the live peer set from here (AddClusterPeer grows
+    // it); don't retain a snapshot that would silently diverge.
+    host->options_.cluster_peers.clear();
+  }
   ASSIGN_OR_RETURN(host->listener_,
                    TcpListener::Listen(port, options.bind_addr));
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
   return host;
+}
+
+Status DiscfsHost::AddClusterPeer(cluster::PeerConfig peer) {
+  if (fabric_ == nullptr) {
+    return FailedPreconditionError(
+        "coherence fabric disabled (no cluster options configured)");
+  }
+  fabric_->AddPeer(std::move(peer));
+  return OkStatus();
 }
 
 RpcConnection::Options DiscfsHost::ConnOptions() const {
@@ -121,19 +172,27 @@ void DiscfsHost::AcceptLoop() {
 }
 
 DiscfsHost::~DiscfsHost() {
+  // Members may be null when Start failed partway; every step guards.
   // Shutdown (not Close) so the accept thread's blocked accept(2) unblocks
   // without racing descriptor teardown; the fd closes with the listener.
-  listener_->Shutdown();
+  if (listener_ != nullptr) {
+    listener_->Shutdown();
+  }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
   // No new sockets can arrive now. Abort live connections (their loop
   // callbacks quiesce before Abort returns), then drain the pool — any
   // queued handshake task sees the closing set and aborts its connection,
-  // and in-flight handlers drop their replies. The loop dies last so every
-  // posted closure either ran or is destroyed with it.
+  // and in-flight handlers drop their replies. The fabric goes down after
+  // the pool (no worker can still be applying a peer push) and before the
+  // loop (its peer RpcClients must unregister first); the loop dies last
+  // so every posted closure either ran or is destroyed with it.
   connections_.CloseAll();
-  pool_->Shutdown();
+  if (pool_ != nullptr) {
+    pool_->Shutdown();
+  }
+  fabric_.reset();
   loop_.reset();
 }
 
@@ -177,12 +236,16 @@ void CfsNeHost::AcceptLoop() {
 }
 
 CfsNeHost::~CfsNeHost() {
-  listener_->Shutdown();
+  if (listener_ != nullptr) {  // null when Start failed partway
+    listener_->Shutdown();
+  }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
   connections_.CloseAll();
-  pool_->Shutdown();
+  if (pool_ != nullptr) {
+    pool_->Shutdown();
+  }
   loop_.reset();
 }
 

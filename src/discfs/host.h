@@ -17,6 +17,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "src/cluster/fabric.h"
 #include "src/discfs/server.h"
 #include "src/net/event_loop.h"
 #include "src/nfs/nfs_client.h"
@@ -43,6 +44,17 @@ struct DiscfsHostOptions {
   size_t admission_queue_limit = 0;
   // Listener bind address ("0.0.0.0" to serve remote peers).
   std::string bind_addr = "127.0.0.1";
+
+  // --- cluster coherence fabric (PR 4) ---
+  // Peer DisCFS servers this host pushes invalidation events to; more can
+  // be added after start via AddClusterPeer (ports are often only known
+  // then). The fabric starts when this is non-empty, cluster_enabled is
+  // set, or the server config names trusted cluster keys.
+  std::vector<cluster::PeerConfig> cluster_peers;
+  // Forces the fabric on even with no static peers (receiver-only nodes,
+  // peers added dynamically).
+  bool cluster_enabled = false;
+  cluster::FabricTuning cluster_tuning;
 };
 
 namespace internal {
@@ -59,6 +71,10 @@ class LoopConnectionSet {
   void Remove(RpcConnection* conn);
   // Aborts every live connection and rejects future Adds.
   void CloseAll();
+  // Aborts every live connection but keeps accepting new ones (fault
+  // injection for the coherence catch-up tests: peers and clients see a
+  // broken stream and reconnect).
+  void AbortActive();
   size_t active() const;
 
  private:
@@ -80,6 +96,15 @@ class DiscfsHost {
   uint16_t port() const { return listener_->port(); }
   DiscfsServer& server() { return *server_; }
 
+  // --- cluster coherence (PR 4) ---
+  // Null when the fabric is disabled (no peers, no trusted keys).
+  cluster::CoherenceFabric* fabric() { return fabric_.get(); }
+  // Starts pushing invalidation events to `peer`.
+  Status AddClusterPeer(cluster::PeerConfig peer);
+  // Drops every live connection (clients and inbound peer links); the
+  // host keeps serving. Coherence senders elsewhere reconnect and replay.
+  void AbortConnections() { connections_.AbortActive(); }
+
   // --- load introspection ---
   // Requests currently executing on the shared pool.
   size_t inflight() const { return pool_->in_flight(); }
@@ -97,6 +122,9 @@ class DiscfsHost {
   std::unique_ptr<DiscfsServer> server_;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<WorkerPool> pool_;
+  // Destroyed after the pool (no worker still calling into it) and
+  // before the loop (its RpcClients must unregister first).
+  std::unique_ptr<cluster::CoherenceFabric> fabric_;
   DiscfsHostOptions options_;
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;

@@ -26,7 +26,8 @@ PolicyCache::PolicyCache(size_t capacity, int64_t ttl_seconds,
                          size_t num_shards)
     : capacity_(capacity),
       ttl_seconds_(ttl_seconds),
-      generations_(new std::atomic<uint64_t>[kGenSlots]) {
+      generations_(new std::atomic<uint64_t>[kGenSlots]),
+      slot_tags_(new std::atomic<uint64_t>[kGenSlots]) {
   size_t shards = num_shards != 0 ? num_shards : DefaultShards(capacity);
   per_shard_capacity_ = capacity / shards;
   if (capacity > 0 && per_shard_capacity_ == 0) {
@@ -38,6 +39,7 @@ PolicyCache::PolicyCache(size_t capacity, int64_t ttl_seconds,
   }
   for (size_t i = 0; i < kGenSlots; ++i) {
     generations_[i].store(0, std::memory_order_relaxed);
+    slot_tags_[i].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -86,6 +88,9 @@ void PolicyCache::Put(const std::string& key_id, uint32_t inode,
   }
   Key key{key_id, inode};
   Shard& shard = ShardFor(key);
+  // Stamp ownership of the generation slot (crossings only count on
+  // bumps: a Put sharing a slot is exposure, not yet over-invalidation).
+  (void)TouchSlotTag(key_id);
   uint64_t gen = GenSlot(key_id).load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
@@ -117,8 +122,31 @@ void PolicyCache::InvalidateAll() {
   }
 }
 
-void PolicyCache::InvalidatePrincipal(const std::string& key_id) {
+bool PolicyCache::TouchSlotTag(const std::string& key_id) {
+  uint64_t h = std::hash<std::string>()(key_id);
+  if (h == 0) {
+    h = 1;  // 0 marks an untouched slot
+  }
+  std::atomic<uint64_t>& tag = slot_tags_[h % kGenSlots];
+  uint64_t prev = tag.exchange(h, std::memory_order_relaxed);
+  return prev != 0 && prev != h;
+}
+
+void PolicyCache::Bump(const std::string& key_id, bool remote) {
+  if (TouchSlotTag(key_id)) {
+    collision_crossings_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (remote ? remote_bumps_ : local_bumps_)
+      .fetch_add(1, std::memory_order_relaxed);
   GenSlot(key_id).fetch_add(1, std::memory_order_acq_rel);
+}
+
+void PolicyCache::InvalidatePrincipal(const std::string& key_id) {
+  Bump(key_id, /*remote=*/false);
+}
+
+void PolicyCache::InvalidatePrincipalRemote(const std::string& key_id) {
+  Bump(key_id, /*remote=*/true);
 }
 
 void PolicyCache::ResetStats() {
@@ -126,6 +154,9 @@ void PolicyCache::ResetStats() {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->stats = Stats{};
   }
+  local_bumps_.store(0, std::memory_order_relaxed);
+  remote_bumps_.store(0, std::memory_order_relaxed);
+  collision_crossings_.store(0, std::memory_order_relaxed);
 }
 
 size_t PolicyCache::size() const {
@@ -135,6 +166,15 @@ size_t PolicyCache::size() const {
     total += shard->entries.size();
   }
   return total;
+}
+
+PolicyCache::CoherenceStats PolicyCache::coherence_stats() const {
+  CoherenceStats s;
+  s.local_bumps = local_bumps_.load(std::memory_order_relaxed);
+  s.remote_bumps = remote_bumps_.load(std::memory_order_relaxed);
+  s.collision_crossings =
+      collision_crossings_.load(std::memory_order_relaxed);
+  return s;
 }
 
 PolicyCache::Stats PolicyCache::stats() const {

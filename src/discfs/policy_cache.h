@@ -48,6 +48,20 @@ class PolicyCache {
     uint64_t invalidations = 0;  // entries dropped by flush or churn
   };
 
+  // Invalidation telemetry (PR 4): how generation bumps reach this cache
+  // and how exposed it is to the generation table's hash-collision blind
+  // spot. Benches and tests observe invalidation *scope* through this
+  // instead of inferring it from hit rates.
+  struct CoherenceStats {
+    uint64_t local_bumps = 0;   // bumps from this server's own churn
+    uint64_t remote_bumps = 0;  // bumps applied from peer coherence events
+    // Bumps that landed on a generation slot last touched by a different
+    // principal — each such crossing may invalidate a bystander's entries
+    // (over-invalidation, never staleness). An estimate: slots remember
+    // only the last principal hash that touched them.
+    uint64_t collision_crossings = 0;
+  };
+
   // capacity 0 disables caching entirely (every query recomputes).
   // num_shards 0 picks a capacity-derived default.
   PolicyCache(size_t capacity, int64_t ttl_seconds, size_t num_shards = 0);
@@ -70,6 +84,10 @@ class PolicyCache {
   // queries Put under the shared lock, invalidation runs exclusive).
   void InvalidatePrincipal(const std::string& key_id);
 
+  // Same bump, driven by a peer server's coherence event rather than
+  // local churn; counted separately in coherence_stats().
+  void InvalidatePrincipalRemote(const std::string& key_id);
+
   // Zeroes the hit/miss/eviction counters (entries stay). Benchmark
   // telemetry only.
   void ResetStats();
@@ -80,6 +98,7 @@ class PolicyCache {
   size_t capacity() const { return capacity_; }
   size_t shard_count() const { return shards_.size(); }
   Stats stats() const;  // aggregated over shards
+  CoherenceStats coherence_stats() const;
 
  private:
   struct Key {
@@ -111,12 +130,24 @@ class PolicyCache {
 
   Shard& ShardFor(const Key& key);
   std::atomic<uint64_t>& GenSlot(const std::string& key_id);
+  void Bump(const std::string& key_id, bool remote);
+  // Records `key_id` as the last principal to touch its generation slot;
+  // returns true when the slot was last touched by a different principal
+  // (a collision crossing).
+  bool TouchSlotTag(const std::string& key_id);
 
   size_t capacity_;
   size_t per_shard_capacity_;
   int64_t ttl_seconds_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<std::atomic<uint64_t>[]> generations_;
+  // Full principal hash that last touched each generation slot (0 =
+  // untouched); feeds the collision_crossings estimate, relaxed on
+  // purpose — it is telemetry, not correctness state.
+  std::unique_ptr<std::atomic<uint64_t>[]> slot_tags_;
+  std::atomic<uint64_t> local_bumps_{0};
+  std::atomic<uint64_t> remote_bumps_{0};
+  std::atomic<uint64_t> collision_crossings_{0};
 };
 
 }  // namespace discfs

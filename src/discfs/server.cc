@@ -1,5 +1,9 @@
 #include "src/discfs/server.h"
 
+#include <algorithm>
+
+#include "src/cluster/fabric.h"
+#include "src/cluster/protocol.h"
 #include "src/crypto/sysrand.h"
 #include "src/discfs/action_env.h"
 #include "src/discfs/credentials.h"
@@ -50,6 +54,7 @@ Result<std::unique_ptr<DiscfsServer>> DiscfsServer::Create(
   });
   server->nfs_->RegisterAll(server->dispatcher_);
   server->RegisterDiscfsProcs();
+  server->RegisterClusterProcs();
   return server;
 }
 
@@ -140,14 +145,25 @@ Status DiscfsServer::AddPolicyAssertion(const std::string& text) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   RETURN_IF_ERROR(session_.AddPolicyAssertion(text));
   cache_.InvalidateAll();  // policy roots affect every principal
+  cluster::CoherenceEvent event;
+  event.type = cluster::CoherenceEvent::Type::kInvalidateAll;
+  PublishChurnLocked(std::move(event));
   return OkStatus();
 }
 
-void DiscfsServer::InvalidateAffectedLocked(
+std::vector<std::string> DiscfsServer::InvalidateAffectedLocked(
     const std::string& credential_id) {
-  for (const std::string& principal :
-       session_.AffectedRequesters(credential_id)) {
+  std::vector<std::string> affected =
+      session_.AffectedRequesters(credential_id);
+  for (const std::string& principal : affected) {
     cache_.InvalidatePrincipal(principal);
+  }
+  return affected;
+}
+
+void DiscfsServer::PublishChurnLocked(cluster::CoherenceEvent event) {
+  if (fabric_ != nullptr) {
+    fabric_->Publish(std::move(event));
   }
 }
 
@@ -166,7 +182,11 @@ Result<std::string> DiscfsServer::SubmitCredentialLocked(
     return PermissionDeniedError("credential or issuing key is revoked");
   }
   counters_.credentials_submitted.fetch_add(1, std::memory_order_relaxed);
-  InvalidateAffectedLocked(id);
+  cluster::CoherenceEvent event;
+  event.type = cluster::CoherenceEvent::Type::kSubmit;
+  event.credential_id = id;
+  event.principals = InvalidateAffectedLocked(id);
+  PublishChurnLocked(std::move(event));
   return id;
 }
 
@@ -178,24 +198,42 @@ Result<std::string> DiscfsServer::SubmitCredential(const std::string& text) {
 Status DiscfsServer::RemoveCredential(const std::string& credential_id) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   revocation_.RevokeCredential(credential_id, clock_->NowUnix());
-  InvalidateAffectedLocked(credential_id);  // while the chain is still known
-  RETURN_IF_ERROR(session_.RemoveCredential(credential_id));
-  return OkStatus();
+  // Compute the closure while the chain is still known (empty when the
+  // credential was never installed here).
+  cluster::CoherenceEvent event;
+  event.type = cluster::CoherenceEvent::Type::kRemove;
+  event.credential_id = credential_id;
+  event.principals = InvalidateAffectedLocked(credential_id);
+  // Publish even when the credential is unknown locally: the revocation
+  // list entry above is already effective on this server, and a peer that
+  // does hold the credential recomputes its own closure on receipt.
+  PublishChurnLocked(std::move(event));
+  return session_.RemoveCredential(credential_id);
 }
 
 void DiscfsServer::RevokeKey(const std::string& principal) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   int64_t now = clock_->NowUnix();
   revocation_.RevokeKey(principal, now);
+  cluster::CoherenceEvent event;
+  event.type = cluster::CoherenceEvent::Type::kRevokeKey;
+  event.principal = principal;
   // Delegations issued by the revoked key stop contributing immediately.
   for (const std::string& id :
        session_.CredentialIdsByAuthorizer(principal)) {
     revocation_.RevokeCredential(id, now);
-    InvalidateAffectedLocked(id);
+    for (std::string& p : InvalidateAffectedLocked(id)) {
+      event.principals.push_back(std::move(p));
+    }
     (void)session_.RemoveCredential(id);
   }
   // The key's own cached grants must not outlive its revocation.
   cache_.InvalidatePrincipal(principal);
+  std::sort(event.principals.begin(), event.principals.end());
+  event.principals.erase(
+      std::unique(event.principals.begin(), event.principals.end()),
+      event.principals.end());
+  PublishChurnLocked(std::move(event));
 }
 
 void DiscfsServer::ResetTelemetry() {
@@ -208,6 +246,62 @@ void DiscfsServer::ResetTelemetry() {
 
 PolicyCache::Stats DiscfsServer::cache_stats() const {
   return cache_.stats();  // internally synchronized
+}
+
+PolicyCache::CoherenceStats DiscfsServer::cache_coherence_stats() const {
+  return cache_.coherence_stats();  // internally synchronized
+}
+
+void DiscfsServer::AttachCoherenceFabric(cluster::CoherenceFabric* fabric) {
+  fabric_ = fabric;
+}
+
+void DiscfsServer::ApplyRemoteEvent(const cluster::CoherenceEvent& event) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  counters_.remote_events_applied.fetch_add(1, std::memory_order_relaxed);
+  int64_t now = clock_->NowUnix();
+  switch (event.type) {
+    case cluster::CoherenceEvent::Type::kSubmit:
+      // A credential admitted elsewhere may widen the listed principals'
+      // masks; drop their cached results so the next check recomputes.
+      for (const std::string& principal : event.principals) {
+        cache_.InvalidatePrincipalRemote(principal);
+      }
+      break;
+    case cluster::CoherenceEvent::Type::kRemove:
+      revocation_.RevokeCredential(event.credential_id, now);
+      if (session_.HasCredential(event.credential_id)) {
+        // Our own delegation graph may reach principals the origin's did
+        // not; invalidate the local closure too, then expel the chain.
+        for (const std::string& principal :
+             session_.AffectedRequesters(event.credential_id)) {
+          cache_.InvalidatePrincipalRemote(principal);
+        }
+        (void)session_.RemoveCredential(event.credential_id);
+      }
+      for (const std::string& principal : event.principals) {
+        cache_.InvalidatePrincipalRemote(principal);
+      }
+      break;
+    case cluster::CoherenceEvent::Type::kRevokeKey:
+      revocation_.RevokeKey(event.principal, now);
+      for (const std::string& id :
+           session_.CredentialIdsByAuthorizer(event.principal)) {
+        revocation_.RevokeCredential(id, now);
+        for (const std::string& principal : session_.AffectedRequesters(id)) {
+          cache_.InvalidatePrincipalRemote(principal);
+        }
+        (void)session_.RemoveCredential(id);
+      }
+      cache_.InvalidatePrincipalRemote(event.principal);
+      for (const std::string& principal : event.principals) {
+        cache_.InvalidatePrincipalRemote(principal);
+      }
+      break;
+    case cluster::CoherenceEvent::Type::kInvalidateAll:
+      cache_.InvalidateAll();
+      break;
+  }
 }
 
 size_t DiscfsServer::credential_count() const {
@@ -347,6 +441,65 @@ void DiscfsServer::RegisterDiscfsProcs() {
         w.PutU64(stats.hits);
         w.PutU64(stats.misses);
         w.PutU32(static_cast<uint32_t>(credential_count()));
+        return w.Take();
+      });
+}
+
+void DiscfsServer::RegisterClusterProcs() {
+  // Only configured peer servers may speak the coherence program: a fake
+  // push is at best a cache flush, at worst a forged revocation, or —
+  // subtlest — a cursor poisoned under another origin's name that makes
+  // every future event from that origin dedup away. The last is why the
+  // claimed origin must equal the authenticated channel key (a node's id
+  // IS its public key string), not merely belong to *a* trusted peer.
+  auto check_peer = [this](const RpcContext& ctx,
+                           const std::string& origin) -> Status {
+    if (!ctx.peer_key.has_value()) {
+      return UnauthenticatedError("no authenticated peer key");
+    }
+    if (origin != ctx.peer_key->ToKeyNoteString()) {
+      return PermissionDeniedError(
+          "origin does not match the authenticated peer key");
+    }
+    for (const DsaPublicKey& key : config_.cluster_trusted_keys) {
+      if (key == *ctx.peer_key) {
+        return OkStatus();
+      }
+    }
+    return PermissionDeniedError(
+        "peer key is not a trusted cluster member");
+  };
+
+  dispatcher_.Register(
+      cluster::kClusterProgram,
+      static_cast<uint32_t>(cluster::ClusterProc::kHello),
+      [this, check_peer](const Bytes& args,
+                         const RpcContext& ctx) -> Result<Bytes> {
+        if (fabric_ == nullptr) {
+          return FailedPreconditionError("no coherence fabric attached");
+        }
+        ASSIGN_OR_RETURN(cluster::HelloRequest hello,
+                         cluster::DecodeHello(args));
+        RETURN_IF_ERROR(check_peer(ctx, hello.origin));
+        XdrWriter w;
+        w.PutU64(fabric_->HandleHello(hello.origin, hello.incarnation,
+                                      hello.head_seq));
+        return w.Take();
+      });
+
+  dispatcher_.Register(
+      cluster::kClusterProgram,
+      static_cast<uint32_t>(cluster::ClusterProc::kPush),
+      [this, check_peer](const Bytes& args,
+                         const RpcContext& ctx) -> Result<Bytes> {
+        if (fabric_ == nullptr) {
+          return FailedPreconditionError("no coherence fabric attached");
+        }
+        ASSIGN_OR_RETURN(cluster::PushRequest request,
+                         cluster::DecodePush(args));
+        RETURN_IF_ERROR(check_peer(ctx, request.origin));
+        XdrWriter w;
+        w.PutU64(fabric_->HandlePush(request.origin, request.events));
         return w.Take();
       });
 }

@@ -19,6 +19,7 @@
 #include <shared_mutex>
 #include <string>
 
+#include "src/cluster/event.h"
 #include "src/crypto/dsa.h"
 #include "src/discfs/policy_cache.h"
 #include "src/discfs/protocol.h"
@@ -30,6 +31,10 @@
 #include "src/vfs/vfs.h"
 
 namespace discfs {
+
+namespace cluster {
+class CoherenceFabric;
+}  // namespace cluster
 
 struct DiscfsServerConfig {
   // The server's identity: authenticates the secure channel AND signs the
@@ -43,6 +48,10 @@ struct DiscfsServerConfig {
   int64_t revocation_horizon_s = 24 * 3600;
   const Clock* clock = nullptr;  // defaults to SystemClock
   std::function<Bytes(size_t)> rand_bytes;  // defaults to SysRandomBytes
+  // Channel keys of peer DisCFS servers allowed to push coherence events
+  // (the cluster RPC program rejects everyone else). Empty = this server
+  // accepts no remote invalidations.
+  std::vector<DsaPublicKey> cluster_trusted_keys;
 };
 
 class DiscfsServer {
@@ -52,6 +61,7 @@ class DiscfsServer {
     std::atomic<uint64_t> access_checks{0};
     std::atomic<uint64_t> denials{0};
     std::atomic<uint64_t> credentials_submitted{0};
+    std::atomic<uint64_t> remote_events_applied{0};
   };
 
   static Result<std::unique_ptr<DiscfsServer>> Create(
@@ -83,12 +93,28 @@ class DiscfsServer {
   Status RemoveCredential(const std::string& credential_id);
   void RevokeKey(const std::string& principal);
 
+  // --- cluster coherence (PR 4) ---
+  // Wires the coherence fabric: every local credential-set mutation
+  // publishes an invalidation event into it, and the cluster RPC
+  // procedures (peer pushes, trust-checked against
+  // config.cluster_trusted_keys) forward into it. Must be called before
+  // serving starts; the fabric must outlive all serving and local
+  // administration.
+  void AttachCoherenceFabric(cluster::CoherenceFabric* fabric);
+
+  // Applies one remote churn event: bumps the shipped principal
+  // generations (remote-scoped), mirrors revocations into the local
+  // revocation list, and expels delegations a revoked key issued here.
+  // Never republishes — events travel origin → peers only.
+  void ApplyRemoteEvent(const cluster::CoherenceEvent& event);
+
   // --- introspection ---
   const DsaPublicKey& public_key() const {
     return config_.server_key.public_key();
   }
   const Counters& counters() const { return counters_; }
   PolicyCache::Stats cache_stats() const;
+  PolicyCache::CoherenceStats cache_coherence_stats() const;
   size_t credential_count() const;
   NfsServer& nfs() { return *nfs_; }
 
@@ -109,9 +135,15 @@ class DiscfsServer {
   Result<std::string> SubmitCredentialLocked(const std::string& text);
   // Bumps the cache generation of every principal whose delegation chain
   // passes through credential `id`; entries for everyone else stay warm.
-  void InvalidateAffectedLocked(const std::string& credential_id)
+  // Returns the affected set — the closure hint shipped in coherence
+  // events (computed while the chain is still installed).
+  std::vector<std::string> InvalidateAffectedLocked(
+      const std::string& credential_id) /* requires mu_ exclusive */;
+  // Appends a churn event to the fabric (no-op without one).
+  void PublishChurnLocked(cluster::CoherenceEvent event)
       /* requires mu_ exclusive */;
   void RegisterDiscfsProcs();
+  void RegisterClusterProcs();
 
   std::shared_ptr<Vfs> vfs_;
   DiscfsServerConfig config_;
@@ -127,6 +159,9 @@ class DiscfsServer {
   PolicyCache cache_;
   RevocationList revocation_;
   Counters counters_;
+  // Set once before serving starts (AttachCoherenceFabric); null when
+  // this server runs standalone.
+  cluster::CoherenceFabric* fabric_ = nullptr;
 };
 
 }  // namespace discfs

@@ -1,14 +1,17 @@
 #include "src/net/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
-#include <condition_variable>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -57,7 +60,7 @@ constexpr size_t kRecvChunk = 64 * 1024;
 TcpTransport::~TcpTransport() { Close(); }
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, int timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return UnavailableError("socket() failed");
@@ -69,11 +72,59 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
     ::close(fd);
     return InvalidArgumentError("bad address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  auto fail = [&](const char* what) {
+    Status status = UnavailableError(StrPrintf(
+        "%s %s:%u failed: %s", what, host.c_str(), port, strerror(errno)));
     ::close(fd);
-    return UnavailableError(
-        StrPrintf("connect to %s:%u failed: %s", host.c_str(), port,
-                  strerror(errno)));
+    return status;
+  };
+  if (timeout_ms < 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return fail("connect to");
+    }
+  } else {
+    // Bounded connect: non-blocking connect + poll, then restore the
+    // blocking flags the rest of the transport expects.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return fail("fcntl for connect to");
+    }
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      return fail("connect to");
+    }
+    if (rc != 0) {
+      // Same EINTR-retry convention as Send/Recv, against the remaining
+      // budget so a signal storm cannot extend the bound.
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(timeout_ms);
+      while (true) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        int wait_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+        pollfd pfd{fd, POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, wait_ms);
+        if (ready < 0 && errno == EINTR) {
+          continue;
+        }
+        if (ready <= 0) {
+          errno = ready == 0 ? ETIMEDOUT : errno;
+          return fail("connect to");
+        }
+        break;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        errno = err;
+        return fail("connect to");
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) != 0) {
+      return fail("fcntl for connect to");
+    }
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -78,8 +78,12 @@ class TcpTransport : public MsgStream {
  public:
   ~TcpTransport() override;
 
+  // timeout_ms < 0 blocks until the kernel gives up (the classic
+  // behavior); >= 0 bounds the connect itself, so callers with their own
+  // retry loops (the coherence fabric's peer senders) stay responsive to
+  // shutdown even when a peer is blackholed rather than refusing.
   static Result<std::unique_ptr<TcpTransport>> Connect(
-      const std::string& host, uint16_t port);
+      const std::string& host, uint16_t port, int timeout_ms = -1);
 
   Status Send(const Bytes& message) override;
   Result<Bytes> Recv() override;

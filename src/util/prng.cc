@@ -1,5 +1,8 @@
 #include "src/util/prng.h"
 
+#include <memory>
+#include <mutex>
+
 namespace discfs {
 namespace {
 
@@ -80,6 +83,15 @@ Bytes Prng::NextBytes(size_t n) {
     }
   }
   return out;
+}
+
+std::function<Bytes(size_t)> LockedPrngBytes(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  auto mu = std::make_shared<std::mutex>();
+  return [prng, mu](size_t n) {
+    std::lock_guard<std::mutex> lock(*mu);
+    return prng->NextBytes(n);
+  };
 }
 
 }  // namespace discfs

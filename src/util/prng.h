@@ -4,6 +4,7 @@
 #define DISCFS_SRC_UTIL_PRNG_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/util/bytes.h"
 
@@ -31,6 +32,12 @@ class Prng {
  private:
   uint64_t s_[4];
 };
+
+// A rand_bytes-style closure over a seeded Prng guarded by a mutex, for
+// configs whose consumers call it from several threads — a host's server
+// handshakes and its coherence peer links overlap on the pool. Tests and
+// benches use this where determinism matters more than key quality.
+std::function<Bytes(size_t)> LockedPrngBytes(uint64_t seed);
 
 }  // namespace discfs
 

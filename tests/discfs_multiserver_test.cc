@@ -7,8 +7,13 @@
 // This test runs TWO independent DisCFS servers (separate volumes, separate
 // KeyNote sessions) whose policies trust the same administrator key, and
 // shows a user working against both with credentials — with no
-// server-to-server communication of any kind.
+// server-to-server communication of any kind. The PR 4 tests below then
+// opt the same topology into the coherence fabric and show the one thing
+// isolated servers cannot do: a revocation accepted on one server denying
+// access on every other, scoped to the affected principal.
 #include <gtest/gtest.h>
+
+#include <chrono>
 
 #include "src/crypto/groups.h"
 #include "src/discfs/action_env.h"
@@ -20,9 +25,9 @@
 namespace discfs {
 namespace {
 
+// Locked: cluster peer handshakes overlap client handshakes on the pool.
 std::function<Bytes(size_t)> TestRand(uint64_t seed) {
-  auto prng = std::make_shared<Prng>(seed);
-  return [prng](size_t n) { return prng->NextBytes(n); };
+  return LockedPrngBytes(seed);
 }
 
 struct Node {
@@ -30,8 +35,9 @@ struct Node {
   std::unique_ptr<DiscfsHost> host;
 };
 
-Node StartNode(const DsaPrivateKey& server_key,
-               const DsaPublicKey& admin_key, uint64_t seed) {
+Node StartNode(const DsaPrivateKey& server_key, const DsaPublicKey& admin_key,
+               uint64_t seed,
+               std::vector<DsaPublicKey> cluster_trusted_keys = {}) {
   Node node;
   auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
   auto fs = Ffs::Format(dev, FfsFormatOptions{512});
@@ -41,6 +47,7 @@ Node StartNode(const DsaPrivateKey& server_key,
   DiscfsServerConfig config;
   config.server_key = server_key;
   config.rand_bytes = TestRand(seed);
+  config.cluster_trusted_keys = std::move(cluster_trusted_keys);
   // Each node's local policy trusts the ADMINISTRATOR key, not the node's
   // own channel key: one administrative root spans the fleet.
   config.policy_assertions.push_back(
@@ -166,6 +173,121 @@ TEST(DiscfsMultiServer, DelegationWorksAcrossServers) {
     EXPECT_EQ(ToString(*data), "Q3 numbers");
     (*client)->Close();
   }
+}
+
+TEST(DiscfsMultiServer, RevocationOnOneServerDeniesOnPeersScoped) {
+  // PR 4: the same fleet, now joined by the coherence fabric. A credential
+  // withdrawn on server A must stop working on server B — including B's
+  // *cached* grant — while an unrelated principal's cached grant on B
+  // survives untouched (scoped invalidation, not a flush).
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey server_a = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  DsaPrivateKey server_b = DsaPrivateKey::Generate(Dsa512(), TestRand(3));
+  DsaPrivateKey bob = DsaPrivateKey::Generate(Dsa512(), TestRand(4));
+  DsaPrivateKey carol = DsaPrivateKey::Generate(Dsa512(), TestRand(5));
+
+  Node node_a =
+      StartNode(server_a, admin.public_key(), 10, {server_b.public_key()});
+  Node node_b =
+      StartNode(server_b, admin.public_key(), 11, {server_a.public_key()});
+  ASSERT_TRUE(node_a.host
+                  ->AddClusterPeer({"127.0.0.1", node_b.host->port(),
+                                    server_b.public_key()})
+                  .ok());
+  ASSERT_TRUE(node_b.host
+                  ->AddClusterPeer({"127.0.0.1", node_a.host->port(),
+                                    server_a.public_key()})
+                  .ok());
+
+  // The report is replicated on both volumes (same handle, as in
+  // DelegationWorksAcrossServers).
+  ASSERT_TRUE(WriteFileAt(*node_a.vfs, "/report.txt", "Q3 numbers").ok());
+  ASSERT_TRUE(WriteFileAt(*node_b.vfs, "/report.txt", "Q3 numbers").ok());
+  InodeAttr fa = ResolvePath(*node_a.vfs, "/report.txt").value();
+  InodeAttr fb = ResolvePath(*node_b.vfs, "/report.txt").value();
+  ASSERT_EQ(fa.inode, fb.inode);
+  NfsFh fh{fb.inode, fb.generation};
+
+  CredentialOptions ro;
+  ro.permissions = "R";
+  std::string bob_cred =
+      IssueCredential(admin, bob.public_key(), HandleString(fa.inode), ro)
+          .value();
+  std::string carol_cred =
+      IssueCredential(admin, carol.public_key(), HandleString(fa.inode), ro)
+          .value();
+
+  // A holds bob's credential too (it will accept the revocation). Wait
+  // for the submit event to land on B before warming B's cache, so the
+  // entries below stay warm until the revocation arrives.
+  auto bob_cred_id = node_a.host->server().SubmitCredential(bob_cred);
+  ASSERT_TRUE(bob_cred_id.ok()) << bob_cred_id.status();
+  ASSERT_TRUE(node_a.host->fabric()->WaitForAck(
+      1, std::chrono::milliseconds(10000)));
+
+  // Bob and carol both work against B; their reads warm B's policy cache.
+  ChannelIdentity bob_id{bob, TestRand(20)};
+  ChannelIdentity carol_id{carol, TestRand(21)};
+  auto bob_client = DiscfsClient::Connect("127.0.0.1", node_b.host->port(),
+                                          bob_id, server_b.public_key());
+  ASSERT_TRUE(bob_client.ok()) << bob_client.status();
+  auto carol_client = DiscfsClient::Connect("127.0.0.1", node_b.host->port(),
+                                            carol_id, server_b.public_key());
+  ASSERT_TRUE(carol_client.ok()) << carol_client.status();
+  ASSERT_TRUE((*bob_client)->SubmitCredential(bob_cred).ok());
+  ASSERT_TRUE((*carol_client)->SubmitCredential(carol_cred).ok());
+  ASSERT_TRUE((*bob_client)->nfs().Read(fh, 0, 100).ok());
+  ASSERT_TRUE((*carol_client)->nfs().Read(fh, 0, 100).ok());
+
+  // Both grants are now served from B's cache.
+  node_b.host->server().ResetTelemetry();
+  ASSERT_TRUE((*bob_client)->nfs().Read(fh, 0, 100).ok());
+  ASSERT_TRUE((*carol_client)->nfs().Read(fh, 0, 100).ok());
+  EXPECT_EQ(node_b.host->server().counters().keynote_queries.load(), 0u);
+
+  // The issuer withdraws bob's credential ON A; B never hears about it
+  // directly — only through the fabric.
+  ASSERT_TRUE(node_a.host->server().RemoveCredential(*bob_cred_id).ok());
+  ASSERT_TRUE(node_a.host->fabric()->WaitForAck(
+      2, std::chrono::milliseconds(10000)));
+  // The bump reached B through the remote path (checked before
+  // ResetTelemetry zeroes the coherence counters).
+  EXPECT_GE(node_b.host->server().cache_coherence_stats().remote_bumps, 1u);
+
+  node_b.host->server().ResetTelemetry();
+  // Carol first: her entry must still be warm (survivor check — the
+  // invalidation was scoped to bob).
+  auto carol_read = (*carol_client)->nfs().Read(fh, 0, 100);
+  ASSERT_TRUE(carol_read.ok()) << carol_read.status();
+  EXPECT_EQ(node_b.host->server().counters().keynote_queries.load(), 0u)
+      << "carol's cached grant should have survived bob's revocation";
+  // Bob's previously warm cached grant on B is now denied.
+  auto bob_read = (*bob_client)->nfs().Read(fh, 0, 100);
+  EXPECT_EQ(bob_read.status().code(), StatusCode::kPermissionDenied)
+      << bob_read.status();
+
+  // B expelled the revoked credential from its own session.
+  EXPECT_EQ(node_b.host->server().credential_count(), 1u);  // carol's only
+
+  // A revocation minted on a server that never even held the credential
+  // must still propagate: A knows carol's credential only by id, yet
+  // removing it there revokes her grant on B (B recomputes its own
+  // closure on receipt).
+  std::string carol_cred_id =
+      (*carol_client)->SubmitCredential(carol_cred).value();  // idempotent
+  EXPECT_EQ(node_a.host->server()
+                .RemoveCredential(carol_cred_id)
+                .code(),
+            StatusCode::kNotFound);  // not installed on A — still published
+  ASSERT_TRUE(node_a.host->fabric()->WaitForAck(
+      3, std::chrono::milliseconds(10000)));
+  auto carol_after = (*carol_client)->nfs().Read(fh, 0, 100);
+  EXPECT_EQ(carol_after.status().code(), StatusCode::kPermissionDenied)
+      << carol_after.status();
+  EXPECT_EQ(node_b.host->server().credential_count(), 0u);
+
+  (*bob_client)->Close();
+  (*carol_client)->Close();
 }
 
 }  // namespace

@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Validates BENCH_policy.json / BENCH_rpc.json against schema_version 1.
+"""Validates BENCH_policy.json / BENCH_rpc.json / BENCH_coherence.json
+against schema_version 1.
 
 Stdlib only, so the bench-smoke CI job and tools/run_bench.sh can call it
 anywhere a python3 exists. Checks required keys per tier, tier-set shape
 (the rpc bench must carry the 1-connection speedup tiers and the 64/256
-connections sweep), and basic sanity (positive throughput, monotone
-credential tiers). Exits non-zero with a per-file error list on any
-violation.
+connections sweep; the coherence bench monotone cluster sizes), and basic
+sanity (positive throughput, monotone credential tiers, survivor rates in
+[0, 1]). Exits non-zero with a per-file error list on any violation.
 
-Usage: check_bench_schema.py BENCH_policy.json BENCH_rpc.json
-       (pass one or both, in any order; files are dispatched on their
+Usage: check_bench_schema.py BENCH_policy.json BENCH_rpc.json \
+           BENCH_coherence.json
+       (pass any subset, in any order; files are dispatched on their
         "bench" field)
 """
 
@@ -51,6 +53,16 @@ RPC_TIER_KEYS = {
 RPC_REQUIRED_TIERS = {(1, 1), (1, 64)}
 # ...and the flat-thread gate needs the connections sweep.
 RPC_REQUIRED_SWEEP_CONNECTIONS = {64, 256}
+
+COHERENCE_TIER_KEYS = {
+    "cluster_size",
+    "warm_principals",
+    "events",
+    "events_per_s",
+    "p50_us",
+    "p99_us",
+    "survivor_hit_rate_remote",
+}
 
 
 def check_policy(doc, errors):
@@ -105,7 +117,38 @@ def check_rpc(doc, errors):
         errors.append(f"missing connections-sweep tiers: {sorted(missing_sweep)}")
 
 
-CHECKERS = {"policy_scaling": check_policy, "rpc_pipeline": check_rpc}
+def check_coherence(doc, errors):
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        return
+    last_size = 1
+    for i, tier in enumerate(results):
+        missing = COHERENCE_TIER_KEYS - tier.keys()
+        if missing:
+            errors.append(f"results[{i}] missing keys: {sorted(missing)}")
+            continue
+        if tier["cluster_size"] <= last_size:
+            errors.append(f"results[{i}] cluster_size tiers must increase (>= 2)")
+        last_size = tier["cluster_size"]
+        if tier["events_per_s"] <= 0:
+            errors.append(f"results[{i}] events_per_s must be positive")
+        if not 0.0 <= tier["survivor_hit_rate_remote"] <= 1.0:
+            errors.append(
+                f"results[{i}] survivor_hit_rate_remote must be in [0, 1]"
+            )
+        if tier["p50_us"] <= 0 or tier["p99_us"] < tier["p50_us"]:
+            errors.append(
+                f"results[{i}] propagation percentiles must satisfy "
+                "0 < p50_us <= p99_us"
+            )
+
+
+CHECKERS = {
+    "policy_scaling": check_policy,
+    "rpc_pipeline": check_rpc,
+    "coherence_propagation": check_coherence,
+}
 
 
 def check_file(path):

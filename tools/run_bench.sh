@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the Release tree and runs the policy + RPC benchmarks, leaving
-# BENCH_policy.json and BENCH_rpc.json at the repo root (schemas:
-# ROADMAP.md "Benchmarks", enforced by tools/check_bench_schema.py).
+# Builds the Release tree and runs the policy + RPC + coherence
+# benchmarks, leaving BENCH_policy.json, BENCH_rpc.json, and
+# BENCH_coherence.json at the repo root (schemas: ROADMAP.md
+# "Benchmarks", enforced by tools/check_bench_schema.py).
 #
 # Usage: tools/run_bench.sh [max_credentials]
 #   max_credentials  cap the policy_scaling sweep (default 10000)
@@ -22,7 +23,7 @@ max_credentials="${1:-10000}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target policy_scaling ablation_cache rpc_pipeline
+  --target policy_scaling ablation_cache rpc_pipeline coherence_propagation
 
 echo "--- policy_scaling (writes BENCH_policy.json) ---"
 "$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
@@ -34,12 +35,18 @@ echo "--- rpc_pipeline (writes BENCH_rpc.json; fails below 3x pipelining"
 echo "    speedup or when 64->256 connections grows the thread count) ---"
 "$build_dir/rpc_pipeline" "$repo_root/BENCH_rpc.json"
 
+echo "--- coherence_propagation (writes BENCH_coherence.json; fails when"
+echo "    remote invalidation stops being scoped: survivors < 0.9) ---"
+"$build_dir/coherence_propagation" "$repo_root/BENCH_coherence.json"
+
 if command -v python3 >/dev/null 2>&1; then
   echo "--- schema validation ---"
   python3 "$repo_root/tools/check_bench_schema.py" \
-    "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json"
+    "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json" \
+    "$repo_root/BENCH_coherence.json"
 else
   echo "warning: python3 not found; skipping bench schema validation" >&2
 fi
 
-echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json"
+echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json" \
+  "$repo_root/BENCH_coherence.json"
