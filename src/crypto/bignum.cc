@@ -250,27 +250,39 @@ BigNum BigNum::ShiftRight(const BigNum& a, size_t bits) {
   return out;
 }
 
-std::pair<BigNum, BigNum> BigNum::DivMod(const BigNum& a, const BigNum& b) {
+BigNum BigNum::DivModImpl(const BigNum& a, const BigNum& b,
+                          BigNum* quotient) {
   assert(!b.IsZero() && "division by zero");
   if (Compare(a, b) < 0) {
-    return {BigNum(), a};
+    if (quotient != nullptr) {
+      *quotient = BigNum();
+    }
+    return a;
   }
   // Single-limb divisor fast path.
   if (b.limbs_.size() == 1) {
     uint64_t d = b.limbs_[0];
     BigNum q;
-    q.limbs_.assign(a.limbs_.size(), 0);
+    if (quotient != nullptr) {
+      q.limbs_.assign(a.limbs_.size(), 0);
+    }
     uint64_t rem = 0;
     for (size_t i = a.limbs_.size(); i-- > 0;) {
       uint64_t cur = (rem << 32) | a.limbs_[i];
-      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      if (quotient != nullptr) {
+        q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      }
       rem = cur % d;
     }
-    q.Normalize();
-    return {q, BigNum(rem)};
+    if (quotient != nullptr) {
+      q.Normalize();
+      *quotient = std::move(q);
+    }
+    return BigNum(rem);
   }
 
-  // Knuth TAOCP vol.2, 4.3.1, Algorithm D.
+  // Knuth TAOCP vol.2, 4.3.1, Algorithm D. With quotient == nullptr, q̂
+  // only drives the subtraction — no quotient limbs are materialized.
   const size_t n = b.limbs_.size();
   const size_t m = a.limbs_.size() - n;
 
@@ -287,7 +299,9 @@ std::pair<BigNum, BigNum> BigNum::DivMod(const BigNum& a, const BigNum& b) {
   vn.limbs_.resize(n, 0);
 
   BigNum q;
-  q.limbs_.assign(m + 1, 0);
+  if (quotient != nullptr) {
+    q.limbs_.assign(m + 1, 0);
+  }
 
   const uint64_t v_hi = vn.limbs_[n - 1];
   const uint64_t v_lo = vn.limbs_[n - 2];
@@ -340,18 +354,28 @@ std::pair<BigNum, BigNum> BigNum::DivMod(const BigNum& a, const BigNum& b) {
       }
       un.limbs_[j + n] = static_cast<uint32_t>(un.limbs_[j + n] + c);
     }
-    q.limbs_[j] = static_cast<uint32_t>(qhat);
+    if (quotient != nullptr) {
+      q.limbs_[j] = static_cast<uint32_t>(qhat);
+    }
   }
 
-  q.Normalize();
+  if (quotient != nullptr) {
+    q.Normalize();
+    *quotient = std::move(q);
+  }
   un.limbs_.resize(n);
   un.Normalize();
-  BigNum r = ShiftRight(un, shift);
-  return {q, r};
+  return ShiftRight(un, shift);
+}
+
+std::pair<BigNum, BigNum> BigNum::DivMod(const BigNum& a, const BigNum& b) {
+  BigNum q;
+  BigNum r = DivModImpl(a, b, &q);
+  return {std::move(q), std::move(r)};
 }
 
 BigNum BigNum::Mod(const BigNum& a, const BigNum& m) {
-  return DivMod(a, m).second;
+  return DivModImpl(a, m, nullptr);
 }
 
 BigNum BigNum::ModMul(const BigNum& a, const BigNum& b, const BigNum& m) {
@@ -359,6 +383,26 @@ BigNum BigNum::ModMul(const BigNum& a, const BigNum& b, const BigNum& m) {
 }
 
 BigNum BigNum::ModExp(const BigNum& base, const BigNum& exp, const BigNum& m) {
+  if (m.IsOdd() && m.BitLength() > 1) {
+    auto ctx = MontgomeryCtx::Create(m);
+    assert(ctx.ok());
+    return ctx->ModExp(base, exp);
+  }
+  return ModExpReference(base, exp, m);
+}
+
+BigNum BigNum::ModExpDouble(const BigNum& g, const BigNum& u1, const BigNum& y,
+                            const BigNum& u2, const BigNum& m) {
+  if (m.IsOdd() && m.BitLength() > 1) {
+    auto ctx = MontgomeryCtx::Create(m);
+    assert(ctx.ok());
+    return ctx->ModExpDouble(g, u1, y, u2);
+  }
+  return ModMul(ModExpReference(g, u1, m), ModExpReference(y, u2, m), m);
+}
+
+BigNum BigNum::ModExpReference(const BigNum& base, const BigNum& exp,
+                               const BigNum& m) {
   if (m.BitLength() == 1) {
     return BigNum();  // mod 1
   }
@@ -398,6 +442,212 @@ BigNum BigNum::ModExp(const BigNum& base, const BigNum& exp, const BigNum& m) {
     }
   }
   return result;
+}
+
+namespace {
+
+// Inverse of odd x modulo 2^32 (Newton iteration: x is exact mod 2^3 for
+// odd x; each step doubles the bits of precision).
+uint32_t InverseMod32(uint32_t x) {
+  uint32_t inv = x;
+  for (int i = 0; i < 4; ++i) {
+    inv *= 2u - x * inv;
+  }
+  return inv;
+}
+
+unsigned Window4(const BigNum& exp, size_t w) {
+  unsigned d = 0;
+  for (size_t j = 4; j-- > 0;) {
+    d = (d << 1) | (exp.Bit(w * 4 + j) ? 1u : 0u);
+  }
+  return d;
+}
+
+}  // namespace
+
+Result<MontgomeryCtx> MontgomeryCtx::Create(const BigNum& m) {
+  if (!m.IsOdd() || m.BitLength() <= 1) {
+    return InvalidArgumentError("Montgomery modulus must be odd and > 1");
+  }
+  return MontgomeryCtx(m);
+}
+
+MontgomeryCtx::MontgomeryCtx(BigNum m) : m_(std::move(m)) {
+  n_ = m_.limbs_.size();
+  m_limbs_.assign(m_.limbs_.begin(), m_.limbs_.end());
+  n0inv_ = static_cast<uint32_t>(0u - InverseMod32(m_limbs_[0]));
+  // R = 2^(32 n). The two divisions below are the only ones this context
+  // ever performs.
+  BigNum r2 = BigNum::Mod(BigNum::ShiftLeft(BigNum(1), 64 * n_), m_);
+  BigNum r1 = BigNum::Mod(BigNum::ShiftLeft(BigNum(1), 32 * n_), m_);
+  rr_.assign(n_, 0);
+  std::copy(r2.limbs_.begin(), r2.limbs_.end(), rr_.begin());
+  one_.assign(n_, 0);
+  std::copy(r1.limbs_.begin(), r1.limbs_.end(), one_.begin());
+}
+
+void MontgomeryCtx::MulMont(const Elem& a, const Elem& b, Elem& out) const {
+  const size_t n = n_;
+  // CIOS (Koç et al.): interleave one limb of the product with one REDC
+  // step, shifting t down a limb per iteration. t < 2m throughout, so one
+  // conditional subtract at the end completes the reduction.
+  Elem t(n + 2, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bi = b[i];
+    uint64_t carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t cur = t[j] + static_cast<uint64_t>(a[j]) * bi + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[n] + carry;
+    t[n] = static_cast<uint32_t>(cur);
+    t[n + 1] = static_cast<uint32_t>(cur >> 32);
+
+    const uint32_t mu = t[0] * n0inv_;
+    carry = (t[0] + static_cast<uint64_t>(mu) * m_limbs_[0]) >> 32;
+    for (size_t j = 1; j < n; ++j) {
+      cur = t[j] + static_cast<uint64_t>(mu) * m_limbs_[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[n] + carry;
+    t[n - 1] = static_cast<uint32_t>(cur);
+    t[n] = t[n + 1] + static_cast<uint32_t>(cur >> 32);
+  }
+
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;  // equality also subtracts (yields zero)
+    for (size_t i = n; i-- > 0;) {
+      if (t[i] != m_limbs_[i]) {
+        ge = t[i] > m_limbs_[i];
+        break;
+      }
+    }
+  }
+  out.assign(n, 0);  // a and b are fully consumed; aliasing is fine
+  if (ge) {
+    int64_t borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      int64_t d = static_cast<int64_t>(t[i]) - m_limbs_[i] - borrow;
+      if (d < 0) {
+        d += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out[i] = static_cast<uint32_t>(d);
+    }
+  } else {
+    std::copy(t.begin(), t.begin() + static_cast<ptrdiff_t>(n), out.begin());
+  }
+}
+
+MontgomeryCtx::Elem MontgomeryCtx::ToMont(const BigNum& a) const {
+  BigNum r = BigNum::Mod(a, m_);
+  Elem e(n_, 0);
+  std::copy(r.limbs_.begin(), r.limbs_.end(), e.begin());
+  Elem out;
+  MulMont(e, rr_, out);
+  return out;
+}
+
+BigNum MontgomeryCtx::FromMont(const Elem& a) const {
+  Elem unit(n_, 0);
+  unit[0] = 1;
+  Elem out;
+  MulMont(a, unit, out);
+  BigNum r;
+  r.limbs_.assign(out.begin(), out.end());
+  r.Normalize();
+  return r;
+}
+
+MontgomeryCtx::WindowTable MontgomeryCtx::Precompute(const BigNum& base) const {
+  WindowTable table(16);
+  table[0] = one_;
+  table[1] = ToMont(base);
+  for (size_t i = 2; i < 16; ++i) {
+    MulMont(table[i - 1], table[1], table[i]);
+  }
+  return table;
+}
+
+BigNum MontgomeryCtx::ModExp(const BigNum& base, const BigNum& exp) const {
+  if (exp.IsZero()) {
+    return BigNum::Mod(BigNum(1), m_);
+  }
+  return ModExp(Precompute(base), exp);
+}
+
+BigNum MontgomeryCtx::ModExp(const WindowTable& base, const BigNum& exp) const {
+  if (exp.IsZero()) {
+    return BigNum::Mod(BigNum(1), m_);
+  }
+  const size_t windows = (exp.BitLength() + 3) / 4;
+  // The top window holds the exponent's most significant set bit, so it
+  // seeds the accumulator without leading squarings.
+  Elem acc = base[Window4(exp, windows - 1)];
+  for (size_t w = windows - 1; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) {
+      MulMont(acc, acc, acc);
+    }
+    unsigned d = Window4(exp, w);
+    if (d != 0) {
+      MulMont(acc, base[d], acc);
+    }
+  }
+  return FromMont(acc);
+}
+
+BigNum MontgomeryCtx::ModExpDouble(const BigNum& a, const BigNum& ea,
+                                   const BigNum& b, const BigNum& eb) const {
+  WindowTable ta, tb;
+  if (!ea.IsZero()) {
+    ta = Precompute(a);
+  }
+  if (!eb.IsZero()) {
+    tb = Precompute(b);
+  }
+  return ExpDoubleWithTables(ea.IsZero() ? nullptr : &ta, ea,
+                             eb.IsZero() ? nullptr : &tb, eb);
+}
+
+BigNum MontgomeryCtx::ModExpDouble(const WindowTable& a, const BigNum& ea,
+                                   const WindowTable& b,
+                                   const BigNum& eb) const {
+  return ExpDoubleWithTables(ea.IsZero() ? nullptr : &a, ea,
+                             eb.IsZero() ? nullptr : &b, eb);
+}
+
+BigNum MontgomeryCtx::ExpDoubleWithTables(const WindowTable* ta,
+                                          const BigNum& ea,
+                                          const WindowTable* tb,
+                                          const BigNum& eb) const {
+  if (ta == nullptr && tb == nullptr) {
+    return BigNum::Mod(BigNum(1), m_);  // 1 * 1 mod m
+  }
+  const size_t bits = std::max(ea.BitLength(), eb.BitLength());
+  const size_t windows = (bits + 3) / 4;
+  Elem acc = one_;
+  for (size_t w = windows; w-- > 0;) {
+    if (w != windows - 1) {
+      for (int s = 0; s < 4; ++s) {
+        MulMont(acc, acc, acc);
+      }
+    }
+    unsigned da = ta != nullptr ? Window4(ea, w) : 0;
+    if (da != 0) {
+      MulMont(acc, (*ta)[da], acc);
+    }
+    unsigned db = tb != nullptr ? Window4(eb, w) : 0;
+    if (db != 0) {
+      MulMont(acc, (*tb)[db], acc);
+    }
+  }
+  return FromMont(acc);
 }
 
 Result<BigNum> BigNum::ModInverse(const BigNum& a, const BigNum& m) {

@@ -60,9 +60,21 @@ class BigNum {
   static BigNum ShiftLeft(const BigNum& a, size_t bits);
   static BigNum ShiftRight(const BigNum& a, size_t bits);
 
-  // (a * b) mod m, (a ^ e) mod m. Require !m.IsZero().
+  // (a * b) mod m, (a ^ e) mod m. Require !m.IsZero(). ModExp routes odd
+  // moduli through a MontgomeryCtx (CIOS multiply, no division in the hot
+  // loop) and falls back to ModExpReference for even moduli.
   static BigNum ModMul(const BigNum& a, const BigNum& b, const BigNum& m);
   static BigNum ModExp(const BigNum& base, const BigNum& exp, const BigNum& m);
+  // Pre-Montgomery implementation (4-bit windows over ModMul's schoolbook
+  // multiply + Knuth reduction). Works for any modulus; kept as the
+  // equivalence-test and benchmark reference.
+  static BigNum ModExpReference(const BigNum& base, const BigNum& exp,
+                                const BigNum& m);
+  // g^u1 * y^u2 mod m in ~one exponentiation (Shamir's trick: one shared
+  // squaring chain, per-base 4-bit windows). The DSA-verify shape.
+  static BigNum ModExpDouble(const BigNum& g, const BigNum& u1,
+                             const BigNum& y, const BigNum& u2,
+                             const BigNum& m);
   // Modular inverse; error if gcd(a, m) != 1.
   static Result<BigNum> ModInverse(const BigNum& a, const BigNum& m);
 
@@ -86,9 +98,74 @@ class BigNum {
   bool operator>=(const BigNum& o) const { return Compare(*this, o) >= 0; }
 
  private:
+  friend class MontgomeryCtx;
+
   void Normalize();
+  // Knuth Algorithm D core shared by DivMod and Mod: returns the
+  // remainder; fills *quotient when non-null (the hot reductions pass
+  // null and skip materializing quotient limbs).
+  static BigNum DivModImpl(const BigNum& a, const BigNum& b,
+                           BigNum* quotient);
 
   std::vector<uint32_t> limbs_;  // little-endian, no trailing zero limbs
+};
+
+// Montgomery-domain arithmetic for a fixed odd modulus: word-level CIOS
+// multiply + interleaved REDC, so a modular multiply is one fused
+// two-pass loop over the limbs instead of schoolbook multiply followed by
+// Knuth division. Construction is the only place that divides; everything
+// after is multiply/add/shift. Exponentiation uses 4-bit fixed windows;
+// Precompute() lets a caller pay the 16-entry table once per base and
+// amortize it across exponentiations (the DSA fixed-base g and per-key y).
+//
+// Thread-safe after construction: all methods are const and touch no
+// shared mutable state.
+class MontgomeryCtx {
+ public:
+  // Montgomery-domain element: exactly `width()` little-endian limbs.
+  using Elem = std::vector<uint32_t>;
+  // base^0 .. base^15 in the Montgomery domain.
+  using WindowTable = std::vector<Elem>;
+
+  // Fails unless m is odd and > 1 (REDC needs gcd(m, 2^32) == 1).
+  static Result<MontgomeryCtx> Create(const BigNum& m);
+
+  const BigNum& modulus() const { return m_; }
+  size_t width() const { return n_; }
+
+  BigNum ModExp(const BigNum& base, const BigNum& exp) const;
+  BigNum ModExp(const WindowTable& base, const BigNum& exp) const;
+
+  // a^ea * b^eb mod m with one shared squaring chain (Shamir's trick,
+  // per-base 4-bit windows): ~|exp| squarings + |exp|/2 multiplies, versus
+  // 2*|exp| squarings for two separate exponentiations.
+  BigNum ModExpDouble(const BigNum& a, const BigNum& ea, const BigNum& b,
+                      const BigNum& eb) const;
+  BigNum ModExpDouble(const WindowTable& a, const BigNum& ea,
+                      const WindowTable& b, const BigNum& eb) const;
+
+  WindowTable Precompute(const BigNum& base) const;
+
+  // Domain conversion (exposed for tests; exponentiation wraps these).
+  Elem ToMont(const BigNum& a) const;
+  BigNum FromMont(const Elem& a) const;
+  // out = a * b * R^-1 mod m (CIOS). Aliasing out with a or b is fine.
+  void MulMont(const Elem& a, const Elem& b, Elem& out) const;
+
+ private:
+  explicit MontgomeryCtx(BigNum m);
+
+  // Core of ModExpDouble; either table pointer may be null when its
+  // exponent is zero.
+  BigNum ExpDoubleWithTables(const WindowTable* ta, const BigNum& ea,
+                             const WindowTable* tb, const BigNum& eb) const;
+
+  BigNum m_;
+  size_t n_ = 0;        // limb width of every Elem
+  uint32_t n0inv_ = 0;  // -m^-1 mod 2^32
+  Elem m_limbs_;        // m, padded to n_
+  Elem rr_;             // R^2 mod m (Montgomery form of R)
+  Elem one_;            // R mod m   (Montgomery form of 1)
 };
 
 inline BigNum operator+(const BigNum& a, const BigNum& b) {

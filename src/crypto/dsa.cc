@@ -1,6 +1,8 @@
 #include "src/crypto/dsa.h"
 
 #include <cassert>
+#include <mutex>
+#include <unordered_map>
 
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha.h"
@@ -52,12 +54,10 @@ BigNum DigestToBigNum(const Bytes& digest, const BigNum& q) {
   return z;
 }
 
-}  // namespace
-
-bool DsaPublicKey::Verify(const Bytes& digest, const DsaSignature& sig) const {
-  const BigNum& p = params_.p;
-  const BigNum& q = params_.q;
-  const BigNum& g = params_.g;
+// Computes (u1, u2) from the digest and signature, rejecting malformed
+// signatures. Shared by the fast (precomputed-table) and generic paths.
+bool ComputeVerifyExponents(const Bytes& digest, const DsaSignature& sig,
+                            const BigNum& q, BigNum* u1, BigNum* u2) {
   if (sig.r.IsZero() || sig.s.IsZero() || sig.r >= q || sig.s >= q) {
     return false;
   }
@@ -67,11 +67,107 @@ bool DsaPublicKey::Verify(const Bytes& digest, const DsaSignature& sig) const {
   }
   const BigNum& w = w_or.value();
   BigNum z = DigestToBigNum(digest, q);
-  BigNum u1 = BigNum::ModMul(z, w, q);
-  BigNum u2 = BigNum::ModMul(sig.r, w, q);
+  *u1 = BigNum::ModMul(z, w, q);
+  *u2 = BigNum::ModMul(sig.r, w, q);
+  return true;
+}
+
+}  // namespace
+
+DsaVerifyContext::DsaVerifyContext(DsaParams params, MontgomeryCtx mont_p)
+    : params_(std::move(params)), mont_p_(std::move(mont_p)) {}
+
+Result<DsaVerifyContext> DsaVerifyContext::Create(const DsaPublicKey& key) {
+  ASSIGN_OR_RETURN(MontgomeryCtx mont_p, MontgomeryCtx::Create(key.params().p));
+  DsaVerifyContext ctx(key.params(), std::move(mont_p));
+  ctx.g_table_ = ctx.mont_p_.Precompute(ctx.params_.g);
+  ctx.y_table_ = ctx.mont_p_.Precompute(key.y());
+  return ctx;
+}
+
+bool DsaVerifyContext::Verify(const Bytes& digest,
+                              const DsaSignature& sig) const {
+  BigNum u1, u2;
+  if (!ComputeVerifyExponents(digest, sig, params_.q, &u1, &u2)) {
+    return false;
+  }
+  BigNum v =
+      BigNum::Mod(mont_p_.ModExpDouble(g_table_, u1, y_table_, u2), params_.q);
+  return BigNum::Compare(v, sig.r) == 0;
+}
+
+namespace {
+
+// Sharded context cache. Keys are long-lived (server key, authorizers),
+// so a small per-shard bound with wholesale eviction on overflow is
+// enough: rebuilding a context costs two 16-entry table fills, and the
+// bound only exists so a flood of throwaway keys cannot grow the map
+// without limit.
+class VerifyContextCache {
+ public:
+  static VerifyContextCache& Get() {
+    static VerifyContextCache* cache = new VerifyContextCache();
+    return *cache;
+  }
+
+  std::shared_ptr<const DsaVerifyContext> Lookup(const DsaPublicKey& key) {
+    Bytes id = Sha256::Hash(key.Serialize());
+    std::string map_key(id.begin(), id.end());
+    Shard& shard = shards_[static_cast<size_t>(
+        static_cast<uint8_t>(map_key[0])) % kShards];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(map_key);
+      if (it != shard.entries.end()) {
+        return it->second;
+      }
+    }
+    // Build outside the lock; concurrent builders for the same key both
+    // produce correct contexts and one insert wins.
+    auto built = DsaVerifyContext::Create(key);
+    if (!built.ok()) {
+      return nullptr;
+    }
+    auto ctx = std::make_shared<const DsaVerifyContext>(std::move(*built));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.size() >= kPerShardCap) {
+      shard.entries.clear();
+    }
+    return shard.entries.emplace(std::move(map_key), std::move(ctx))
+        .first->second;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  static constexpr size_t kPerShardCap = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const DsaVerifyContext>>
+        entries;
+  };
+  Shard shards_[kShards];
+};
+
+}  // namespace
+
+std::shared_ptr<const DsaVerifyContext> GetVerifyContext(
+    const DsaPublicKey& key) {
+  return VerifyContextCache::Get().Lookup(key);
+}
+
+bool DsaPublicKey::Verify(const Bytes& digest, const DsaSignature& sig) const {
+  if (std::shared_ptr<const DsaVerifyContext> ctx = GetVerifyContext(*this)) {
+    return ctx->Verify(digest, sig);
+  }
+  // Degenerate parameters (even p): generic double-exponentiation, which
+  // itself falls back to the reference ModExp for even moduli.
+  BigNum u1, u2;
+  if (!ComputeVerifyExponents(digest, sig, params_.q, &u1, &u2)) {
+    return false;
+  }
   BigNum v = BigNum::Mod(
-      BigNum::ModMul(BigNum::ModExp(g, u1, p), BigNum::ModExp(y_, u2, p), p),
-      q);
+      BigNum::ModExpDouble(params_.g, u1, y_, u2, params_.p), params_.q);
   return BigNum::Compare(v, sig.r) == 0;
 }
 

@@ -6,6 +6,7 @@
 #ifndef DISCFS_SRC_CRYPTO_DSA_H_
 #define DISCFS_SRC_CRYPTO_DSA_H_
 
+#include <memory>
 #include <string>
 
 #include "src/crypto/bignum.h"
@@ -19,6 +20,36 @@ struct DsaSignature {
   BigNum r;
   BigNum s;
 };
+
+class DsaPublicKey;
+
+// Precomputed verification state for one public key: a Montgomery context
+// for p plus fixed-base 4-bit window tables for g and y. Verify computes
+// g^u1 * y^u2 through one Shamir double-exponentiation over those tables,
+// so repeated verifies against the same authorizer pay the table fill
+// once. Immutable after construction; safe to share across threads.
+class DsaVerifyContext {
+ public:
+  // Fails when p is unusable for Montgomery arithmetic (even or <= 1);
+  // callers fall back to the generic verify path.
+  static Result<DsaVerifyContext> Create(const DsaPublicKey& key);
+
+  bool Verify(const Bytes& digest, const DsaSignature& sig) const;
+
+ private:
+  DsaVerifyContext(DsaParams params, MontgomeryCtx mont_p);
+
+  DsaParams params_;
+  MontgomeryCtx mont_p_;
+  MontgomeryCtx::WindowTable g_table_;
+  MontgomeryCtx::WindowTable y_table_;
+};
+
+// Process-wide sharded cache of verify contexts, keyed by the key's full
+// serialized SHA-256. Lazily builds on first use; bounded per shard.
+// Returns null when a context cannot be built for the key's parameters.
+std::shared_ptr<const DsaVerifyContext> GetVerifyContext(
+    const DsaPublicKey& key);
 
 class DsaPublicKey {
  public:

@@ -45,6 +45,40 @@ Result<std::string> DiscfsClient::SubmitCredential(const std::string& text) {
   return r.GetString();
 }
 
+Result<std::vector<Result<std::string>>> DiscfsClient::SubmitCredentials(
+    const std::vector<std::string>& texts) {
+  if (texts.size() > kMaxCredentialBatch) {
+    return InvalidArgumentError(
+        "batch exceeds the protocol bound; split into chunks of at most " +
+        std::to_string(kMaxCredentialBatch));
+  }
+  XdrWriter w;
+  w.PutU32(static_cast<uint32_t>(texts.size()));
+  for (const std::string& text : texts) {
+    w.PutString(text);
+  }
+  ASSIGN_OR_RETURN(Bytes reply,
+                   Call(DiscfsProc::kSubmitCredentialBatch, w.Take()));
+  XdrReader r(reply);
+  ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count != texts.size()) {
+    return DataLossError("batch reply count does not match request");
+  }
+  std::vector<Result<std::string>> results;
+  results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint32_t code, r.GetU32());
+    ASSIGN_OR_RETURN(std::string body, r.GetString(1 << 20));
+    if (code == static_cast<uint32_t>(StatusCode::kOk)) {
+      results.emplace_back(std::move(body));
+    } else {
+      results.emplace_back(
+          Status(static_cast<StatusCode>(code), std::move(body)));
+    }
+  }
+  return results;
+}
+
 Status DiscfsClient::RemoveCredential(const std::string& credential_id) {
   XdrWriter w;
   w.PutString(credential_id);

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/crypto/dsa.h"
 #include "src/discfs/protocol.h"
@@ -49,6 +50,11 @@ class DiscfsClient {
   // Submits a credential assertion to the server's persistent KeyNote
   // session; returns the credential id.
   Result<std::string> SubmitCredential(const std::string& text);
+  // Batch submission (one round trip; server fans verification out over
+  // its worker pool). results[i] is texts[i]'s id or per-credential error;
+  // the outer Result fails only on transport/decode problems.
+  Result<std::vector<Result<std::string>>> SubmitCredentials(
+      const std::vector<std::string>& texts);
   // Issuer-side withdrawal of a delegation.
   Status RemoveCredential(const std::string& credential_id);
   // Self-revocation of this client's key (compromise recovery).

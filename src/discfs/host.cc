@@ -106,6 +106,9 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
   host->loop_ = std::make_unique<EventLoop>();
   host->pool_ = std::make_unique<WorkerPool>(
       ResolveWorkerThreads(options.worker_threads));
+  // Batch credential submits fan verification out over the shared pool
+  // (teardown closes every connection before the pool stops).
+  host->server_->SetVerifyPool(host->pool_.get());
   host->options_ = options;
   if (cluster) {
     cluster::FabricConfig fabric_config;

@@ -21,7 +21,14 @@ enum class DiscfsProc : uint32_t {
   kMkdirReturnsCred = 5,   // dir fh, name, mode -> fattr + credential text
   kResolveHandle = 6,      // inode number -> fattr (policy-checked)
   kServerInfo = 7,         // () -> server public key + stats
+  // n, credential texts -> n × (status code, id-or-error). Verification
+  // fans out across the server's worker pool; one lock installs all.
+  kSubmitCredentialBatch = 8,
 };
+
+// Upper bound on credentials per kSubmitCredentialBatch call (bounds the
+// request size and the per-call verification burst).
+inline constexpr uint32_t kMaxCredentialBatch = 1024;
 
 }  // namespace discfs
 

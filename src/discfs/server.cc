@@ -1,6 +1,7 @@
 #include "src/discfs/server.h"
 
 #include <algorithm>
+#include <condition_variable>
 
 #include "src/cluster/fabric.h"
 #include "src/cluster/protocol.h"
@@ -8,6 +9,7 @@
 #include "src/discfs/action_env.h"
 #include "src/discfs/credentials.h"
 #include "src/util/strings.h"
+#include "src/util/worker_pool.h"
 #include "src/wire/xdr.h"
 
 namespace discfs {
@@ -30,7 +32,8 @@ DiscfsServer::DiscfsServer(std::shared_ptr<Vfs> vfs,
       nfs_(std::make_unique<NfsServer>(std::move(vfs))),
       session_(keynote::PermissionLattice::Get()),
       cache_(config_.policy_cache_size, config_.policy_cache_ttl_s),
-      revocation_(config_.revocation_horizon_s) {
+      revocation_(config_.revocation_horizon_s),
+      sig_cache_(config_.signature_cache_size) {
   if (!config_.rand_bytes) {
     config_.rand_bytes = [](size_t n) { return SysRandomBytes(n); };
   }
@@ -167,17 +170,17 @@ void DiscfsServer::PublishChurnLocked(cluster::CoherenceEvent event) {
   }
 }
 
-Result<std::string> DiscfsServer::SubmitCredentialLocked(
-    const std::string& text) {
+Result<std::string> DiscfsServer::InstallCredentialLocked(
+    keynote::Assertion assertion) {
   int64_t now = clock_->NowUnix();
   revocation_.Expire(now);
-  ASSIGN_OR_RETURN(std::string id, session_.AddCredential(text));
-  const keynote::Assertion* credential = session_.FindCredential(id);
-  if (credential == nullptr) {
-    return InternalError("credential vanished after admission");
-  }
+  std::string authorizer = assertion.authorizer();
+  ASSIGN_OR_RETURN(std::string id,
+                   session_.AddVerifiedCredential(std::move(assertion)));
+  // Revocation is server state, so this check belongs under the lock: a
+  // signature-cache hit skips the modexp, never this.
   if (revocation_.IsCredentialRevoked(id, now) ||
-      revocation_.IsKeyRevoked(credential->authorizer(), now)) {
+      revocation_.IsKeyRevoked(authorizer, now)) {
     (void)session_.RemoveCredential(id);
     return PermissionDeniedError("credential or issuing key is revoked");
   }
@@ -191,9 +194,83 @@ Result<std::string> DiscfsServer::SubmitCredentialLocked(
 }
 
 Result<std::string> DiscfsServer::SubmitCredential(const std::string& text) {
+  // Parse + verify with no lock held: signature validity depends only on
+  // the credential bytes, and the signature cache synchronizes itself.
+  ASSIGN_OR_RETURN(keynote::Assertion assertion,
+                   keynote::KeyNoteSession::ParseAndVerifyCredential(
+                       text, &sig_cache_));
   std::lock_guard<std::shared_mutex> lock(mu_);
-  return SubmitCredentialLocked(text);
+  return InstallCredentialLocked(std::move(assertion));
 }
+
+std::vector<Result<std::string>> DiscfsServer::SubmitCredentials(
+    const std::vector<std::string>& texts) {
+  const size_t n = texts.size();
+  std::vector<Result<keynote::Assertion>> verified;
+  verified.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    verified.emplace_back(UnavailableError("not verified"));
+  }
+
+  // Verification fan-out. Items are claimed from a shared counter; the
+  // calling thread works the same loop as the pool helpers, so the batch
+  // finishes even if no helper ever gets scheduled — which also makes it
+  // safe to call from a pool worker (an RPC handler): the caller never
+  // parks waiting for pool capacity it might itself be occupying.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  // Late-running helpers only touch `shared` (kept alive by the
+  // shared_ptr): once `done == n` every index has been claimed and
+  // completed, so a straggler's claim fails before it ever dereferences
+  // the caller-owned vectors.
+  auto work = [this, shared, &texts, &verified, n] {
+    while (true) {
+      size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        break;
+      }
+      Result<keynote::Assertion> r =
+          keynote::KeyNoteSession::ParseAndVerifyCredential(texts[i],
+                                                            &sig_cache_);
+      verified[i] = std::move(r);
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (++shared->done == n) {
+        shared->cv.notify_all();
+      }
+    }
+  };
+  size_t helpers =
+      (verify_pool_ != nullptr && n > 1) ? std::min(verify_pool_->size(), n - 1)
+                                         : 0;
+  for (size_t h = 0; h < helpers; ++h) {
+    verify_pool_->Submit(work);
+  }
+  work();
+  {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->cv.wait(lock, [&] { return shared->done == n; });
+  }
+
+  // One exclusive acquisition installs the whole batch.
+  std::vector<Result<std::string>> results;
+  results.reserve(n);
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  for (auto& v : verified) {
+    if (v.ok()) {
+      results.push_back(InstallCredentialLocked(std::move(v).value()));
+    } else {
+      results.push_back(v.status());
+    }
+  }
+  return results;
+}
+
+void DiscfsServer::SetVerifyPool(WorkerPool* pool) { verify_pool_ = pool; }
 
 Status DiscfsServer::RemoveCredential(const std::string& credential_id) {
   std::lock_guard<std::shared_mutex> lock(mu_);
@@ -239,6 +316,7 @@ void DiscfsServer::RevokeKey(const std::string& principal) {
 void DiscfsServer::ResetTelemetry() {
   std::lock_guard<std::shared_mutex> lock(mu_);
   cache_.ResetStats();
+  sig_cache_.ResetStats();
   counters_.keynote_queries.store(0, std::memory_order_relaxed);
   counters_.access_checks.store(0, std::memory_order_relaxed);
   counters_.denials.store(0, std::memory_order_relaxed);
@@ -250,6 +328,11 @@ PolicyCache::Stats DiscfsServer::cache_stats() const {
 
 PolicyCache::CoherenceStats DiscfsServer::cache_coherence_stats() const {
   return cache_.coherence_stats();  // internally synchronized
+}
+
+keynote::VerifiedSignatureCache::Stats DiscfsServer::signature_cache_stats()
+    const {
+  return sig_cache_.stats();  // internally synchronized
 }
 
 void DiscfsServer::AttachCoherenceFabric(cluster::CoherenceFabric* fabric) {
@@ -322,6 +405,32 @@ void DiscfsServer::RegisterDiscfsProcs() {
         ASSIGN_OR_RETURN(std::string id, SubmitCredential(text));
         XdrWriter w;
         w.PutString(id);
+        return w.Take();
+      });
+
+  reg(DiscfsProc::kSubmitCredentialBatch,
+      [this](const Bytes& args, const RpcContext&) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+        if (count > kMaxCredentialBatch) {
+          return InvalidArgumentError(
+              StrPrintf("batch of %u exceeds the %u-credential bound", count,
+                        kMaxCredentialBatch));
+        }
+        std::vector<std::string> texts;
+        texts.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          ASSIGN_OR_RETURN(std::string text, r.GetString(1 << 20));
+          texts.push_back(std::move(text));
+        }
+        std::vector<Result<std::string>> results = SubmitCredentials(texts);
+        XdrWriter w;
+        w.PutU32(static_cast<uint32_t>(results.size()));
+        for (const Result<std::string>& result : results) {
+          w.PutU32(static_cast<uint32_t>(result.status().code()));
+          w.PutString(result.ok() ? result.value()
+                                  : result.status().message());
+        }
         return w.Take();
       });
 

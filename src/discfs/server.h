@@ -32,6 +32,8 @@
 
 namespace discfs {
 
+class WorkerPool;
+
 namespace cluster {
 class CoherenceFabric;
 }  // namespace cluster
@@ -45,6 +47,10 @@ struct DiscfsServerConfig {
   std::vector<std::string> policy_assertions;
   size_t policy_cache_size = 128;   // paper's search benchmark setting
   int64_t policy_cache_ttl_s = 60;  // bounded staleness for time conditions
+  // Verified-signature cache entries (H(key‖digest‖sig) of successful
+  // verifies): re-submitted/replayed credentials skip the DSA modexp.
+  // 0 disables.
+  size_t signature_cache_size = 4096;
   int64_t revocation_horizon_s = 24 * 3600;
   const Clock* clock = nullptr;  // defaults to SystemClock
   std::function<Bytes(size_t)> rand_bytes;  // defaults to SysRandomBytes
@@ -89,9 +95,28 @@ class DiscfsServer {
 
   // --- local administration (not exposed over RPC) ---
   Status AddPolicyAssertion(const std::string& text);
+  // Admission is split: the credential is parsed and its signature
+  // verified (through the verified-signature cache) with NO lock held;
+  // only the install — revocation checks, session insert, scoped
+  // invalidation, churn publish — runs under mu_ exclusive. Concurrent
+  // submitters overlap their multi-millisecond bignum math instead of
+  // serializing the whole server on it.
   Result<std::string> SubmitCredential(const std::string& text);
+  // Batch admission: verification fans out across the attached verify
+  // pool (the calling thread participates, so the batch completes even if
+  // every pool worker is busy), then all verified credentials install
+  // under one exclusive lock acquisition. results[i] corresponds to
+  // texts[i].
+  std::vector<Result<std::string>> SubmitCredentials(
+      const std::vector<std::string>& texts);
   Status RemoveCredential(const std::string& credential_id);
   void RevokeKey(const std::string& principal);
+
+  // Shares the host's worker pool for batch-submit verification fan-out.
+  // Optional: without one, SubmitCredentials verifies on the calling
+  // thread only. Must outlive all serving (hosts tear connections down
+  // before the pool).
+  void SetVerifyPool(WorkerPool* pool);
 
   // --- cluster coherence (PR 4) ---
   // Wires the coherence fabric: every local credential-set mutation
@@ -115,6 +140,9 @@ class DiscfsServer {
   const Counters& counters() const { return counters_; }
   PolicyCache::Stats cache_stats() const;
   PolicyCache::CoherenceStats cache_coherence_stats() const;
+  // Verified-signature cache telemetry: benches and tests observe
+  // replay-skip behavior directly instead of inferring it from timing.
+  keynote::VerifiedSignatureCache::Stats signature_cache_stats() const;
   size_t credential_count() const;
   NfsServer& nfs() { return *nfs_; }
 
@@ -132,7 +160,10 @@ class DiscfsServer {
   Status CheckAccess(const NfsAccessRequest& request);
   uint32_t QueryMaskLocked(const std::string& principal, uint32_t inode)
       /* requires mu_ (shared suffices; cache_ synchronizes itself) */;
-  Result<std::string> SubmitCredentialLocked(const std::string& text);
+  // Installs a credential whose signature has already been verified:
+  // revocation checks, session insert, invalidation, churn publish.
+  Result<std::string> InstallCredentialLocked(keynote::Assertion assertion)
+      /* requires mu_ exclusive */;
   // Bumps the cache generation of every principal whose delegation chain
   // passes through credential `id`; entries for everyone else stay warm.
   // Returns the affected set — the closure hint shipped in coherence
@@ -158,7 +189,13 @@ class DiscfsServer {
   keynote::KeyNoteSession session_;
   PolicyCache cache_;
   RevocationList revocation_;
+  // Internally synchronized; touched outside mu_ on purpose (the whole
+  // point is that signature verification holds no server lock).
+  keynote::VerifiedSignatureCache sig_cache_;
   Counters counters_;
+  // Set once before serving starts (SetVerifyPool); null when no host
+  // provides one.
+  WorkerPool* verify_pool_ = nullptr;
   // Set once before serving starts (AttachCoherenceFabric); null when
   // this server runs standalone.
   cluster::CoherenceFabric* fabric_ = nullptr;

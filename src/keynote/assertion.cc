@@ -231,7 +231,7 @@ std::string Assertion::Id() const {
   return HexEncode(Sha256::Hash(text_)).substr(0, 16);
 }
 
-Status Assertion::VerifySignature() const {
+Status Assertion::VerifySignature(VerifiedSignatureCache* cache) const {
   if (is_policy()) {
     return FailedPreconditionError("policy assertions are not signed");
   }
@@ -255,18 +255,34 @@ Status Assertion::VerifySignature() const {
     return InvalidArgumentError("unsupported signature algorithm: " + prefix);
   }
 
+  std::string signed_text =
+      text_.substr(0, signature_field_offset_) + prefix;
+  Bytes digest =
+      sha1 ? Sha1::Hash(signed_text) : Sha256::Hash(signed_text);
+
+  // A cache hit proves this exact (authorizer, digest, signature) triple
+  // already passed the full verify below; the parse it went through then
+  // succeeded, so re-running it is redundant too.
+  Bytes cache_key;
+  if (cache != nullptr) {
+    cache_key =
+        VerifiedSignatureCache::MakeKey(authorizer_, digest, signature_value_);
+    if (cache->Contains(cache_key)) {
+      return OkStatus();
+    }
+  }
+
   ASSIGN_OR_RETURN(DsaPublicKey key,
                    DsaPublicKey::FromKeyNoteString(authorizer_));
   ASSIGN_OR_RETURN(Bytes sig_bytes, HexDecode(sig_hex));
   ASSIGN_OR_RETURN(DsaSignature sig,
                    DeserializeDsaSignature(sig_bytes, key.params()));
 
-  std::string signed_text =
-      text_.substr(0, signature_field_offset_) + prefix;
-  Bytes digest =
-      sha1 ? Sha1::Hash(signed_text) : Sha256::Hash(signed_text);
   if (!key.Verify(digest, sig)) {
     return UnauthenticatedError("credential signature verification failed");
+  }
+  if (cache != nullptr) {
+    cache->Insert(cache_key);
   }
   return OkStatus();
 }

@@ -28,6 +28,7 @@
 #include "src/crypto/dsa.h"
 #include "src/keynote/expr.h"
 #include "src/keynote/licensees.h"
+#include "src/keynote/sigcache.h"
 #include "src/util/status.h"
 
 namespace discfs::keynote {
@@ -65,8 +66,10 @@ class Assertion {
 
   // Checks that the Signature field verifies against the Authorizer key.
   // Fails for policy assertions (they are unsigned by definition) and for
-  // authorizers that are not keys.
-  Status VerifySignature() const;
+  // authorizers that are not keys. With a cache, a previously verified
+  // (key, digest, sig) triple short-circuits before any bignum math, and
+  // a fresh successful verify is recorded for next time.
+  Status VerifySignature(VerifiedSignatureCache* cache = nullptr) const;
 
   Assertion(Assertion&&) = default;
   Assertion& operator=(Assertion&&) = default;

@@ -14,12 +14,24 @@ Status KeyNoteSession::AddPolicyAssertion(std::string text) {
 }
 
 Result<std::string> KeyNoteSession::AddCredential(std::string text) {
+  ASSIGN_OR_RETURN(Assertion assertion,
+                   ParseAndVerifyCredential(std::move(text)));
+  return AddVerifiedCredential(std::move(assertion));
+}
+
+Result<Assertion> KeyNoteSession::ParseAndVerifyCredential(
+    std::string text, VerifiedSignatureCache* cache) {
   ASSIGN_OR_RETURN(Assertion assertion, Assertion::Parse(std::move(text)));
   if (assertion.is_policy()) {
     return InvalidArgumentError(
         "POLICY assertions cannot be admitted as credentials");
   }
-  RETURN_IF_ERROR(assertion.VerifySignature());
+  RETURN_IF_ERROR(assertion.VerifySignature(cache));
+  return assertion;
+}
+
+Result<std::string> KeyNoteSession::AddVerifiedCredential(
+    Assertion assertion) {
   std::string id = assertion.Id();
   auto [it, inserted] = credentials_.emplace(
       id, std::make_unique<Assertion>(std::move(assertion)));

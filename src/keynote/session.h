@@ -31,6 +31,16 @@ class KeyNoteSession {
   // the same credential twice is idempotent.
   Result<std::string> AddCredential(std::string text);
 
+  // The two halves of AddCredential, split so a server can run the
+  // expensive half (parse + DSA verify, optionally through a
+  // verified-signature cache) with no lock held and only the install under
+  // its exclusive credential lock.
+  static Result<Assertion> ParseAndVerifyCredential(
+      std::string text, VerifiedSignatureCache* cache = nullptr);
+  // Installs an assertion whose signature ParseAndVerifyCredential already
+  // checked. Idempotent like AddCredential.
+  Result<std::string> AddVerifiedCredential(Assertion assertion);
+
   // Removes a credential by id. Returns NOT_FOUND if absent.
   Status RemoveCredential(const std::string& id);
 

@@ -1,0 +1,246 @@
+// Admission fast-path tests (PR 5): signature verification runs outside
+// mu_ exclusive, backed by the verified-signature cache — these pin down
+// that the fast path never weakens admission (bit-flips still rejected,
+// revocation still checked under the lock on a cache hit), that the cache
+// is actually consulted, and that a concurrent submit storm is clean
+// under TSAN.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/blockdev/blockdev.h"
+#include "src/crypto/groups.h"
+#include "src/discfs/action_env.h"
+#include "src/discfs/client.h"
+#include "src/discfs/credentials.h"
+#include "src/discfs/host.h"
+#include "src/discfs/server.h"
+#include "src/ffs/ffs.h"
+#include "src/util/prng.h"
+#include "src/util/worker_pool.h"
+#include "src/vfs/vfs.h"
+
+namespace discfs {
+namespace {
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+std::shared_ptr<FfsVfs> MakeVfs() {
+  auto dev = std::make_shared<MemBlockDevice>(4096, 8192);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{1024});
+  EXPECT_TRUE(fs.ok()) << fs.status();
+  return std::make_shared<FfsVfs>(std::move(fs).value());
+}
+
+// Flips one hex digit inside the credential's Signature field value.
+std::string FlipSignatureBit(std::string text) {
+  size_t quote = text.rfind('"');
+  EXPECT_NE(quote, std::string::npos);
+  char& c = text[quote - 1];  // last hex digit of the signature
+  c = (c == '0') ? '1' : '0';
+  return text;
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    admin_ = std::make_unique<DsaPrivateKey>(
+        DsaPrivateKey::Generate(Dsa512(), TestRand(1)));
+    issuer_ = std::make_unique<DsaPrivateKey>(
+        DsaPrivateKey::Generate(Dsa512(), TestRand(2)));
+    subject_ = std::make_unique<DsaPrivateKey>(
+        DsaPrivateKey::Generate(Dsa512(), TestRand(3)));
+    DiscfsServerConfig config;
+    config.server_key = *admin_;
+    config.rand_bytes = TestRand(99);
+    auto server = DiscfsServer::Create(MakeVfs(), std::move(config));
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = std::move(server).value();
+  }
+
+  std::string Issue(const DsaPrivateKey& issuer, uint32_t inode,
+                    const std::string& comment = "") {
+    CredentialOptions options;
+    options.permissions = "RWX";
+    options.comment = comment;
+    auto cred = IssueCredential(issuer, subject_->public_key(),
+                                HandleString(inode), options);
+    EXPECT_TRUE(cred.ok()) << cred.status();
+    return *cred;
+  }
+
+  std::unique_ptr<DsaPrivateKey> admin_, issuer_, subject_;
+  std::unique_ptr<DiscfsServer> server_;
+};
+
+TEST_F(AdmissionTest, SubmitAdmitsAndCountsOneCacheMiss) {
+  auto id = server_->SubmitCredential(Issue(*admin_, 7));
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(server_->credential_count(), 1u);
+  auto stats = server_->signature_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(AdmissionTest, BitFlippedSignatureRejectedColdAndWarm) {
+  std::string cred = Issue(*admin_, 7);
+  // Cold: no prior verify of this credential anywhere.
+  auto cold = server_->SubmitCredential(FlipSignatureBit(cred));
+  EXPECT_EQ(cold.status().code(), StatusCode::kUnauthenticated);
+  // Warm the cache with the intact credential, then flip: the tampered
+  // copy hashes to a different cache key, misses, and fails the full
+  // verify — a warm cache can never launder a forgery.
+  ASSERT_TRUE(server_->SubmitCredential(cred).ok());
+  auto warm = server_->SubmitCredential(FlipSignatureBit(cred));
+  EXPECT_EQ(warm.status().code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(server_->credential_count(), 1u);
+}
+
+TEST_F(AdmissionTest, ResubmitHitsSignatureCache) {
+  std::string cred = Issue(*admin_, 7);
+  auto id = server_->SubmitCredential(cred);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server_->RemoveCredential(*id).ok());
+  // RemoveCredential revokes the id; a fresh server state is needed to
+  // readmit, so check the cache path on a plain resubmit instead.
+  auto again = server_->SubmitCredential(cred);
+  EXPECT_EQ(again.status().code(), StatusCode::kPermissionDenied);
+  auto stats = server_->signature_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);  // the resubmit skipped the modexp
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(AdmissionTest, CacheHitStillDeniesWhenIssuingKeyRevoked) {
+  std::string cred = Issue(*issuer_, 7);
+  ASSERT_TRUE(server_->SubmitCredential(cred).ok());
+  server_->RevokeKey(issuer_->public_key().ToKeyNoteString());
+  EXPECT_EQ(server_->credential_count(), 0u);  // expelled with its issuer
+  auto resubmit = server_->SubmitCredential(cred);
+  EXPECT_EQ(resubmit.status().code(), StatusCode::kPermissionDenied);
+  // The denial came from the locked revocation check, not from signature
+  // verification: the cache did hit.
+  EXPECT_GE(server_->signature_cache_stats().hits, 1u);
+  EXPECT_EQ(server_->credential_count(), 0u);
+}
+
+TEST_F(AdmissionTest, BatchSubmitReportsPerCredentialResults) {
+  WorkerPool pool(4);
+  server_->SetVerifyPool(&pool);
+  std::string good1 = Issue(*admin_, 7, "one");
+  std::string good2 = Issue(*admin_, 8, "two");
+  std::vector<std::string> texts = {good1, FlipSignatureBit(good1), good2,
+                                    "not a credential", good1};
+  auto results = server_->SubmitCredentials(texts);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kUnauthenticated);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(results[3].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[4].ok());  // duplicate admission is idempotent
+  EXPECT_EQ(*results[4], *results[0]);
+  EXPECT_EQ(server_->credential_count(), 2u);
+}
+
+TEST_F(AdmissionTest, BatchWithoutPoolStillCompletes) {
+  std::vector<std::string> texts = {Issue(*admin_, 7), Issue(*admin_, 8)};
+  auto results = server_->SubmitCredentials(texts);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+}
+
+// The storm the redesign exists for: many submitters verifying
+// concurrently (no lock), interleaved with readers and revocations.
+// TSAN-clean via tools/run_tsan.sh.
+TEST_F(AdmissionTest, ConcurrentSubmitStormIsClean) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 4;
+  std::vector<std::vector<std::string>> creds(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kPerThread; ++i) {
+      creds[t].push_back(Issue(
+          *admin_, static_cast<uint32_t>(100 + t * kPerThread + i)));
+    }
+  }
+  std::string bystander = Issue(*issuer_, 999);
+
+  std::atomic<size_t> admitted{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 2);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &creds, &admitted, t] {
+      for (const std::string& cred : creds[t]) {
+        if (server_->SubmitCredential(cred).ok()) {
+          admitted.fetch_add(1);
+        }
+      }
+    });
+  }
+  // A reader hammering the shared-lock path...
+  threads.emplace_back([this, &stop] {
+    std::string principal = subject_->public_key().ToKeyNoteString();
+    while (!stop.load()) {
+      (void)server_->EffectiveMask(principal, 100);
+    }
+  });
+  // ...and churn on an unrelated issuer (exclusive path). do/while: the
+  // revocation must run at least once after the bystander submit, or the
+  // final credential-count assertion races the stop flag.
+  threads.emplace_back([this, &bystander, &stop] {
+    (void)server_->SubmitCredential(bystander);
+    do {
+      server_->RevokeKey(issuer_->public_key().ToKeyNoteString());
+      std::this_thread::yield();
+    } while (!stop.load());
+  });
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads[t].join();
+  }
+  stop.store(true);
+  for (size_t t = kThreads; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  EXPECT_EQ(admitted.load(), kThreads * kPerThread);
+  EXPECT_EQ(server_->credential_count(), kThreads * kPerThread);
+}
+
+// End-to-end: the batch RPC over TCP + secure channel, verification
+// fanned out on the host's pool, per-credential errors on the wire.
+TEST(AdmissionRpcTest, BatchSubmitOverRpc) {
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey bob = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  DiscfsServerConfig config;
+  config.server_key = admin;
+  config.rand_bytes = TestRand(99);
+  auto host = DiscfsHost::Start(MakeVfs(), std::move(config));
+  ASSERT_TRUE(host.ok()) << host.status();
+
+  ChannelIdentity identity{bob, TestRand(10)};
+  auto client = DiscfsClient::Connect("127.0.0.1", (*host)->port(), identity,
+                                      admin.public_key());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  CredentialOptions options;
+  options.permissions = "RWX";
+  auto good = IssueCredential(admin, bob.public_key(), HandleString(2),
+                              options);
+  ASSERT_TRUE(good.ok());
+  std::vector<std::string> batch = {*good, FlipSignatureBit(*good)};
+  auto results = (*client)->SubmitCredentials(batch);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_TRUE((*results)[0].ok());
+  EXPECT_EQ((*results)[1].status().code(), StatusCode::kUnauthenticated);
+
+  auto stats = (*host)->server().signature_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2u);
+  (*client)->Close();
+}
+
+}  // namespace
+}  // namespace discfs

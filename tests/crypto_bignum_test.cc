@@ -253,5 +253,110 @@ TEST(BigNum, DivModStress64BitBoundaries) {
   EXPECT_LT(BigNum::Compare(r, b), 0);
 }
 
+// The remainder-only reduction must agree with DivMod everywhere,
+// including the single-limb fast path and the D6 add-back divisor above.
+TEST(BigNum, ModMatchesDivModRandom) {
+  Prng prng(21);
+  for (int iter = 0; iter < 400; ++iter) {
+    BigNum a = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(48)));
+    BigNum m = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(24)));
+    if (m.IsZero()) {
+      continue;
+    }
+    EXPECT_EQ(BigNum::Mod(a, m), BigNum::DivMod(a, m).second);
+  }
+  BigNum a = FromHexOrDie("ffffffffffffffffffffffffffffffff");
+  BigNum b = FromHexOrDie("ffffffff00000001");
+  EXPECT_EQ(BigNum::Mod(a, b), BigNum::DivMod(a, b).second);
+}
+
+// ----- Montgomery exponentiation -----
+
+// Montgomery ModExp must agree with the pre-existing reference
+// implementation across operand widths (1 limb up to beyond DSA sizes),
+// including bases >= m and even moduli (which take the fallback path).
+TEST(BigNum, MontgomeryModExpMatchesReferenceRandom) {
+  Prng prng(31);
+  for (int iter = 0; iter < 150; ++iter) {
+    BigNum m = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(40)));
+    if (m.BitLength() <= 1) {
+      continue;
+    }
+    BigNum base = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(48)));
+    BigNum exp = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(24)));
+    EXPECT_EQ(BigNum::ModExp(base, exp, m),
+              BigNum::ModExpReference(base, exp, m))
+        << "m=" << m.ToHex() << " base=" << base.ToHex()
+        << " exp=" << exp.ToHex();
+  }
+}
+
+TEST(BigNum, ModExpDoubleMatchesSeparateExponentiations) {
+  Prng prng(37);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigNum m = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(40)));
+    if (m.BitLength() <= 1) {
+      continue;
+    }
+    BigNum g = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(48)));
+    BigNum y = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(48)));
+    BigNum u1 = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(24)));
+    BigNum u2 = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(24)));
+    BigNum expected = BigNum::ModMul(BigNum::ModExpReference(g, u1, m),
+                                     BigNum::ModExpReference(y, u2, m), m);
+    EXPECT_EQ(BigNum::ModExpDouble(g, u1, y, u2, m), expected)
+        << "m=" << m.ToHex();
+  }
+}
+
+TEST(BigNum, ModExpEdgeCases) {
+  BigNum odd = FromHexOrDie("10000000000000000000000001");  // odd, multi-limb
+  // Exponent zero -> 1 mod m, on both paths.
+  EXPECT_EQ(BigNum::ModExp(BigNum(5), BigNum(0), odd), BigNum(1));
+  EXPECT_EQ(BigNum::ModExp(BigNum(5), BigNum(0), BigNum(2)), BigNum(1));
+  EXPECT_EQ(BigNum::ModExpDouble(BigNum(5), BigNum(0), BigNum(7), BigNum(0),
+                                 odd),
+            BigNum(1));
+  // Base >= m reduces first.
+  BigNum big_base = FromHexOrDie("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(BigNum::ModExp(big_base, BigNum(3), odd),
+            BigNum::ModExpReference(big_base, BigNum(3), odd));
+  // Zero base with non-zero exponent.
+  EXPECT_TRUE(BigNum::ModExp(BigNum(0), BigNum(9), odd).IsZero());
+  // Modulus one: everything collapses to zero.
+  EXPECT_TRUE(BigNum::ModExp(BigNum(5), BigNum(3), BigNum(1)).IsZero());
+  // One exponent zero in the double form drops that base entirely.
+  EXPECT_EQ(
+      BigNum::ModExpDouble(BigNum(5), BigNum(0), BigNum(7), BigNum(3), odd),
+      BigNum::ModExpReference(BigNum(7), BigNum(3), odd));
+}
+
+TEST(MontgomeryCtxTest, RejectsEvenOrTrivialModulus) {
+  EXPECT_FALSE(MontgomeryCtx::Create(BigNum(10)).ok());
+  EXPECT_FALSE(MontgomeryCtx::Create(BigNum(0)).ok());
+  EXPECT_FALSE(MontgomeryCtx::Create(BigNum(1)).ok());
+  EXPECT_TRUE(MontgomeryCtx::Create(BigNum(3)).ok());
+}
+
+TEST(MontgomeryCtxTest, DomainRoundTripAndPrecompute) {
+  BigNum m = FromHexOrDie("f123456789abcdef123456789abcdef1");
+  auto ctx = MontgomeryCtx::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  Prng prng(41);
+  for (int i = 0; i < 50; ++i) {
+    BigNum a = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(20)));
+    EXPECT_EQ(ctx->FromMont(ctx->ToMont(a)), BigNum::Mod(a, m));
+  }
+  // A precomputed window table gives the same answers as the one-shot form.
+  BigNum base = FromHexOrDie("deadbeefcafebabe");
+  MontgomeryCtx::WindowTable table = ctx->Precompute(base);
+  for (int i = 0; i < 20; ++i) {
+    BigNum exp = BigNum::FromBytes(prng.NextBytes(1 + prng.NextBelow(20)));
+    EXPECT_EQ(ctx->ModExp(table, exp), ctx->ModExp(base, exp));
+    EXPECT_EQ(ctx->ModExp(table, exp),
+              BigNum::ModExpReference(base, exp, m));
+  }
+}
+
 }  // namespace
 }  // namespace discfs

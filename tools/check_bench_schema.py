@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
-"""Validates BENCH_policy.json / BENCH_rpc.json / BENCH_coherence.json
-against schema_version 1.
+"""Validates BENCH_policy.json / BENCH_rpc.json / BENCH_coherence.json /
+BENCH_admission.json against schema_version 1.
 
 Stdlib only, so the bench-smoke CI job and tools/run_bench.sh can call it
 anywhere a python3 exists. Checks required keys per tier, tier-set shape
 (the rpc bench must carry the 1-connection speedup tiers and the 64/256
 connections sweep; the coherence bench monotone cluster sizes), and basic
-sanity (positive throughput, monotone credential tiers, survivor rates in
-[0, 1]). Exits non-zero with a per-file error list on any violation.
+sanity (positive throughput, monotone credential tiers, survivor/hit
+rates in [0, 1]). Exits non-zero with a per-file error list on any
+violation.
 
 Usage: check_bench_schema.py BENCH_policy.json BENCH_rpc.json \
-           BENCH_coherence.json
+           BENCH_coherence.json BENCH_admission.json
        (pass any subset, in any order; files are dispatched on their
         "bench" field)
 """
@@ -53,6 +54,25 @@ RPC_TIER_KEYS = {
 RPC_REQUIRED_TIERS = {(1, 1), (1, 64)}
 # ...and the flat-thread gate needs the connections sweep.
 RPC_REQUIRED_SWEEP_CONNECTIONS = {64, 256}
+
+ADMISSION_TOP_KEYS = {
+    "bench",
+    "schema_version",
+    "verify_speedup",
+    "admit_scaling_1_to_8",
+    "scaling_gate_enforced",
+    "results",
+}
+ADMISSION_TIER_KEYS = {
+    "credentials",
+    "verify_ref_us",
+    "verify_fast_us",
+    "admit_per_s_1t",
+    "admit_per_s_4t",
+    "admit_per_s_8t",
+    "sig_cache_hit_rate",
+    "resubmit_per_s",
+}
 
 COHERENCE_TIER_KEYS = {
     "cluster_size",
@@ -144,10 +164,44 @@ def check_coherence(doc, errors):
             )
 
 
+def check_admission(doc, errors):
+    missing_top = ADMISSION_TOP_KEYS - doc.keys()
+    if missing_top:
+        errors.append(f"missing top-level keys: {sorted(missing_top)}")
+    if "verify_speedup" in doc and doc["verify_speedup"] <= 0:
+        errors.append("verify_speedup must be positive")
+    if "admit_scaling_1_to_8" in doc and doc["admit_scaling_1_to_8"] <= 0:
+        errors.append("admit_scaling_1_to_8 must be positive")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        return
+    last_credentials = 0
+    for i, tier in enumerate(results):
+        missing = ADMISSION_TIER_KEYS - tier.keys()
+        if missing:
+            errors.append(f"results[{i}] missing keys: {sorted(missing)}")
+            continue
+        for key in ("verify_ref_us", "verify_fast_us"):
+            sub = tier[key]
+            if not isinstance(sub, dict) or MISS_KEYS - sub.keys():
+                errors.append(f"results[{i}].{key} must have {sorted(MISS_KEYS)}")
+        if tier["credentials"] <= last_credentials:
+            errors.append(f"results[{i}] credentials tiers must increase")
+        last_credentials = tier["credentials"]
+        for key in ("admit_per_s_1t", "admit_per_s_4t", "admit_per_s_8t",
+                    "resubmit_per_s"):
+            if tier[key] <= 0:
+                errors.append(f"results[{i}] {key} must be positive")
+        if not 0.0 <= tier["sig_cache_hit_rate"] <= 1.0:
+            errors.append(f"results[{i}] sig_cache_hit_rate must be in [0, 1]")
+
+
 CHECKERS = {
     "policy_scaling": check_policy,
     "rpc_pipeline": check_rpc,
     "coherence_propagation": check_coherence,
+    "admission_scaling": check_admission,
 }
 
 

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Builds the Release tree and runs the policy + RPC + coherence
-# benchmarks, leaving BENCH_policy.json, BENCH_rpc.json, and
-# BENCH_coherence.json at the repo root (schemas: ROADMAP.md
-# "Benchmarks", enforced by tools/check_bench_schema.py).
+# Builds the Release tree and runs the policy + RPC + coherence +
+# admission benchmarks, leaving BENCH_policy.json, BENCH_rpc.json,
+# BENCH_coherence.json, and BENCH_admission.json at the repo root
+# (schemas: ROADMAP.md "Benchmarks", enforced by
+# tools/check_bench_schema.py).
 #
 # Usage: tools/run_bench.sh [max_credentials]
-#   max_credentials  cap the policy_scaling sweep (default 10000)
+#   max_credentials  cap the policy_scaling and admission_scaling sweeps
+#                    (default 10000)
 set -euo pipefail
 
 die() {
@@ -23,7 +25,8 @@ max_credentials="${1:-10000}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target policy_scaling ablation_cache rpc_pipeline coherence_propagation
+  --target policy_scaling ablation_cache rpc_pipeline \
+  coherence_propagation admission_scaling
 
 echo "--- policy_scaling (writes BENCH_policy.json) ---"
 "$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
@@ -39,14 +42,19 @@ echo "--- coherence_propagation (writes BENCH_coherence.json; fails when"
 echo "    remote invalidation stops being scoped: survivors < 0.9) ---"
 "$build_dir/coherence_propagation" "$repo_root/BENCH_coherence.json"
 
+echo "--- admission_scaling (writes BENCH_admission.json; fails below 2x"
+echo "    verify speedup or, on >= 4 cores, below 2x admit scaling) ---"
+"$build_dir/admission_scaling" "$repo_root/BENCH_admission.json" \
+  "$max_credentials"
+
 if command -v python3 >/dev/null 2>&1; then
   echo "--- schema validation ---"
   python3 "$repo_root/tools/check_bench_schema.py" \
     "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json" \
-    "$repo_root/BENCH_coherence.json"
+    "$repo_root/BENCH_coherence.json" "$repo_root/BENCH_admission.json"
 else
   echo "warning: python3 not found; skipping bench schema validation" >&2
 fi
 
 echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json" \
-  "$repo_root/BENCH_coherence.json"
+  "$repo_root/BENCH_coherence.json $repo_root/BENCH_admission.json"

@@ -3,7 +3,8 @@
 # tests: the RPC runtime intentionally races replies across worker threads,
 # the event loop dispatches every connection from one poller, the secure
 # channel splits send/recv state, the coherence fabric pushes invalidation
-# events between servers from per-peer sender threads, and the multiserver
+# events between servers from per-peer sender threads, admission verifies
+# signatures concurrently outside the server lock, and the multiserver
 # test exercises the whole stack end-to-end over TCP.
 #
 # Usage: tools/run_tsan.sh [extra ctest -R regex]
@@ -20,13 +21,14 @@ command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 ||
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
-test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test}"
+test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test|admission_test}"
 
 cmake -B "$build_dir" -S "$repo_root" -DDISCFS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
   --target transport_test rpc_pipeline_test event_loop_test \
-  discfs_multiserver_test security_test cluster_coherence_test
+  discfs_multiserver_test security_test cluster_coherence_test \
+  admission_test
 
 cd "$build_dir"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "$test_regex"
