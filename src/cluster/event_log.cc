@@ -15,6 +15,25 @@ uint64_t CoherenceEventLog::Append(CoherenceEvent event) {
   return head_;
 }
 
+void CoherenceEventLog::Restore(uint64_t head,
+                                std::vector<SequencedEvent> tail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  for (SequencedEvent& entry : tail) {
+    if (entry.seq == 0 || entry.seq > head) {
+      continue;
+    }
+    if (!events_.empty() && entry.seq <= events_.back().seq) {
+      continue;
+    }
+    events_.push_back(std::move(entry));
+  }
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+  head_ = head;
+}
+
 std::vector<SequencedEvent> CoherenceEventLog::ReadAfter(
     uint64_t cursor, size_t max, bool* compacted) const {
   std::lock_guard<std::mutex> lock(mu_);

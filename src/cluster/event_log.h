@@ -28,6 +28,12 @@ class CoherenceEventLog {
   // Appends and returns the assigned sequence number.
   uint64_t Append(CoherenceEvent event);
 
+  // Reinstates recovered state: head becomes `head` and the retained
+  // suffix becomes `tail` (entries with seq <= head, ascending; trimmed
+  // to capacity). Only valid before the first Append — recovery runs
+  // before the fabric goes live.
+  void Restore(uint64_t head, std::vector<SequencedEvent> tail);
+
   // Copies events with seq > cursor, oldest first, at most `max`.
   // *compacted is set when cursor+1 is no longer retained — the caller
   // must cover the lost prefix with a full invalidation (the returned

@@ -2,14 +2,23 @@
 
 #include <algorithm>
 #include <thread>
+#include <tuple>
 
-#include "src/cluster/protocol.h"
 #include "src/crypto/sysrand.h"
 #include "src/net/transport.h"
 #include "src/rpc/rpc.h"
 
 namespace discfs::cluster {
 namespace {
+
+// How often a sender rechecks a fault-blocked link for healing.
+constexpr std::chrono::milliseconds kFaultPoll{50};
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Forwards to a stream owned by someone else. The peer sender keeps true
 // ownership of its TcpTransport so a concurrent Stop can always Shutdown
@@ -88,6 +97,26 @@ class CoherenceFabric::PeerSender {
 
   uint64_t acked() const { return acked_.load(std::memory_order_acquire); }
 
+  const std::string& address() const { return address_; }
+
+  PeerHealth health(std::chrono::milliseconds deadline) const {
+    PeerHealth h;
+    h.address = address_;
+    h.acked_seq = acked();
+    h.connects = connects_.load(std::memory_order_relaxed);
+    h.connect_failures = connect_failures_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      h.connected = client_ != nullptr;
+    }
+    int64_t last = last_ok_ms_.load(std::memory_order_acquire);
+    if (last >= 0) {
+      h.millis_since_contact = SteadyNowMs() - last;
+      h.healthy = h.connected && h.millis_since_contact <= deadline.count();
+    }
+    return h;
+  }
+
   PeerStats stats() const {
     PeerStats s;
     s.address = address_;
@@ -103,8 +132,8 @@ class CoherenceFabric::PeerSender {
 
  private:
   void Run() {
-    std::chrono::milliseconds backoff =
-        fabric_->config_.tuning.reconnect_initial;
+    const FabricTuning& tuning = fabric_->config_.tuning;
+    std::chrono::milliseconds backoff = tuning.reconnect_initial;
     while (true) {
       {
         std::unique_lock<std::mutex> lock(mu_);
@@ -113,23 +142,49 @@ class CoherenceFabric::PeerSender {
           break;
         }
       }
+      if (FaultBlocked()) {
+        // Blackholed link: drop it (a live connection would just time
+        // out call by call) and poll for healing.
+        Disconnect();
+        if (WaitStopped(kFaultPoll)) {
+          break;
+        }
+        continue;
+      }
       RpcClient* client = CurrentClient();
       if (client == nullptr) {
         if (!Connect()) {
           if (WaitStopped(backoff)) {
             break;
           }
-          backoff =
-              std::min(backoff * 2, fabric_->config_.tuning.reconnect_max);
+          backoff = std::min(backoff * 2, tuning.reconnect_max);
           continue;
         }
-        backoff = fabric_->config_.tuning.reconnect_initial;
+        backoff = tuning.reconnect_initial;
+        auto now = std::chrono::steady_clock::now();
+        next_heartbeat_ = now + tuning.heartbeat_interval;
+        // Anti-entropy runs immediately on (re)connect — this is exactly
+        // the moment a partition healed or a peer restarted, when the
+        // revocation lists are most likely to have diverged.
+        next_revsync_ = now;
         continue;  // re-check stop/pause before pushing
       }
 
+      auto now = std::chrono::steady_clock::now();
+      if (fabric_->config_.collect_revocations && now >= next_revsync_) {
+        next_revsync_ = now + tuning.anti_entropy_interval;
+        RevocationSync(client);
+        continue;
+      }
+      if (now >= next_heartbeat_) {
+        next_heartbeat_ = now + tuning.heartbeat_interval;
+        Heartbeat(client);
+        continue;
+      }
+
       bool compacted = false;
-      std::vector<SequencedEvent> batch = fabric_->log_.ReadAfter(
-          acked(), fabric_->config_.tuning.batch_max, &compacted);
+      std::vector<SequencedEvent> batch =
+          fabric_->log_.ReadAfter(acked(), tuning.batch_max, &compacted);
       if (compacted) {
         // The log no longer holds cursor+1: one full invalidation stands
         // in for the lost prefix (seq = last lost entry), after which the
@@ -143,8 +198,13 @@ class CoherenceFabric::PeerSender {
         continue;
       }
       if (batch.empty()) {
+        // Idle: sleep until new events, the next timer, or stop/pause.
+        auto due = next_heartbeat_;
+        if (fabric_->config_.collect_revocations && next_revsync_ < due) {
+          due = next_revsync_;
+        }
         std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] {
+        cv_.wait_until(lock, due, [this] {
           return stop_ || paused_ ||
                  fabric_->log_.head_seq() >
                      acked_.load(std::memory_order_acquire);
@@ -154,9 +214,85 @@ class CoherenceFabric::PeerSender {
         }
         continue;
       }
+      LinkDelay();
       PushBatch(client, batch);
     }
     Disconnect();
+  }
+
+  bool FaultBlocked() const {
+    const std::shared_ptr<FaultSchedule>& faults = fabric_->config_.faults;
+    return faults != nullptr &&
+           faults->Blocked(fabric_->config_.listen_addr, address_);
+  }
+
+  // Injected delivery latency (fault seam); stop-aware sleep.
+  void LinkDelay() {
+    const std::shared_ptr<FaultSchedule>& faults = fabric_->config_.faults;
+    if (faults == nullptr) {
+      return;
+    }
+    auto delay = faults->Delay(fabric_->config_.listen_addr, address_);
+    if (delay.count() > 0) {
+      WaitStopped(delay);
+    }
+  }
+
+  void NoteOk() {
+    last_ok_ms_.store(SteadyNowMs(), std::memory_order_release);
+  }
+
+  // kClusterStatus heartbeat: proves liveness and gossips membership.
+  bool Heartbeat(RpcClient* client) {
+    StatusRequest request;
+    request.origin = fabric_->config_.node_id;
+    request.listen_addr = fabric_->config_.listen_addr;
+    request.members = fabric_->MemberAddresses();
+    auto reply = TimedCall(client, ClusterProc::kClusterStatus,
+                           EncodeStatusRequest(request));
+    if (!reply.ok()) {
+      Disconnect();
+      return false;
+    }
+    auto decoded = DecodeStatusReply(*reply);
+    if (!decoded.ok()) {
+      Disconnect();
+      return false;
+    }
+    NoteOk();
+    for (const std::string& member : decoded->members) {
+      fabric_->AddPeerAddress(member);
+    }
+    return true;
+  }
+
+  // kRevocationSync: one exchange converges both revocation lists.
+  bool RevocationSync(RpcClient* client) {
+    RevocationSyncRequest request;
+    request.origin = fabric_->config_.node_id;
+    std::tie(request.digest, request.entries) =
+        fabric_->config_.collect_revocations();
+    auto reply = TimedCall(client, ClusterProc::kRevocationSync,
+                           EncodeRevocationSyncRequest(request));
+    if (!reply.ok()) {
+      Disconnect();
+      return false;
+    }
+    auto decoded = DecodeRevocationSyncReply(*reply);
+    if (!decoded.ok()) {
+      Disconnect();
+      return false;
+    }
+    NoteOk();
+    fabric_->revocation_syncs_.fetch_add(1, std::memory_order_relaxed);
+    if (!decoded->match && fabric_->config_.merge_revocations) {
+      size_t pulled = fabric_->config_.merge_revocations(decoded->entries);
+      if (pulled > 0) {
+        fabric_->revocations_pulled_.fetch_add(pulled,
+                                               std::memory_order_relaxed);
+      }
+    }
+    return true;
   }
 
   RpcClient* CurrentClient() {
@@ -227,6 +363,7 @@ class CoherenceFabric::PeerSender {
     hello.origin = fabric_->config_.node_id;
     hello.incarnation = fabric_->incarnation_;
     hello.head_seq = fabric_->log_.head_seq();
+    hello.listen_addr = fabric_->config_.listen_addr;
     auto reply =
         TimedCall(CurrentClient(), ClusterProc::kHello, EncodeHello(hello));
     uint64_t cursor = 0;
@@ -249,6 +386,7 @@ class CoherenceFabric::PeerSender {
     cursor = std::min(cursor, hello.head_seq);
     acked_.store(cursor, std::memory_order_release);
     connects_.fetch_add(1, std::memory_order_relaxed);
+    NoteOk();
     fabric_->NoteAck();
     return true;
   }
@@ -275,6 +413,7 @@ class CoherenceFabric::PeerSender {
     if (*cursor > prev) {
       acked_.store(*cursor, std::memory_order_release);
     }
+    NoteOk();
     fabric_->NoteAck();
     return true;
   }
@@ -305,6 +444,12 @@ class CoherenceFabric::PeerSender {
   std::atomic<uint64_t> connects_{0};
   std::atomic<uint64_t> connect_failures_{0};
   std::atomic<uint64_t> full_invalidations_sent_{0};
+  // steady-clock millis of the last successful RPC on this link (-1 =
+  // never); the liveness signal health() reads.
+  std::atomic<int64_t> last_ok_ms_{-1};
+  // Timer deadlines; touched only by the sender thread.
+  std::chrono::steady_clock::time_point next_heartbeat_{};
+  std::chrono::steady_clock::time_point next_revsync_{};
   std::thread thread_;
 };
 
@@ -319,25 +464,185 @@ CoherenceFabric::CoherenceFabric(FabricConfig config)
   if (incarnation_ == 0) {
     incarnation_ = 1;  // 0 marks "never heard a Hello" on receivers
   }
+  if (!config_.storage_dir.empty()) {
+    RecoverFromStore();
+  }
+  if (store_ != nullptr) {
+    maint_thread_ = std::thread([this] { MaintenanceLoop(); });
+  }
 }
 
 CoherenceFabric::~CoherenceFabric() {
+  if (maint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(maint_mu_);
+      maint_stop_ = true;
+    }
+    maint_cv_.notify_all();
+    maint_thread_.join();
+  }
   std::vector<std::unique_ptr<PeerSender>> peers;
   {
     std::lock_guard<std::mutex> lock(peers_mu_);
+    stopping_ = true;  // a racing gossip AddPeerAddress must not revive us
     peers.swap(peers_);
   }
   peers.clear();  // each dtor stops and joins its sender thread
+  // Everything is quiesced now (receive half drained by the caller per
+  // the dtor contract, senders joined): the final snapshot is consistent
+  // and the clean marker lets the next run resume this incarnation.
+  if (store_ != nullptr) {
+    WriteSnapshotNow(/*clean=*/true);
+  }
+}
+
+void CoherenceFabric::RecoverFromStore() {
+  CoherenceStore::Options options;
+  options.dir = config_.storage_dir;
+  options.node_id = config_.node_id;
+  options.fsync = config_.fsync;
+  options.own_retain = config_.tuning.log_capacity;
+  CoherenceStore::Recovered recovered;
+  auto store = CoherenceStore::Open(std::move(options), &recovered);
+  if (!store.ok()) {
+    // Unusable storage degrades to in-memory operation (PR 4 semantics)
+    // rather than refusing to serve.
+    return;
+  }
+  store_ = std::move(store).value();
+  if (!recovered.had_state) {
+    return;
+  }
+  recovered_state_ = true;
+
+  // Order: server blob first (the baseline), then journal replay on top.
+  if (config_.restore_state && !recovered.server_state.empty()) {
+    config_.restore_state(recovered.server_state);
+  }
+  for (const auto& [origin, snap] : recovered.cursors) {
+    RecvState& state = RecvStateFor(origin);
+    state.incarnation.store(snap.incarnation, std::memory_order_relaxed);
+    state.cursor.store(snap.cursor, std::memory_order_relaxed);
+  }
+  std::vector<SequencedEvent> own_tail;
+  for (const CoherenceStore::Record& record : recovered.records) {
+    if (config_.apply) {
+      config_.apply(record.entry.event);
+    }
+    ++recovered_events_;
+    if (record.origin == config_.node_id) {
+      own_tail.push_back(record.entry);
+      continue;
+    }
+    RecvState& state = RecvStateFor(record.origin);
+    if (record.incarnation !=
+        state.incarnation.load(std::memory_order_relaxed)) {
+      // The origin restarted after our snapshot; the record belongs to
+      // its newer sequence space.
+      state.incarnation.store(record.incarnation, std::memory_order_relaxed);
+      state.cursor.store(record.entry.seq, std::memory_order_relaxed);
+    } else if (record.entry.seq >
+               state.cursor.load(std::memory_order_relaxed)) {
+      state.cursor.store(record.entry.seq, std::memory_order_relaxed);
+    }
+  }
+  if (recovered.keep_incarnation()) {
+    recovered_incarnation_ = true;
+    incarnation_ = recovered.incarnation;
+    log_.Restore(recovered.head_seq, std::move(own_tail));
+  } else {
+    // Resuming the old sequence space could reuse numbers a peer already
+    // deduplicates; keep the fresh incarnation and an empty log. Peers
+    // reset-and-flush once (PR 4 semantics) but the *local* replay above
+    // still restored revocations and cursors.
+    (void)store_->ResetFresh();
+  }
+  // Re-checkpoint immediately so the recovered state (especially
+  // restored revocations under a fresh incarnation) survives a crash
+  // that beats the first periodic snapshot.
+  WriteSnapshotNow(/*clean=*/false);
 }
 
 void CoherenceFabric::AddPeer(PeerConfig peer) {
   std::lock_guard<std::mutex> lock(peers_mu_);
+  if (stopping_) {
+    return;
+  }
   peers_.push_back(std::make_unique<PeerSender>(this, std::move(peer)));
 }
 
+void CoherenceFabric::AddPeerAddress(const std::string& address) {
+  if (address.empty() || address == config_.listen_addr) {
+    return;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(address, &host, &port)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  if (stopping_) {
+    return;
+  }
+  for (const auto& peer : peers_) {
+    if (peer->address() == address) {
+      return;
+    }
+  }
+  PeerConfig peer;
+  peer.host = std::move(host);
+  peer.port = port;
+  peers_.push_back(std::make_unique<PeerSender>(this, std::move(peer)));
+}
+
+std::vector<std::string> CoherenceFabric::MemberAddresses() const {
+  std::vector<std::string> members;
+  if (!config_.listen_addr.empty()) {
+    members.push_back(config_.listen_addr);
+  }
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  members.reserve(members.size() + peers_.size());
+  for (const auto& peer : peers_) {
+    members.push_back(peer->address());
+  }
+  return members;
+}
+
+ClusterHealth CoherenceFabric::Health() const {
+  ClusterHealth health;
+  health.self_address = config_.listen_addr;
+  health.incarnation = incarnation_;
+  health.head_seq = log_.head_seq();
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  health.peers.reserve(peers_.size());
+  for (const auto& peer : peers_) {
+    health.peers.push_back(peer->health(config_.tuning.heartbeat_deadline));
+  }
+  return health;
+}
+
 uint64_t CoherenceFabric::Publish(CoherenceEvent event) {
-  uint64_t seq = log_.Append(std::move(event));
+  uint64_t seq;
+  {
+    // publish_mu_ orders the journal append before the event becomes
+    // visible to senders (the durable_journal retention rule leans on
+    // this: under kAlways, anything ever pushed is on disk) and keeps
+    // the pre-assigned seq in lockstep with log_.Append, which is only
+    // called here and from single-threaded recovery.
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    if (store_ != nullptr) {
+      CoherenceStore::Record record;
+      record.origin = config_.node_id;
+      record.incarnation = incarnation_;
+      record.entry.seq = log_.head_seq() + 1;
+      record.entry.event = event;
+      // Best-effort: a failing disk degrades durability, not replication.
+      (void)store_->Append(record);
+    }
+    seq = log_.Append(std::move(event));
+  }
   published_.fetch_add(1, std::memory_order_relaxed);
+  events_since_snapshot_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(peers_mu_);
   for (auto& peer : peers_) {
     peer->NotifyNewEvents();
@@ -363,32 +668,54 @@ void CoherenceFabric::ApplyResetFlush() {
 
 uint64_t CoherenceFabric::HandleHello(const std::string& origin,
                                       uint64_t incarnation,
-                                      uint64_t origin_head) {
-  RecvState& state = RecvStateFor(origin);
-  std::lock_guard<std::mutex> lock(state.mu);
-  uint64_t cursor = state.cursor.load(std::memory_order_relaxed);
-  bool restarted = false;
-  if (state.incarnation != incarnation) {
-    // First Hello from this incarnation. A nonzero cursor belongs to a
-    // dead incarnation whose sequence space restarted: without a reset
-    // we would dedup the reborn origin's events 1..cursor — including
-    // revocations — forever.
-    restarted = cursor > 0;
-    state.incarnation = incarnation;
-    cursor = 0;
-    state.cursor.store(0, std::memory_order_release);
-  } else if (cursor > origin_head) {
-    // Same incarnation cannot regress its head; reset defensively.
-    restarted = true;
-    cursor = 0;
-    state.cursor.store(0, std::memory_order_release);
+                                      uint64_t origin_head,
+                                      const std::string& listen_addr) {
+  uint64_t cursor;
+  {
+    RecvState& state = RecvStateFor(origin);
+    std::lock_guard<std::mutex> lock(state.mu);
+    cursor = state.cursor.load(std::memory_order_relaxed);
+    bool restarted = false;
+    if (state.incarnation.load(std::memory_order_relaxed) != incarnation) {
+      // First Hello from this incarnation. A nonzero cursor belongs to a
+      // dead incarnation whose sequence space restarted: without a reset
+      // we would dedup the reborn origin's events 1..cursor — including
+      // revocations — forever.
+      restarted = cursor > 0;
+      state.incarnation.store(incarnation, std::memory_order_relaxed);
+      cursor = 0;
+      state.cursor.store(0, std::memory_order_release);
+    } else if (cursor > origin_head) {
+      // Same incarnation cannot regress its head; reset defensively.
+      restarted = true;
+      cursor = 0;
+      state.cursor.store(0, std::memory_order_release);
+    }
+    if (restarted) {
+      // Scoped state learned from the dead incarnation is of unknowable
+      // coverage now — flush, then let the replay rebuild warmth.
+      ApplyResetFlush();
+    }
   }
-  if (restarted) {
-    // Scoped state learned from the dead incarnation is of unknowable
-    // coverage now — flush, then let the replay rebuild warmth.
-    ApplyResetFlush();
+  // Outside state.mu: membership joins take peers_mu_ and may spawn a
+  // sender thread — no reason to hold the apply convoy for that.
+  if (!listen_addr.empty()) {
+    AddPeerAddress(listen_addr);
   }
   return cursor;
+}
+
+StatusReply CoherenceFabric::HandleStatus(const StatusRequest& request) {
+  if (!request.listen_addr.empty()) {
+    AddPeerAddress(request.listen_addr);
+  }
+  for (const std::string& member : request.members) {
+    AddPeerAddress(member);
+  }
+  StatusReply reply;
+  reply.members = MemberAddresses();
+  reply.cursor = ReceiveCursor(request.origin);
+  return reply;
 }
 
 uint64_t CoherenceFabric::HandlePush(
@@ -399,6 +726,30 @@ uint64_t CoherenceFabric::HandlePush(
   RecvState& state = RecvStateFor(origin);
   std::lock_guard<std::mutex> lock(state.mu);
   uint64_t cursor = state.cursor.load(std::memory_order_relaxed);
+  if (store_ != nullptr) {
+    // Journal fresh events before they apply, so a crash after apply
+    // (whose effects a later snapshot would claim via the cursor) can
+    // replay them. Duplicates are excluded: they already applied, and
+    // under at-least-once redelivery they would bloat the journal.
+    std::vector<CoherenceStore::Record> fresh;
+    uint64_t origin_incarnation =
+        state.incarnation.load(std::memory_order_relaxed);
+    for (const SequencedEvent& entry : events) {
+      if (entry.seq <= cursor) {
+        continue;
+      }
+      CoherenceStore::Record record;
+      record.origin = origin;
+      record.incarnation = origin_incarnation;
+      record.entry = entry;
+      fresh.push_back(std::move(record));
+    }
+    if (!fresh.empty()) {
+      (void)store_->AppendBatch(fresh);
+      events_since_snapshot_.fetch_add(fresh.size(),
+                                       std::memory_order_relaxed);
+    }
+  }
   for (const SequencedEvent& entry : events) {
     if (entry.seq <= cursor) {
       duplicates_skipped_.fetch_add(1, std::memory_order_relaxed);
@@ -415,6 +766,58 @@ uint64_t CoherenceFabric::HandlePush(
     state.cursor.store(cursor, std::memory_order_release);
   }
   return cursor;
+}
+
+void CoherenceFabric::WriteSnapshotNow(bool clean) {
+  if (store_ == nullptr) {
+    return;
+  }
+  CoherenceStore::SnapshotData data;
+  // Capture order is load-bearing. Cursors before the server blob: a
+  // remote event applied between the two captures then shows up only as
+  // a stale-low cursor, and its sender redelivers after a crash — the
+  // reverse order could record a cursor claiming an event whose effect
+  // the blob predates, losing it silently (nobody redelivers past an
+  // acknowledged cursor). Head and own tail last, under publish_mu_, so
+  // no own record lands between the tail capture and the journal rewrite
+  // (the rewrite would drop it, and nobody redelivers our own events).
+  {
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    for (auto& [origin, state] : recv_cursors_) {
+      CoherenceStore::RecoveredOrigin snap;
+      snap.incarnation = state.incarnation.load(std::memory_order_acquire);
+      snap.cursor = state.cursor.load(std::memory_order_acquire);
+      data.cursors.emplace(origin, snap);
+    }
+  }
+  if (config_.collect_state) {
+    data.server_state = config_.collect_state();
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  data.incarnation = incarnation_;
+  data.head_seq = log_.head_seq();
+  bool compacted = false;
+  std::vector<SequencedEvent> own_tail =
+      log_.ReadAfter(0, config_.tuning.log_capacity, &compacted);
+  if (store_->WriteSnapshot(data, own_tail, clean).ok()) {
+    events_since_snapshot_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void CoherenceFabric::MaintenanceLoop() {
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  while (!maint_stop_) {
+    maint_cv_.wait_for(lock, config_.tuning.maintenance_tick);
+    if (maint_stop_) {
+      break;
+    }
+    if (events_since_snapshot_.load(std::memory_order_relaxed) >=
+        config_.tuning.snapshot_interval) {
+      lock.unlock();
+      WriteSnapshotNow(/*clean=*/false);
+      lock.lock();
+    }
+  }
 }
 
 bool CoherenceFabric::WaitForAck(uint64_t seq,
@@ -444,6 +847,15 @@ FabricStats CoherenceFabric::stats() const {
   s.full_invalidations_applied =
       full_invalidations_applied_.load(std::memory_order_relaxed);
   s.head_seq = log_.head_seq();
+  s.recovered_state = recovered_state_;
+  s.recovered_incarnation = recovered_incarnation_;
+  s.recovered_events = recovered_events_;
+  if (store_ != nullptr) {
+    s.snapshots_written = store_->snapshots_written();
+  }
+  s.revocation_syncs = revocation_syncs_.load(std::memory_order_relaxed);
+  s.revocations_pulled =
+      revocations_pulled_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(peers_mu_);
   s.peers.reserve(peers_.size());
   for (const auto& peer : peers_) {

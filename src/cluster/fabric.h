@@ -18,8 +18,21 @@
 // When the origin's log has been compacted past a receiver's cursor, the
 // sender ships one kInvalidateAll standing in for the lost prefix, then
 // replays the retained suffix — a blunt flush is always a safe
-// over-approximation of the lost scoped bumps (the residual risk, lost
-// *revocation* events, is bounded by credential lifetimes; see ROADMAP).
+// over-approximation of the lost scoped bumps. The residual risk of that
+// fallback — a *revocation* event lost with the compacted prefix — is
+// closed by periodic revocation-list anti-entropy (see kRevocationSync in
+// protocol.h).
+//
+// PR 6 adds restart survival: with a storage_dir configured, every
+// published and applied event is journaled through a CoherenceStore and
+// derived state (receive cursors, the server's revocation entries) is
+// snapshotted periodically, so a restarted server replays its way back
+// under the same incarnation id instead of forcing a cluster-wide flush
+// (see persistence.h for the layout and the incarnation retention rule).
+// Membership is seed-based — peers gossip advertised listen addresses on
+// Hello and kClusterStatus heartbeats, which also drive per-peer liveness
+// (see membership.h) — and a shared FaultSchedule seam lets harnesses
+// sever or delay links (see fault.h).
 #ifndef DISCFS_SRC_CLUSTER_FABRIC_H_
 #define DISCFS_SRC_CLUSTER_FABRIC_H_
 
@@ -31,10 +44,16 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/event_log.h"
+#include "src/cluster/fault.h"
+#include "src/cluster/membership.h"
+#include "src/cluster/persistence.h"
+#include "src/cluster/protocol.h"
 #include "src/crypto/dsa.h"
 #include "src/net/event_loop.h"
 #include "src/securechannel/channel.h"
@@ -69,6 +88,19 @@ struct FabricTuning {
   // to it. On expiry the link is dropped and the reconnect loop takes
   // over.
   std::chrono::milliseconds call_timeout{10000};
+  // Events (published + applied) between cursor/state snapshots when a
+  // storage_dir is configured.
+  size_t snapshot_interval = 256;
+  // How often an idle link sends a kClusterStatus heartbeat (which also
+  // gossips membership), and how stale the last successful RPC on a link
+  // may be before the peer counts as unhealthy.
+  std::chrono::milliseconds heartbeat_interval{500};
+  std::chrono::milliseconds heartbeat_deadline{2500};
+  // Revocation-list anti-entropy cadence per link (also runs once right
+  // after every reconnect — exactly the moment a partition healed).
+  std::chrono::milliseconds anti_entropy_interval{1000};
+  // Maintenance thread tick (snapshot cadence checks).
+  std::chrono::milliseconds maintenance_tick{200};
 };
 
 struct FabricConfig {
@@ -82,8 +114,29 @@ struct FabricConfig {
   ChannelIdentity identity;
   // Remote events land here, in per-origin sequence order; different
   // origins may apply concurrently. Must be safe to call from RPC worker
-  // threads and must not call back into Publish.
+  // threads and must not call back into Publish. Recovery also replays
+  // journaled events through this at construction, before any sender or
+  // receiver runs.
   std::function<void(const CoherenceEvent&)> apply;
+  // Advertised "host:port" peers should dial back; "" = not listening
+  // (membership gossip then omits this node).
+  std::string listen_addr;
+  // Durable storage directory; "" = in-memory only (PR 4 behavior).
+  std::string storage_dir;
+  FsyncPolicy fsync = FsyncPolicy::kNone;
+  // Snapshot/restore of the server's opaque state (revocation entries).
+  // collect_state is called from the maintenance thread with no fabric
+  // lock held that Publish needs, so it may take the server's shared
+  // lock; restore_state runs once during construction.
+  std::function<Bytes()> collect_state;
+  std::function<void(const Bytes&)> restore_state;
+  // Anti-entropy hooks: (digest, serialized entries) of the server's
+  // revocation list, and a merge of a peer's serialized entries returning
+  // how many were newly learned. Called from peer sender threads.
+  std::function<std::pair<Bytes, Bytes>()> collect_revocations;
+  std::function<size_t(const Bytes&)> merge_revocations;
+  // Shared fault-injection schedule; null = no faults (production).
+  std::shared_ptr<FaultSchedule> faults;
   FabricTuning tuning;
 };
 
@@ -102,14 +155,27 @@ struct FabricStats {
   uint64_t duplicates_skipped = 0;         // at-least-once redeliveries
   uint64_t full_invalidations_applied = 0;
   uint64_t head_seq = 0;                   // local log head
+  // Restart-survival accounting (all zero without a storage_dir).
+  bool recovered_state = false;      // anything usable was on disk
+  bool recovered_incarnation = false;  // resumed the old sequence space
+  uint64_t recovered_events = 0;     // journaled events replayed at start
+  uint64_t snapshots_written = 0;
+  uint64_t revocation_syncs = 0;     // anti-entropy exchanges completed
+  uint64_t revocations_pulled = 0;   // entries merged from peers
   std::vector<PeerStats> peers;
 };
 
 class CoherenceFabric {
  public:
+  // With a storage_dir configured, construction recovers from disk:
+  // restores the server blob and receive cursors, replays journaled
+  // events through config.apply, and — when the incarnation retention
+  // rule allows — resumes the old sequence space so peers keep their
+  // cursors.
   explicit CoherenceFabric(FabricConfig config);
-  // Stops and joins every peer sender. Callers must quiesce the receive
-  // half first (drain the RPC workers that call HandleHello/HandlePush).
+  // Stops and joins every peer sender, then writes the final clean
+  // snapshot. Callers must quiesce the receive half first (drain the RPC
+  // workers that call HandleHello/HandlePush).
   ~CoherenceFabric();
 
   CoherenceFabric(const CoherenceFabric&) = delete;
@@ -132,12 +198,19 @@ class CoherenceFabric {
   // apply instead of deduplicating against the old numbering. The same
   // reset guards a same-incarnation head regression (defensive; cannot
   // happen with an honest peer).
+  // `listen_addr`, when nonempty, is the origin's advertised dial-back
+  // address and joins the member set (seed-based membership).
   uint64_t HandleHello(const std::string& origin, uint64_t incarnation,
-                       uint64_t origin_head);
+                       uint64_t origin_head,
+                       const std::string& listen_addr = "");
   // Applies `events` in order, skipping those at or below the origin's
-  // cursor; returns the cursor after application.
+  // cursor; returns the cursor after application. Fresh events are
+  // journaled before they apply when a store is configured.
   uint64_t HandlePush(const std::string& origin,
                       const std::vector<SequencedEvent>& events);
+  // Heartbeat + membership gossip: merges the sender's advertised address
+  // and member view, replies with ours plus our cursor for the sender.
+  StatusReply HandleStatus(const StatusRequest& request);
 
   // Blocks until every peer's acked cursor reaches `seq` (false on
   // timeout). The convergence barrier tests and benches sit on.
@@ -151,6 +224,19 @@ class CoherenceFabric {
   // Last applied sequence number for `origin` (0 if never heard from).
   uint64_t ReceiveCursor(const std::string& origin) const;
   const std::string& node_id() const { return config_.node_id; }
+  uint64_t incarnation() const { return incarnation_; }
+
+  // Adds a learned member address ("host:port") as a peer unless it is
+  // empty, malformed, our own advertised address, or already dialed.
+  void AddPeerAddress(const std::string& address);
+  // Member view for gossip: our advertised address plus every peer's.
+  std::vector<std::string> MemberAddresses() const;
+  // Liveness snapshot (see membership.h).
+  ClusterHealth Health() const;
+
+  // Forces a snapshot now (tests; normally the maintenance thread decides
+  // by snapshot_interval). No-op without a store.
+  void SnapshotNowForTest() { WriteSnapshotNow(false); }
 
   // Test seam: while paused, the sender for peers_[index] neither pushes
   // nor reconnects — simulates a long partition without socket churn.
@@ -162,21 +248,40 @@ class CoherenceFabric {
   // Wakes WaitForAck waiters after a sender's cursor advanced.
   void NoteAck();
 
+  // Recovers on-disk state at construction (no concurrency yet).
+  void RecoverFromStore();
+  // Captures derived state and hands it to the store. Capture order
+  // matters: cursors first, server blob second, head/tail last under
+  // publish_mu_ — see the comment at the definition.
+  void WriteSnapshotNow(bool clean);
+  void MaintenanceLoop();
+
   FabricConfig config_;
   CoherenceEventLog log_;
+  std::unique_ptr<CoherenceStore> store_;  // null without a storage_dir
+
+  // Orders journal appends against log visibility (append-to-journal
+  // happens before an event becomes readable by senders — the basis of
+  // the durable_journal retention rule) and against snapshot journal
+  // rewrites. Never held while taking peers_mu_ or a RecvState::mu.
+  std::mutex publish_mu_;
+  std::atomic<uint64_t> events_since_snapshot_{0};
 
   // Sender side. peers_mu_ guards the peer list and is the ack-waiters'
   // monitor; it is never held while calling into apply or the log.
   mutable std::mutex peers_mu_;
   std::condition_variable ack_cv_;
   std::vector<std::unique_ptr<PeerSender>> peers_;
+  bool stopping_ = false;  // guarded by peers_mu_; rejects late AddPeer
 
   struct RecvState {
     // Serializes Hello/Push application for this origin (held across
     // apply, so one origin's events land in sequence order while other
     // origins apply concurrently).
     std::mutex mu;
-    uint64_t incarnation = 0;  // guarded by mu; 0 until the first Hello
+    // Origin's incarnation as of the last Hello (0 until then). Mutated
+    // under mu; atomic so snapshots read it without joining the convoy.
+    std::atomic<uint64_t> incarnation{0};
     // Last applied seq from that incarnation. Advanced under mu; atomic
     // so stats/ReceiveCursor read it without joining the apply convoy.
     std::atomic<uint64_t> cursor{0};
@@ -194,14 +299,26 @@ class CoherenceFabric {
   mutable std::mutex recv_mu_;
   std::unordered_map<std::string, RecvState> recv_cursors_;
 
-  // Drawn fresh at construction; lets peers detect that this fabric's
-  // sequence numbering restarted.
+  // Drawn fresh at construction — then possibly replaced by a recovered
+  // incarnation when the retention rule allows resuming the old sequence
+  // space. Immutable once the ctor returns.
   uint64_t incarnation_ = 0;
 
   std::atomic<uint64_t> published_{0};
   std::atomic<uint64_t> applied_{0};
   std::atomic<uint64_t> duplicates_skipped_{0};
   std::atomic<uint64_t> full_invalidations_applied_{0};
+  std::atomic<uint64_t> revocation_syncs_{0};
+  std::atomic<uint64_t> revocations_pulled_{0};
+  bool recovered_state_ = false;        // set in ctor, then read-only
+  bool recovered_incarnation_ = false;  // set in ctor, then read-only
+  uint64_t recovered_events_ = 0;       // set in ctor, then read-only
+
+  // Maintenance thread: periodic snapshots. Started only with a store.
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;  // guarded by maint_mu_
+  std::thread maint_thread_;
 };
 
 }  // namespace discfs::cluster

@@ -1,0 +1,24 @@
+#include "src/cluster/membership.h"
+
+#include <cstdlib>
+
+namespace discfs::cluster {
+
+bool ParseHostPort(const std::string& address, std::string* host,
+                   uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long value = std::strtoul(address.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 || value > 65535) {
+    return false;
+  }
+  *host = address.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+}  // namespace discfs::cluster

@@ -7,6 +7,7 @@ namespace {
 // than this is malformed or hostile.
 constexpr size_t kMaxEventsPerPush = 4096;
 constexpr size_t kMaxPrincipalsPerEvent = 1 << 16;
+constexpr size_t kMaxMembers = 1 << 10;
 
 }  // namespace
 
@@ -50,6 +51,7 @@ Bytes EncodeHello(const HelloRequest& request) {
   w.PutString(request.origin);
   w.PutU64(request.incarnation);
   w.PutU64(request.head_seq);
+  w.PutString(request.listen_addr);
   return w.Take();
 }
 
@@ -59,6 +61,11 @@ Result<HelloRequest> DecodeHello(const Bytes& args) {
   ASSIGN_OR_RETURN(out.origin, r.GetString());
   ASSIGN_OR_RETURN(out.incarnation, r.GetU64());
   ASSIGN_OR_RETURN(out.head_seq, r.GetU64());
+  // listen_addr was added in a later revision; absence means the sender
+  // predates membership gossip (or is not listening).
+  if (!r.AtEnd()) {
+    ASSIGN_OR_RETURN(out.listen_addr, r.GetString());
+  }
   return out;
 }
 
@@ -85,6 +92,92 @@ Result<PushRequest> DecodePush(const Bytes& args) {
     ASSIGN_OR_RETURN(SequencedEvent event, DecodeSequencedEvent(r));
     out.events.push_back(std::move(event));
   }
+  return out;
+}
+
+Bytes EncodeStatusRequest(const StatusRequest& request) {
+  XdrWriter w;
+  w.PutString(request.origin);
+  w.PutString(request.listen_addr);
+  w.PutU32(static_cast<uint32_t>(request.members.size()));
+  for (const std::string& member : request.members) {
+    w.PutString(member);
+  }
+  return w.Take();
+}
+
+Result<StatusRequest> DecodeStatusRequest(const Bytes& args) {
+  XdrReader r(args);
+  StatusRequest out;
+  ASSIGN_OR_RETURN(out.origin, r.GetString());
+  ASSIGN_OR_RETURN(out.listen_addr, r.GetString());
+  ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > kMaxMembers) {
+    return InvalidArgumentError("cluster member list too large");
+  }
+  out.members.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(std::string member, r.GetString());
+    out.members.push_back(std::move(member));
+  }
+  return out;
+}
+
+Bytes EncodeStatusReply(const StatusReply& reply) {
+  XdrWriter w;
+  w.PutU32(static_cast<uint32_t>(reply.members.size()));
+  for (const std::string& member : reply.members) {
+    w.PutString(member);
+  }
+  w.PutU64(reply.cursor);
+  return w.Take();
+}
+
+Result<StatusReply> DecodeStatusReply(const Bytes& args) {
+  XdrReader r(args);
+  StatusReply out;
+  ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > kMaxMembers) {
+    return InvalidArgumentError("cluster member list too large");
+  }
+  out.members.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(std::string member, r.GetString());
+    out.members.push_back(std::move(member));
+  }
+  ASSIGN_OR_RETURN(out.cursor, r.GetU64());
+  return out;
+}
+
+Bytes EncodeRevocationSyncRequest(const RevocationSyncRequest& request) {
+  XdrWriter w;
+  w.PutString(request.origin);
+  w.PutOpaque(request.digest);
+  w.PutOpaque(request.entries);
+  return w.Take();
+}
+
+Result<RevocationSyncRequest> DecodeRevocationSyncRequest(const Bytes& args) {
+  XdrReader r(args);
+  RevocationSyncRequest out;
+  ASSIGN_OR_RETURN(out.origin, r.GetString());
+  ASSIGN_OR_RETURN(out.digest, r.GetOpaque());
+  ASSIGN_OR_RETURN(out.entries, r.GetOpaque());
+  return out;
+}
+
+Bytes EncodeRevocationSyncReply(const RevocationSyncReply& reply) {
+  XdrWriter w;
+  w.PutBool(reply.match);
+  w.PutOpaque(reply.entries);
+  return w.Take();
+}
+
+Result<RevocationSyncReply> DecodeRevocationSyncReply(const Bytes& args) {
+  XdrReader r(args);
+  RevocationSyncReply out;
+  ASSIGN_OR_RETURN(out.match, r.GetBool());
+  ASSIGN_OR_RETURN(out.entries, r.GetOpaque());
   return out;
 }
 

@@ -20,6 +20,19 @@
 //       cursor after applying). Events at or below the cursor are skipped
 //       (at-least-once delivery; the cursor makes application exactly-once
 //       per origin).
+//   kClusterStatus: heartbeat + membership gossip. The sender offers its
+//       advertised listen address and its member view; the receiver merges
+//       unknown addresses into its own peer set and replies with its view
+//       plus its applied cursor for the sender. Fired whenever a link has
+//       been idle, so liveness tracking rides on it.
+//   kRevocationSync: anti-entropy for the revocation list. The sender
+//       ships a digest of its list plus its serialized entries; if the
+//       receiver's digest matches it ignores the entries (lists already
+//       equal), otherwise it merges them and replies with its own full
+//       list so one exchange converges both sides. This closes the
+//       readmit window left by log compaction: a credential revoked while
+//       a node was partitioned away longer than the log retains is still
+//       pulled over here.
 #ifndef DISCFS_SRC_CLUSTER_PROTOCOL_H_
 #define DISCFS_SRC_CLUSTER_PROTOCOL_H_
 
@@ -40,17 +53,42 @@ inline constexpr uint32_t kClusterProgram = 200391;
 enum class ClusterProc : uint32_t {
   kHello = 1,  // origin node id -> u64 cursor
   kPush = 2,   // origin node id + events -> u64 cursor after apply
+  kClusterStatus = 3,    // heartbeat + membership gossip
+  kRevocationSync = 4,   // revocation-list anti-entropy
 };
 
 struct HelloRequest {
   std::string origin;
   uint64_t incarnation = 0;  // nonzero, fresh per fabric start
   uint64_t head_seq = 0;  // the origin's latest assigned sequence number
+  std::string listen_addr;  // advertised "host:port"; "" = not listening
 };
 
 struct PushRequest {
   std::string origin;
   std::vector<SequencedEvent> events;
+};
+
+struct StatusRequest {
+  std::string origin;
+  std::string listen_addr;           // sender's advertised address
+  std::vector<std::string> members;  // sender's member view (addresses)
+};
+
+struct StatusReply {
+  std::vector<std::string> members;  // receiver's member view
+  uint64_t cursor = 0;  // receiver's applied cursor for the sender
+};
+
+struct RevocationSyncRequest {
+  std::string origin;
+  Bytes digest;   // digest of the sender's revocation list
+  Bytes entries;  // sender's serialized revocation entries
+};
+
+struct RevocationSyncReply {
+  bool match = false;  // digests were equal; entries is empty
+  Bytes entries;       // receiver's serialized entries when they differed
 };
 
 void EncodeSequencedEvent(XdrWriter& w, const SequencedEvent& event);
@@ -61,6 +99,18 @@ Result<HelloRequest> DecodeHello(const Bytes& args);
 
 Bytes EncodePush(const PushRequest& request);
 Result<PushRequest> DecodePush(const Bytes& args);
+
+Bytes EncodeStatusRequest(const StatusRequest& request);
+Result<StatusRequest> DecodeStatusRequest(const Bytes& args);
+
+Bytes EncodeStatusReply(const StatusReply& reply);
+Result<StatusReply> DecodeStatusReply(const Bytes& args);
+
+Bytes EncodeRevocationSyncRequest(const RevocationSyncRequest& request);
+Result<RevocationSyncRequest> DecodeRevocationSyncRequest(const Bytes& args);
+
+Bytes EncodeRevocationSyncReply(const RevocationSyncReply& reply);
+Result<RevocationSyncReply> DecodeRevocationSyncReply(const Bytes& args);
 
 }  // namespace discfs::cluster
 

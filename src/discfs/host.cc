@@ -93,6 +93,8 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
     DiscfsHostOptions options) {
   const bool cluster = options.cluster_enabled ||
                        !options.cluster_peers.empty() ||
+                       !options.cluster_seeds.empty() ||
+                       !options.cluster_storage_dir.empty() ||
                        !config.cluster_trusted_keys.empty();
   // The fabric's outbound links authenticate with the server's own
   // channel identity; capture it before the config moves into the server.
@@ -110,15 +112,44 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
   // (teardown closes every connection before the pool stops).
   host->server_->SetVerifyPool(host->pool_.get());
   host->options_ = options;
+  // The listener comes up before the fabric so the fabric can advertise
+  // the actual bound port (port 0 = ephemeral) in membership gossip. No
+  // connection is served until the accept thread starts, below.
+  ASSIGN_OR_RETURN(host->listener_,
+                   TcpListener::Listen(port, options.bind_addr));
   if (cluster) {
+    DiscfsServer* srv = host->server_.get();
     cluster::FabricConfig fabric_config;
-    fabric_config.node_id = host->server_->public_key().ToKeyNoteString();
+    fabric_config.node_id = srv->public_key().ToKeyNoteString();
     fabric_config.loop = host->loop_.get();
     fabric_config.identity = std::move(identity);
     fabric_config.tuning = options.cluster_tuning;
-    fabric_config.apply = [srv = host->server_.get()](
-                              const cluster::CoherenceEvent& event) {
+    fabric_config.apply = [srv](const cluster::CoherenceEvent& event) {
       srv->ApplyRemoteEvent(event);
+    };
+    const std::string& advertised_host = options.advertised_host.empty()
+                                             ? options.bind_addr
+                                             : options.advertised_host;
+    fabric_config.listen_addr =
+        advertised_host + ":" + std::to_string(host->listener_->port());
+    fabric_config.storage_dir = options.cluster_storage_dir;
+    fabric_config.fsync = options.cluster_fsync;
+    fabric_config.faults = options.cluster_faults;
+    // The fabric's durable snapshots carry the server's revocation list
+    // (its serialized form doubles as the anti-entropy exchange format,
+    // so restore is just a merge into an empty list).
+    fabric_config.collect_state = [srv] {
+      return srv->SerializeRevocations();
+    };
+    fabric_config.restore_state = [srv](const Bytes& blob) {
+      (void)srv->MergeRevocations(blob);
+    };
+    fabric_config.collect_revocations = [srv] {
+      return std::make_pair(srv->RevocationDigest(),
+                            srv->SerializeRevocations());
+    };
+    fabric_config.merge_revocations = [srv](const Bytes& blob) {
+      return srv->MergeRevocations(blob);
     };
     host->fabric_ =
         std::make_unique<cluster::CoherenceFabric>(std::move(fabric_config));
@@ -126,12 +157,16 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
     for (cluster::PeerConfig& peer : options.cluster_peers) {
       host->fabric_->AddPeer(std::move(peer));
     }
+    for (const std::string& seed : options.cluster_seeds) {
+      // Skips our own advertised address, so the whole mesh can share one
+      // seed list.
+      host->fabric_->AddPeerAddress(seed);
+    }
     // The fabric owns the live peer set from here (AddClusterPeer grows
     // it); don't retain a snapshot that would silently diverge.
     host->options_.cluster_peers.clear();
+    host->options_.cluster_seeds.clear();
   }
-  ASSIGN_OR_RETURN(host->listener_,
-                   TcpListener::Listen(port, options.bind_addr));
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
   return host;
 }

@@ -55,6 +55,22 @@ struct DiscfsHostOptions {
   // peers added dynamically).
   bool cluster_enabled = false;
   cluster::FabricTuning cluster_tuning;
+
+  // --- restart survival, membership, faults (PR 6) ---
+  // Durable fabric storage (journal + snapshots). "" keeps the fabric
+  // in-memory: a restart draws a fresh incarnation and peers flush once.
+  std::string cluster_storage_dir;
+  cluster::FsyncPolicy cluster_fsync = cluster::FsyncPolicy::kNone;
+  // Seed member addresses ("host:port"). Unlike cluster_peers these are
+  // deduplicated against the node's own advertised address, so every node
+  // of a mesh can be handed the same seed list; the rest of the fleet is
+  // learned through Hello/heartbeat gossip.
+  std::vector<std::string> cluster_seeds;
+  // Host part of the advertised listen address peers dial back
+  // ("host:<listener port>"); defaults to bind_addr.
+  std::string advertised_host;
+  // Shared fault-injection schedule for harnesses; null in production.
+  std::shared_ptr<cluster::FaultSchedule> cluster_faults;
 };
 
 namespace internal {

@@ -26,8 +26,7 @@ PolicyCache::PolicyCache(size_t capacity, int64_t ttl_seconds,
                          size_t num_shards)
     : capacity_(capacity),
       ttl_seconds_(ttl_seconds),
-      generations_(new std::atomic<uint64_t>[kGenSlots]),
-      slot_tags_(new std::atomic<uint64_t>[kGenSlots]) {
+      gen_stripes_(new GenStripe[kGenStripes]) {
   size_t shards = num_shards != 0 ? num_shards : DefaultShards(capacity);
   per_shard_capacity_ = capacity / shards;
   if (capacity > 0 && per_shard_capacity_ == 0) {
@@ -37,18 +36,21 @@ PolicyCache::PolicyCache(size_t capacity, int64_t ttl_seconds,
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  for (size_t i = 0; i < kGenSlots; ++i) {
-    generations_[i].store(0, std::memory_order_relaxed);
-    slot_tags_[i].store(0, std::memory_order_relaxed);
-  }
 }
 
 PolicyCache::Shard& PolicyCache::ShardFor(const Key& key) {
   return *shards_[KeyHash()(key) % shards_.size()];
 }
 
-std::atomic<uint64_t>& PolicyCache::GenSlot(const std::string& key_id) {
-  return generations_[std::hash<std::string>()(key_id) % kGenSlots];
+PolicyCache::GenStripe& PolicyCache::StripeFor(const std::string& key_id) {
+  return gen_stripes_[std::hash<std::string>()(key_id) % kGenStripes];
+}
+
+uint64_t PolicyCache::CurrentGen(const std::string& key_id) {
+  GenStripe& stripe = StripeFor(key_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.gens.find(key_id);
+  return it != stripe.gens.end() ? it->second : stripe.base;
 }
 
 std::optional<uint32_t> PolicyCache::Get(const std::string& key_id,
@@ -56,7 +58,9 @@ std::optional<uint32_t> PolicyCache::Get(const std::string& key_id,
   Key key{key_id, inode};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  uint64_t current_gen = GenSlot(key_id).load(std::memory_order_acquire);
+  // Lock order: shard.mu before stripe.mu. Bump takes only the stripe
+  // lock, so there is no cycle.
+  uint64_t current_gen = CurrentGen(key_id);
   if (capacity_ == 0) {
     ++shard.stats.misses;
     return std::nullopt;
@@ -88,10 +92,7 @@ void PolicyCache::Put(const std::string& key_id, uint32_t inode,
   }
   Key key{key_id, inode};
   Shard& shard = ShardFor(key);
-  // Stamp ownership of the generation slot (crossings only count on
-  // bumps: a Put sharing a slot is exposure, not yet over-invalidation).
-  (void)TouchSlotTag(key_id);
-  uint64_t gen = GenSlot(key_id).load(std::memory_order_acquire);
+  uint64_t gen = CurrentGen(key_id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
@@ -122,23 +123,30 @@ void PolicyCache::InvalidateAll() {
   }
 }
 
-bool PolicyCache::TouchSlotTag(const std::string& key_id) {
-  uint64_t h = std::hash<std::string>()(key_id);
-  if (h == 0) {
-    h = 1;  // 0 marks an untouched slot
-  }
-  std::atomic<uint64_t>& tag = slot_tags_[h % kGenSlots];
-  uint64_t prev = tag.exchange(h, std::memory_order_relaxed);
-  return prev != 0 && prev != h;
-}
-
 void PolicyCache::Bump(const std::string& key_id, bool remote) {
-  if (TouchSlotTag(key_id)) {
-    collision_crossings_.fetch_add(1, std::memory_order_relaxed);
-  }
   (remote ? remote_bumps_ : local_bumps_)
       .fetch_add(1, std::memory_order_relaxed);
-  GenSlot(key_id).fetch_add(1, std::memory_order_acq_rel);
+  GenStripe& stripe = StripeFor(key_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.gens.find(key_id);
+  if (it == stripe.gens.end() && stripe.gens.size() >= kMaxTrackedPerStripe) {
+    // Rebase rather than evict-to-base: dropping a tracked principal back
+    // to `base` could *lower* its current generation onto a value an old
+    // cache entry was stamped with, serving a stale grant. Raising the
+    // floor above every generation the stripe ever issued makes all
+    // outstanding stamps stale instead — over-invalidation, never
+    // staleness.
+    stripe.base = stripe.high + 1;
+    stripe.high = stripe.base;
+    stripe.gens.clear();
+    generation_rebases_.fetch_add(1, std::memory_order_relaxed);
+    it = stripe.gens.end();
+  }
+  uint64_t next = (it != stripe.gens.end() ? it->second : stripe.base) + 1;
+  stripe.gens[key_id] = next;
+  if (next > stripe.high) {
+    stripe.high = next;
+  }
 }
 
 void PolicyCache::InvalidatePrincipal(const std::string& key_id) {
@@ -156,7 +164,7 @@ void PolicyCache::ResetStats() {
   }
   local_bumps_.store(0, std::memory_order_relaxed);
   remote_bumps_.store(0, std::memory_order_relaxed);
-  collision_crossings_.store(0, std::memory_order_relaxed);
+  generation_rebases_.store(0, std::memory_order_relaxed);
 }
 
 size_t PolicyCache::size() const {
@@ -172,8 +180,8 @@ PolicyCache::CoherenceStats PolicyCache::coherence_stats() const {
   CoherenceStats s;
   s.local_bumps = local_bumps_.load(std::memory_order_relaxed);
   s.remote_bumps = remote_bumps_.load(std::memory_order_relaxed);
-  s.collision_crossings =
-      collision_crossings_.load(std::memory_order_relaxed);
+  s.collision_crossings = 0;  // exact generations: no shared slots left
+  s.generation_rebases = generation_rebases_.load(std::memory_order_relaxed);
   return s;
 }
 

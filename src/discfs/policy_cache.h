@@ -16,9 +16,13 @@
 //    generations of principals reachable from the changed credential's
 //    delegation chain (see DelegationIndex::AffectedRequesters); stale
 //    entries are dropped lazily on their next lookup, and unaffected
-//    entries survive. Generations live in a fixed table of atomics indexed
-//    by principal hash — a slot collision can only over-invalidate, never
-//    serve a stale grant.
+//    entries survive. Generations are exact per-principal counters in a
+//    mutex-striped table (PR 6; previously a fixed array of atomics
+//    indexed by principal hash, where a slot collision could invalidate a
+//    bystander's entries). The table bounds tracked principals per stripe
+//    by rebasing: the stripe forgets its counters and raises the floor
+//    above every generation it ever issued, so old stamps read as stale —
+//    pure over-invalidation, never a stale grant.
 //  * TTL — entries expire because conditions can be time-dependent
 //    (time-of-day policies); expired entries are erased on lookup so they
 //    do not pin capacity until eviction.
@@ -48,18 +52,22 @@ class PolicyCache {
     uint64_t invalidations = 0;  // entries dropped by flush or churn
   };
 
-  // Invalidation telemetry (PR 4): how generation bumps reach this cache
-  // and how exposed it is to the generation table's hash-collision blind
-  // spot. Benches and tests observe invalidation *scope* through this
-  // instead of inferring it from hit rates.
+  // Invalidation telemetry (PR 4): how generation bumps reach this cache.
+  // Benches and tests observe invalidation *scope* through this instead
+  // of inferring it from hit rates.
   struct CoherenceStats {
     uint64_t local_bumps = 0;   // bumps from this server's own churn
     uint64_t remote_bumps = 0;  // bumps applied from peer coherence events
-    // Bumps that landed on a generation slot last touched by a different
-    // principal — each such crossing may invalidate a bystander's entries
-    // (over-invalidation, never staleness). An estimate: slots remember
-    // only the last principal hash that touched them.
+    // Bumps that landed on a generation slot shared with a different
+    // principal. Always 0 since PR 6: generations are exact
+    // per-principal, so a bump can no longer touch a bystander. Kept so
+    // telemetry consumers keep compiling (and as the regression signal —
+    // nonzero would mean the blind spot came back).
     uint64_t collision_crossings = 0;
+    // Stripe rebases: a gen stripe hit its tracked-principal bound and
+    // over-invalidated everything it covered (bounded memory, not a
+    // correctness event).
+    uint64_t generation_rebases = 0;
   };
 
   // capacity 0 disables caching entirely (every query recomputes).
@@ -117,7 +125,7 @@ class PolicyCache {
     Key key;
     uint32_t mask;
     int64_t expires_at;
-    uint64_t generation;  // snapshot of the principal's slot at Put time
+    uint64_t generation;  // the principal's generation at Put time
   };
   struct Shard {
     mutable std::mutex mu;
@@ -126,28 +134,37 @@ class PolicyCache {
     Stats stats;
   };
 
-  static constexpr size_t kGenSlots = 1024;
+  // Exact per-principal generation counters, striped to keep bump/lookup
+  // contention off a single lock. `base` is the generation reported for
+  // any principal the stripe does not track; rebasing (at the tracked
+  // bound) raises it above `high`, the highest generation ever issued, so
+  // every outstanding stamp in the stripe goes stale at once.
+  struct GenStripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, uint64_t> gens;
+    uint64_t base = 0;  // guarded by mu
+    uint64_t high = 0;  // guarded by mu
+  };
+
+  static constexpr size_t kGenStripes = 16;
+  // Principals tracked per stripe before a rebase; bounds generation-table
+  // memory regardless of how many distinct principals a server ever sees.
+  static constexpr size_t kMaxTrackedPerStripe = 4096;
 
   Shard& ShardFor(const Key& key);
-  std::atomic<uint64_t>& GenSlot(const std::string& key_id);
+  GenStripe& StripeFor(const std::string& key_id);
+  // The principal's current generation (its stripe's base if untracked).
+  uint64_t CurrentGen(const std::string& key_id);
   void Bump(const std::string& key_id, bool remote);
-  // Records `key_id` as the last principal to touch its generation slot;
-  // returns true when the slot was last touched by a different principal
-  // (a collision crossing).
-  bool TouchSlotTag(const std::string& key_id);
 
   size_t capacity_;
   size_t per_shard_capacity_;
   int64_t ttl_seconds_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::unique_ptr<std::atomic<uint64_t>[]> generations_;
-  // Full principal hash that last touched each generation slot (0 =
-  // untouched); feeds the collision_crossings estimate, relaxed on
-  // purpose — it is telemetry, not correctness state.
-  std::unique_ptr<std::atomic<uint64_t>[]> slot_tags_;
+  std::unique_ptr<GenStripe[]> gen_stripes_;
   std::atomic<uint64_t> local_bumps_{0};
   std::atomic<uint64_t> remote_bumps_{0};
-  std::atomic<uint64_t> collision_crossings_{0};
+  std::atomic<uint64_t> generation_rebases_{0};
 };
 
 }  // namespace discfs

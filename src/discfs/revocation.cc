@@ -1,6 +1,15 @@
 #include "src/discfs/revocation.h"
 
+#include "src/crypto/sha.h"
+#include "src/wire/xdr.h"
+
 namespace discfs {
+namespace {
+
+// One set's worth of entries in a sync blob; two sets per blob.
+constexpr size_t kMaxEntriesPerSet = 1 << 20;
+
+}  // namespace
 
 void RevocationList::RevokeKey(const std::string& key_id, int64_t now) {
   keys_[key_id] = now;
@@ -31,6 +40,82 @@ bool RevocationList::IsKeyRevoked(const std::string& key_id,
 bool RevocationList::IsCredentialRevoked(const std::string& credential_id,
                                          int64_t now) const {
   return Contains(credentials_, credential_id, now);
+}
+
+Bytes RevocationList::Digest(int64_t now) const {
+  // std::map iteration is already sorted, so the digest is deterministic
+  // across nodes that agree on membership.
+  XdrWriter w;
+  for (const auto& [id, revoked_at] : keys_) {
+    if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+      continue;
+    }
+    w.PutU32(1);  // type tag: key
+    w.PutString(id);
+  }
+  for (const auto& [id, revoked_at] : credentials_) {
+    if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+      continue;
+    }
+    w.PutU32(2);  // type tag: credential
+    w.PutString(id);
+  }
+  return Sha256::Hash(w.Take());
+}
+
+Bytes RevocationList::SerializeEntries(int64_t now) const {
+  XdrWriter w;
+  for (const auto* set : {&keys_, &credentials_}) {
+    uint32_t count = 0;
+    for (const auto& [id, revoked_at] : *set) {
+      if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+        continue;
+      }
+      ++count;
+    }
+    w.PutU32(count);
+    for (const auto& [id, revoked_at] : *set) {
+      if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+        continue;
+      }
+      w.PutString(id);
+      w.PutI64(revoked_at);
+    }
+  }
+  return w.Take();
+}
+
+Result<RevocationList::MergeResult> RevocationList::MergeSerialized(
+    const Bytes& blob, int64_t now) {
+  XdrReader r(blob);
+  MergeResult result;
+  for (auto* set : {&keys_, &credentials_}) {
+    std::vector<std::string>* fresh =
+        set == &keys_ ? &result.new_keys : &result.new_credentials;
+    ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+    if (count > kMaxEntriesPerSet) {
+      return InvalidArgumentError("revocation sync blob too large");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(std::string id, r.GetString());
+      ASSIGN_OR_RETURN(int64_t revoked_at, r.GetI64());
+      if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+        continue;  // already expired by our clock; don't resurrect it
+      }
+      // "New" means not currently active here — absent, or present but
+      // expired by our clock and revived by the peer's later timestamp.
+      // Those are the entries the server must re-check caches against.
+      bool was_active = Contains(*set, id, now);
+      auto [it, inserted] = set->emplace(id, revoked_at);
+      if (!inserted && revoked_at > it->second) {
+        it->second = revoked_at;
+      }
+      if (!was_active && Contains(*set, id, now)) {
+        fresh->push_back(std::move(id));
+      }
+    }
+  }
+  return result;
 }
 
 void RevocationList::Expire(int64_t now) {

@@ -12,6 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
 
 namespace discfs {
 
@@ -32,6 +36,33 @@ class RevocationList {
   void Expire(int64_t now);
 
   size_t size() const { return keys_.size() + credentials_.size(); }
+
+  // --- Anti-entropy support (PR 6) ---
+  //
+  // Digests cover the sorted entry *ids only*: revoked_at timestamps are
+  // stamped by whichever node applied the revocation, so two lists that
+  // agree on membership can disagree on timestamps forever — hashing them
+  // would keep digests unequal and sync from ever converging. Merging
+  // keeps the max timestamp per id (the safe direction: a revocation can
+  // only be remembered longer, never forgotten sooner).
+
+  // SHA-256 over the sorted unexpired entry ids, type-tagged so a key id
+  // and a credential id never collide.
+  Bytes Digest(int64_t now) const;
+
+  // XDR-serializes the unexpired entries for shipping to a peer.
+  Bytes SerializeEntries(int64_t now) const;
+
+  struct MergeResult {
+    // Ids newly learned from the peer (absent locally and unexpired);
+    // timestamp-only extensions of known entries are not listed.
+    std::vector<std::string> new_keys;
+    std::vector<std::string> new_credentials;
+  };
+
+  // Merges a peer's SerializeEntries blob: unknown unexpired ids are
+  // added, known ids keep the later revoked_at.
+  Result<MergeResult> MergeSerialized(const Bytes& blob, int64_t now);
 
  private:
   bool Contains(const std::map<std::string, int64_t>& set,

@@ -387,6 +387,52 @@ void DiscfsServer::ApplyRemoteEvent(const cluster::CoherenceEvent& event) {
   }
 }
 
+cluster::ClusterHealth DiscfsServer::cluster_health() const {
+  return fabric_ == nullptr ? cluster::ClusterHealth{} : fabric_->Health();
+}
+
+Bytes DiscfsServer::SerializeRevocations() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return revocation_.SerializeEntries(clock_->NowUnix());
+}
+
+Bytes DiscfsServer::RevocationDigest() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return revocation_.Digest(clock_->NowUnix());
+}
+
+size_t DiscfsServer::MergeRevocations(const Bytes& blob) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  int64_t now = clock_->NowUnix();
+  auto merged = revocation_.MergeSerialized(blob, now);
+  if (!merged.ok()) {
+    return 0;  // malformed peer blob: learn nothing, change nothing
+  }
+  // Newly learned entries get the same local effects as a pushed
+  // revocation event would have had (ApplyRemoteEvent's kRemove /
+  // kRevokeKey arms), minus the origin's closure hints — our own
+  // delegation graph supplies the affected principals.
+  for (const std::string& id : merged->new_credentials) {
+    if (session_.HasCredential(id)) {
+      for (const std::string& principal : session_.AffectedRequesters(id)) {
+        cache_.InvalidatePrincipalRemote(principal);
+      }
+      (void)session_.RemoveCredential(id);
+    }
+  }
+  for (const std::string& key : merged->new_keys) {
+    for (const std::string& id : session_.CredentialIdsByAuthorizer(key)) {
+      revocation_.RevokeCredential(id, now);
+      for (const std::string& principal : session_.AffectedRequesters(id)) {
+        cache_.InvalidatePrincipalRemote(principal);
+      }
+      (void)session_.RemoveCredential(id);
+    }
+    cache_.InvalidatePrincipalRemote(key);
+  }
+  return merged->new_keys.size() + merged->new_credentials.size();
+}
+
 size_t DiscfsServer::credential_count() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return session_.credential_count();
@@ -592,7 +638,7 @@ void DiscfsServer::RegisterClusterProcs() {
         RETURN_IF_ERROR(check_peer(ctx, hello.origin));
         XdrWriter w;
         w.PutU64(fabric_->HandleHello(hello.origin, hello.incarnation,
-                                      hello.head_seq));
+                                      hello.head_seq, hello.listen_addr));
         return w.Take();
       });
 
@@ -610,6 +656,40 @@ void DiscfsServer::RegisterClusterProcs() {
         XdrWriter w;
         w.PutU64(fabric_->HandlePush(request.origin, request.events));
         return w.Take();
+      });
+
+  dispatcher_.Register(
+      cluster::kClusterProgram,
+      static_cast<uint32_t>(cluster::ClusterProc::kClusterStatus),
+      [this, check_peer](const Bytes& args,
+                         const RpcContext& ctx) -> Result<Bytes> {
+        if (fabric_ == nullptr) {
+          return FailedPreconditionError("no coherence fabric attached");
+        }
+        ASSIGN_OR_RETURN(cluster::StatusRequest request,
+                         cluster::DecodeStatusRequest(args));
+        RETURN_IF_ERROR(check_peer(ctx, request.origin));
+        return cluster::EncodeStatusReply(fabric_->HandleStatus(request));
+      });
+
+  dispatcher_.Register(
+      cluster::kClusterProgram,
+      static_cast<uint32_t>(cluster::ClusterProc::kRevocationSync),
+      [this, check_peer](const Bytes& args,
+                         const RpcContext& ctx) -> Result<Bytes> {
+        ASSIGN_OR_RETURN(cluster::RevocationSyncRequest request,
+                         cluster::DecodeRevocationSyncRequest(args));
+        RETURN_IF_ERROR(check_peer(ctx, request.origin));
+        cluster::RevocationSyncReply reply;
+        if (RevocationDigest() == request.digest) {
+          // Lists already agree; skip the merge and ship nothing back.
+          reply.match = true;
+        } else {
+          (void)MergeRevocations(request.entries);
+          // Serialize *after* merging so the sender pulls the union.
+          reply.entries = SerializeRevocations();
+        }
+        return cluster::EncodeRevocationSyncReply(reply);
       });
 }
 

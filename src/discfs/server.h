@@ -20,6 +20,7 @@
 #include <string>
 
 #include "src/cluster/event.h"
+#include "src/cluster/membership.h"
 #include "src/crypto/dsa.h"
 #include "src/discfs/policy_cache.h"
 #include "src/discfs/protocol.h"
@@ -132,6 +133,19 @@ class DiscfsServer {
   // revocation list, and expels delegations a revoked key issued here.
   // Never republishes — events travel origin → peers only.
   void ApplyRemoteEvent(const cluster::CoherenceEvent& event);
+
+  // --- cluster liveness & anti-entropy (PR 6) ---
+  // Peer liveness snapshot from the attached fabric (empty standalone).
+  cluster::ClusterHealth cluster_health() const;
+  // Revocation-list views for anti-entropy and state snapshots (the
+  // snapshot blob IS the serialized revocation list, so restore = merge).
+  Bytes SerializeRevocations() const;
+  Bytes RevocationDigest() const;
+  // Merges a peer's serialized revocation entries; returns how many were
+  // newly learned. New entries get the same local effects as a remotely
+  // pushed revocation event: cached grants invalidated, locally installed
+  // chains expelled.
+  size_t MergeRevocations(const Bytes& blob);
 
   // --- introspection ---
   const DsaPublicKey& public_key() const {

@@ -136,6 +136,42 @@ std::string QuoteString(const std::string& s) {
   return out;
 }
 
+// Collapses runs of whitespace outside quoted strings to a single space
+// and strips the ends. Quoted strings (with backslash escapes) pass
+// through verbatim, so this never changes what the expression grammar
+// sees — equal collapsed forms imply equal semantics.
+std::string CollapseOutsideQuotes(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_quote = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_quote) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < s.size()) {
+        out.push_back(s[++i]);
+      } else if (c == '"') {
+        in_quote = false;
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+    if (c == '"') {
+      in_quote = true;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* SignatureAlgorithmPrefix(SignatureAlgorithm algo) {
@@ -224,11 +260,38 @@ Result<Assertion> Assertion::Parse(std::string text) {
     assertion.signature_field_offset_ = signature_field->offset;
     assertion.signature_value_ = StripQuotes(signature_field->value);
   }
+
+  // Canonical form: fixed field order, lower-cased names, sorted
+  // Local-Constants (ConstantMap is a std::map), resolved Authorizer,
+  // collapsed whitespace, no Signature. Built from the parsed state, so
+  // any two texts this parser reads identically canonicalize identically.
+  std::string& canonical = assertion.canonical_text_;
+  canonical = "keynote-version: 2\n";
+  if (!assertion.local_constants_.empty()) {
+    canonical += "local-constants:";
+    for (const auto& [name, value] : assertion.local_constants_) {
+      canonical += ' ' + name + '=' + QuoteString(value);
+    }
+    canonical += '\n';
+  }
+  canonical += "authorizer: " + QuoteString(assertion.authorizer_) + '\n';
+  if (licensees_field != nullptr) {
+    canonical +=
+        "licensees: " + CollapseOutsideQuotes(licensees_field->value) + '\n';
+  }
+  if (conditions_field != nullptr) {
+    canonical +=
+        "conditions: " + CollapseOutsideQuotes(conditions_field->value) + '\n';
+  }
+  if (!assertion.comment_.empty()) {
+    canonical += "comment: " + assertion.comment_ + '\n';
+  }
   return assertion;
 }
 
 std::string Assertion::Id() const {
-  return HexEncode(Sha256::Hash(text_)).substr(0, 16);
+  return HexEncode(Sha256::Hash(canonical_text_ + signature_value_))
+      .substr(0, 16);
 }
 
 Status Assertion::VerifySignature(VerifiedSignatureCache* cache) const {
@@ -260,13 +323,16 @@ Status Assertion::VerifySignature(VerifiedSignatureCache* cache) const {
   Bytes digest =
       sha1 ? Sha1::Hash(signed_text) : Sha256::Hash(signed_text);
 
-  // A cache hit proves this exact (authorizer, digest, signature) triple
-  // already passed the full verify below; the parse it went through then
-  // succeeded, so re-running it is redundant too.
+  // The cache is keyed by the *canonical* content rather than the signed
+  // bytes: a hit proves a credential with identical semantics and this
+  // exact signature passed the full verify below, so admitting a
+  // re-serialized copy grants exactly the rights the verified original
+  // did (and Id() is canonical too, so revocation covers every
+  // serialization). The DSA path below still checks the raw signed bytes.
   Bytes cache_key;
   if (cache != nullptr) {
-    cache_key =
-        VerifiedSignatureCache::MakeKey(authorizer_, digest, signature_value_);
+    cache_key = VerifiedSignatureCache::MakeKey(
+        authorizer_, Sha256::Hash(canonical_text_), signature_value_);
     if (cache->Contains(cache_key)) {
       return OkStatus();
     }

@@ -50,6 +50,13 @@ class Assertion {
   static Result<Assertion> Parse(std::string text);
 
   const std::string& text() const { return text_; }
+  // Deterministic re-serialization of the assertion's *content* (fields in
+  // fixed order, names lower-cased, whitespace collapsed outside quoted
+  // strings, Authorizer resolved through Local-Constants, Signature
+  // excluded). Two parses whose canonical texts match carry identical
+  // semantics even if their raw bytes differ (re-wrapped lines, field
+  // case, field order); keys Id() and the verified-signature cache.
+  const std::string& canonical_text() const { return canonical_text_; }
   const std::string& authorizer() const { return authorizer_; }
   const LicenseesNode& licensees() const { return *licensees_; }
   const std::vector<std::string>& licensee_principals() const {
@@ -60,15 +67,20 @@ class Assertion {
   bool is_policy() const { return authorizer_ == kPolicyPrincipal; }
   bool has_signature() const { return !signature_value_.empty(); }
 
-  // Stable identifier: hex SHA-256 prefix of the assertion text. Used as the
-  // revocation handle.
+  // Stable identifier: hex SHA-256 prefix of the canonical text plus the
+  // signature. Used as the revocation handle — canonical (rather than raw)
+  // bytes so a re-serialized copy of a revoked credential maps to the same
+  // id and cannot slip past the revocation list.
   std::string Id() const;
 
   // Checks that the Signature field verifies against the Authorizer key.
   // Fails for policy assertions (they are unsigned by definition) and for
   // authorizers that are not keys. With a cache, a previously verified
-  // (key, digest, sig) triple short-circuits before any bignum math, and
-  // a fresh successful verify is recorded for next time.
+  // (key, canonical content, sig) triple short-circuits before any bignum
+  // math — so a re-serialized copy of an admitted credential hits even
+  // though its raw bytes differ — and a fresh successful verify is
+  // recorded for next time. The DSA check itself always runs over the
+  // exact signed bytes; only the cache key is canonical.
   Status VerifySignature(VerifiedSignatureCache* cache = nullptr) const;
 
   Assertion(Assertion&&) = default;
@@ -78,6 +90,7 @@ class Assertion {
   Assertion() = default;
 
   std::string text_;
+  std::string canonical_text_;
   std::string authorizer_;
   std::unique_ptr<LicenseesNode> licensees_;
   std::vector<std::string> licensee_principals_;

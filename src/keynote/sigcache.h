@@ -40,7 +40,8 @@ class VerifiedSignatureCache {
   explicit VerifiedSignatureCache(size_t capacity, size_t num_shards = 0);
 
   // Digest of one verification instance: SHA-256 over the authorizer key
-  // string, the signed-message digest, and the signature encoding
+  // string, a digest of the credential content (canonical, so equivalent
+  // re-serializations share a key), and the signature encoding
   // (length-delimited, so no concatenation ambiguity).
   static Bytes MakeKey(const std::string& authorizer, const Bytes& digest,
                        const std::string& signature);

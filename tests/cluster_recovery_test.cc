@@ -1,0 +1,313 @@
+// Crash-recovery edge cases for the durable coherence store (PR 6): a
+// torn final journal record, a cursor snapshot older than the journal
+// tail, and a crash between the snapshot and journal renames of a
+// compaction. In every case a restarted node must recover by replay or by
+// an explicit fresh incarnation (which peers answer with one
+// InvalidateAll) — never by silently resuming a stale suffix.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/blockdev.h"
+#include "src/cluster/fabric.h"
+#include "src/cluster/persistence.h"
+#include "src/crypto/groups.h"
+#include "src/discfs/host.h"
+#include "src/ffs/ffs.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+using cluster::CoherenceEvent;
+using cluster::CoherenceStore;
+using cluster::FsyncPolicy;
+using cluster::SequencedEvent;
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  return LockedPrngBytes(seed);
+}
+
+std::string FreshDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "discfs-recovery-" + tag + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(counter++);
+  return dir;
+}
+
+SequencedEvent MakeEvent(uint64_t seq, const std::string& id) {
+  SequencedEvent e;
+  e.seq = seq;
+  e.event.type = CoherenceEvent::Type::kRemove;
+  e.event.credential_id = id;
+  e.event.principals = {"p-" + id};
+  return e;
+}
+
+CoherenceStore::Record MakeRecord(const std::string& origin,
+                                  uint64_t incarnation, uint64_t seq,
+                                  const std::string& id) {
+  return CoherenceStore::Record{origin, incarnation, MakeEvent(seq, id)};
+}
+
+off_t FileSize(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? st.st_size : -1;
+}
+
+void CopyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  ASSERT_TRUE(in.good() || in.eof());
+  ASSERT_TRUE(out.good());
+}
+
+TEST(CoherenceStoreRecovery, TornFinalRecordIsTruncatedNotReplayed) {
+  std::string dir = FreshDir("torn");
+  CoherenceStore::Options options{dir, "self", FsyncPolicy::kAlways, 64};
+
+  CoherenceStore::Recovered first;
+  auto store = CoherenceStore::Open(options, &first);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_FALSE(first.had_state);
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 7, 1, "a")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 7, 2, "b")).ok());
+  CoherenceStore::SnapshotData data;
+  data.incarnation = 7;
+  data.head_seq = 2;
+  data.cursors["peer"] = {3, 5};
+  data.server_state = Bytes{'r', 'e', 'v'};
+  ASSERT_TRUE((*store)
+                  ->WriteSnapshot(data, {MakeEvent(1, "a"), MakeEvent(2, "b")},
+                                  /*clean=*/false)
+                  .ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 7, 3, "c")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 7, 4, "d")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("peer", 3, 6, "e")).ok());
+  store->reset();  // crash: no clean marker
+
+  // Tear the last frame: the "peer" record at the tail loses three bytes.
+  std::string journal = dir + "/journal.log";
+  off_t size = FileSize(journal);
+  ASSERT_GT(size, 3);
+  ASSERT_EQ(::truncate(journal.c_str(), size - 3), 0);
+
+  CoherenceStore::Recovered r;
+  auto reopened = CoherenceStore::Open(options, &r);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(r.had_state);
+  EXPECT_FALSE(r.clean);
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_TRUE(r.durable_journal);
+  EXPECT_EQ(r.incarnation, 7u);
+  // kAlways journals records before the fabric exposes the event, so the
+  // torn record was never pushed and the incarnation survives the crash.
+  EXPECT_TRUE(r.keep_incarnation());
+  EXPECT_EQ(r.head_seq, 4u);
+  EXPECT_EQ(r.server_state, (Bytes{'r', 'e', 'v'}));
+  // Every complete frame before the tear replays; the torn one is gone
+  // (its cursor effect with it — snapshot value stands).
+  ASSERT_EQ(r.records.size(), 4u);
+  EXPECT_EQ(r.records[0].entry.seq, 1u);
+  EXPECT_EQ(r.records[3].entry.seq, 4u);
+  EXPECT_EQ(r.records[3].origin, "self");
+  ASSERT_EQ(r.cursors.count("peer"), 1u);
+  EXPECT_EQ(r.cursors["peer"].cursor, 5u);
+}
+
+TEST(CoherenceStoreRecovery, JournalTailExtendsStaleSnapshotCursors) {
+  std::string dir = FreshDir("stale-snap");
+  CoherenceStore::Options options{dir, "self", FsyncPolicy::kNone, 64};
+
+  CoherenceStore::Recovered first;
+  auto store = CoherenceStore::Open(options, &first);
+  ASSERT_TRUE(store.ok()) << store.status();
+  CoherenceStore::SnapshotData data;
+  data.incarnation = 9;
+  data.head_seq = 2;
+  data.cursors["peer"] = {3, 2};
+  ASSERT_TRUE((*store)
+                  ->WriteSnapshot(data, {MakeEvent(1, "a"), MakeEvent(2, "b")},
+                                  /*clean=*/false)
+                  .ok());
+  // Progress after the snapshot: one own publish, two remote applies.
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 9, 3, "c")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("peer", 3, 3, "x")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("peer", 3, 4, "y")).ok());
+  store->reset();  // crash
+
+  CoherenceStore::Recovered r;
+  auto reopened = CoherenceStore::Open(options, &r);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  // kNone + unclean: pushed events may be missing from the page cache'd
+  // journal, so the outbound sequence space is forfeit...
+  EXPECT_FALSE(r.keep_incarnation());
+  // ...but the snapshot cursors plus the journal suffix still replay.
+  EXPECT_EQ(r.cursors["peer"].cursor, 2u);
+  ASSERT_EQ(r.records.size(), 5u);
+  EXPECT_EQ(r.records[4].origin, "peer");
+  EXPECT_EQ(r.records[4].entry.seq, 4u);
+
+  // The fabric extends the snapshot cursor by replaying the tail: the
+  // receive cursor lands at 4, not the snapshot's 2 — a reconnecting peer
+  // replays nothing already applied, and nothing applied is lost.
+  cluster::FabricConfig config;
+  config.node_id = "self";
+  config.storage_dir = dir;
+  size_t applied = 0;
+  config.apply = [&applied](const CoherenceEvent&) { ++applied; };
+  cluster::CoherenceFabric fabric(std::move(config));
+  EXPECT_EQ(fabric.ReceiveCursor("peer"), 4u);
+  EXPECT_EQ(applied, 5u);  // every journaled record re-applies (idempotent)
+  cluster::FabricStats stats = fabric.stats();
+  EXPECT_TRUE(stats.recovered_state);
+  EXPECT_FALSE(stats.recovered_incarnation);
+  EXPECT_EQ(stats.recovered_events, 5u);
+  // Fresh incarnation: outbound sequence space restarts rather than
+  // resuming a possibly-lossy suffix. Peers detect this via Hello and
+  // flush once (the explicit-InvalidateAll path).
+  EXPECT_NE(fabric.incarnation(), 9u);
+  EXPECT_EQ(fabric.stats().head_seq, 0u);
+}
+
+TEST(CoherenceStoreRecovery, CrashBetweenSnapshotAndJournalRewrite) {
+  std::string dir = FreshDir("compaction");
+  CoherenceStore::Options options{dir, "self", FsyncPolicy::kAlways, 64};
+
+  CoherenceStore::Recovered first;
+  auto store = CoherenceStore::Open(options, &first);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 5, 1, "a")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 5, 2, "b")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("self", 5, 3, "c")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("peer", 3, 1, "x")).ok());
+  ASSERT_TRUE((*store)->Append(MakeRecord("peer", 3, 2, "y")).ok());
+
+  // Keep the pre-compaction journal, run the compaction, then put the old
+  // journal back: exactly the state a crash between WriteSnapshot's two
+  // renames leaves behind (new snapshot, old journal).
+  std::string journal = dir + "/journal.log";
+  std::string saved = dir + "/journal.saved";
+  CopyFile(journal, saved);
+  CoherenceStore::SnapshotData data;
+  data.incarnation = 5;
+  data.head_seq = 3;
+  data.cursors["peer"] = {3, 2};
+  ASSERT_TRUE(
+      (*store)->WriteSnapshot(data, {MakeEvent(3, "c")}, /*clean=*/false)
+          .ok());
+  store->reset();
+  CopyFile(saved, journal);
+  ASSERT_EQ(std::remove(saved.c_str()), 0);
+
+  CoherenceStore::Recovered r;
+  auto reopened = CoherenceStore::Open(options, &r);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(r.keep_incarnation());
+  EXPECT_EQ(r.incarnation, 5u);
+  // The stale journal replays *behind* the newer snapshot: head never
+  // regresses below the snapshot's, cursors never move backwards, and the
+  // doubly-covered records are idempotent re-applies.
+  EXPECT_EQ(r.head_seq, 3u);
+  EXPECT_EQ(r.cursors["peer"].cursor, 2u);
+  ASSERT_EQ(r.records.size(), 5u);
+
+  cluster::FabricConfig config;
+  config.node_id = "self";
+  config.storage_dir = dir;
+  config.apply = [](const CoherenceEvent&) {};
+  cluster::CoherenceFabric fabric(std::move(config));
+  EXPECT_EQ(fabric.incarnation(), 5u);
+  EXPECT_EQ(fabric.ReceiveCursor("peer"), 2u);  // never regressed
+  cluster::FabricStats stats = fabric.stats();
+  EXPECT_TRUE(stats.recovered_incarnation);
+  EXPECT_EQ(stats.head_seq, 3u);  // own sequence space resumes, no reuse
+}
+
+// ----- end-to-end: a host restart over the same storage directory -----
+
+struct ClusterNode {
+  std::shared_ptr<FfsVfs> vfs;
+  std::unique_ptr<DiscfsHost> host;
+};
+
+ClusterNode StartClusterNode(const DsaPrivateKey& server_key,
+                             const std::vector<DsaPublicKey>& trusted_keys,
+                             uint64_t seed, const std::string& storage_dir) {
+  ClusterNode node;
+  auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{512});
+  EXPECT_TRUE(fs.ok());
+  node.vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+
+  DiscfsServerConfig config;
+  config.server_key = server_key;
+  config.rand_bytes = TestRand(seed);
+  config.cluster_trusted_keys = trusted_keys;
+  DiscfsHostOptions options;
+  options.worker_threads = 4;
+  options.cluster_enabled = true;
+  options.cluster_storage_dir = storage_dir;
+  options.cluster_fsync = FsyncPolicy::kAlways;
+  auto host = DiscfsHost::Start(node.vfs, std::move(config), /*port=*/0,
+                                std::move(options));
+  EXPECT_TRUE(host.ok()) << host.status();
+  node.host = std::move(host).value();
+  return node;
+}
+
+constexpr auto kAckTimeout = std::chrono::milliseconds(10000);
+
+TEST(ClusterRecovery, CleanRestartResumesIncarnationWithoutFlush) {
+  DsaPrivateKey key_a = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey key_b = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+  std::string dir_a = FreshDir("host-a");
+  ClusterNode a = StartClusterNode(key_a, {key_b.public_key()}, 10, dir_a);
+  ClusterNode b =
+      StartClusterNode(key_b, {key_a.public_key()}, 11, FreshDir("host-b"));
+  ASSERT_TRUE(a.host->AddClusterPeer(
+                  {"127.0.0.1", b.host->port(), key_b.public_key()})
+                  .ok());
+
+  a.host->server().RevokeKey("revoked-before-restart");
+  ASSERT_TRUE(a.host->fabric()->WaitForAck(1, kAckTimeout));
+  uint64_t incarnation = a.host->fabric()->incarnation();
+  Bytes digest_before = a.host->server().RevocationDigest();
+
+  // Clean shutdown: the destructor writes the final snapshot + marker.
+  a.host.reset();
+  a.vfs.reset();
+
+  ClusterNode a2 = StartClusterNode(key_a, {key_b.public_key()}, 12, dir_a);
+  EXPECT_EQ(a2.host->fabric()->incarnation(), incarnation)
+      << "clean restart must resume the same incarnation";
+  cluster::FabricStats stats = a2.host->fabric()->stats();
+  EXPECT_TRUE(stats.recovered_state);
+  EXPECT_TRUE(stats.recovered_incarnation);
+  EXPECT_EQ(stats.head_seq, 1u) << "own sequence space resumes, not resets";
+  EXPECT_EQ(a2.host->server().RevocationDigest(), digest_before)
+      << "the revocation list must survive the restart";
+
+  // Publishing resumes at seq 2 under the old incarnation; the peer's
+  // cursor (still 1) advances without an InvalidateAll.
+  ASSERT_TRUE(a2.host->AddClusterPeer(
+                  {"127.0.0.1", b.host->port(), key_b.public_key()})
+                  .ok());
+  a2.host->server().RevokeKey("revoked-after-restart");
+  ASSERT_TRUE(a2.host->fabric()->WaitForAck(2, kAckTimeout));
+  EXPECT_EQ(b.host->fabric()->ReceiveCursor(a2.host->fabric()->node_id()),
+            2u);
+  EXPECT_EQ(b.host->fabric()->stats().full_invalidations_applied, 0u)
+      << "a clean restart must not cost the cluster a full flush";
+}
+
+}  // namespace
+}  // namespace discfs

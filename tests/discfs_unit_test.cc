@@ -154,6 +154,68 @@ TEST(PolicyCacheTest, StressManyEntries) {
   EXPECT_LE(cache.size(), 128u);
 }
 
+// Regression for the PR 4 generation-table blind spot: generations used
+// to live in a 1024-slot hashed array, so two principals whose hashes
+// collided mod 1024 shared one counter and a bump for one invalidated the
+// other. Force exactly that collision and check the bystander survives.
+TEST(PolicyCacheTest, BumpNeverInvalidatesCollidingPrincipal) {
+  PolicyCache cache(1024, 3600);
+  std::hash<std::string> h;
+  const std::string a = "p0";
+  std::string b;
+  bool found = false;
+  for (int i = 1; i < 200000; ++i) {
+    b = "p" + std::to_string(i);
+    if (h(b) % 1024 == h(a) % 1024) {
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "no hash collision in 200000 candidates";
+  cache.Put(a, 1, 3, 0);
+  cache.Put(b, 2, 5, 0);
+  cache.InvalidatePrincipalRemote(a);
+  EXPECT_FALSE(cache.Get(a, 1, 0).has_value());
+  auto hit = cache.Get(b, 2, 0);
+  ASSERT_TRUE(hit.has_value()) << "bump of " << a << " invalidated " << b;
+  EXPECT_EQ(*hit, 5u);
+  EXPECT_EQ(cache.coherence_stats().collision_crossings, 0u);
+  EXPECT_EQ(cache.coherence_stats().remote_bumps, 1u);
+}
+
+// The generation table bounds tracked principals per stripe by rebasing
+// (forget the counters, raise the floor above everything ever issued).
+// A naive clear-to-zero would let a principal's counter climb back onto
+// an old stamp and serve a revoked grant; the rebase must only ever
+// over-invalidate.
+TEST(PolicyCacheTest, GenerationRebaseNeverServesStale) {
+  PolicyCache cache(8, 3600);
+  for (int i = 0; i < 3; ++i) {
+    cache.InvalidatePrincipal("victim");
+  }
+  cache.Put("victim", 1, 7, 0);
+  EXPECT_TRUE(cache.Get("victim", 1, 0).has_value());
+  // Flood with distinct principals until every stripe has rebased
+  // (deterministic: std::hash is fixed per platform, and 150k principals
+  // put ~9k in each of the 16 stripes, far past the 4096 bound).
+  for (int i = 0; i < 150000; ++i) {
+    cache.InvalidatePrincipal("flood" + std::to_string(i));
+  }
+  EXPECT_GT(cache.coherence_stats().generation_rebases, 0u);
+  // The victim's stripe rebased: its entry (stamped gen 3) must read as
+  // stale even though the table no longer tracks the victim at all...
+  EXPECT_FALSE(cache.Get("victim", 1, 0).has_value());
+  cache.Put("victim", 1, 9, 0);
+  // ...and bumping the victim back up to its old stamp value must never
+  // resurrect a pre-rebase entry (counters restart above the old high).
+  for (int i = 0; i < 3; ++i) {
+    cache.InvalidatePrincipal("victim");
+    EXPECT_FALSE(cache.Get("victim", 1, 0).has_value());
+  }
+  cache.Put("victim", 1, 11, 0);
+  EXPECT_EQ(*cache.Get("victim", 1, 0), 11u);
+}
+
 // ----- revocation -----
 
 TEST(RevocationTest, KeyRevocation) {

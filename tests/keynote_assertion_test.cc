@@ -216,6 +216,70 @@ TEST_F(AssertionTest, IdIsStableAndUnique) {
   EXPECT_NE(a1->Id(), a2->Id());
 }
 
+// A transport that re-wraps lines, changes field-name case, or reorders
+// fields produces different bytes carrying identical semantics and the
+// same signature. Canonicalization must make the two equivalent wherever
+// identity matters: Id() (revocation would otherwise miss the variant)
+// and the verified-signature cache (a resubmitted variant should not pay
+// the DSA verify again).
+TEST_F(AssertionTest, ReserializedCredentialSharesIdAndCacheKey) {
+  auto text = AssertionBuilder()
+                  .SetAuthorizer(AdminKey())
+                  .SetLicensees("\"" + BobKey() + "\"")
+                  .SetConditions("app_domain == \"DisCFS\" -> \"R\";")
+                  .SetComment("equiv")
+                  .Sign(admin_, SignatureAlgorithm::kDsaSha1);
+  ASSERT_TRUE(text.ok()) << text.status();
+  size_t sig_pos = text->rfind("Signature:");
+  ASSERT_NE(sig_pos, std::string::npos);
+  std::string sig_line = text->substr(sig_pos);
+  // Same content, hostile serialization: shuffled field order, shouted
+  // field names, re-wrapped continuation lines, extra whitespace.
+  std::string variant =
+      "keynote-version:   2\n"
+      "AUTHORIZER: \"" + AdminKey() + "\"\n"
+      "Comment: equiv\n"
+      "Licensees:\n"
+      "   \"" + BobKey() + "\"\n"
+      "CONDITIONS: app_domain    == \"DisCFS\"\n"
+      "    -> \"R\";\n" +
+      sig_line;
+
+  auto a = Assertion::Parse(*text);
+  auto b = Assertion::Parse(variant);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_NE(a->text(), b->text());
+  EXPECT_EQ(a->canonical_text(), b->canonical_text());
+  EXPECT_EQ(a->Id(), b->Id());
+
+  // Cold, the variant must FAIL: its raw bytes are not what was signed,
+  // and only the cache (backed by a real verify of the original) may
+  // vouch for the canonical equivalence.
+  EXPECT_FALSE(b->VerifySignature().ok());
+  VerifiedSignatureCache cache(64);
+  EXPECT_FALSE(b->VerifySignature(&cache).ok());
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Warm the cache with the original; the variant now hits.
+  ASSERT_TRUE(a->VerifySignature(&cache).ok());
+  EXPECT_TRUE(b->VerifySignature(&cache).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Different semantics (comment changed) never share the canonical key.
+  auto other = AssertionBuilder()
+                   .SetAuthorizer(AdminKey())
+                   .SetLicensees("\"" + BobKey() + "\"")
+                   .SetConditions("app_domain == \"DisCFS\" -> \"R\";")
+                   .SetComment("different")
+                   .Sign(admin_, SignatureAlgorithm::kDsaSha1);
+  ASSERT_TRUE(other.ok());
+  auto c = Assertion::Parse(*other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c->Id(), a->Id());
+  EXPECT_NE(c->canonical_text(), a->canonical_text());
+}
+
 TEST_F(AssertionTest, BuilderLocalConstantsResolve) {
   auto text = AssertionBuilder()
                   .AddLocalConstant("ME", AdminKey())

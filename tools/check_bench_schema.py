@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validates BENCH_policy.json / BENCH_rpc.json / BENCH_coherence.json /
-BENCH_admission.json against schema_version 1.
+BENCH_admission.json / BENCH_fault.json against schema_version 1.
 
 Stdlib only, so the bench-smoke CI job and tools/run_bench.sh can call it
 anywhere a python3 exists. Checks required keys per tier, tier-set shape
@@ -72,6 +72,29 @@ ADMISSION_TIER_KEYS = {
     "admit_per_s_8t",
     "sig_cache_hit_rate",
     "resubmit_per_s",
+}
+
+FAULT_TOP_KEYS = {
+    "bench",
+    "schema_version",
+    "cluster_size",
+    "warm_principals",
+    "churn_events_total",
+    "mesh_form_s",
+    "rolling_restarts",
+    "partition_heal_converge_s",
+    "revocation_syncs_total",
+    "revocations_pulled_total",
+    "full_invalidations_total",
+    "revocation_violations",
+    "restarts",
+}
+FAULT_RESTART_KEYS = {
+    "node",
+    "recovered_incarnation",
+    "recovered_events",
+    "rejoin_s",
+    "survivor_hit_rate",
 }
 
 COHERENCE_TIER_KEYS = {
@@ -197,11 +220,54 @@ def check_admission(doc, errors):
             errors.append(f"results[{i}] sig_cache_hit_rate must be in [0, 1]")
 
 
+def check_fault(doc, errors):
+    missing_top = FAULT_TOP_KEYS - doc.keys()
+    if missing_top:
+        errors.append(f"missing top-level keys: {sorted(missing_top)}")
+        return
+    if doc["cluster_size"] < 2:
+        errors.append("cluster_size must be >= 2")
+    if doc["revocation_violations"] != 0:
+        errors.append(
+            f"revocation_violations must be 0, got {doc['revocation_violations']}"
+        )
+    if doc["full_invalidations_total"] != 0:
+        errors.append(
+            "full_invalidations_total must be 0 (clean restarts must "
+            "recover by replay)"
+        )
+    if doc["churn_events_total"] <= 0:
+        errors.append("churn_events_total must be positive")
+    restarts = doc["restarts"]
+    if not isinstance(restarts, list) or not restarts:
+        errors.append("restarts must be a non-empty list")
+        return
+    if len(restarts) != doc["rolling_restarts"]:
+        errors.append("rolling_restarts must match len(restarts)")
+    for i, restart in enumerate(restarts):
+        missing = FAULT_RESTART_KEYS - restart.keys()
+        if missing:
+            errors.append(f"restarts[{i}] missing keys: {sorted(missing)}")
+            continue
+        if restart["recovered_incarnation"] is not True:
+            errors.append(
+                f"restarts[{i}] did not resume its incarnation after a "
+                "clean restart"
+            )
+        if not 0.0 <= restart["survivor_hit_rate"] <= 1.0:
+            errors.append(f"restarts[{i}] survivor_hit_rate must be in [0, 1]")
+        if restart["survivor_hit_rate"] < 0.9:
+            errors.append(
+                f"restarts[{i}] survivor_hit_rate below the 0.9 gate"
+            )
+
+
 CHECKERS = {
     "policy_scaling": check_policy,
     "rpc_pipeline": check_rpc,
     "coherence_propagation": check_coherence,
     "admission_scaling": check_admission,
+    "fault_injection": check_fault,
 }
 
 

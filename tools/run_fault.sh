@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs the full fault-injection harness: an
+# 8-node DisCFS mesh driven through rolling clean restarts and a half/half
+# partition under continuous credential churn. The harness self-gates
+# (zero revocation violations, zero full invalidations, every restart
+# resumes its incarnation by journal replay, survivor cache hit rate
+# >= 0.9) and leaves BENCH_fault.json at the repo root (schema enforced
+# by tools/check_bench_schema.py).
+#
+# Usage: tools/run_fault.sh [cluster_size] [churn_rounds]
+#   cluster_size  mesh size (default 8)
+#   churn_rounds  churn events per node per phase (default 4)
+set -euo pipefail
+
+die() {
+  echo "run_fault.sh: error: $*" >&2
+  exit 1
+}
+
+command -v cmake >/dev/null 2>&1 || die "cmake not found in PATH"
+command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 ||
+  command -v clang++ >/dev/null 2>&1 || die "no C++ compiler found in PATH"
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build-release"
+cluster_size="${1:-8}"
+churn_rounds="${2:-4}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" --target fault_harness
+
+echo "--- fault_harness (writes BENCH_fault.json; fails on any revocation"
+echo "    violation, full invalidation, or unrecovered restart) ---"
+"$build_dir/fault_harness" "$repo_root/BENCH_fault.json" \
+  "$cluster_size" "$churn_rounds"
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "--- schema validation ---"
+  python3 "$repo_root/tools/check_bench_schema.py" \
+    "$repo_root/BENCH_fault.json"
+else
+  echo "warning: python3 not found; skipping bench schema validation" >&2
+fi
+
+echo "done: $repo_root/BENCH_fault.json"
