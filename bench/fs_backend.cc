@@ -11,9 +11,12 @@ namespace {
 
 Result<std::shared_ptr<FfsVfs>> MakeVolume(const BackendOptions& opts) {
   auto dev = std::make_shared<MemBlockDevice>(
-      4096, opts.device_mib * 1024 * 1024 / 4096);
-  ASSIGN_OR_RETURN(std::unique_ptr<Ffs> fs,
-                   Ffs::Format(dev, FfsFormatOptions{opts.inode_count}));
+      4096, opts.device_mib * 1024 * 1024 / 4096, opts.latency);
+  FfsFormatOptions format;
+  format.inode_count = opts.inode_count;
+  format.mount.cache.capacity_blocks = opts.cache_blocks;
+  format.mount.cache.readahead_blocks = opts.readahead_blocks;
+  ASSIGN_OR_RETURN(std::unique_ptr<Ffs> fs, Ffs::Format(dev, format));
   return std::make_shared<FfsVfs>(std::move(fs));
 }
 
@@ -92,6 +95,8 @@ class FfsBackend : public FsBackend {
     }
     return out;
   }
+
+  FfsVfs* vfs() { return vfs_.get(); }
 
  private:
   std::shared_ptr<FfsVfs> vfs_;
@@ -413,6 +418,11 @@ Result<std::vector<std::unique_ptr<FsBackend>>> MakeAllBackends(
 DiscfsServer* BackendDiscfsServer(FsBackend& backend) {
   auto* discfs = dynamic_cast<DiscfsBackend*>(&backend);
   return discfs == nullptr ? nullptr : discfs->server();
+}
+
+Ffs* BackendFfs(FsBackend& backend) {
+  auto* ffs = dynamic_cast<FfsBackend*>(&backend);
+  return ffs == nullptr ? nullptr : ffs->vfs()->ffs();
 }
 
 }  // namespace discfs::bench

@@ -35,6 +35,12 @@ struct BackendOptions {
   // DisCFS knobs.
   size_t policy_cache_size = 128;  // paper's Figure 12 setting
   int64_t policy_cache_ttl_s = 3600;
+  // Storage data-plane knobs: block-cache capacity (0 = uncached seed
+  // path), readahead window, and an optional device latency model so the
+  // cache's I/O elision is visible in wall-clock time.
+  size_t cache_blocks = 4096;
+  size_t readahead_blocks = 8;
+  LatencyModel latency;
 };
 
 class FsBackend {
@@ -75,6 +81,10 @@ Result<std::vector<std::unique_ptr<FsBackend>>> MakeAllBackends(
 
 // DisCFS-only introspection for cache studies; null for other backends.
 DiscfsServer* BackendDiscfsServer(FsBackend& backend);
+
+// FFS-backend introspection (block-cache stats, Sync, Check); null for the
+// remote backends, whose volume lives behind the host.
+Ffs* BackendFfs(FsBackend& backend);
 
 }  // namespace discfs::bench
 

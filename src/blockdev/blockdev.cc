@@ -20,7 +20,8 @@ void MemBlockDevice::ApplyLatency(uint64_t block) {
     return;
   }
   uint64_t ns = latency_.transfer_ns;
-  if (last_block_ != ~0ULL && block != last_block_ + 1) {
+  uint64_t last = last_block_.exchange(block, std::memory_order_relaxed);
+  if (last != ~0ULL && block != last + 1) {
     ns += latency_.seek_ns;
   }
   if (ns > 0) {
@@ -34,9 +35,8 @@ Status MemBlockDevice::Read(uint64_t block, uint8_t* buf) {
                                      static_cast<unsigned long long>(block)));
   }
   ApplyLatency(block);
-  last_block_ = block;
   std::memcpy(buf, data_.data() + block * block_size_, block_size_);
-  ++stats_.reads;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -46,9 +46,8 @@ Status MemBlockDevice::Write(uint64_t block, const uint8_t* buf) {
                                      static_cast<unsigned long long>(block)));
   }
   ApplyLatency(block);
-  last_block_ = block;
   std::memcpy(data_.data() + block * block_size_, buf, block_size_);
-  ++stats_.writes;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 

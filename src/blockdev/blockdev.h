@@ -5,9 +5,14 @@
 // transfer) so disk-bound behaviour can be studied; benchmarks default to
 // no latency model because the figures of interest are dominated by the RPC
 // path, not the disk (the paper's FFS-vs-remote gap reproduces either way).
+//
+// Counters are atomic: with the block cache in front (block_cache.h) the
+// device is reached concurrently from cache-miss readers, eviction
+// write-backs, and the background flusher.
 #ifndef DISCFS_SRC_BLOCKDEV_BLOCKDEV_H_
 #define DISCFS_SRC_BLOCKDEV_BLOCKDEV_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -17,8 +22,8 @@
 namespace discfs {
 
 struct BlockDeviceStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
 };
 
 class BlockDevice {
@@ -61,7 +66,7 @@ class MemBlockDevice : public BlockDevice {
   uint64_t block_count_;
   LatencyModel latency_;
   std::vector<uint8_t> data_;
-  uint64_t last_block_ = ~0ULL;
+  std::atomic<uint64_t> last_block_{~0ULL};
   BlockDeviceStats stats_;
 };
 

@@ -1,8 +1,11 @@
 #include "src/ffs/ffs.h"
 
+#include <algorithm>
 #include <cstring>
 #include <deque>
+#include <list>
 #include <set>
+#include <unordered_map>
 
 #include "src/util/clock.h"
 #include "src/util/strings.h"
@@ -13,7 +16,6 @@ namespace {
 constexpr uint32_t kMagic = 0xD15CF501;
 constexpr uint32_t kInodeSize = 128;
 constexpr uint32_t kDirEntrySize = 64;
-constexpr uint32_t kDirNameMax = 58;
 constexpr size_t kDirectBlocks = 10;
 
 uint32_t LoadU32(const uint8_t* p) {
@@ -143,11 +145,116 @@ struct Ffs::DiskInode {
   }
 };
 
-Ffs::Ffs(std::shared_ptr<BlockDevice> device)
-    : dev_(std::move(device)),
-      now_([] { return SystemClock::Get()->NowUnix(); }) {}
+// Sharded, bounded, write-through cache of deserialized inodes, so hot-path
+// GetAttr/Lookup stop re-reading (and re-parsing) inode-table blocks. It is
+// never dirty relative to the block layer: WriteInode updates the cached
+// copy and patches the on-disk block in the same call.
+struct Ffs::InodeCache {
+  struct Shard {
+    std::mutex mu;
+    std::list<InodeNum> lru;  // front = most recently used
+    std::unordered_map<InodeNum,
+                       std::pair<DiskInode, std::list<InodeNum>::iterator>>
+        map;
+  };
 
+  explicit InodeCache(size_t capacity) {
+    size_t n = 1;
+    while (n < 16 && capacity / (n * 2) >= 64) n *= 2;
+    shards.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      shards.push_back(std::make_unique<Shard>());
+    }
+    shard_capacity = std::max<size_t>(8, capacity / n);
+  }
+
+  Shard& ShardFor(InodeNum inode) {
+    return *shards[inode & (shards.size() - 1)];
+  }
+
+  bool Get(InodeNum inode, DiskInode* out) {
+    Shard& s = ShardFor(inode);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(inode);
+    if (it == s.map.end()) {
+      return false;
+    }
+    s.lru.erase(it->second.second);
+    s.lru.push_front(inode);
+    it->second.second = s.lru.begin();
+    *out = it->second.first;
+    return true;
+  }
+
+  // Installs `node`. With overwrite=false (read-miss fill) an existing
+  // entry wins — it may be newer than what the reader saw on disk.
+  void Put(InodeNum inode, const DiskInode& node, bool overwrite,
+           DiskInode* winner) {
+    Shard& s = ShardFor(inode);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(inode);
+    if (it != s.map.end()) {
+      if (overwrite) {
+        it->second.first = node;
+      }
+      s.lru.erase(it->second.second);
+      s.lru.push_front(inode);
+      it->second.second = s.lru.begin();
+      if (winner != nullptr) {
+        *winner = it->second.first;
+      }
+      return;
+    }
+    if (s.map.size() >= shard_capacity) {
+      s.map.erase(s.lru.back());
+      s.lru.pop_back();
+    }
+    s.lru.push_front(inode);
+    s.map.emplace(inode, std::make_pair(node, s.lru.begin()));
+    if (winner != nullptr) {
+      *winner = node;
+    }
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  size_t shard_capacity = 0;
+};
+
+Ffs::Ffs(std::shared_ptr<BlockDevice> device, const FfsMountOptions& options)
+    : now_([] { return SystemClock::Get()->NowUnix(); }) {
+  if (options.cache.capacity_blocks > 0) {
+    auto cache = std::make_shared<BlockCache>(std::move(device),
+                                              options.cache);
+    cache_ = cache.get();
+    dev_ = std::move(cache);
+  } else {
+    dev_ = std::move(device);
+  }
+  if (options.inode_cache_entries > 0) {
+    icache_ = std::make_unique<InodeCache>(options.inode_cache_entries);
+  }
+}
+
+// ~BlockCache (via dev_) flushes any remaining dirty blocks.
 Ffs::~Ffs() = default;
+
+Status Ffs::Sync() {
+  if (cache_ != nullptr) {
+    return cache_->Sync();
+  }
+  return OkStatus();
+}
+
+Status Ffs::ModifyBlock(uint64_t block,
+                        const std::function<void(uint8_t*)>& fn) {
+  if (cache_ != nullptr) {
+    return cache_->Modify(block, fn);
+  }
+  std::vector<uint8_t> buf(dev_->block_size());
+  RETURN_IF_ERROR(dev_->Read(block, buf.data()));
+  fn(buf.data());
+  return dev_->Write(block, buf.data());
+}
 
 Result<std::unique_ptr<Ffs>> Ffs::Format(std::shared_ptr<BlockDevice> device,
                                          const FfsFormatOptions& options) {
@@ -156,7 +263,7 @@ Result<std::unique_ptr<Ffs>> Ffs::Format(std::shared_ptr<BlockDevice> device,
     return InvalidArgumentError("block size must be a power of two >= 512");
   }
   const uint64_t total = device->block_count();
-  auto fs = std::unique_ptr<Ffs>(new Ffs(std::move(device)));
+  auto fs = std::unique_ptr<Ffs>(new Ffs(std::move(device), options.mount));
   auto sb = std::make_unique<Superblock>();
   sb->block_size = bs;
   sb->total_blocks = total;
@@ -211,8 +318,9 @@ Result<std::unique_ptr<Ffs>> Ffs::Format(std::shared_ptr<BlockDevice> device,
   return fs;
 }
 
-Result<std::unique_ptr<Ffs>> Ffs::Mount(std::shared_ptr<BlockDevice> device) {
-  auto fs = std::unique_ptr<Ffs>(new Ffs(std::move(device)));
+Result<std::unique_ptr<Ffs>> Ffs::Mount(std::shared_ptr<BlockDevice> device,
+                                        const FfsMountOptions& options) {
+  auto fs = std::unique_ptr<Ffs>(new Ffs(std::move(device), options));
   RETURN_IF_ERROR(fs->LoadSuperblock());
   return fs;
 }
@@ -230,9 +338,8 @@ Status Ffs::LoadSuperblock() {
 }
 
 Status Ffs::WriteSuperblock() {
-  std::vector<uint8_t> block(dev_->block_size(), 0);
-  sb_->Serialize(block.data());
-  return dev_->Write(0, block.data());
+  const Superblock& sb = *sb_;
+  return ModifyBlock(0, [&sb](uint8_t* block) { sb.Serialize(block); });
 }
 
 // ----------------------------------------------------------------- bitmaps
@@ -250,15 +357,14 @@ Status Ffs::BitmapSet(uint64_t bitmap_start, uint64_t index, bool value) {
   const uint32_t bs = sb_->block_size;
   uint64_t block = bitmap_start + index / (static_cast<uint64_t>(bs) * 8);
   uint32_t bit = static_cast<uint32_t>(index % (static_cast<uint64_t>(bs) * 8));
-  std::vector<uint8_t> buf(bs);
-  RETURN_IF_ERROR(dev_->Read(block, buf.data()));
   uint8_t mask = static_cast<uint8_t>(1 << (bit % 8));
-  if (value) {
-    buf[bit / 8] |= mask;
-  } else {
-    buf[bit / 8] &= static_cast<uint8_t>(~mask);
-  }
-  return dev_->Write(block, buf.data());
+  return ModifyBlock(block, [bit, mask, value](uint8_t* buf) {
+    if (value) {
+      buf[bit / 8] |= mask;
+    } else {
+      buf[bit / 8] &= static_cast<uint8_t>(~mask);
+    }
+  });
 }
 
 Result<std::optional<uint64_t>> Ffs::BitmapFindFree(uint64_t bitmap_start,
@@ -295,25 +401,43 @@ Result<Ffs::DiskInode> Ffs::ReadInode(InodeNum inode) {
   if (inode == 0 || inode >= sb_->inode_count) {
     return InvalidArgumentError(StrPrintf("inode %u out of range", inode));
   }
+  if (icache_ != nullptr) {
+    DiskInode cached;
+    if (icache_->Get(inode, &cached)) {
+      return cached;
+    }
+  }
   const uint32_t inodes_per_block = sb_->block_size / kInodeSize;
   uint64_t block = sb_->inode_table_start + inode / inodes_per_block;
   uint32_t offset = (inode % inodes_per_block) * kInodeSize;
   std::vector<uint8_t> buf(sb_->block_size);
   RETURN_IF_ERROR(dev_->Read(block, buf.data()));
-  return DiskInode::Deserialize(buf.data() + offset);
+  DiskInode node = DiskInode::Deserialize(buf.data() + offset);
+  if (icache_ != nullptr) {
+    // Fill without overwriting: a concurrent WriteInode may have installed
+    // a newer copy than the block we just read — that copy wins.
+    DiskInode winner;
+    icache_->Put(inode, node, /*overwrite=*/false, &winner);
+    return winner;
+  }
+  return node;
 }
 
 Status Ffs::WriteInode(InodeNum inode, const DiskInode& node) {
   const uint32_t inodes_per_block = sb_->block_size / kInodeSize;
   uint64_t block = sb_->inode_table_start + inode / inodes_per_block;
   uint32_t offset = (inode % inodes_per_block) * kInodeSize;
-  std::vector<uint8_t> buf(sb_->block_size);
-  RETURN_IF_ERROR(dev_->Read(block, buf.data()));
-  node.Serialize(buf.data() + offset);
-  return dev_->Write(block, buf.data());
+  if (icache_ != nullptr) {
+    icache_->Put(inode, node, /*overwrite=*/true, nullptr);
+  }
+  // Patch only this inode's 128 bytes so concurrent updates of other
+  // inodes sharing the block cannot be lost.
+  return ModifyBlock(
+      block, [&node, offset](uint8_t* buf) { node.Serialize(buf + offset); });
 }
 
 Result<InodeNum> Ffs::AllocInode(FileType type, uint32_t mode) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   ASSIGN_OR_RETURN(std::optional<uint64_t> slot,
                    BitmapFindFree(sb_->inode_bitmap_start, sb_->inode_count));
   if (!slot.has_value()) {
@@ -337,17 +461,19 @@ Result<InodeNum> Ffs::AllocInode(FileType type, uint32_t mode) {
 
 Status Ffs::FreeInode(InodeNum inode) {
   ASSIGN_OR_RETURN(DiskInode node, ReadInode(inode));
-  RETURN_IF_ERROR(FreeAllBlocks(node));
+  RETURN_IF_ERROR(FreeAllBlocks(node));  // takes alloc_mu_ per block
   node.type = static_cast<uint8_t>(FileType::kFree);
   node.size = 0;
   node.nlink = 0;
   RETURN_IF_ERROR(WriteInode(inode, node));  // generation survives
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   RETURN_IF_ERROR(BitmapSet(sb_->inode_bitmap_start, inode, false));
   sb_->free_inodes++;
   return WriteSuperblock();
 }
 
 Result<uint64_t> Ffs::AllocBlock() {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   uint64_t data_blocks = sb_->total_blocks - sb_->data_start;
   ASSIGN_OR_RETURN(std::optional<uint64_t> slot,
                    BitmapFindFree(sb_->data_bitmap_start, data_blocks));
@@ -369,6 +495,7 @@ Status Ffs::FreeBlock(uint64_t block) {
   if (block < sb_->data_start || block >= sb_->total_blocks) {
     return InternalError("freeing non-data block");
   }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   RETURN_IF_ERROR(
       BitmapSet(sb_->data_bitmap_start, block - sb_->data_start, false));
   sb_->free_blocks++;
@@ -388,10 +515,9 @@ Result<uint64_t> Ffs::BMap(DiskInode& node, uint64_t file_block, bool allocate,
   };
   auto store_ptr = [&](uint64_t block, uint64_t idx,
                        uint32_t value) -> Status {
-    std::vector<uint8_t> buf(sb_->block_size);
-    RETURN_IF_ERROR(dev_->Read(block, buf.data()));
-    StoreU32(buf.data() + 4 * idx, value);
-    return dev_->Write(block, buf.data());
+    return ModifyBlock(block, [idx, value](uint8_t* buf) {
+      StoreU32(buf + 4 * idx, value);
+    });
   };
 
   if (file_block < kDirectBlocks) {
@@ -518,19 +644,20 @@ Status Ffs::TruncateTo(InodeNum inode, DiskInode& node, uint64_t new_size) {
         // Zero the slot in the (double-)indirect tree.
         const uint64_t ppb = bs / 4;
         uint64_t rel = fb - kDirectBlocks;
-        std::vector<uint8_t> buf(bs);
         if (rel < ppb) {
-          RETURN_IF_ERROR(dev_->Read(node.indirect, buf.data()));
-          StoreU32(buf.data() + 4 * rel, 0);
-          RETURN_IF_ERROR(dev_->Write(node.indirect, buf.data()));
+          RETURN_IF_ERROR(ModifyBlock(node.indirect, [rel](uint8_t* buf) {
+            StoreU32(buf + 4 * rel, 0);
+          }));
         } else {
           rel -= ppb;
+          std::vector<uint8_t> buf(bs);
           RETURN_IF_ERROR(dev_->Read(node.double_indirect, buf.data()));
           uint32_t l1 = LoadU32(buf.data() + 4 * (rel / ppb));
           if (l1 != 0) {
-            RETURN_IF_ERROR(dev_->Read(l1, buf.data()));
-            StoreU32(buf.data() + 4 * (rel % ppb), 0);
-            RETURN_IF_ERROR(dev_->Write(l1, buf.data()));
+            uint64_t slot = rel % ppb;
+            RETURN_IF_ERROR(ModifyBlock(l1, [slot](uint8_t* buf2) {
+              StoreU32(buf2 + 4 * slot, 0);
+            }));
           }
         }
       }
@@ -539,10 +666,10 @@ Status Ffs::TruncateTo(InodeNum inode, DiskInode& node, uint64_t new_size) {
   if (new_size % bs != 0) {
     ASSIGN_OR_RETURN(uint64_t block, BMap(node, new_size / bs, false, dirty));
     if (block != 0) {
-      std::vector<uint8_t> buf(bs);
-      RETURN_IF_ERROR(dev_->Read(block, buf.data()));
-      std::memset(buf.data() + new_size % bs, 0, bs - new_size % bs);
-      RETURN_IF_ERROR(dev_->Write(block, buf.data()));
+      uint32_t tail = static_cast<uint32_t>(new_size % bs);
+      RETURN_IF_ERROR(ModifyBlock(block, [tail, bs](uint8_t* buf) {
+        std::memset(buf + tail, 0, bs - tail);
+      }));
     }
   }
   node.size = new_size;
@@ -583,7 +710,6 @@ Result<size_t> Ffs::WriteInternal(InodeNum inode, DiskInode& node,
                                   uint64_t offset, const uint8_t* data,
                                   size_t len) {
   const uint32_t bs = sb_->block_size;
-  std::vector<uint8_t> buf(bs);
   size_t done = 0;
   bool dirty = false;
   while (done < len) {
@@ -595,9 +721,10 @@ Result<size_t> Ffs::WriteInternal(InodeNum inode, DiskInode& node,
     if (take == bs) {
       RETURN_IF_ERROR(dev_->Write(block, data + done));
     } else {
-      RETURN_IF_ERROR(dev_->Read(block, buf.data()));
-      std::memcpy(buf.data() + in_block, data + done, take);
-      RETURN_IF_ERROR(dev_->Write(block, buf.data()));
+      const uint8_t* src = data + done;
+      RETURN_IF_ERROR(ModifyBlock(block, [src, in_block, take](uint8_t* buf) {
+        std::memcpy(buf + in_block, src, take);
+      }));
     }
     done += take;
   }
@@ -654,7 +781,7 @@ Result<std::optional<std::pair<uint32_t, DirEntry>>> Ffs::FindEntry(
 Status Ffs::AddEntry(InodeNum dir, DiskInode& dir_node,
                      const std::string& name, InodeNum target,
                      FileType type) {
-  if (name.empty() || name.size() > kDirNameMax) {
+  if (name.empty() || name.size() > kMaxNameLen) {
     return InvalidArgumentError("name length out of range");
   }
   if (name.find('/') != std::string::npos || name == "." || name == "..") {
@@ -704,11 +831,10 @@ Status Ffs::RemoveEntrySlot(DiskInode& dir_node, uint32_t slot) {
   if (block == 0) {
     return InternalError("directory slot in a hole");
   }
-  std::vector<uint8_t> buf(sb_->block_size);
-  RETURN_IF_ERROR(dev_->Read(block, buf.data()));
-  std::memset(buf.data() + (slot % entries_per_block) * kDirEntrySize, 0,
-              kDirEntrySize);
-  return dev_->Write(block, buf.data());
+  uint32_t in_block = (slot % entries_per_block) * kDirEntrySize;
+  return ModifyBlock(block, [in_block](uint8_t* buf) {
+    std::memset(buf + in_block, 0, kDirEntrySize);
+  });
 }
 
 Result<bool> Ffs::DirIsEmpty(const DiskInode& dir_node) {
@@ -1027,6 +1153,7 @@ Result<std::vector<DirEntry>> Ffs::ReadDir(InodeNum dir) {
 }
 
 Result<StatFsInfo> Ffs::StatFs() {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   StatFsInfo info;
   info.block_size = sb_->block_size;
   info.total_blocks = sb_->total_blocks - sb_->data_start;

@@ -15,16 +15,30 @@
 // 64-byte entries. Every inode carries a generation number, bumped on
 // reuse, so NFS file handles (inode, generation) never resurrect — the
 // handle scheme §5 of the paper borrows from 4.4BSD.
+//
+// Concurrency contract (since the block-cache re-layering): Ffs sits on a
+// write-back BlockCache and may be called from many threads as long as the
+// caller serializes per-object access the way NfsServer does — namespace
+// mutations (Create/Mkdir/Symlink/Link/Remove/Rmdir/Rename) exclusive
+// against everything, per-inode writes (Write/SetAttr) exclusive per inode,
+// reads shared. Under that contract all shared internal state is safe:
+// sub-block updates go through the cache's atomic Modify, allocation state
+// (bitmaps, superblock counters) is serialized by an internal mutex, and
+// the inode cache is sharded + write-through. Check() requires a quiesced
+// volume. Mounting with the cache disabled (cache.capacity_blocks = 0) is
+// single-threaded only.
 #ifndef DISCFS_SRC_FFS_FFS_H_
 #define DISCFS_SRC_FFS_FFS_H_
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/blockdev/block_cache.h"
 #include "src/blockdev/blockdev.h"
 #include "src/util/status.h"
 
@@ -76,8 +90,24 @@ struct StatFsInfo {
   uint32_t free_inodes = 0;
 };
 
+struct FfsMountOptions {
+  // Block cache between Ffs and the device. `cache.capacity_blocks = 0`
+  // disables caching entirely — the uncached seed path, kept for the
+  // benchmark baseline; only safe single-threaded.
+  BlockCacheOptions cache;
+  // Bound on the in-memory inode cache (write-through, sharded);
+  // 0 disables it.
+  size_t inode_cache_entries = 1024;
+};
+
 struct FfsFormatOptions {
+  FfsFormatOptions() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): FfsFormatOptions{n} is
+  // the established "format with n inodes" shorthand.
+  FfsFormatOptions(uint32_t inodes) : inode_count(inodes) {}
+
   uint32_t inode_count = 4096;
+  FfsMountOptions mount;
 };
 
 // fsck-style consistency report; `errors` empty means the volume is clean.
@@ -91,9 +121,10 @@ struct FsckReport {
 
 class Ffs {
  public:
-  static constexpr char kMaxNameLen = 58;
+  // 64-byte dir entry minus 4 (inode) + 1 (type) + 1 (name length).
+  static constexpr size_t kMaxNameLen = 58;
 
-  ~Ffs();  // out-of-line: Superblock is an incomplete type here
+  ~Ffs();  // flushes the block cache (Superblock is incomplete here)
 
   // Formats the device and mounts the fresh volume.
   static Result<std::unique_ptr<Ffs>> Format(
@@ -101,7 +132,8 @@ class Ffs {
 
   // Mounts an existing volume (validates the superblock).
   static Result<std::unique_ptr<Ffs>> Mount(
-      std::shared_ptr<BlockDevice> device);
+      std::shared_ptr<BlockDevice> device,
+      const FfsMountOptions& options = {});
 
   InodeNum root() const { return root_inode_; }
 
@@ -134,6 +166,13 @@ class Ffs {
 
   Result<StatFsInfo> StatFs();
 
+  // Durability barrier: flushes every dirty cached block to the device.
+  Status Sync();
+
+  // The write-back cache between Ffs and the device, or nullptr when
+  // mounted uncached. Exposed for stats and crash-simulation tests.
+  BlockCache* block_cache() const { return cache_; }
+
   // Full-volume consistency check (reachability, bitmaps, link counts).
   Result<FsckReport> Check();
 
@@ -143,11 +182,18 @@ class Ffs {
  private:
   struct Superblock;
   struct DiskInode;
+  struct InodeCache;
 
-  explicit Ffs(std::shared_ptr<BlockDevice> device);
+  Ffs(std::shared_ptr<BlockDevice> device, const FfsMountOptions& options);
 
   Status LoadSuperblock();
+  // Requires alloc_mu_ held (or a single-threaded mount/format path).
   Status WriteSuperblock();
+
+  // Atomic read-modify-write of one block: `fn` mutates the cached copy
+  // under the cache shard lock. Uncached mounts fall back to
+  // read+mutate+write (hence single-threaded only).
+  Status ModifyBlock(uint64_t block, const std::function<void(uint8_t*)>& fn);
 
   Result<DiskInode> ReadInode(InodeNum inode);
   Status WriteInode(InodeNum inode, const DiskInode& node);
@@ -186,9 +232,16 @@ class Ffs {
   Result<std::optional<uint64_t>> BitmapFindFree(uint64_t bitmap_start,
                                                  uint64_t count);
 
+  // `dev_` is what all I/O goes through: the BlockCache when enabled
+  // (cache_ points into it), otherwise the raw device.
   std::shared_ptr<BlockDevice> dev_;
+  BlockCache* cache_ = nullptr;
   std::function<int64_t()> now_;
   std::unique_ptr<Superblock> sb_;
+  // Serializes allocation state: bitmap find/set, superblock counters and
+  // cursors, and StatFs.
+  std::mutex alloc_mu_;
+  std::unique_ptr<InodeCache> icache_;
   InodeNum root_inode_ = 1;
 };
 

@@ -1,5 +1,7 @@
 #include "src/nfs/nfs_server.h"
 
+#include <mutex>
+
 #include "src/util/strings.h"
 
 namespace discfs {
@@ -38,20 +40,23 @@ Status NfsServer::RunHook(NfsProc proc, const NfsFh& fh, uint32_t needed,
 }
 
 Result<NfsFattr> NfsServer::GetRoot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::shared_lock<std::shared_mutex> stripe(StripeFor(vfs_->root()));
   ASSIGN_OR_RETURN(InodeAttr attr, vfs_->GetAttr(vfs_->root()));
   return FattrFromInode(attr);
 }
 
 Result<NfsFattr> NfsServer::GetAttr(const NfsFh& fh) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::shared_lock<std::shared_mutex> stripe(StripeFor(fh.inode));
   ASSIGN_OR_RETURN(InodeAttr attr, CheckFh(fh));
   return FattrFromInode(attr);
 }
 
 Result<NfsFattr> NfsServer::SetAttr(const NfsFh& fh,
                                     const SetAttrRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::unique_lock<std::shared_mutex> stripe(StripeFor(fh.inode));
   RETURN_IF_ERROR(CheckFh(fh).status());
   RETURN_IF_ERROR(vfs_->SetAttr(fh.inode, req));
   ASSIGN_OR_RETURN(InodeAttr attr, vfs_->GetAttr(fh.inode));
@@ -59,7 +64,8 @@ Result<NfsFattr> NfsServer::SetAttr(const NfsFh& fh,
 }
 
 Result<NfsFattr> NfsServer::Lookup(const NfsFh& dir, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::shared_lock<std::shared_mutex> stripe(StripeFor(dir.inode));
   RETURN_IF_ERROR(CheckFh(dir).status());
   ASSIGN_OR_RETURN(InodeAttr attr, vfs_->Lookup(dir.inode, name));
   return FattrFromInode(attr);
@@ -67,7 +73,8 @@ Result<NfsFattr> NfsServer::Lookup(const NfsFh& dir, const std::string& name) {
 
 Result<Bytes> NfsServer::Read(const NfsFh& fh, uint64_t offset,
                               uint32_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::shared_lock<std::shared_mutex> stripe(StripeFor(fh.inode));
   RETURN_IF_ERROR(CheckFh(fh).status());
   if (count > kMaxReadCount) {
     return InvalidArgumentError("read count too large");
@@ -80,7 +87,8 @@ Result<Bytes> NfsServer::Read(const NfsFh& fh, uint64_t offset,
 
 Result<NfsFattr> NfsServer::Write(const NfsFh& fh, uint64_t offset,
                                   const Bytes& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::unique_lock<std::shared_mutex> stripe(StripeFor(fh.inode));
   RETURN_IF_ERROR(CheckFh(fh).status());
   ASSIGN_OR_RETURN(size_t n,
                    vfs_->Write(fh.inode, offset, data.data(), data.size()));
@@ -93,7 +101,7 @@ Result<NfsFattr> NfsServer::Write(const NfsFh& fh, uint64_t offset,
 
 Result<NfsFattr> NfsServer::Create(const NfsFh& dir, const std::string& name,
                                    uint32_t mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ns(ns_mu_);
   RETURN_IF_ERROR(CheckFh(dir).status());
   ASSIGN_OR_RETURN(InodeAttr attr, vfs_->Create(dir.inode, name, mode));
   return FattrFromInode(attr);
@@ -101,27 +109,27 @@ Result<NfsFattr> NfsServer::Create(const NfsFh& dir, const std::string& name,
 
 Result<NfsFattr> NfsServer::Mkdir(const NfsFh& dir, const std::string& name,
                                   uint32_t mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ns(ns_mu_);
   RETURN_IF_ERROR(CheckFh(dir).status());
   ASSIGN_OR_RETURN(InodeAttr attr, vfs_->Mkdir(dir.inode, name, mode));
   return FattrFromInode(attr);
 }
 
 Status NfsServer::Remove(const NfsFh& dir, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ns(ns_mu_);
   RETURN_IF_ERROR(CheckFh(dir).status());
   return vfs_->Remove(dir.inode, name);
 }
 
 Status NfsServer::Rmdir(const NfsFh& dir, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ns(ns_mu_);
   RETURN_IF_ERROR(CheckFh(dir).status());
   return vfs_->Rmdir(dir.inode, name);
 }
 
 Status NfsServer::Rename(const NfsFh& from_dir, const std::string& from_name,
                          const NfsFh& to_dir, const std::string& to_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ns(ns_mu_);
   RETURN_IF_ERROR(CheckFh(from_dir).status());
   RETURN_IF_ERROR(CheckFh(to_dir).status());
   return vfs_->Rename(from_dir.inode, from_name, to_dir.inode, to_name);
@@ -129,7 +137,7 @@ Status NfsServer::Rename(const NfsFh& from_dir, const std::string& from_name,
 
 Status NfsServer::Link(const NfsFh& dir, const std::string& name,
                        const NfsFh& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ns(ns_mu_);
   RETURN_IF_ERROR(CheckFh(dir).status());
   RETURN_IF_ERROR(CheckFh(target).status());
   return vfs_->Link(dir.inode, name, target.inode);
@@ -137,20 +145,22 @@ Status NfsServer::Link(const NfsFh& dir, const std::string& name,
 
 Result<NfsFattr> NfsServer::Symlink(const NfsFh& dir, const std::string& name,
                                     const std::string& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ns(ns_mu_);
   RETURN_IF_ERROR(CheckFh(dir).status());
   ASSIGN_OR_RETURN(InodeAttr attr, vfs_->Symlink(dir.inode, name, target));
   return FattrFromInode(attr);
 }
 
 Result<std::string> NfsServer::ReadLink(const NfsFh& fh) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::shared_lock<std::shared_mutex> stripe(StripeFor(fh.inode));
   RETURN_IF_ERROR(CheckFh(fh).status());
   return vfs_->ReadLink(fh.inode);
 }
 
 Result<std::vector<NfsDirEntry>> NfsServer::ReadDir(const NfsFh& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
+  std::shared_lock<std::shared_mutex> stripe(StripeFor(dir.inode));
   RETURN_IF_ERROR(CheckFh(dir).status());
   ASSIGN_OR_RETURN(std::vector<DirEntry> raw, vfs_->ReadDir(dir.inode));
   std::vector<NfsDirEntry> entries;
@@ -169,7 +179,7 @@ Result<std::vector<NfsDirEntry>> NfsServer::ReadDir(const NfsFh& dir) {
 }
 
 Result<NfsStatFs> NfsServer::StatFs() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ns(ns_mu_);
   ASSIGN_OR_RETURN(StatFsInfo info, vfs_->StatFs());
   NfsStatFs out;
   out.block_size = info.block_size;

@@ -6,9 +6,11 @@
 #ifndef DISCFS_SRC_NFS_NFS_SERVER_H_
 #define DISCFS_SRC_NFS_NFS_SERVER_H_
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 
 #include "src/keynote/lattice.h"
 #include "src/nfs/protocol.h"
@@ -75,7 +77,23 @@ class NfsServer {
 
   std::shared_ptr<Vfs> vfs_;
   AccessHook access_hook_;
-  std::mutex mu_;  // serializes vfs access across connections
+
+  // Two-level locking, replacing the old single mutex so independent
+  // files proceed in parallel on the worker pool:
+  //   1. ns_mu_ — shared for data-plane ops (GetAttr/Read/Write/SetAttr/
+  //      Lookup/ReadDir/ReadLink/StatFs), exclusive for namespace
+  //      mutations (Create/Mkdir/Symlink/Link/Remove/Rmdir/Rename).
+  //   2. per-inode stripes — shared for reads of an inode, exclusive for
+  //      Write/SetAttr. Namespace ops skip the stripes: exclusive ns_mu_
+  //      already excludes everything.
+  // Lock order is always ns_mu_ then one stripe, so no deadlocks.
+  static constexpr size_t kInodeStripes = 64;
+  std::shared_mutex& StripeFor(InodeNum inode) {
+    return inode_stripes_[inode % kInodeStripes];
+  }
+  std::shared_mutex ns_mu_;
+  std::array<std::shared_mutex, kInodeStripes> inode_stripes_;
+
   std::atomic<uint64_t> ops_served_{0};
 };
 

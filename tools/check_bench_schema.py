@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Validates BENCH_policy.json / BENCH_rpc.json / BENCH_coherence.json /
-BENCH_admission.json / BENCH_fault.json against schema_version 1.
+BENCH_admission.json / BENCH_fault.json / BENCH_storage.json against
+schema_version 1.
 
 Stdlib only, so the bench-smoke CI job and tools/run_bench.sh can call it
 anywhere a python3 exists. Checks required keys per tier, tier-set shape
@@ -95,6 +96,52 @@ FAULT_RESTART_KEYS = {
     "recovered_events",
     "rejoin_s",
     "survivor_hit_rate",
+}
+
+STORAGE_TOP_KEYS = {
+    "bench",
+    "schema_version",
+    "file_mb",
+    "latency_model",
+    "uncached_latency",
+    "cached_latency",
+    "cached_fast",
+    "nfs",
+    "warm_read_speedup",
+    "rewrite_hit_rate",
+    "fsck_clean_all",
+}
+STORAGE_UNCACHED_KEYS = {
+    "seq_output_block_kb_s",
+    "seq_input_block_kb_s",
+    "fsck_clean",
+}
+STORAGE_CACHED_KEYS = {
+    "seq_output_block_kb_s",
+    "seq_input_block_cold_kb_s",
+    "seq_input_block_warm_kb_s",
+    "seq_rewrite_kb_s",
+    "rewrite_hit_rate",
+    "readaheads",
+    "writebacks",
+    "device_reads",
+    "device_writes",
+    "fsck_clean",
+}
+STORAGE_FAST_KEYS = {
+    "seq_output_char_kb_s",
+    "seq_output_block_kb_s",
+    "seq_rewrite_kb_s",
+    "seq_input_char_kb_s",
+    "seq_input_block_kb_s",
+    "fsck_clean",
+}
+STORAGE_NFS_KEYS = {
+    "read_ops_s_1t",
+    "read_ops_s_4t",
+    "scaling_1_to_4",
+    "gate_enforced",
+    "fsck_clean",
 }
 
 COHERENCE_TIER_KEYS = {
@@ -262,12 +309,60 @@ def check_fault(doc, errors):
             )
 
 
+def check_storage(doc, errors):
+    missing_top = STORAGE_TOP_KEYS - doc.keys()
+    if missing_top:
+        errors.append(f"missing top-level keys: {sorted(missing_top)}")
+        return
+    for section, keys in (
+        ("uncached_latency", STORAGE_UNCACHED_KEYS),
+        ("cached_latency", STORAGE_CACHED_KEYS),
+        ("cached_fast", STORAGE_FAST_KEYS),
+        ("nfs", STORAGE_NFS_KEYS),
+    ):
+        sub = doc[section]
+        if not isinstance(sub, dict):
+            errors.append(f"{section} must be an object")
+            continue
+        missing = keys - sub.keys()
+        if missing:
+            errors.append(f"{section} missing keys: {sorted(missing)}")
+            continue
+        for key in keys:
+            if key == "fsck_clean" and sub[key] is not True:
+                errors.append(f"{section}.fsck_clean must be true")
+        for key in keys - {"fsck_clean", "gate_enforced", "rewrite_hit_rate",
+                           "readaheads", "writebacks", "device_reads",
+                           "device_writes"}:
+            if sub[key] <= 0:
+                errors.append(f"{section}.{key} must be positive")
+    if doc["warm_read_speedup"] < 3.0:
+        errors.append(
+            f"warm_read_speedup below the 3x gate: {doc['warm_read_speedup']}"
+        )
+    if not 0.0 <= doc["rewrite_hit_rate"] <= 1.0:
+        errors.append("rewrite_hit_rate must be in [0, 1]")
+    if doc["rewrite_hit_rate"] < 0.9:
+        errors.append(
+            f"rewrite_hit_rate below the 0.9 gate: {doc['rewrite_hit_rate']}"
+        )
+    if doc["fsck_clean_all"] is not True:
+        errors.append("fsck_clean_all must be true")
+    nfs = doc["nfs"]
+    if isinstance(nfs, dict) and nfs.get("gate_enforced") is True:
+        if nfs.get("scaling_1_to_4", 0) < 1.5:
+            errors.append(
+                "nfs.scaling_1_to_4 below the 1.5x gate with gate_enforced"
+            )
+
+
 CHECKERS = {
     "policy_scaling": check_policy,
     "rpc_pipeline": check_rpc,
     "coherence_propagation": check_coherence,
     "admission_scaling": check_admission,
     "fault_injection": check_fault,
+    "storage_scaling": check_storage,
 }
 
 

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Builds the Release tree and runs the policy + RPC + coherence +
-# admission benchmarks, leaving BENCH_policy.json, BENCH_rpc.json,
-# BENCH_coherence.json, and BENCH_admission.json at the repo root
-# (schemas: ROADMAP.md "Benchmarks", enforced by
-# tools/check_bench_schema.py).
+# admission + storage benchmarks, leaving BENCH_policy.json,
+# BENCH_rpc.json, BENCH_coherence.json, BENCH_admission.json, and
+# BENCH_storage.json at the repo root (schemas: ROADMAP.md "Benchmarks",
+# enforced by tools/check_bench_schema.py).
 #
 # Usage: tools/run_bench.sh [max_credentials]
 #   max_credentials  cap the policy_scaling and admission_scaling sweeps
@@ -26,7 +26,7 @@ max_credentials="${1:-10000}"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target policy_scaling ablation_cache rpc_pipeline \
-  coherence_propagation admission_scaling
+  coherence_propagation admission_scaling storage_scaling
 
 echo "--- policy_scaling (writes BENCH_policy.json) ---"
 "$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
@@ -47,14 +47,21 @@ echo "    verify speedup or, on >= 4 cores, below 2x admit scaling) ---"
 "$build_dir/admission_scaling" "$repo_root/BENCH_admission.json" \
   "$max_credentials"
 
+echo "--- storage_scaling (writes BENCH_storage.json; fails below 3x warm"
+echo "    cached read speedup, below 90% rewrite hit rate, or a dirty"
+echo "    fsck; one tier runs with the device latency model enabled) ---"
+"$build_dir/storage_scaling" "$repo_root/BENCH_storage.json"
+
 if command -v python3 >/dev/null 2>&1; then
   echo "--- schema validation ---"
   python3 "$repo_root/tools/check_bench_schema.py" \
     "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json" \
-    "$repo_root/BENCH_coherence.json" "$repo_root/BENCH_admission.json"
+    "$repo_root/BENCH_coherence.json" "$repo_root/BENCH_admission.json" \
+    "$repo_root/BENCH_storage.json"
 else
   echo "warning: python3 not found; skipping bench schema validation" >&2
 fi
 
 echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json" \
-  "$repo_root/BENCH_coherence.json $repo_root/BENCH_admission.json"
+  "$repo_root/BENCH_coherence.json $repo_root/BENCH_admission.json" \
+  "$repo_root/BENCH_storage.json"

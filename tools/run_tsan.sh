@@ -6,8 +6,10 @@
 # events between servers from per-peer sender threads, admission verifies
 # signatures concurrently outside the server lock, the durable fabric
 # store is written by publishers, receivers, and the maintenance thread,
-# and the multiserver test and fault smoke exercise the whole stack
-# (including restart recovery) end-to-end over TCP.
+# the multiserver test and fault smoke exercise the whole stack
+# (including restart recovery) end-to-end over TCP, and the storage data
+# plane (block cache write-back/readahead/flusher, NFS striped locking)
+# is hammered by block_cache_test and nfs_test.
 #
 # Usage: tools/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
@@ -23,14 +25,15 @@ command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 ||
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
-test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test|cluster_recovery_test|admission_test|fault_smoke}"
+test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test|cluster_recovery_test|admission_test|fault_smoke|block_cache_test|nfs_test}"
 
 cmake -B "$build_dir" -S "$repo_root" -DDISCFS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
   --target transport_test rpc_pipeline_test event_loop_test \
   discfs_multiserver_test security_test cluster_coherence_test \
-  cluster_recovery_test admission_test fault_harness
+  cluster_recovery_test admission_test fault_harness \
+  block_cache_test nfs_test
 
 cd "$build_dir"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "$test_regex"
