@@ -1,0 +1,454 @@
+// Lockbox sharing benchmark: content-addressed dedup across users and
+// cluster-wide revocation of a single device, end to end over RPC.
+//
+// Phase 1 (single node): kPublicUsers clients each store the SAME public
+// corpus into their own file. Content addressing must collapse the
+// storage to one copy — the dedup ratio (dedup hits / chunk puts) is
+// (users-1)/users per fully shared corpus and must stay >= 0.9. Then
+// kPrivateUsers clients seal the same plaintext under their OWN random
+// content keys; those ciphertext chunks must never collide (dedup across
+// private data would leak plaintext equality — the Bifrost caveat).
+//
+// Phase 2 (two nodes, coherence fabric): one user, three device keys as
+// delegation leaves. One device's credential is revoked on node A; after
+// propagation every lockbox fetch by that device on node B must be
+// denied (denial rate 1.0) while the sibling devices keep being served
+// from node B's warm policy cache (zero KeyNote recomputations).
+//
+// Output: table on stdout plus BENCH_lockbox.json (path from argv[1]).
+// Schema documented in docs/BENCH_SCHEMAS.md and enforced by
+// tools/check_bench_schema.py. Self-gates: public dedup ratio >= 0.9,
+// private dedup hits == 0, revoked-device denial rate == 1.0, sibling
+// keynote queries == 0.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/blockdev.h"
+#include "src/cluster/fabric.h"
+#include "src/crypto/groups.h"
+#include "src/crypto/keywrap.h"
+#include "src/discfs/action_env.h"
+#include "src/discfs/client.h"
+#include "src/discfs/credentials.h"
+#include "src/discfs/host.h"
+#include "src/ffs/ffs.h"
+#include "src/lockbox/chunkstore.h"
+#include "src/lockbox/lockbox.h"
+#include "src/util/prng.h"
+
+namespace discfs {
+namespace {
+
+constexpr size_t kPublicUsers = 16;
+constexpr size_t kPrivateUsers = 8;
+constexpr size_t kPayloadBytes = 256 << 10;
+constexpr uint32_t kChunkBytes = 16 << 10;
+constexpr size_t kRevokedAttempts = 20;
+constexpr auto kConvergeTimeout = std::chrono::seconds(30);
+
+std::function<Bytes(size_t)> BenchRand(uint64_t seed) {
+  return LockedPrngBytes(seed);
+}
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Node {
+  std::shared_ptr<FfsVfs> vfs;
+  std::unique_ptr<DiscfsHost> host;
+};
+
+Node StartNode(const DsaPrivateKey& key, const DsaPublicKey& admin_key,
+               uint64_t seed, std::vector<DsaPublicKey> trusted = {},
+               bool cluster = false) {
+  Node node;
+  auto dev = std::make_shared<MemBlockDevice>(16384, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{4096});
+  if (!fs.ok()) {
+    std::fprintf(stderr, "format failed: %s\n",
+                 fs.status().ToString().c_str());
+    std::abort();
+  }
+  node.vfs = std::make_shared<FfsVfs>(std::move(fs).value());
+  DiscfsServerConfig config;
+  config.server_key = key;
+  config.rand_bytes = BenchRand(seed);
+  config.cluster_trusted_keys = std::move(trusted);
+  config.policy_assertions.push_back(
+      "Authorizer: \"POLICY\"\n"
+      "Licensees: \"" + admin_key.ToKeyNoteString() + "\"\n"
+      "Conditions: app_domain == \"DisCFS\" -> \"RWX\";\n");
+  DiscfsHostOptions options;
+  options.cluster_enabled = cluster;
+  auto host = DiscfsHost::Start(node.vfs, std::move(config), /*port=*/0,
+                                std::move(options));
+  if (!host.ok()) {
+    std::fprintf(stderr, "host start failed: %s\n",
+                 host.status().ToString().c_str());
+    std::abort();
+  }
+  node.host = std::move(host).value();
+  return node;
+}
+
+#define BENCH_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                             \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+struct DedupResult {
+  uint64_t public_puts = 0;
+  uint64_t public_dedup_hits = 0;
+  uint64_t public_stored_chunks = 0;
+  double public_dedup_ratio = 0;
+  uint64_t private_puts = 0;
+  uint64_t private_dedup_hits = 0;
+  uint64_t private_unique_chunks = 0;
+  double put_mb_s = 0;
+  double get_mb_s = 0;
+};
+
+DedupResult RunDedupPhase() {
+  DedupResult out;
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), BenchRand(1));
+  DsaPrivateKey server = DsaPrivateKey::Generate(Dsa512(), BenchRand(2));
+  Node node = StartNode(server, admin.public_key(), 10);
+
+  // Varied content so chunks within one payload are distinct — the only
+  // dedup measured is the cross-user kind.
+  Bytes corpus = BenchRand(42)(kPayloadBytes);
+
+  size_t total_users = kPublicUsers + kPrivateUsers;
+  std::vector<DsaPrivateKey> users;
+  std::vector<std::unique_ptr<DiscfsClient>> clients;
+  std::vector<NfsFh> fhs;
+  CredentialOptions rw;
+  rw.permissions = "RW";
+  for (size_t u = 0; u < total_users; ++u) {
+    users.push_back(DsaPrivateKey::Generate(Dsa512(), BenchRand(100 + u)));
+    std::string path = "/user-" + std::to_string(u) + ".bin";
+    BENCH_CHECK(WriteFileAt(*node.vfs, path, "x").ok());
+    InodeAttr attr = ResolvePath(*node.vfs, path).value();
+    fhs.push_back({attr.inode, attr.generation});
+    ChannelIdentity id{users[u], BenchRand(200 + u)};
+    auto client = DiscfsClient::Connect("127.0.0.1", node.host->port(), id,
+                                        server.public_key());
+    BENCH_CHECK(client.ok());
+    clients.push_back(std::move(client).value());
+    std::string cred = IssueCredential(admin, users[u].public_key(),
+                                       HandleString(attr.inode), rw)
+                           .value();
+    BENCH_CHECK(clients[u]->SubmitCredential(cred).ok());
+  }
+
+  // --- public corpus: every user stores the same bytes ---
+  ChunkStore::Stats before = node.host->server().chunkstore().stats();
+  double t0 = NowSec();
+  for (size_t u = 0; u < kPublicUsers; ++u) {
+    BENCH_CHECK(clients[u]
+                    ->PutLockbox(fhs[u], /*sealed=*/false, kChunkBytes,
+                                 corpus, {})
+                    .ok());
+  }
+  double put_s = NowSec() - t0;
+  ChunkStore::Stats after = node.host->server().chunkstore().stats();
+  out.public_puts = after.puts - before.puts;
+  out.public_dedup_hits = after.dedup_hits - before.dedup_hits;
+  out.public_stored_chunks = after.stored - before.stored;
+  out.public_dedup_ratio =
+      out.public_puts == 0
+          ? 0
+          : static_cast<double>(out.public_dedup_hits) / out.public_puts;
+  out.put_mb_s =
+      (kPublicUsers * kPayloadBytes) / (put_s * 1024.0 * 1024.0);
+
+  t0 = NowSec();
+  for (size_t u = 0; u < kPublicUsers; ++u) {
+    auto fetch = clients[u]->GetLockbox(fhs[u]);
+    BENCH_CHECK(fetch.ok());
+    BENCH_CHECK(fetch->payload == corpus);
+  }
+  double get_s = NowSec() - t0;
+  out.get_mb_s =
+      (kPublicUsers * kPayloadBytes) / (get_s * 1024.0 * 1024.0);
+
+  // --- private corpus: same plaintext, per-user content keys ---
+  before = after;
+  for (size_t u = kPublicUsers; u < total_users; ++u) {
+    Bytes key = GenerateContentKey(BenchRand(300 + u));
+    Bytes sealed = SealPayload(key, corpus, BenchRand(400 + u));
+    std::vector<wire::LockboxEntry> entries;
+    entries.push_back(
+        {users[u].public_key().ToKeyNoteString(),
+         WrapKey(users[u].public_key(), key, BenchRand(500 + u)).value()});
+    BENCH_CHECK(clients[u]
+                    ->PutLockbox(fhs[u], /*sealed=*/true, kChunkBytes,
+                                 sealed, entries)
+                    .ok());
+  }
+  after = node.host->server().chunkstore().stats();
+  out.private_puts = after.puts - before.puts;
+  out.private_dedup_hits = after.dedup_hits - before.dedup_hits;
+  out.private_unique_chunks = after.stored - before.stored;
+
+  for (auto& client : clients) {
+    client->Close();
+  }
+  return out;
+}
+
+struct RevocationResult {
+  size_t devices = 3;
+  size_t revoked_attempts = 0;
+  size_t revoked_denied = 0;
+  double denial_rate = 0;
+  size_t sibling_fetches = 0;
+  uint64_t sibling_keynote_queries = 0;
+  double propagation_ms = 0;
+};
+
+RevocationResult RunRevocationPhase() {
+  RevocationResult out;
+  DsaPrivateKey admin = DsaPrivateKey::Generate(Dsa512(), BenchRand(1));
+  DsaPrivateKey server_a = DsaPrivateKey::Generate(Dsa512(), BenchRand(2));
+  DsaPrivateKey server_b = DsaPrivateKey::Generate(Dsa512(), BenchRand(3));
+  DsaPrivateKey user = DsaPrivateKey::Generate(Dsa512(), BenchRand(4));
+
+  Node node_a = StartNode(server_a, admin.public_key(), 10,
+                          {server_b.public_key()}, /*cluster=*/true);
+  Node node_b = StartNode(server_b, admin.public_key(), 11,
+                          {server_a.public_key()}, /*cluster=*/true);
+  BENCH_CHECK(node_a.host
+                  ->AddClusterPeer({"127.0.0.1", node_b.host->port(),
+                                    server_b.public_key()})
+                  .ok());
+  BENCH_CHECK(node_b.host
+                  ->AddClusterPeer({"127.0.0.1", node_a.host->port(),
+                                    server_a.public_key()})
+                  .ok());
+
+  BENCH_CHECK(WriteFileAt(*node_b.vfs, "/vault.bin", "x").ok());
+  InodeAttr file = ResolvePath(*node_b.vfs, "/vault.bin").value();
+  NfsFh fh{file.inode, file.generation};
+
+  CredentialOptions rw;
+  rw.permissions = "RW";
+  CredentialOptions ro;
+  ro.permissions = "R";
+  std::string user_cred =
+      IssueCredential(admin, user.public_key(), HandleString(file.inode), rw)
+          .value();
+
+  ChannelIdentity user_id{user, BenchRand(20)};
+  auto user_client = DiscfsClient::Connect("127.0.0.1", node_b.host->port(),
+                                           user_id, server_b.public_key());
+  BENCH_CHECK(user_client.ok());
+  BENCH_CHECK((*user_client)->SubmitCredential(user_cred).ok());
+
+  Bytes plaintext = BenchRand(43)(kPayloadBytes);
+  Bytes content_key = GenerateContentKey(BenchRand(30));
+  Bytes sealed = SealPayload(content_key, plaintext, BenchRand(31));
+
+  std::vector<DsaPrivateKey> devices;
+  std::vector<wire::LockboxEntry> entries;
+  for (size_t i = 0; i < out.devices; ++i) {
+    devices.push_back(DsaPrivateKey::Generate(Dsa512(), BenchRand(50 + i)));
+    entries.push_back(
+        {devices[i].public_key().ToKeyNoteString(),
+         WrapKey(devices[i].public_key(), content_key, BenchRand(60 + i))
+             .value()});
+  }
+  BENCH_CHECK((*user_client)
+                  ->PutLockbox(fh, /*sealed=*/true, kChunkBytes, sealed,
+                               entries)
+                  .ok());
+
+  std::vector<std::unique_ptr<DiscfsClient>> device_clients;
+  std::vector<std::string> device_cred_ids;
+  for (size_t i = 0; i < out.devices; ++i) {
+    ChannelIdentity id{devices[i], BenchRand(70 + i)};
+    auto client = DiscfsClient::Connect("127.0.0.1", node_b.host->port(),
+                                        id, server_b.public_key());
+    BENCH_CHECK(client.ok());
+    device_clients.push_back(std::move(client).value());
+    std::string cred = IssueCredential(user, devices[i].public_key(),
+                                       HandleString(file.inode), ro)
+                           .value();
+    device_cred_ids.push_back(
+        device_clients[i]->SubmitCredential(cred).value());
+    auto fetch = device_clients[i]->GetLockbox(fh);
+    BENCH_CHECK(fetch.ok());
+    int index = fetch->record.FindEntry(
+        devices[i].public_key().ToKeyNoteString());
+    BENCH_CHECK(index >= 0);
+    Bytes key =
+        UnwrapKey(devices[i], fetch->record.entries[index].wrapped_key)
+            .value();
+    BENCH_CHECK(OpenPayload(key, fetch->payload).value() == plaintext);
+  }
+
+  // All three grants are warm on B before the revocation.
+  node_b.host->server().ResetTelemetry();
+  for (auto& client : device_clients) {
+    BENCH_CHECK(client->GetLockbox(fh).ok());
+  }
+  BENCH_CHECK(node_b.host->server().counters().keynote_queries.load() == 0);
+
+  // Device 0 is lost. Revocation is ACCEPTED ON A (which never installed
+  // the credential) and must deny on B through the fabric.
+  double t0 = NowSec();
+  node_a.host->server().RemoveCredential(device_cred_ids[0]);
+  BENCH_CHECK(node_a.host->fabric()->WaitForAck(
+      node_a.host->fabric()->stats().head_seq, kConvergeTimeout));
+  out.propagation_ms = (NowSec() - t0) * 1e3;
+
+  node_b.host->server().ResetTelemetry();
+  // Siblings first: they must be served from B's cache.
+  for (size_t i = 1; i < out.devices; ++i) {
+    BENCH_CHECK(device_clients[i]->GetLockbox(fh).ok());
+    ++out.sibling_fetches;
+  }
+  out.sibling_keynote_queries =
+      node_b.host->server().counters().keynote_queries.load();
+
+  for (size_t k = 0; k < kRevokedAttempts; ++k) {
+    ++out.revoked_attempts;
+    auto fetch = device_clients[0]->GetLockbox(fh);
+    if (!fetch.ok() &&
+        fetch.status().code() == StatusCode::kPermissionDenied) {
+      ++out.revoked_denied;
+    }
+  }
+  out.denial_rate =
+      out.revoked_attempts == 0
+          ? 0
+          : static_cast<double>(out.revoked_denied) / out.revoked_attempts;
+
+  (*user_client)->Close();
+  for (auto& client : device_clients) {
+    client->Close();
+  }
+  return out;
+}
+
+void WriteJson(std::FILE* f, const DedupResult& dedup,
+               const RevocationResult& rev) {
+  std::fprintf(f, "{\n  \"bench\": \"lockbox_sharing\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"public_users\": %zu,\n", kPublicUsers);
+  std::fprintf(f, "  \"private_users\": %zu,\n", kPrivateUsers);
+  std::fprintf(f, "  \"payload_kb\": %zu,\n", kPayloadBytes >> 10);
+  std::fprintf(f, "  \"chunk_kb\": %u,\n", kChunkBytes >> 10);
+  std::fprintf(
+      f,
+      "  \"dedup\": {\"public_puts\": %llu, \"public_dedup_hits\": %llu, "
+      "\"public_stored_chunks\": %llu, \"public_dedup_ratio\": %.4f, "
+      "\"private_puts\": %llu, \"private_dedup_hits\": %llu, "
+      "\"private_unique_chunks\": %llu, \"put_mb_s\": %.1f, "
+      "\"get_mb_s\": %.1f},\n",
+      static_cast<unsigned long long>(dedup.public_puts),
+      static_cast<unsigned long long>(dedup.public_dedup_hits),
+      static_cast<unsigned long long>(dedup.public_stored_chunks),
+      dedup.public_dedup_ratio,
+      static_cast<unsigned long long>(dedup.private_puts),
+      static_cast<unsigned long long>(dedup.private_dedup_hits),
+      static_cast<unsigned long long>(dedup.private_unique_chunks),
+      dedup.put_mb_s, dedup.get_mb_s);
+  std::fprintf(
+      f,
+      "  \"revocation\": {\"devices\": %zu, \"revoked_attempts\": %zu, "
+      "\"revoked_denied\": %zu, \"denial_rate\": %.4f, "
+      "\"sibling_fetches\": %zu, \"sibling_keynote_queries\": %llu, "
+      "\"propagation_ms\": %.2f}\n",
+      rev.devices, rev.revoked_attempts, rev.revoked_denied,
+      rev.denial_rate, rev.sibling_fetches,
+      static_cast<unsigned long long>(rev.sibling_keynote_queries),
+      rev.propagation_ms);
+  std::fprintf(f, "}\n");
+}
+
+int Run(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_lockbox.json";
+
+  std::printf("== lockbox sharing: dedup across users ==\n");
+  DedupResult dedup = RunDedupPhase();
+  std::printf(
+      "public:  %llu puts, %llu dedup hits (ratio %.4f), %llu stored\n",
+      static_cast<unsigned long long>(dedup.public_puts),
+      static_cast<unsigned long long>(dedup.public_dedup_hits),
+      dedup.public_dedup_ratio,
+      static_cast<unsigned long long>(dedup.public_stored_chunks));
+  std::printf(
+      "private: %llu puts, %llu dedup hits, %llu unique chunks\n",
+      static_cast<unsigned long long>(dedup.private_puts),
+      static_cast<unsigned long long>(dedup.private_dedup_hits),
+      static_cast<unsigned long long>(dedup.private_unique_chunks));
+  std::printf("throughput: put %.1f MB/s, get %.1f MB/s\n", dedup.put_mb_s,
+              dedup.get_mb_s);
+
+  std::printf("== lockbox sharing: device revocation via coherence ==\n");
+  RevocationResult rev = RunRevocationPhase();
+  std::printf(
+      "revoked device: %zu/%zu fetches denied (rate %.4f), "
+      "propagation %.2f ms\n",
+      rev.revoked_denied, rev.revoked_attempts, rev.denial_rate,
+      rev.propagation_ms);
+  std::printf("siblings: %zu warm fetches, %llu keynote queries\n",
+              rev.sibling_fetches,
+              static_cast<unsigned long long>(rev.sibling_keynote_queries));
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  WriteJson(f, dedup, rev);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  // Self-gates.
+  int failures = 0;
+  if (dedup.public_dedup_ratio < 0.9) {
+    std::fprintf(stderr, "FAIL: public dedup ratio %.4f < 0.9\n",
+                 dedup.public_dedup_ratio);
+    ++failures;
+  }
+  if (dedup.private_dedup_hits != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu private (sealed) chunks deduped — ciphertext "
+                 "collision leaks plaintext equality\n",
+                 static_cast<unsigned long long>(dedup.private_dedup_hits));
+    ++failures;
+  }
+  if (rev.denial_rate != 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: revoked-device denial rate %.4f != 1.0 — a revoked "
+                 "device still fetched a lockbox\n",
+                 rev.denial_rate);
+    ++failures;
+  }
+  if (rev.sibling_keynote_queries != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu sibling keynote queries — the revocation was "
+                 "not scoped to the lost device\n",
+                 static_cast<unsigned long long>(rev.sibling_keynote_queries));
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace discfs
+
+int main(int argc, char** argv) { return discfs::Run(argc, argv); }

@@ -18,6 +18,13 @@ class DhKeyPair {
   static DhKeyPair Generate(const DsaParams& params,
                             const std::function<Bytes(size_t)>& rand_bytes);
 
+  // Wraps an existing secret exponent (e.g. a DSA private key's x, whose
+  // public value y = g^x is exactly a DH public value). The key-wrap
+  // primitive uses this to unwrap against an ephemeral sender value.
+  static DhKeyPair FromSecret(DsaParams params, BigNum x) {
+    return DhKeyPair(std::move(params), std::move(x));
+  }
+
   // Public value g^x mod p, fixed-width big-endian (width of p).
   Bytes PublicValue() const;
 

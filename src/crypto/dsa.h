@@ -94,6 +94,10 @@ class DsaPrivateKey {
 
   const DsaPublicKey& public_key() const { return public_key_; }
 
+  // The raw secret exponent (already present in Serialize() output); the
+  // key-wrap primitive runs DH with it against an ephemeral sender value.
+  const BigNum& x() const { return x_; }
+
   DsaSignature Sign(const Bytes& digest) const;
 
   // Key-file serialization: length-prefixed (p, q, g, x). Treat the bytes

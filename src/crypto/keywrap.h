@@ -1,0 +1,41 @@
+// Public-key key wrap for lockbox entries: seals a small symmetric key
+// (the per-file content key) to a recipient's DSA public key, so that only
+// the holder of the matching private key can recover it.
+//
+// Construction (ECIES over the DSA group, reusing the DH + AEAD substrate
+// the secure channel already trusts):
+//
+//   ephemeral e  <-R  [1, q)
+//   U  = g^e mod p                      (sent in the clear)
+//   Z  = y^e mod p                      (y = recipient public value)
+//   K  = HKDF-SHA256(salt = "", ikm = Z, info = "discfs-keywrap-v1" || U)
+//   box = ChaCha20-Poly1305(K, random nonce, aad = "", key)
+//
+// Unwrap recomputes Z = U^x mod p with the recipient's private x and opens
+// the box; any tampering with U, nonce, or box fails authentication. The
+// wrapped blob is XDR: opaque U (fixed width of p) || opaque nonce ||
+// opaque box. Binding U into the KDF info ties the key to this exact
+// wrapping.
+#ifndef DISCFS_SRC_CRYPTO_KEYWRAP_H_
+#define DISCFS_SRC_CRYPTO_KEYWRAP_H_
+
+#include <functional>
+
+#include "src/crypto/dsa.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace discfs {
+
+// Seals `key` (any short secret, conventionally 32 bytes) to `recipient`.
+Result<Bytes> WrapKey(const DsaPublicKey& recipient, const Bytes& key,
+                      const std::function<Bytes(size_t)>& rand_bytes);
+
+// Recovers a key sealed to `recipient`'s public half. Fails with
+// UNAUTHENTICATED on any tampering and INVALID_ARGUMENT on a malformed
+// blob or an ephemeral value outside the order-q subgroup.
+Result<Bytes> UnwrapKey(const DsaPrivateKey& recipient, const Bytes& wrapped);
+
+}  // namespace discfs
+
+#endif  // DISCFS_SRC_CRYPTO_KEYWRAP_H_

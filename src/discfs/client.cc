@@ -128,6 +128,57 @@ Result<NfsFattr> DiscfsClient::ResolveHandle(uint32_t inode) {
   return ReadFattr(r);
 }
 
+Result<wire::LockboxRecord> DiscfsClient::PutLockbox(
+    const NfsFh& fh, bool sealed, uint32_t chunk_size, const Bytes& payload,
+    const std::vector<wire::LockboxEntry>& entries) {
+  if (payload.size() > kMaxLockboxPayload) {
+    return InvalidArgumentError("lockbox payload exceeds the protocol bound");
+  }
+  XdrWriter w;
+  WriteFh(w, fh);
+  w.PutBool(sealed);
+  w.PutU32(chunk_size);
+  w.PutOpaque(payload);
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const wire::LockboxEntry& entry : entries) {
+    w.PutString(entry.recipient);
+    w.PutOpaque(entry.wrapped_key);
+  }
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kPutLockbox, w.Take()));
+  XdrReader r(reply);
+  ASSIGN_OR_RETURN(Bytes encoded, r.GetOpaque(1 << 22));
+  return wire::DecodeLockboxRecord(encoded);
+}
+
+Result<LockboxFetch> DiscfsClient::GetLockbox(const NfsFh& fh) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kGetLockbox, w.Take()));
+  XdrReader r(reply);
+  ASSIGN_OR_RETURN(Bytes encoded, r.GetOpaque(1 << 22));
+  LockboxFetch fetch;
+  ASSIGN_OR_RETURN(fetch.record, wire::DecodeLockboxRecord(encoded));
+  ASSIGN_OR_RETURN(fetch.payload, r.GetOpaque(kMaxLockboxPayload));
+  return fetch;
+}
+
+Status DiscfsClient::GrantLockboxAccess(const NfsFh& fh,
+                                        const wire::LockboxEntry& entry) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  w.PutString(entry.recipient);
+  w.PutOpaque(entry.wrapped_key);
+  return Call(DiscfsProc::kGrantAccess, w.Take()).status();
+}
+
+Status DiscfsClient::RevokeLockboxAccess(const NfsFh& fh,
+                                         const std::string& recipient) {
+  XdrWriter w;
+  WriteFh(w, fh);
+  w.PutString(recipient);
+  return Call(DiscfsProc::kRevokeAccess, w.Take()).status();
+}
+
 Result<DiscfsServerInfo> DiscfsClient::ServerInfo() {
   ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kServerInfo, {}));
   XdrReader r(reply);

@@ -14,6 +14,7 @@
 #include "src/discfs/protocol.h"
 #include "src/nfs/nfs_client.h"
 #include "src/securechannel/channel.h"
+#include "src/wire/lockbox.h"
 
 namespace discfs {
 
@@ -28,6 +29,13 @@ struct DiscfsServerInfo {
 struct CreateResult {
   NfsFattr attr;
   std::string credential;  // full access for the creator; delegate freely
+};
+
+// GetLockbox result: the record (whose entries hold this client's wrapped
+// content key, if any) plus the stored payload (ciphertext when sealed).
+struct LockboxFetch {
+  wire::LockboxRecord record;
+  Bytes payload;
 };
 
 class DiscfsClient {
@@ -71,6 +79,20 @@ class DiscfsClient {
 
   // Resolves a credential HANDLE (inode number) to a live file handle.
   Result<NfsFattr> ResolveHandle(uint32_t inode);
+
+  // Lockbox sharing (needs W on `fh`; see DiscfsProc for the policy each
+  // procedure enforces). `entries` carry the content key wrapped to each
+  // recipient (src/crypto/keywrap.h); the returned record shows the chunk
+  // ids as stored.
+  Result<wire::LockboxRecord> PutLockbox(
+      const NfsFh& fh, bool sealed, uint32_t chunk_size, const Bytes& payload,
+      const std::vector<wire::LockboxEntry>& entries);
+  // Needs R on `fh`.
+  Result<LockboxFetch> GetLockbox(const NfsFh& fh);
+  // Adds/replaces `entry` (needs R on `fh`).
+  Status GrantLockboxAccess(const NfsFh& fh, const wire::LockboxEntry& entry);
+  // Drops `recipient`'s entry (needs W on `fh`, or lockbox ownership).
+  Status RevokeLockboxAccess(const NfsFh& fh, const std::string& recipient);
 
   Result<DiscfsServerInfo> ServerInfo();
 

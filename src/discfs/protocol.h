@@ -24,11 +24,27 @@ enum class DiscfsProc : uint32_t {
   // n, credential texts -> n × (status code, id-or-error). Verification
   // fans out across the server's worker pool; one lock installs all.
   kSubmitCredentialBatch = 8,
+  // Lockbox sharing (src/lockbox). Each procedure runs the same KeyNote
+  // admission check as the NFS operation it shadows, so coherence-
+  // propagated revocations deny lockbox fetches cluster-wide:
+  //   kPutLockbox    needs W on the file (like WRITE)
+  //   kGetLockbox    needs R on the file (like READ)
+  //   kGrantAccess   needs R — a reader already holds the content key, so
+  //                  adding a wrapped-key entry grants nothing the caller
+  //                  could not hand over out of band
+  //   kRevokeAccess  needs W, or the caller owns the lockbox record
+  kPutLockbox = 9,     // fh, sealed, chunk_size, payload, entries -> record
+  kGetLockbox = 10,    // fh -> record + payload
+  kGrantAccess = 11,   // fh, recipient, wrapped key -> ()
+  kRevokeAccess = 12,  // fh, recipient -> ()
 };
 
 // Upper bound on credentials per kSubmitCredentialBatch call (bounds the
 // request size and the per-call verification burst).
 inline constexpr uint32_t kMaxCredentialBatch = 1024;
+
+// Upper bound on a kPutLockbox payload (bounds the request size).
+inline constexpr uint32_t kMaxLockboxPayload = 1 << 24;
 
 }  // namespace discfs
 

@@ -30,6 +30,8 @@ DiscfsServer::DiscfsServer(std::shared_ptr<Vfs> vfs,
       config_(std::move(config)),
       clock_(config_.clock != nullptr ? config_.clock : SystemClock::Get()),
       nfs_(std::make_unique<NfsServer>(std::move(vfs))),
+      chunkstore_(std::make_unique<ChunkStore>(nfs_.get())),
+      lockbox_(std::make_unique<LockboxService>(nfs_.get(), chunkstore_.get())),
       session_(keynote::PermissionLattice::Get()),
       cache_(config_.policy_cache_size, config_.policy_cache_ttl_s),
       revocation_(config_.revocation_horizon_s),
@@ -57,6 +59,7 @@ Result<std::unique_ptr<DiscfsServer>> DiscfsServer::Create(
   });
   server->nfs_->RegisterAll(server->dispatcher_);
   server->RegisterDiscfsProcs();
+  server->RegisterLockboxProcs();
   server->RegisterClusterProcs();
   return server;
 }
@@ -597,6 +600,106 @@ void DiscfsServer::RegisterDiscfsProcs() {
         w.PutU64(stats.misses);
         w.PutU32(static_cast<uint32_t>(credential_count()));
         return w.Take();
+      });
+}
+
+void DiscfsServer::RegisterLockboxProcs() {
+  auto reg = [&](DiscfsProc proc, auto handler) {
+    dispatcher_.Register(kDiscfsProgram, static_cast<uint32_t>(proc),
+                         handler);
+  };
+
+  // Admission shared by all four procedures: the same CheckAccess the NFS
+  // hook runs, so a key revocation (local or coherence-propagated) that
+  // denies READ/WRITE denies the lockbox operation identically.
+  auto check = [this](const RpcContext& ctx, NfsProc proc, const NfsFh& fh,
+                      uint32_t needed) -> Status {
+    if (!ctx.peer_key.has_value()) {
+      return UnauthenticatedError("no authenticated peer key");
+    }
+    NfsAccessRequest access;
+    access.proc = proc;
+    access.fh = fh;
+    access.needed = needed;
+    access.ctx = &ctx;
+    return CheckAccess(access);
+  };
+
+  reg(DiscfsProc::kPutLockbox,
+      [this, check](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(NfsFh fh, ReadFh(r));
+        RETURN_IF_ERROR(check(ctx, NfsProc::kWrite, fh, /*needed=*/2));
+        wire::LockboxRecord record;
+        record.handle = fh.inode;
+        record.owner = ctx.peer_key->ToKeyNoteString();
+        ASSIGN_OR_RETURN(record.sealed, r.GetBool());
+        ASSIGN_OR_RETURN(record.chunk_size, r.GetU32());
+        ASSIGN_OR_RETURN(Bytes payload, r.GetOpaque(kMaxLockboxPayload));
+        ASSIGN_OR_RETURN(uint32_t entry_count, r.GetU32());
+        if (entry_count > wire::LockboxRecord::kMaxEntries) {
+          return InvalidArgumentError("lockbox entry list too large");
+        }
+        record.entries.reserve(entry_count);
+        for (uint32_t i = 0; i < entry_count; ++i) {
+          wire::LockboxEntry entry;
+          ASSIGN_OR_RETURN(entry.recipient, r.GetString(1 << 16));
+          ASSIGN_OR_RETURN(entry.wrapped_key, r.GetOpaque(1 << 13));
+          record.entries.push_back(std::move(entry));
+        }
+        ASSIGN_OR_RETURN(wire::LockboxRecord stored,
+                         lockbox_->Put(std::move(record), payload));
+        XdrWriter w;
+        w.PutOpaque(wire::EncodeLockboxRecord(stored));
+        return w.Take();
+      });
+
+  reg(DiscfsProc::kGetLockbox,
+      [this, check](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(NfsFh fh, ReadFh(r));
+        RETURN_IF_ERROR(check(ctx, NfsProc::kRead, fh, /*needed=*/4));
+        ASSIGN_OR_RETURN(LockboxService::Box box, lockbox_->Get(fh.inode));
+        XdrWriter w;
+        w.PutOpaque(wire::EncodeLockboxRecord(box.record));
+        w.PutOpaque(box.payload);
+        return w.Take();
+      });
+
+  reg(DiscfsProc::kGrantAccess,
+      [this, check](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(NfsFh fh, ReadFh(r));
+        wire::LockboxEntry entry;
+        ASSIGN_OR_RETURN(entry.recipient, r.GetString(1 << 16));
+        ASSIGN_OR_RETURN(entry.wrapped_key, r.GetOpaque(1 << 13));
+        // R suffices: a reader can already unwrap the content key and pass
+        // it along out of band; recording an entry adds no authority.
+        RETURN_IF_ERROR(check(ctx, NfsProc::kRead, fh, /*needed=*/4));
+        RETURN_IF_ERROR(lockbox_->Grant(fh.inode, entry));
+        return Bytes();
+      });
+
+  reg(DiscfsProc::kRevokeAccess,
+      [this, check](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(NfsFh fh, ReadFh(r));
+        ASSIGN_OR_RETURN(std::string recipient, r.GetString(1 << 16));
+        if (!ctx.peer_key.has_value()) {
+          return UnauthenticatedError("no authenticated peer key");
+        }
+        // W, or owning the record: the owner must be able to cut off a
+        // recipient even after their own W delegation lapsed.
+        Status writable = check(ctx, NfsProc::kWrite, fh, /*needed=*/2);
+        if (!writable.ok()) {
+          ASSIGN_OR_RETURN(wire::LockboxRecord record,
+                           lockbox_->GetRecord(fh.inode));
+          if (record.owner != ctx.peer_key->ToKeyNoteString()) {
+            return writable;
+          }
+        }
+        RETURN_IF_ERROR(lockbox_->Revoke(fh.inode, recipient));
+        return Bytes();
       });
 }
 

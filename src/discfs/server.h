@@ -26,6 +26,7 @@
 #include "src/discfs/protocol.h"
 #include "src/discfs/revocation.h"
 #include "src/keynote/session.h"
+#include "src/lockbox/lockbox.h"
 #include "src/nfs/nfs_server.h"
 #include "src/securechannel/channel.h"
 #include "src/util/clock.h"
@@ -159,6 +160,10 @@ class DiscfsServer {
   keynote::VerifiedSignatureCache::Stats signature_cache_stats() const;
   size_t credential_count() const;
   NfsServer& nfs() { return *nfs_; }
+  // Lockbox storage (bench/test telemetry: chunkstore().stats()). Policy
+  // enforcement lives in the RPC procedures, not in these objects.
+  ChunkStore& chunkstore() { return *chunkstore_; }
+  LockboxService& lockbox() { return *lockbox_; }
 
   // Direct policy evaluation (bench/test entry): full RWX mask `principal`
   // holds on `inode`, going through the cache.
@@ -188,12 +193,15 @@ class DiscfsServer {
   void PublishChurnLocked(cluster::CoherenceEvent event)
       /* requires mu_ exclusive */;
   void RegisterDiscfsProcs();
+  void RegisterLockboxProcs();
   void RegisterClusterProcs();
 
   std::shared_ptr<Vfs> vfs_;
   DiscfsServerConfig config_;
   const Clock* clock_;
   std::unique_ptr<NfsServer> nfs_;
+  std::unique_ptr<ChunkStore> chunkstore_;
+  std::unique_ptr<LockboxService> lockbox_;
   RpcDispatcher dispatcher_;
 
   // Readers (access checks, mask queries) take mu_ shared and can run

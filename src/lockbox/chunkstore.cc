@@ -1,0 +1,183 @@
+#include "src/lockbox/chunkstore.h"
+
+#include "src/crypto/sha.h"
+#include "src/util/hex.h"
+
+namespace discfs {
+namespace {
+
+const Bytes kMagic = ToBytes("CNK1");
+
+// Ffs caps directory-entry names at 58 bytes; the 64-char hex id is split
+// into a 2-char fan-out directory and a 56-char file name.
+constexpr size_t kIdHexLen = 2 * Sha256::kDigestSize;
+constexpr size_t kPrefixLen = 2;
+// 56 of the remaining 62 hex chars fit under kMaxNameLen; the dropped
+// tail is covered by the full id embedded in the chunk header.
+constexpr size_t kNameLen = 56;
+
+std::string ChunkFileName(const std::string& id) {
+  return id.substr(kPrefixLen, kNameLen);
+}
+
+void AppendU32Be(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t LoadU32Be(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+bool IsChunkId(const std::string& id) {
+  if (id.size() != kIdHexLen) {
+    return false;
+  }
+  for (char c : id) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ChunkStore::ChunkId(const Bytes& data) {
+  return HexEncode(Sha256::Hash(data));
+}
+
+Result<NfsFh> ChunkStore::PrefixDir(const std::string& prefix, bool create) {
+  // Serialized so two threads creating the spine for different chunks
+  // don't race Lookup-then-Mkdir on the same directory.
+  std::lock_guard<std::mutex> lock(init_mu_);
+  ASSIGN_OR_RETURN(NfsFattr root, nfs_->GetRoot());
+  NfsFh dir = root.fh;
+  for (const std::string& name :
+       {std::string(".lockbox"), std::string("chunks"), prefix}) {
+    Result<NfsFattr> found = nfs_->Lookup(dir, name);
+    if (found.ok()) {
+      dir = found->fh;
+      continue;
+    }
+    if (found.status().code() != StatusCode::kNotFound || !create) {
+      return found.status();
+    }
+    ASSIGN_OR_RETURN(NfsFattr made, nfs_->Mkdir(dir, name, 0755));
+    dir = made.fh;
+  }
+  return dir;
+}
+
+Result<NfsFh> ChunkStore::FindChunk(const std::string& id) {
+  if (!IsChunkId(id)) {
+    return InvalidArgumentError("malformed chunk id: " + id);
+  }
+  ASSIGN_OR_RETURN(NfsFh dir, PrefixDir(id.substr(0, kPrefixLen), false));
+  ASSIGN_OR_RETURN(NfsFattr attr, nfs_->Lookup(dir, ChunkFileName(id)));
+  ASSIGN_OR_RETURN(Bytes header, nfs_->Read(attr.fh, 0, kHeaderSize));
+  if (header.size() != kHeaderSize ||
+      !std::equal(kMagic.begin(), kMagic.end(), header.begin())) {
+    return DataLossError("chunk " + id + " has a corrupt header");
+  }
+  // The file name only carries 56 of the 64 hex chars; the header carries
+  // the full id, so a truncated-name collision or corruption is caught
+  // here instead of being served as the wrong chunk.
+  ASSIGN_OR_RETURN(Bytes want, HexDecode(id));
+  if (!std::equal(want.begin(), want.end(),
+                  header.begin() + kRefCountOffset + 4)) {
+    return DataLossError("chunk " + id + " header id mismatch");
+  }
+  return attr.fh;
+}
+
+Result<uint32_t> ChunkStore::ReadRefCount(const NfsFh& fh) {
+  ASSIGN_OR_RETURN(Bytes raw, nfs_->Read(fh, kRefCountOffset, 4));
+  if (raw.size() != 4) {
+    return DataLossError("short refcount read");
+  }
+  return LoadU32Be(raw.data());
+}
+
+Status ChunkStore::WriteRefCount(const NfsFh& fh, uint32_t count) {
+  Bytes raw;
+  AppendU32Be(raw, count);
+  return nfs_->Write(fh, kRefCountOffset, raw).status();
+}
+
+Result<std::string> ChunkStore::Put(const Bytes& data) {
+  std::string id = ChunkId(data);
+  std::lock_guard<std::mutex> lock(ShardFor(id));
+  puts_.fetch_add(1);
+  Result<NfsFh> existing = FindChunk(id);
+  if (existing.ok()) {
+    ASSIGN_OR_RETURN(uint32_t count, ReadRefCount(*existing));
+    if (count == UINT32_MAX) {
+      return ResourceExhaustedError("chunk " + id + " refcount overflow");
+    }
+    RETURN_IF_ERROR(WriteRefCount(*existing, count + 1));
+    dedup_hits_.fetch_add(1);
+    return id;
+  }
+  if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();
+  }
+  ASSIGN_OR_RETURN(NfsFh dir, PrefixDir(id.substr(0, kPrefixLen), true));
+  ASSIGN_OR_RETURN(NfsFattr created,
+                   nfs_->Create(dir, ChunkFileName(id), 0644));
+  Bytes file = kMagic;
+  AppendU32Be(file, 1);
+  ASSIGN_OR_RETURN(Bytes raw_id, HexDecode(id));
+  Append(file, raw_id);
+  Append(file, data);
+  RETURN_IF_ERROR(nfs_->Write(created.fh, 0, file).status());
+  stored_.fetch_add(1);
+  return id;
+}
+
+Result<Bytes> ChunkStore::Get(const std::string& id) {
+  std::lock_guard<std::mutex> lock(ShardFor(id));
+  ASSIGN_OR_RETURN(NfsFh fh, FindChunk(id));
+  ASSIGN_OR_RETURN(NfsFattr attr, nfs_->GetAttr(fh));
+  if (attr.size < kHeaderSize) {
+    return DataLossError("chunk " + id + " shorter than its header");
+  }
+  uint64_t len = attr.size - kHeaderSize;
+  ASSIGN_OR_RETURN(
+      Bytes data, nfs_->Read(fh, kHeaderSize, static_cast<uint32_t>(len)));
+  if (data.size() != len) {
+    return DataLossError("short chunk read for " + id);
+  }
+  return data;
+}
+
+Status ChunkStore::Release(const std::string& id) {
+  std::lock_guard<std::mutex> lock(ShardFor(id));
+  ASSIGN_OR_RETURN(NfsFh fh, FindChunk(id));
+  ASSIGN_OR_RETURN(uint32_t count, ReadRefCount(fh));
+  if (count > 1) {
+    return WriteRefCount(fh, count - 1);
+  }
+  ASSIGN_OR_RETURN(NfsFh dir, PrefixDir(id.substr(0, kPrefixLen), false));
+  RETURN_IF_ERROR(nfs_->Remove(dir, ChunkFileName(id)));
+  removed_.fetch_add(1);
+  return OkStatus();
+}
+
+Result<uint32_t> ChunkStore::RefCount(const std::string& id) {
+  std::lock_guard<std::mutex> lock(ShardFor(id));
+  Result<NfsFh> fh = FindChunk(id);
+  if (!fh.ok()) {
+    if (fh.status().code() == StatusCode::kNotFound) {
+      return 0u;
+    }
+    return fh.status();
+  }
+  return ReadRefCount(*fh);
+}
+
+}  // namespace discfs

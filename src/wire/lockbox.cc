@@ -1,0 +1,83 @@
+#include "src/wire/lockbox.h"
+
+namespace discfs::wire {
+namespace {
+
+const Bytes kMagic = ToBytes("LBX1");
+
+}  // namespace
+
+int LockboxRecord::FindEntry(const std::string& recipient) const {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].recipient == recipient) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Bytes EncodeLockboxRecord(const LockboxRecord& record) {
+  XdrWriter w;
+  w.PutFixed(kMagic);
+  w.PutU32(LockboxRecord::kVersion);
+  w.PutU32(record.handle);
+  w.PutString(record.owner);
+  w.PutBool(record.sealed);
+  w.PutU32(record.chunk_size);
+  w.PutU64(record.payload_size);
+  w.PutU32(static_cast<uint32_t>(record.chunks.size()));
+  for (const std::string& id : record.chunks) {
+    w.PutString(id);
+  }
+  w.PutU32(static_cast<uint32_t>(record.entries.size()));
+  for (const LockboxEntry& entry : record.entries) {
+    w.PutString(entry.recipient);
+    w.PutOpaque(entry.wrapped_key);
+  }
+  return w.Take();
+}
+
+Result<LockboxRecord> DecodeLockboxRecord(const Bytes& data) {
+  XdrReader r(data);
+  ASSIGN_OR_RETURN(Bytes magic, r.GetFixed(kMagic.size()));
+  if (magic != kMagic) {
+    return InvalidArgumentError("not a lockbox record (bad magic)");
+  }
+  ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != LockboxRecord::kVersion) {
+    return InvalidArgumentError("unsupported lockbox record version " +
+                                std::to_string(version));
+  }
+  LockboxRecord record;
+  ASSIGN_OR_RETURN(record.handle, r.GetU32());
+  ASSIGN_OR_RETURN(record.owner, r.GetString(1 << 16));
+  ASSIGN_OR_RETURN(record.sealed, r.GetBool());
+  ASSIGN_OR_RETURN(record.chunk_size, r.GetU32());
+  ASSIGN_OR_RETURN(record.payload_size, r.GetU64());
+  ASSIGN_OR_RETURN(uint32_t chunk_count, r.GetU32());
+  if (chunk_count > LockboxRecord::kMaxChunks) {
+    return InvalidArgumentError("lockbox chunk list too large");
+  }
+  record.chunks.reserve(chunk_count);
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    ASSIGN_OR_RETURN(std::string id, r.GetString(128));
+    record.chunks.push_back(std::move(id));
+  }
+  ASSIGN_OR_RETURN(uint32_t entry_count, r.GetU32());
+  if (entry_count > LockboxRecord::kMaxEntries) {
+    return InvalidArgumentError("lockbox entry list too large");
+  }
+  record.entries.reserve(entry_count);
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    LockboxEntry entry;
+    ASSIGN_OR_RETURN(entry.recipient, r.GetString(1 << 16));
+    ASSIGN_OR_RETURN(entry.wrapped_key, r.GetOpaque(1 << 13));
+    record.entries.push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after lockbox record");
+  }
+  return record;
+}
+
+}  // namespace discfs::wire

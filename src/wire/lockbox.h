@@ -1,0 +1,70 @@
+// Lockbox record wire/on-disk format (XDR, RFC 4506 conventions like the
+// rest of src/wire). The same encoding serves both roles: it is the
+// sidecar object the server persists beside a file in the FFS backend
+// ("/.lockbox/box/<inode>") and the body of the PutLockbox/GetLockbox RPC
+// procedures.
+//
+// A lockbox seals one file's random symmetric content key to each
+// recipient: the payload is encrypted once under the content key, and the
+// content key is wrapped (src/crypto/keywrap.h) once per recipient public
+// key. The server never sees the content key — it stores and polices
+// opaque entries.
+//
+//   LBX1 | version | handle | owner | sealed | chunk_size | payload_size
+//        | chunk ids... | entries (recipient principal -> wrapped key)...
+//
+// `sealed` distinguishes the two storage modes:
+//   - sealed (private): payload bytes are ciphertext (nonce || AEAD box)
+//     under the per-file content key. Chunks of ciphertext are unique per
+//     file by construction, so they never dedup across users — that is the
+//     point (Bifrost-style: dedup must not leak equality of private data).
+//   - public: payload bytes are plaintext; identical content produces
+//     identical SHA-256 chunk ids, so the chunk store dedups them across
+//     files and users. Entries may still be present (integrity sharing).
+#ifndef DISCFS_SRC_WIRE_LOCKBOX_H_
+#define DISCFS_SRC_WIRE_LOCKBOX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+#include "src/wire/xdr.h"
+
+namespace discfs::wire {
+
+// One recipient's sealed copy of the content key.
+struct LockboxEntry {
+  std::string recipient;  // KeyNote principal ("dsa-hex:...")
+  Bytes wrapped_key;      // src/crypto/keywrap.h blob; opaque to the server
+};
+
+struct LockboxRecord {
+  static constexpr uint32_t kVersion = 1;
+  // Bounds enforced on decode (and by the server procs): a record is
+  // metadata, not bulk data.
+  static constexpr uint32_t kMaxChunks = 1 << 16;
+  static constexpr uint32_t kMaxEntries = 1 << 12;
+
+  uint32_t handle = 0;       // inode the lockbox belongs to
+  std::string owner;         // principal that put the lockbox
+  bool sealed = false;       // true = payload is content-key ciphertext
+  uint32_t chunk_size = 0;   // chunking unit of the stored payload
+  uint64_t payload_size = 0; // stored payload bytes (ciphertext if sealed)
+  std::vector<std::string> chunks;  // hex SHA-256 ids, in payload order
+  std::vector<LockboxEntry> entries;
+
+  // Index into `entries` for `recipient`, or -1.
+  int FindEntry(const std::string& recipient) const;
+};
+
+// Codec for the record above (magic "LBX1" + version are part of the
+// encoding; Decode rejects unknown magics/versions and enforces the
+// bounds).
+Bytes EncodeLockboxRecord(const LockboxRecord& record);
+Result<LockboxRecord> DecodeLockboxRecord(const Bytes& data);
+
+}  // namespace discfs::wire
+
+#endif  // DISCFS_SRC_WIRE_LOCKBOX_H_

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates BENCH_policy.json / BENCH_rpc.json / BENCH_coherence.json /
-BENCH_admission.json / BENCH_fault.json / BENCH_storage.json against
-schema_version 1.
+BENCH_admission.json / BENCH_fault.json / BENCH_storage.json /
+BENCH_lockbox.json against schema_version 1.
 
 Stdlib only, so the bench-smoke CI job and tools/run_bench.sh can call it
 anywhere a python3 exists. Checks required keys per tier, tier-set shape
@@ -142,6 +142,37 @@ STORAGE_NFS_KEYS = {
     "scaling_1_to_4",
     "gate_enforced",
     "fsck_clean",
+}
+
+LOCKBOX_TOP_KEYS = {
+    "bench",
+    "schema_version",
+    "public_users",
+    "private_users",
+    "payload_kb",
+    "chunk_kb",
+    "dedup",
+    "revocation",
+}
+LOCKBOX_DEDUP_KEYS = {
+    "public_puts",
+    "public_dedup_hits",
+    "public_stored_chunks",
+    "public_dedup_ratio",
+    "private_puts",
+    "private_dedup_hits",
+    "private_unique_chunks",
+    "put_mb_s",
+    "get_mb_s",
+}
+LOCKBOX_REVOCATION_KEYS = {
+    "devices",
+    "revoked_attempts",
+    "revoked_denied",
+    "denial_rate",
+    "sibling_fetches",
+    "sibling_keynote_queries",
+    "propagation_ms",
 }
 
 COHERENCE_TIER_KEYS = {
@@ -356,6 +387,53 @@ def check_storage(doc, errors):
             )
 
 
+def check_lockbox(doc, errors):
+    missing_top = LOCKBOX_TOP_KEYS - doc.keys()
+    if missing_top:
+        errors.append(f"missing top-level keys: {sorted(missing_top)}")
+        return
+    dedup = doc["dedup"]
+    if not isinstance(dedup, dict) or LOCKBOX_DEDUP_KEYS - dedup.keys():
+        errors.append(f"dedup must have {sorted(LOCKBOX_DEDUP_KEYS)}")
+        return
+    revocation = doc["revocation"]
+    if (not isinstance(revocation, dict)
+            or LOCKBOX_REVOCATION_KEYS - revocation.keys()):
+        errors.append(
+            f"revocation must have {sorted(LOCKBOX_REVOCATION_KEYS)}"
+        )
+        return
+    if not 0.0 <= dedup["public_dedup_ratio"] <= 1.0:
+        errors.append("dedup.public_dedup_ratio must be in [0, 1]")
+    if dedup["public_dedup_ratio"] < 0.9:
+        errors.append(
+            f"dedup.public_dedup_ratio below the 0.9 gate: "
+            f"{dedup['public_dedup_ratio']}"
+        )
+    if dedup["private_dedup_hits"] != 0:
+        errors.append(
+            "dedup.private_dedup_hits must be 0 (sealed chunks deduping "
+            "would leak plaintext equality across users)"
+        )
+    if dedup["public_puts"] <= 0 or dedup["public_stored_chunks"] <= 0:
+        errors.append("dedup chunk counts must be positive")
+    for key in ("put_mb_s", "get_mb_s"):
+        if dedup[key] <= 0:
+            errors.append(f"dedup.{key} must be positive")
+    if revocation["denial_rate"] != 1.0:
+        errors.append(
+            f"revocation.denial_rate must be 1.0 (a revoked device "
+            f"fetched a lockbox): {revocation['denial_rate']}"
+        )
+    if revocation["revoked_attempts"] <= 0:
+        errors.append("revocation.revoked_attempts must be positive")
+    if revocation["sibling_keynote_queries"] != 0:
+        errors.append(
+            "revocation.sibling_keynote_queries must be 0 (revocation "
+            "must stay scoped to the lost device's chain)"
+        )
+
+
 CHECKERS = {
     "policy_scaling": check_policy,
     "rpc_pipeline": check_rpc,
@@ -363,6 +441,7 @@ CHECKERS = {
     "admission_scaling": check_admission,
     "fault_injection": check_fault,
     "storage_scaling": check_storage,
+    "lockbox_sharing": check_lockbox,
 }
 
 

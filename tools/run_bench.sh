@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Builds the Release tree and runs the policy + RPC + coherence +
-# admission + storage benchmarks, leaving BENCH_policy.json,
-# BENCH_rpc.json, BENCH_coherence.json, BENCH_admission.json, and
-# BENCH_storage.json at the repo root (schemas: ROADMAP.md "Benchmarks",
-# enforced by tools/check_bench_schema.py).
+# admission + storage + lockbox benchmarks, leaving BENCH_policy.json,
+# BENCH_rpc.json, BENCH_coherence.json, BENCH_admission.json,
+# BENCH_storage.json, and BENCH_lockbox.json at the repo root (schemas:
+# docs/BENCH_SCHEMAS.md, enforced by tools/check_bench_schema.py).
 #
 # Usage: tools/run_bench.sh [max_credentials]
 #   max_credentials  cap the policy_scaling and admission_scaling sweeps
@@ -26,7 +26,8 @@ max_credentials="${1:-10000}"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target policy_scaling ablation_cache rpc_pipeline \
-  coherence_propagation admission_scaling storage_scaling
+  coherence_propagation admission_scaling storage_scaling \
+  lockbox_sharing micro_ops
 
 echo "--- policy_scaling (writes BENCH_policy.json) ---"
 "$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
@@ -52,16 +53,24 @@ echo "    cached read speedup, below 90% rewrite hit rate, or a dirty"
 echo "    fsck; one tier runs with the device latency model enabled) ---"
 "$build_dir/storage_scaling" "$repo_root/BENCH_storage.json"
 
+echo "--- lockbox_sharing (writes BENCH_lockbox.json; fails below 0.9"
+echo "    public dedup ratio, on any sealed-chunk dedup hit, or when a"
+echo "    revoked device's lockbox fetch is not denied cluster-wide) ---"
+"$build_dir/lockbox_sharing" "$repo_root/BENCH_lockbox.json"
+
+echo "--- micro_ops (self-timed core-primitive microbenchmarks) ---"
+"$build_dir/micro_ops"
+
 if command -v python3 >/dev/null 2>&1; then
   echo "--- schema validation ---"
   python3 "$repo_root/tools/check_bench_schema.py" \
     "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json" \
     "$repo_root/BENCH_coherence.json" "$repo_root/BENCH_admission.json" \
-    "$repo_root/BENCH_storage.json"
+    "$repo_root/BENCH_storage.json" "$repo_root/BENCH_lockbox.json"
 else
   echo "warning: python3 not found; skipping bench schema validation" >&2
 fi
 
 echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json" \
   "$repo_root/BENCH_coherence.json $repo_root/BENCH_admission.json" \
-  "$repo_root/BENCH_storage.json"
+  "$repo_root/BENCH_storage.json $repo_root/BENCH_lockbox.json"
