@@ -46,7 +46,7 @@ int main() {
       return 1;
     }
     auto* server = BackendDiscfsServer(**backend);
-    auto stats = server->cache_stats();
+    auto stats = server->stats_snapshot().cache;
     std::printf("%-10zu %10.3f %14llu %12llu %12llu\n", cache_size,
                 result->seconds,
                 static_cast<unsigned long long>(

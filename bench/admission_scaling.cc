@@ -247,7 +247,7 @@ TierResult RunTier(const DsaPrivateKey& server_key, size_t n, Prng& prng) {
   }
   double relapsed = NowSec() - r0;
   out.resubmit_per_s = n / relapsed;
-  auto stats = warm_server->signature_cache_stats();
+  auto stats = warm_server->stats_snapshot().signatures;
   out.sig_cache_hit_rate =
       stats.hits + stats.misses == 0
           ? 0.0

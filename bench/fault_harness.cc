@@ -39,6 +39,7 @@
 #include "src/discfs/host.h"
 #include "src/discfs/revocation.h"
 #include "src/ffs/ffs.h"
+#include "src/obs/trace.h"
 #include "src/util/prng.h"
 
 namespace discfs {
@@ -290,6 +291,7 @@ struct HarnessResult {
   uint64_t full_invalidations_total = 0;
   size_t revocation_violations = 0;
   size_t churn_events_total = 0;
+  size_t trace_nodes_observed = 0;
 };
 
 void WriteJson(std::FILE* f, const HarnessResult& r) {
@@ -308,6 +310,8 @@ void WriteJson(std::FILE* f, const HarnessResult& r) {
                static_cast<unsigned long long>(r.revocations_pulled_total));
   std::fprintf(f, "  \"full_invalidations_total\": %llu,\n",
                static_cast<unsigned long long>(r.full_invalidations_total));
+  std::fprintf(f, "  \"trace_nodes_observed\": %zu,\n",
+               r.trace_nodes_observed);
   std::fprintf(f, "  \"revocation_violations\": %zu,\n",
                r.revocation_violations);
   std::fprintf(f, "  \"restarts\": [\n");
@@ -387,6 +391,30 @@ int Run(int argc, char** argv) {
   }
   std::printf("baseline churn converged (%zu events)\n",
               mesh.revoked_ids.size());
+
+  // --- phase 2b: one traced revocation must be observable everywhere --
+  // The minted id rides the coherence push out of node 0; every node
+  // (origin included) must log it, which is the end-to-end proof that
+  // cross-node trace propagation survives a real mesh. Checked here,
+  // before restarts wipe the in-memory trace logs.
+  uint64_t trace_id = obs::MintTraceId();
+  {
+    obs::TraceScope scope(trace_id);
+    Churn(mesh, 0, "traced");
+  }
+  if (!Await([&] { return AllAcked(mesh); })) {
+    Fail("traced revocation did not converge");
+  }
+  for (Node& node : mesh.nodes) {
+    if (node.host->server().trace_log().Contains(trace_id)) {
+      ++result.trace_nodes_observed;
+    }
+  }
+  std::printf("traced revocation observed at %zu/%zu nodes\n",
+              result.trace_nodes_observed, cluster_size);
+  if (result.trace_nodes_observed != cluster_size) {
+    Fail("trace id missing at one or more nodes");
+  }
 
   // --- phase 3: rolling clean restarts under churn -------------------
   for (size_t i = 0; i < cluster_size; ++i) {

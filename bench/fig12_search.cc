@@ -61,7 +61,7 @@ int main() {
     }
     PrintSearchRow(*result);
     if (auto* server = BackendDiscfsServer(*backend)) {
-      auto stats = server->cache_stats();
+      auto stats = server->stats_snapshot().cache;
       std::printf(
           "    DisCFS policy cache: %llu hits, %llu misses, %llu evictions; "
           "%llu KeyNote evaluations total\n",

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/util/strings.h"
 
 namespace discfs {
@@ -248,6 +249,34 @@ void BlockCache::ResetCacheStats() {
   cache_stats_.readaheads.store(0, std::memory_order_relaxed);
   cache_stats_.sync_flushes.store(0, std::memory_order_relaxed);
   cache_stats_.dropped_dirty.store(0, std::memory_order_relaxed);
+}
+
+void BlockCache::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterGauge(
+      "discfs_block_cache", "Block cache counters by kind", [this] {
+        auto load = [](const std::atomic<uint64_t>& v) {
+          return static_cast<double>(v.load(std::memory_order_relaxed));
+        };
+        return std::vector<obs::GaugeSample>{
+            {"kind=\"hits\"", load(cache_stats_.hits)},
+            {"kind=\"misses\"", load(cache_stats_.misses)},
+            {"kind=\"evictions\"", load(cache_stats_.evictions)},
+            {"kind=\"writebacks\"", load(cache_stats_.writebacks)},
+            {"kind=\"readaheads\"", load(cache_stats_.readaheads)},
+            {"kind=\"sync_flushes\"", load(cache_stats_.sync_flushes)},
+            {"kind=\"dropped_dirty\"", load(cache_stats_.dropped_dirty)},
+        };
+      });
+  registry->RegisterGauge("discfs_block_cache_dirty_blocks",
+                          "Dirty blocks awaiting write-back", [this] {
+                            return std::vector<obs::GaugeSample>{
+                                {"", static_cast<double>(dirty_blocks())}};
+                          });
+  registry->RegisterGauge("discfs_block_cache_cached_blocks",
+                          "Resident cached blocks across all shards", [this] {
+                            return std::vector<obs::GaugeSample>{
+                                {"", static_cast<double>(cached_blocks())}};
+                          });
 }
 
 void BlockCache::NoteSequentialRead(uint64_t block) {

@@ -43,6 +43,10 @@
 
 namespace discfs {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 struct BlockCacheOptions {
   // Total cached blocks across all shards.
   size_t capacity_blocks = 1024;
@@ -103,6 +107,11 @@ class BlockCache : public BlockDevice {
   const BlockDeviceStats& stats() const override { return base_->stats(); }
   const BlockCacheStats& cache_stats() const { return cache_stats_; }
   void ResetCacheStats();
+
+  // Exports the cache counters (and dirty/cached block levels) as gauges
+  // on `registry`, labeled {kind}. The registry reads them only at scrape
+  // time; the cache must outlive it.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 
   size_t dirty_blocks() const {
     return dirty_count_.load(std::memory_order_relaxed);

@@ -38,10 +38,14 @@ struct CoherenceEvent {
   // AffectedRequesters closure computed at the origin while the delegation
   // chain was still installed there.
   std::vector<std::string> principals;
+  // Trace id of the operation that produced the event (0 = untraced); lets
+  // one traced mutation be followed across every node it reaches (src/obs).
+  uint64_t trace_id = 0;
 
   bool operator==(const CoherenceEvent& o) const {
     return type == o.type && credential_id == o.credential_id &&
-           principal == o.principal && principals == o.principals;
+           principal == o.principal && principals == o.principals &&
+           trace_id == o.trace_id;
   }
 };
 

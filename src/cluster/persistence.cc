@@ -17,7 +17,11 @@ namespace {
 
 constexpr uint32_t kRecordMagic = 0x43524A31;    // "CRJ1"
 constexpr uint32_t kSnapshotMagic = 0x43534E31;  // "CSN1"
-constexpr uint32_t kFormatVersion = 1;
+// v2: SequencedEvent grew an unconditional trace_id field (PR 9). Old
+// journals/snapshots fail the version check and are treated as absent
+// state — the node starts a fresh incarnation and peers flush once, the
+// same recovery path as a corrupt journal.
+constexpr uint32_t kFormatVersion = 2;
 // The header record's origin field; never a valid node id (ids are
 // KeyNote key strings).
 constexpr char kHeaderOrigin[] = "\x01journal-header";

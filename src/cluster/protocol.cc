@@ -20,6 +20,7 @@ void EncodeSequencedEvent(XdrWriter& w, const SequencedEvent& event) {
   for (const std::string& principal : event.event.principals) {
     w.PutString(principal);
   }
+  w.PutU64(event.event.trace_id);
 }
 
 Result<SequencedEvent> DecodeSequencedEvent(XdrReader& r) {
@@ -43,6 +44,7 @@ Result<SequencedEvent> DecodeSequencedEvent(XdrReader& r) {
     ASSIGN_OR_RETURN(std::string principal, r.GetString());
     out.event.principals.push_back(std::move(principal));
   }
+  ASSIGN_OR_RETURN(out.event.trace_id, r.GetU64());
   return out;
 }
 

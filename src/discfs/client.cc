@@ -1,5 +1,6 @@
 #include "src/discfs/client.h"
 
+#include "src/obs/trace.h"
 #include "src/wire/xdr.h"
 
 namespace discfs {
@@ -82,12 +83,18 @@ Result<std::vector<Result<std::string>>> DiscfsClient::SubmitCredentials(
 Status DiscfsClient::RemoveCredential(const std::string& credential_id) {
   XdrWriter w;
   w.PutString(credential_id);
+  // Revocations are the traced operations: mint an id here so the whole
+  // cross-node invalidation cascade is attributable to this call.
+  last_trace_id_ = obs::MintTraceId();
+  obs::TraceScope scope(last_trace_id_);
   return Call(DiscfsProc::kRemoveCredential, w.Take()).status();
 }
 
 Status DiscfsClient::RevokeOwnKey() {
   XdrWriter w;
   w.PutString(own_key_.ToKeyNoteString());
+  last_trace_id_ = obs::MintTraceId();
+  obs::TraceScope scope(last_trace_id_);
   return Call(DiscfsProc::kRevokeKey, w.Take()).status();
 }
 
@@ -189,6 +196,16 @@ Result<DiscfsServerInfo> DiscfsClient::ServerInfo() {
   ASSIGN_OR_RETURN(info.cache_misses, r.GetU64());
   ASSIGN_OR_RETURN(info.credential_count, r.GetU32());
   return info;
+}
+
+Result<std::string> DiscfsClient::ServerStats(bool json) {
+  XdrWriter w;
+  w.PutU32(json ? 1 : 0);
+  ASSIGN_OR_RETURN(Bytes reply, Call(DiscfsProc::kServerStats, w.Take()));
+  XdrReader r(reply);
+  // Expositions grow with label cardinality (per-proc histograms, per-peer
+  // gauges); allow a generous bound.
+  return r.GetString(1 << 24);
 }
 
 }  // namespace discfs

@@ -96,6 +96,16 @@ class DiscfsClient {
 
   Result<DiscfsServerInfo> ServerInfo();
 
+  // Scrapes the server's metrics registry (DiscfsProc::kServerStats):
+  // Prometheus text by default, one JSON object with `json`.
+  Result<std::string> ServerStats(bool json = false);
+
+  // Trace id minted for the most recent RemoveCredential/RevokeOwnKey call
+  // on this client (0 before the first). The id rides the RPC trailer and
+  // any coherence traffic the call triggers; servers answer
+  // trace_log().Contains(id) with it.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
   // Plain NFS operations (policy-checked server-side).
   NfsClient& nfs() { return *nfs_; }
 
@@ -114,6 +124,7 @@ class DiscfsClient {
   std::unique_ptr<NfsClient> nfs_;
   DsaPublicKey server_key_;
   DsaPublicKey own_key_;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace discfs

@@ -1,6 +1,8 @@
 #include "src/discfs/host.h"
 
 #include "src/crypto/sysrand.h"
+#include "src/obs/metrics.h"
+#include "src/vfs/vfs.h"
 
 namespace discfs {
 namespace internal {
@@ -102,9 +104,19 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
   if (!identity.rand_bytes) {
     identity.rand_bytes = [](size_t n) { return SysRandomBytes(n); };
   }
+  // If the volume is FFS-backed with a block cache, export its counters
+  // through the server's registry too (grab the pointer before the vfs
+  // moves into the server; the server keeps the vfs alive).
+  BlockCache* block_cache = nullptr;
+  if (auto* ffs_vfs = dynamic_cast<FfsVfs*>(vfs.get())) {
+    block_cache = ffs_vfs->ffs()->block_cache();
+  }
   auto host = std::unique_ptr<DiscfsHost>(new DiscfsHost());
   ASSIGN_OR_RETURN(host->server_,
                    DiscfsServer::Create(std::move(vfs), std::move(config)));
+  if (block_cache != nullptr) {
+    block_cache->RegisterMetrics(&host->server_->metrics());
+  }
   host->loop_ = std::make_unique<EventLoop>();
   host->pool_ = std::make_unique<WorkerPool>(
       ResolveWorkerThreads(options.worker_threads));
@@ -166,6 +178,39 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
     // it); don't retain a snapshot that would silently diverge.
     host->options_.cluster_peers.clear();
     host->options_.cluster_seeds.clear();
+  }
+  // Runtime-level gauges live in the server's registry so one kServerStats
+  // scrape covers the whole host. The callbacks read the pool/loop through
+  // the host pointer; scrapes only run from RPC handlers, which are all
+  // quiesced before the host's members are destroyed.
+  {
+    DiscfsHost* h = host.get();
+    obs::MetricsRegistry& reg = h->server_->metrics();
+    reg.RegisterGauge(
+        "discfs_host_pool", "Shared worker pool state by kind", [h] {
+          return std::vector<obs::GaugeSample>{
+              {"kind=\"queue_depth\"",
+               static_cast<double>(h->pool_->queue_depth())},
+              {"kind=\"in_flight\"",
+               static_cast<double>(h->pool_->in_flight())},
+              {"kind=\"threads\"", static_cast<double>(h->pool_->size())},
+              {"kind=\"submitted\"",
+               static_cast<double>(h->pool_->submitted())},
+          };
+        });
+    reg.RegisterGauge("discfs_host_loop", "Event loop state by kind", [h] {
+      return std::vector<obs::GaugeSample>{
+          {"kind=\"registered_fds\"",
+           static_cast<double>(h->loop_->registered())},
+          {"kind=\"dispatched\"", static_cast<double>(h->loop_->dispatched())},
+      };
+    });
+    reg.RegisterGauge("discfs_host_connections",
+                      "Live post-handshake connections", [h] {
+                        return std::vector<obs::GaugeSample>{
+                            {"",
+                             static_cast<double>(h->connections_.active())}};
+                      });
   }
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
   return host;

@@ -37,6 +37,9 @@ enum class DiscfsProc : uint32_t {
   kGetLockbox = 10,    // fh -> record + payload
   kGrantAccess = 11,   // fh, recipient, wrapped key -> ()
   kRevokeAccess = 12,  // fh, recipient -> ()
+  // Live stats scrape (src/obs): u32 format -> exposition text.
+  // format 0 = Prometheus text, 1 = JSON. Scraped by tools/discfs_stats.
+  kServerStats = 13,
 };
 
 // Upper bound on credentials per kSubmitCredentialBatch call (bounds the

@@ -9,24 +9,31 @@ namespace {
 // One set's worth of entries in a sync blob; two sets per blob.
 constexpr size_t kMaxEntriesPerSet = 1 << 20;
 
+// Leading magic of the v2 entry blob ("RVK2"). The v1 layout starts with
+// the key-set count instead, which is bounded by kMaxEntriesPerSet (2^20),
+// so the magic can never be mistaken for a v1 count.
+constexpr uint32_t kEntriesMagic = 0x52564B32;
+constexpr uint32_t kEntriesVersion = 2;
+
 }  // namespace
 
-void RevocationList::RevokeKey(const std::string& key_id, int64_t now) {
-  keys_[key_id] = now;
+void RevocationList::RevokeKey(const std::string& key_id, int64_t now,
+                               uint64_t trace_id) {
+  keys_[key_id] = Entry{now, trace_id};
 }
 
 void RevocationList::RevokeCredential(const std::string& credential_id,
-                                      int64_t now) {
-  credentials_[credential_id] = now;
+                                      int64_t now, uint64_t trace_id) {
+  credentials_[credential_id] = Entry{now, trace_id};
 }
 
-bool RevocationList::Contains(const std::map<std::string, int64_t>& set,
+bool RevocationList::Contains(const std::map<std::string, Entry>& set,
                               const std::string& id, int64_t now) const {
   auto it = set.find(id);
   if (it == set.end()) {
     return false;
   }
-  if (horizon_seconds_ > 0 && now - it->second > horizon_seconds_) {
+  if (horizon_seconds_ > 0 && now - it->second.revoked_at > horizon_seconds_) {
     return false;  // expired entry; Expire() will reclaim it
   }
   return true;
@@ -44,17 +51,18 @@ bool RevocationList::IsCredentialRevoked(const std::string& credential_id,
 
 Bytes RevocationList::Digest(int64_t now) const {
   // std::map iteration is already sorted, so the digest is deterministic
-  // across nodes that agree on membership.
+  // across nodes that agree on membership. Ids only: timestamps and trace
+  // ids are node-local annotations that must not keep digests unequal.
   XdrWriter w;
-  for (const auto& [id, revoked_at] : keys_) {
-    if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+  for (const auto& [id, entry] : keys_) {
+    if (horizon_seconds_ > 0 && now - entry.revoked_at > horizon_seconds_) {
       continue;
     }
     w.PutU32(1);  // type tag: key
     w.PutString(id);
   }
-  for (const auto& [id, revoked_at] : credentials_) {
-    if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+  for (const auto& [id, entry] : credentials_) {
+    if (horizon_seconds_ > 0 && now - entry.revoked_at > horizon_seconds_) {
       continue;
     }
     w.PutU32(2);  // type tag: credential
@@ -65,21 +73,24 @@ Bytes RevocationList::Digest(int64_t now) const {
 
 Bytes RevocationList::SerializeEntries(int64_t now) const {
   XdrWriter w;
+  w.PutU32(kEntriesMagic);
+  w.PutU32(kEntriesVersion);
   for (const auto* set : {&keys_, &credentials_}) {
     uint32_t count = 0;
-    for (const auto& [id, revoked_at] : *set) {
-      if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+    for (const auto& [id, entry] : *set) {
+      if (horizon_seconds_ > 0 && now - entry.revoked_at > horizon_seconds_) {
         continue;
       }
       ++count;
     }
     w.PutU32(count);
-    for (const auto& [id, revoked_at] : *set) {
-      if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
+    for (const auto& [id, entry] : *set) {
+      if (horizon_seconds_ > 0 && now - entry.revoked_at > horizon_seconds_) {
         continue;
       }
       w.PutString(id);
-      w.PutI64(revoked_at);
+      w.PutI64(entry.revoked_at);
+      w.PutU64(entry.trace_id);
     }
   }
   return w.Take();
@@ -89,8 +100,24 @@ Result<RevocationList::MergeResult> RevocationList::MergeSerialized(
     const Bytes& blob, int64_t now) {
   XdrReader r(blob);
   MergeResult result;
+  // v2 blobs lead with a magic the v1 layout cannot produce (its first
+  // field is a count bounded far below the magic value); anything else is
+  // a v1 blob whose entries carry no trace ids.
+  bool with_trace = false;
+  {
+    XdrReader probe(blob);
+    Result<uint32_t> first = probe.GetU32();
+    with_trace = first.ok() && *first == kEntriesMagic;
+  }
+  if (with_trace) {
+    (void)r.GetU32();  // magic, already validated by the probe
+    ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+    if (version < kEntriesVersion) {
+      return InvalidArgumentError("revocation sync blob version too old");
+    }
+  }
   for (auto* set : {&keys_, &credentials_}) {
-    std::vector<std::string>* fresh =
+    std::vector<MergeResult::NewEntry>* fresh =
         set == &keys_ ? &result.new_keys : &result.new_credentials;
     ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
     if (count > kMaxEntriesPerSet) {
@@ -99,6 +126,10 @@ Result<RevocationList::MergeResult> RevocationList::MergeSerialized(
     for (uint32_t i = 0; i < count; ++i) {
       ASSIGN_OR_RETURN(std::string id, r.GetString());
       ASSIGN_OR_RETURN(int64_t revoked_at, r.GetI64());
+      uint64_t trace_id = 0;
+      if (with_trace) {
+        ASSIGN_OR_RETURN(trace_id, r.GetU64());
+      }
       if (horizon_seconds_ > 0 && now - revoked_at > horizon_seconds_) {
         continue;  // already expired by our clock; don't resurrect it
       }
@@ -106,12 +137,12 @@ Result<RevocationList::MergeResult> RevocationList::MergeSerialized(
       // expired by our clock and revived by the peer's later timestamp.
       // Those are the entries the server must re-check caches against.
       bool was_active = Contains(*set, id, now);
-      auto [it, inserted] = set->emplace(id, revoked_at);
-      if (!inserted && revoked_at > it->second) {
-        it->second = revoked_at;
+      auto [it, inserted] = set->emplace(id, Entry{revoked_at, trace_id});
+      if (!inserted && revoked_at > it->second.revoked_at) {
+        it->second = Entry{revoked_at, trace_id};
       }
       if (!was_active && Contains(*set, id, now)) {
-        fresh->push_back(std::move(id));
+        fresh->push_back({std::move(id), trace_id});
       }
     }
   }
@@ -124,7 +155,7 @@ void RevocationList::Expire(int64_t now) {
   }
   for (auto* set : {&keys_, &credentials_}) {
     for (auto it = set->begin(); it != set->end();) {
-      if (now - it->second > horizon_seconds_) {
+      if (now - it->second.revoked_at > horizon_seconds_) {
         it = set->erase(it);
       } else {
         ++it;

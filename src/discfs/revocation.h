@@ -21,12 +21,21 @@ namespace discfs {
 
 class RevocationList {
  public:
+  // One revocation: when it was applied, and (when the revoking operation
+  // was traced, see src/obs) the trace id it carries through anti-entropy.
+  struct Entry {
+    int64_t revoked_at = 0;
+    uint64_t trace_id = 0;
+  };
+
   // horizon_seconds: how long entries are remembered (0 = forever).
   explicit RevocationList(int64_t horizon_seconds)
       : horizon_seconds_(horizon_seconds) {}
 
-  void RevokeKey(const std::string& key_id, int64_t now);
-  void RevokeCredential(const std::string& credential_id, int64_t now);
+  void RevokeKey(const std::string& key_id, int64_t now,
+                 uint64_t trace_id = 0);
+  void RevokeCredential(const std::string& credential_id, int64_t now,
+                        uint64_t trace_id = 0);
 
   bool IsKeyRevoked(const std::string& key_id, int64_t now) const;
   bool IsCredentialRevoked(const std::string& credential_id,
@@ -50,14 +59,20 @@ class RevocationList {
   // and a credential id never collide.
   Bytes Digest(int64_t now) const;
 
-  // XDR-serializes the unexpired entries for shipping to a peer.
+  // XDR-serializes the unexpired entries for shipping to a peer. Format
+  // v2 (magic-prefixed) carries trace ids; MergeSerialized still accepts
+  // the unprefixed v1 layout from peers that predate them.
   Bytes SerializeEntries(int64_t now) const;
 
   struct MergeResult {
+    struct NewEntry {
+      std::string id;
+      uint64_t trace_id = 0;  // from the peer's entry (0 = untraced)
+    };
     // Ids newly learned from the peer (absent locally and unexpired);
     // timestamp-only extensions of known entries are not listed.
-    std::vector<std::string> new_keys;
-    std::vector<std::string> new_credentials;
+    std::vector<NewEntry> new_keys;
+    std::vector<NewEntry> new_credentials;
   };
 
   // Merges a peer's SerializeEntries blob: unknown unexpired ids are
@@ -65,12 +80,12 @@ class RevocationList {
   Result<MergeResult> MergeSerialized(const Bytes& blob, int64_t now);
 
  private:
-  bool Contains(const std::map<std::string, int64_t>& set,
-                const std::string& id, int64_t now) const;
+  bool Contains(const std::map<std::string, Entry>& set, const std::string& id,
+                int64_t now) const;
 
   int64_t horizon_seconds_;
-  std::map<std::string, int64_t> keys_;         // id -> revoked_at
-  std::map<std::string, int64_t> credentials_;  // id -> revoked_at
+  std::map<std::string, Entry> keys_;         // id -> entry
+  std::map<std::string, Entry> credentials_;  // id -> entry
 };
 
 }  // namespace discfs

@@ -61,6 +61,7 @@ Result<std::unique_ptr<DiscfsServer>> DiscfsServer::Create(
   server->RegisterDiscfsProcs();
   server->RegisterLockboxProcs();
   server->RegisterClusterProcs();
+  server->RegisterServerMetrics();
   return server;
 }
 
@@ -89,8 +90,12 @@ Result<std::shared_ptr<RpcConnection>> DiscfsServer::ServeOnLoop(
                                                   identity));
   RpcContext ctx;
   ctx.peer_key = channel->peer_key();
+  RpcConnection::Options opts = options;
+  if (opts.recorder == nullptr) {
+    opts.recorder = &recorder_;  // flight-record every loop-served call
+  }
   return RpcConnection::Start(&dispatcher_, std::move(channel),
-                              std::move(ctx), options, std::move(on_closed));
+                              std::move(ctx), opts, std::move(on_closed));
 }
 
 Status DiscfsServer::CheckAccess(const NfsAccessRequest& request) {
@@ -168,6 +173,10 @@ std::vector<std::string> DiscfsServer::InvalidateAffectedLocked(
 }
 
 void DiscfsServer::PublishChurnLocked(cluster::CoherenceEvent event) {
+  // The mutating operation's trace id (thread-local, installed by the RPC
+  // runtime or a local TraceScope) rides the event to every peer.
+  event.trace_id = obs::CurrentTraceId();
+  trace_log_.Record(event.trace_id, "publish");
   if (fabric_ != nullptr) {
     fabric_->Publish(std::move(event));
   }
@@ -277,7 +286,8 @@ void DiscfsServer::SetVerifyPool(WorkerPool* pool) { verify_pool_ = pool; }
 
 Status DiscfsServer::RemoveCredential(const std::string& credential_id) {
   std::lock_guard<std::shared_mutex> lock(mu_);
-  revocation_.RevokeCredential(credential_id, clock_->NowUnix());
+  revocation_.RevokeCredential(credential_id, clock_->NowUnix(),
+                               obs::CurrentTraceId());
   // Compute the closure while the chain is still known (empty when the
   // credential was never installed here).
   cluster::CoherenceEvent event;
@@ -294,14 +304,15 @@ Status DiscfsServer::RemoveCredential(const std::string& credential_id) {
 void DiscfsServer::RevokeKey(const std::string& principal) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   int64_t now = clock_->NowUnix();
-  revocation_.RevokeKey(principal, now);
+  uint64_t trace = obs::CurrentTraceId();
+  revocation_.RevokeKey(principal, now, trace);
   cluster::CoherenceEvent event;
   event.type = cluster::CoherenceEvent::Type::kRevokeKey;
   event.principal = principal;
   // Delegations issued by the revoked key stop contributing immediately.
   for (const std::string& id :
        session_.CredentialIdsByAuthorizer(principal)) {
-    revocation_.RevokeCredential(id, now);
+    revocation_.RevokeCredential(id, now, trace);
     for (std::string& p : InvalidateAffectedLocked(id)) {
       event.principals.push_back(std::move(p));
     }
@@ -325,17 +336,16 @@ void DiscfsServer::ResetTelemetry() {
   counters_.denials.store(0, std::memory_order_relaxed);
 }
 
-PolicyCache::Stats DiscfsServer::cache_stats() const {
-  return cache_.stats();  // internally synchronized
-}
-
-PolicyCache::CoherenceStats DiscfsServer::cache_coherence_stats() const {
-  return cache_.coherence_stats();  // internally synchronized
-}
-
-keynote::VerifiedSignatureCache::Stats DiscfsServer::signature_cache_stats()
-    const {
-  return sig_cache_.stats();  // internally synchronized
+DiscfsServer::ServerStatsSnapshot DiscfsServer::stats_snapshot() const {
+  ServerStatsSnapshot snap;
+  snap.cache = cache_.stats();            // internally synchronized
+  snap.coherence = cache_.coherence_stats();
+  snap.signatures = sig_cache_.stats();   // internally synchronized
+  snap.cluster = cluster_health();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  snap.credential_count = session_.credential_count();
+  snap.revocation_entries = revocation_.size();
+  return snap;
 }
 
 void DiscfsServer::AttachCoherenceFabric(cluster::CoherenceFabric* fabric) {
@@ -345,6 +355,7 @@ void DiscfsServer::AttachCoherenceFabric(cluster::CoherenceFabric* fabric) {
 void DiscfsServer::ApplyRemoteEvent(const cluster::CoherenceEvent& event) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   counters_.remote_events_applied.fetch_add(1, std::memory_order_relaxed);
+  trace_log_.Record(event.trace_id, "apply");
   int64_t now = clock_->NowUnix();
   switch (event.type) {
     case cluster::CoherenceEvent::Type::kSubmit:
@@ -355,7 +366,7 @@ void DiscfsServer::ApplyRemoteEvent(const cluster::CoherenceEvent& event) {
       }
       break;
     case cluster::CoherenceEvent::Type::kRemove:
-      revocation_.RevokeCredential(event.credential_id, now);
+      revocation_.RevokeCredential(event.credential_id, now, event.trace_id);
       if (session_.HasCredential(event.credential_id)) {
         // Our own delegation graph may reach principals the origin's did
         // not; invalidate the local closure too, then expel the chain.
@@ -370,10 +381,10 @@ void DiscfsServer::ApplyRemoteEvent(const cluster::CoherenceEvent& event) {
       }
       break;
     case cluster::CoherenceEvent::Type::kRevokeKey:
-      revocation_.RevokeKey(event.principal, now);
+      revocation_.RevokeKey(event.principal, now, event.trace_id);
       for (const std::string& id :
            session_.CredentialIdsByAuthorizer(event.principal)) {
-        revocation_.RevokeCredential(id, now);
+        revocation_.RevokeCredential(id, now, event.trace_id);
         for (const std::string& principal : session_.AffectedRequesters(id)) {
           cache_.InvalidatePrincipalRemote(principal);
         }
@@ -415,23 +426,29 @@ size_t DiscfsServer::MergeRevocations(const Bytes& blob) {
   // revocation event would have had (ApplyRemoteEvent's kRemove /
   // kRevokeKey arms), minus the origin's closure hints — our own
   // delegation graph supplies the affected principals.
-  for (const std::string& id : merged->new_credentials) {
-    if (session_.HasCredential(id)) {
-      for (const std::string& principal : session_.AffectedRequesters(id)) {
+  for (const RevocationList::MergeResult::NewEntry& entry :
+       merged->new_credentials) {
+    trace_log_.Record(entry.trace_id, "anti-entropy", "credential");
+    if (session_.HasCredential(entry.id)) {
+      for (const std::string& principal :
+           session_.AffectedRequesters(entry.id)) {
         cache_.InvalidatePrincipalRemote(principal);
       }
-      (void)session_.RemoveCredential(id);
+      (void)session_.RemoveCredential(entry.id);
     }
   }
-  for (const std::string& key : merged->new_keys) {
-    for (const std::string& id : session_.CredentialIdsByAuthorizer(key)) {
-      revocation_.RevokeCredential(id, now);
+  for (const RevocationList::MergeResult::NewEntry& entry :
+       merged->new_keys) {
+    trace_log_.Record(entry.trace_id, "anti-entropy", "key");
+    for (const std::string& id :
+         session_.CredentialIdsByAuthorizer(entry.id)) {
+      revocation_.RevokeCredential(id, now, entry.trace_id);
       for (const std::string& principal : session_.AffectedRequesters(id)) {
         cache_.InvalidatePrincipalRemote(principal);
       }
       (void)session_.RemoveCredential(id);
     }
-    cache_.InvalidatePrincipalRemote(key);
+    cache_.InvalidatePrincipalRemote(entry.id);
   }
   return merged->new_keys.size() + merged->new_credentials.size();
 }
@@ -504,6 +521,7 @@ void DiscfsServer::RegisterDiscfsProcs() {
                 "only the issuer may remove a credential");
           }
         }
+        trace_log_.Record(ctx.trace_id, "rpc", "remove-credential");
         RETURN_IF_ERROR(RemoveCredential(id));
         return Bytes();
       });
@@ -521,6 +539,7 @@ void DiscfsServer::RegisterDiscfsProcs() {
           return PermissionDeniedError(
               "remote revocation is limited to the requesting key itself");
         }
+        trace_log_.Record(ctx.trace_id, "rpc", "revoke-key");
         RevokeKey(principal);
         return Bytes();
       });
@@ -595,10 +614,27 @@ void DiscfsServer::RegisterDiscfsProcs() {
         XdrWriter w;
         w.PutString(public_key().ToKeyNoteString());
         w.PutU64(counters_.keynote_queries.load(std::memory_order_relaxed));
-        PolicyCache::Stats stats = cache_stats();
-        w.PutU64(stats.hits);
-        w.PutU64(stats.misses);
-        w.PutU32(static_cast<uint32_t>(credential_count()));
+        ServerStatsSnapshot stats = stats_snapshot();
+        w.PutU64(stats.cache.hits);
+        w.PutU64(stats.cache.misses);
+        w.PutU32(static_cast<uint32_t>(stats.credential_count));
+        return w.Take();
+      });
+
+  reg(DiscfsProc::kServerStats,
+      [this](const Bytes& args, const RpcContext& ctx) -> Result<Bytes> {
+        XdrReader r(args);
+        ASSIGN_OR_RETURN(uint32_t format, r.GetU32());
+        if (format > 1) {
+          return InvalidArgumentError(
+              StrPrintf("unknown stats format %u (0 = Prometheus text, "
+                        "1 = JSON)",
+                        format));
+        }
+        trace_log_.Record(ctx.trace_id, "rpc", "server-stats");
+        XdrWriter w;
+        w.PutString(format == 0 ? metrics_.PrometheusText()
+                                : metrics_.Json());
         return w.Take();
       });
 }
@@ -793,6 +829,130 @@ void DiscfsServer::RegisterClusterProcs() {
           reply.entries = SerializeRevocations();
         }
         return cluster::EncodeRevocationSyncReply(reply);
+      });
+}
+
+void DiscfsServer::RegisterServerMetrics() {
+  // Every existing Stats struct becomes a gauge callback: the subsystem
+  // keeps owning its numbers, the registry reads them only at scrape time.
+  auto one = [](double v) {
+    return std::vector<obs::GaugeSample>{{"", v}};
+  };
+  metrics_.RegisterGauge(
+      "discfs_keynote_queries_total", "KeyNote compliance queries",
+      [this, one] { return one(static_cast<double>(counters_.keynote_queries.load(
+          std::memory_order_relaxed))); });
+  metrics_.RegisterGauge(
+      "discfs_access_checks_total", "NFS access-hook checks",
+      [this, one] { return one(static_cast<double>(counters_.access_checks.load(
+          std::memory_order_relaxed))); });
+  metrics_.RegisterGauge(
+      "discfs_denials_total", "Access checks denied",
+      [this, one] { return one(static_cast<double>(counters_.denials.load(
+          std::memory_order_relaxed))); });
+  metrics_.RegisterGauge(
+      "discfs_credentials_submitted_total", "Credentials admitted",
+      [this, one] { return one(static_cast<double>(counters_.credentials_submitted.load(
+          std::memory_order_relaxed))); });
+  metrics_.RegisterGauge(
+      "discfs_remote_events_applied_total", "Coherence events applied",
+      [this, one] { return one(static_cast<double>(counters_.remote_events_applied.load(
+          std::memory_order_relaxed))); });
+  metrics_.RegisterGauge(
+      "discfs_policy_cache", "Policy cache counters by {kind}", [this] {
+        PolicyCache::Stats s = cache_.stats();
+        PolicyCache::CoherenceStats c = cache_.coherence_stats();
+        return std::vector<obs::GaugeSample>{
+            {"kind=\"hits\"", static_cast<double>(s.hits)},
+            {"kind=\"misses\"", static_cast<double>(s.misses)},
+            {"kind=\"evictions\"", static_cast<double>(s.evictions)},
+            {"kind=\"invalidations\"", static_cast<double>(s.invalidations)},
+            {"kind=\"local_bumps\"", static_cast<double>(c.local_bumps)},
+            {"kind=\"remote_bumps\"", static_cast<double>(c.remote_bumps)},
+        };
+      });
+  metrics_.RegisterGauge(
+      "discfs_signature_cache", "Verified-signature cache counters by {kind}",
+      [this] {
+        keynote::VerifiedSignatureCache::Stats s = sig_cache_.stats();
+        return std::vector<obs::GaugeSample>{
+            {"kind=\"hits\"", static_cast<double>(s.hits)},
+            {"kind=\"misses\"", static_cast<double>(s.misses)},
+            {"kind=\"evictions\"", static_cast<double>(s.evictions)},
+        };
+      });
+  metrics_.RegisterGauge(
+      "discfs_chunkstore", "Content-addressed chunk store counters by {kind}",
+      [this] {
+        ChunkStore::Stats s = chunkstore_->stats();
+        return std::vector<obs::GaugeSample>{
+            {"kind=\"puts\"", static_cast<double>(s.puts)},
+            {"kind=\"dedup_hits\"", static_cast<double>(s.dedup_hits)},
+            {"kind=\"stored\"", static_cast<double>(s.stored)},
+            {"kind=\"removed\"", static_cast<double>(s.removed)},
+        };
+      });
+  metrics_.RegisterGauge(
+      "discfs_nfs_ops_served_total", "NFS procedures served",
+      [this, one] { return one(static_cast<double>(nfs_->ops_served())); });
+  metrics_.RegisterGauge(
+      "discfs_credentials", "Credentials currently installed", [this, one] {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return one(static_cast<double>(session_.credential_count()));
+      });
+  metrics_.RegisterGauge(
+      "discfs_revocation_entries", "Unexpired revocation-list entries",
+      [this, one] {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return one(static_cast<double>(revocation_.size()));
+      });
+  metrics_.RegisterGauge(
+      "discfs_traces_recorded_total", "Trace observations at this node",
+      [this, one] {
+        return one(static_cast<double>(trace_log_.recorded_total()));
+      });
+  // Cluster liveness: one labeled sample per configured peer, plus the
+  // origin log position. Peer ack lag = head_seq - acked_seq, the replica
+  // staleness a dashboard actually alerts on.
+  metrics_.RegisterGauge(
+      "discfs_cluster_head_seq", "Origin coherence log head", [this, one] {
+        return one(static_cast<double>(cluster_health().head_seq));
+      });
+  auto per_peer = [this](auto field) {
+    cluster::ClusterHealth health = cluster_health();
+    std::vector<obs::GaugeSample> out;
+    out.reserve(health.peers.size());
+    for (const cluster::PeerHealth& peer : health.peers) {
+      out.push_back(
+          {"peer=\"" + peer.address + "\"", field(health, peer)});
+    }
+    return out;
+  };
+  metrics_.RegisterGauge(
+      "discfs_cluster_peer_healthy", "1 = peer heard from within deadline",
+      [per_peer] {
+        return per_peer([](const cluster::ClusterHealth&,
+                           const cluster::PeerHealth& p) {
+          return p.healthy ? 1.0 : 0.0;
+        });
+      });
+  metrics_.RegisterGauge(
+      "discfs_cluster_peer_connected", "1 = transport to peer established",
+      [per_peer] {
+        return per_peer([](const cluster::ClusterHealth&,
+                           const cluster::PeerHealth& p) {
+          return p.connected ? 1.0 : 0.0;
+        });
+      });
+  metrics_.RegisterGauge(
+      "discfs_cluster_peer_ack_lag",
+      "Events published here the peer has not acked", [per_peer] {
+        return per_peer([](const cluster::ClusterHealth& h,
+                           const cluster::PeerHealth& p) {
+          return p.acked_seq <= h.head_seq
+                     ? static_cast<double>(h.head_seq - p.acked_seq)
+                     : 0.0;
+        });
       });
 }
 

@@ -28,6 +28,9 @@
 #include "src/keynote/session.h"
 #include "src/lockbox/lockbox.h"
 #include "src/nfs/nfs_server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
+#include "src/obs/trace.h"
 #include "src/securechannel/channel.h"
 #include "src/util/clock.h"
 #include "src/vfs/vfs.h"
@@ -136,8 +139,6 @@ class DiscfsServer {
   void ApplyRemoteEvent(const cluster::CoherenceEvent& event);
 
   // --- cluster liveness & anti-entropy (PR 6) ---
-  // Peer liveness snapshot from the attached fabric (empty standalone).
-  cluster::ClusterHealth cluster_health() const;
   // Revocation-list views for anti-entropy and state snapshots (the
   // snapshot blob IS the serialized revocation list, so restore = merge).
   Bytes SerializeRevocations() const;
@@ -153,17 +154,41 @@ class DiscfsServer {
     return config_.server_key.public_key();
   }
   const Counters& counters() const { return counters_; }
-  PolicyCache::Stats cache_stats() const;
-  PolicyCache::CoherenceStats cache_coherence_stats() const;
-  // Verified-signature cache telemetry: benches and tests observe
-  // replay-skip behavior directly instead of inferring it from timing.
-  keynote::VerifiedSignatureCache::Stats signature_cache_stats() const;
+
+  // One coherent view of every subsystem's statistics (PR 9). Replaces
+  // the former cache_stats / cache_coherence_stats / signature_cache_stats
+  // / cluster_health accessors; both the kServerStats exposition and the
+  // tests read through this.
+  struct ServerStatsSnapshot {
+    PolicyCache::Stats cache;
+    PolicyCache::CoherenceStats coherence;
+    // Verified-signature cache telemetry: benches and tests observe
+    // replay-skip behavior directly instead of inferring it from timing.
+    keynote::VerifiedSignatureCache::Stats signatures;
+    // Peer liveness snapshot from the attached fabric (empty standalone).
+    cluster::ClusterHealth cluster;
+    size_t credential_count = 0;
+    size_t revocation_entries = 0;
+  };
+  ServerStatsSnapshot stats_snapshot() const;
+
   size_t credential_count() const;
   NfsServer& nfs() { return *nfs_; }
   // Lockbox storage (bench/test telemetry: chunkstore().stats()). Policy
   // enforcement lives in the RPC procedures, not in these objects.
   ChunkStore& chunkstore() { return *chunkstore_; }
   LockboxService& lockbox() { return *lockbox_; }
+
+  // --- observability (PR 9) ---
+  // The server's unified metrics registry: every subsystem's Stats struct
+  // is exported as gauges, the RPC flight recorder feeds span histograms,
+  // and kServerStats serves PrometheusText()/Json() from it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // Flight recorder the host wires into each connection's options.
+  obs::RpcRecorder& recorder() { return recorder_; }
+  // Trace observations ("rpc", "publish", "apply", "anti-entropy") seen at
+  // this node; the fault harness asserts cross-node propagation through it.
+  const obs::TraceLog& trace_log() const { return trace_log_; }
 
   // Direct policy evaluation (bench/test entry): full RWX mask `principal`
   // holds on `inode`, going through the cache.
@@ -195,6 +220,11 @@ class DiscfsServer {
   void RegisterDiscfsProcs();
   void RegisterLockboxProcs();
   void RegisterClusterProcs();
+  // Wraps every subsystem's Stats struct in registry gauges (scrape-time
+  // callbacks; no hot-path cost).
+  void RegisterServerMetrics();
+  // Peer liveness snapshot from the attached fabric (empty standalone).
+  cluster::ClusterHealth cluster_health() const;
 
   std::shared_ptr<Vfs> vfs_;
   DiscfsServerConfig config_;
@@ -221,6 +251,13 @@ class DiscfsServer {
   // Set once before serving starts (AttachCoherenceFabric); null when
   // this server runs standalone.
   cluster::CoherenceFabric* fabric_ = nullptr;
+
+  // Observability (PR 9). Declared after the subsystems the registered
+  // gauges read; gauge callbacks only run from RPC handlers and direct
+  // scrapes, both quiesced before destruction begins.
+  obs::MetricsRegistry metrics_;
+  obs::RpcRecorder recorder_{&metrics_};
+  obs::TraceLog trace_log_;
 };
 
 }  // namespace discfs

@@ -190,6 +190,7 @@ void EventLoop::PollLoop() {
         cb = it->second;
         dispatching_fd_ = ev.data.fd;
       }
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
       (*cb)(mask);
       {
         std::lock_guard<std::mutex> lock(mu_);

@@ -20,6 +20,7 @@
 #ifndef DISCFS_SRC_NET_EVENT_LOOP_H_
 #define DISCFS_SRC_NET_EVENT_LOOP_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,6 +76,11 @@ class EventLoop {
   // Registered fds, excluding the internal wakeup eventfd.
   size_t registered() const;
 
+  // Callback dispatches since construction (observability gauge).
+  uint64_t dispatched() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+
  private:
   void PollLoop();
   void RunPostedTasks();
@@ -90,6 +96,7 @@ class EventLoop {
   std::deque<Task> tasks_;
   int dispatching_fd_ = -1;  // fd whose callback is currently running
   bool stopping_ = false;
+  std::atomic<uint64_t> dispatched_{0};
 };
 
 }  // namespace discfs

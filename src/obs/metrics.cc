@@ -1,0 +1,351 @@
+#include "src/obs/metrics.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace discfs::obs {
+namespace {
+
+// Round-robin shard assignment per thread: cheaper and better distributed
+// than hashing thread ids, and stable for a thread's lifetime.
+std::atomic<size_t> g_next_shard{0};
+
+size_t ThisThreadShard() {
+  static thread_local size_t shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+std::string FormatDouble(double v) {
+  // Integers print without a fraction so counter values stay exact.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// ----------------------------------------------------------------- counter
+
+void Counter::Add(uint64_t n) {
+  shards_[ThisThreadShard() & (kShards - 1)].value.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --------------------------------------------------------------- histogram
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);  // exact buckets 0..7
+  }
+  int msb = 63 - __builtin_clzll(value);
+  int octave = msb - kSubBucketBits;  // 0-based beyond the exact range
+  return kSubBuckets + static_cast<size_t>(octave) * kSubBuckets +
+         static_cast<size_t>((value >> octave) & (kSubBuckets - 1));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  size_t octave = (index - kSubBuckets) / kSubBuckets;
+  uint64_t position = (index - kSubBuckets) % kSubBuckets;
+  return (kSubBuckets + position) << octave;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index + 1 >= kNumBuckets) {
+    return ~0ull;
+  }
+  return BucketLowerBound(index + 1) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  // Per-bucket relaxed loads: the snapshot is a sample, not a barrier; the
+  // count is recomputed from the copied buckets so count and buckets agree
+  // with each other even while writers race.
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * count));
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return Histogram::BucketUpperBound(i);
+    }
+  }
+  return Histogram::BucketUpperBound(buckets.size() - 1);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- registry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    if (!help.empty()) {
+      help_[name] = help;
+    }
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         const std::string& help) {
+  std::string key = name + "{" + labels + "}";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    HistogramEntry entry;
+    entry.name = name;
+    entry.labels = labels;
+    entry.histogram = std::make_unique<Histogram>();
+    it = histograms_.emplace(std::move(key), std::move(entry)).first;
+    if (!help.empty()) {
+      help_[name] = help;
+    }
+  }
+  return it->second.histogram.get();
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& help, GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!help.empty()) {
+    help_[name] = help;
+  }
+  gauges_.push_back({name, help, std::move(fn)});
+}
+
+namespace {
+
+// Scrape-time flattening of the registry's live objects: everything is
+// copied or evaluated into plain values first, so formatting (and gauge
+// callbacks, which may take subsystem locks) runs with no registry lock
+// held.
+struct Flattened {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  struct Hist {
+    std::string name;
+    std::string labels;
+    Histogram::Snapshot snap;
+  };
+  std::vector<Hist> histograms;
+  struct Gauge {
+    std::string name;
+    std::vector<GaugeSample> samples;
+  };
+  std::vector<Gauge> gauges;
+  std::map<std::string, std::string> help;
+};
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  Flattened flat;
+  std::vector<GaugeEntry> gauge_fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      flat.counters.emplace_back(name, counter->Value());
+    }
+    for (const auto& [key, entry] : histograms_) {
+      flat.histograms.push_back(
+          {entry.name, entry.labels, entry.histogram->TakeSnapshot()});
+    }
+    gauge_fns = gauges_;
+    flat.help = help_;
+  }
+  for (const GaugeEntry& gauge : gauge_fns) {
+    flat.gauges.push_back({gauge.name, gauge.fn()});
+  }
+
+  std::string out;
+  out.reserve(4096);
+  auto help_line = [&](const std::string& name, const char* type) {
+    auto it = flat.help.find(name);
+    if (it != flat.help.end()) {
+      out += "# HELP " + name + " " + it->second + "\n";
+    }
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+  for (const auto& [name, value] : flat.counters) {
+    help_line(name, "counter");
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  std::string last_gauge_name;
+  for (const auto& gauge : flat.gauges) {
+    if (gauge.name != last_gauge_name) {
+      help_line(gauge.name, "gauge");
+      last_gauge_name = gauge.name;
+    }
+    for (const GaugeSample& sample : gauge.samples) {
+      out += gauge.name;
+      if (!sample.labels.empty()) {
+        out += "{" + sample.labels + "}";
+      }
+      out += " " + FormatDouble(sample.value) + "\n";
+    }
+  }
+  std::string last_hist_name;
+  for (const auto& hist : flat.histograms) {
+    if (hist.name != last_hist_name) {
+      help_line(hist.name, "summary");
+      last_hist_name = hist.name;
+    }
+    auto quantile_line = [&](const char* q, double qv) {
+      out += hist.name + "{";
+      if (!hist.labels.empty()) {
+        out += hist.labels + ",";
+      }
+      out += std::string("quantile=\"") + q + "\"} " +
+             std::to_string(hist.snap.Quantile(qv)) + "\n";
+    };
+    quantile_line("0.5", 0.5);
+    quantile_line("0.95", 0.95);
+    quantile_line("0.99", 0.99);
+    std::string label_suffix =
+        hist.labels.empty() ? "" : "{" + hist.labels + "}";
+    out += hist.name + "_sum" + label_suffix + " " +
+           std::to_string(hist.snap.sum) + "\n";
+    out += hist.name + "_count" + label_suffix + " " +
+           std::to_string(hist.snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  Flattened flat;
+  std::vector<GaugeEntry> gauge_fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      flat.counters.emplace_back(name, counter->Value());
+    }
+    for (const auto& [key, entry] : histograms_) {
+      flat.histograms.push_back(
+          {entry.name, entry.labels, entry.histogram->TakeSnapshot()});
+    }
+    gauge_fns = gauges_;
+  }
+  for (const GaugeEntry& gauge : gauge_fns) {
+    flat.gauges.push_back({gauge.name, gauge.fn()});
+  }
+
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < flat.counters.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + JsonEscape(flat.counters[i].first) +
+           "\": " + std::to_string(flat.counters[i].second);
+  }
+  out += "\n  },\n  \"gauges\": [";
+  bool first = true;
+  for (const auto& gauge : flat.gauges) {
+    for (const GaugeSample& sample : gauge.samples) {
+      out += (first ? "\n" : ",\n");
+      first = false;
+      out += "    {\"name\": \"" + JsonEscape(gauge.name) + "\", \"labels\": \"" +
+             JsonEscape(sample.labels) + "\", \"value\": " +
+             FormatDouble(sample.value) + "}";
+    }
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  for (size_t i = 0; i < flat.histograms.size(); ++i) {
+    const auto& hist = flat.histograms[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"name\": \"" + JsonEscape(hist.name) + "\", \"labels\": \"" +
+           JsonEscape(hist.labels) + "\", \"count\": " +
+           std::to_string(hist.snap.count) + ", \"sum\": " +
+           std::to_string(hist.snap.sum) + ", \"p50\": " +
+           std::to_string(hist.snap.Quantile(0.5)) + ", \"p95\": " +
+           std::to_string(hist.snap.Quantile(0.95)) + ", \"p99\": " +
+           std::to_string(hist.snap.Quantile(0.99)) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace discfs::obs

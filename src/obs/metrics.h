@@ -1,0 +1,177 @@
+// Unified metrics for the DisCFS runtime (PR 9).
+//
+// Every subsystem already kept its own ad-hoc Stats struct reachable only
+// from in-process test code; this registry gives them one export surface —
+// counters, callback-backed gauges, and log-linear latency histograms —
+// scraped over RPC as Prometheus text or JSON (DiscfsProc::kServerStats).
+//
+// Design constraints, in order:
+//  1. The hot path must stay hot. Counters are sharded across cache lines
+//     and incremented with relaxed atomics; histograms bucket with two
+//     shifts and one relaxed fetch_add; and the whole registry has an
+//     atomic enabled flag so instrumentation callers can skip clock reads
+//     entirely when observability is off (bench/obs_overhead gates the
+//     enabled-vs-disabled delta at <= 5%).
+//  2. Registries are per-server, not process-global: tests and the fault
+//     harness run many DisCFS servers in one process and must see each
+//     node's metrics in isolation.
+//  3. Gauges are pull-only callbacks evaluated at scrape time, so wrapping
+//     an existing Stats accessor costs nothing between scrapes. One gauge
+//     callback may return many labeled samples (per-peer liveness).
+#ifndef DISCFS_SRC_OBS_METRICS_H_
+#define DISCFS_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace discfs::obs {
+
+// Monotonic nanoseconds (CLOCK_MONOTONIC); the time base for every span
+// and histogram in this subsystem. Never compared against wall-clock time.
+uint64_t MonotonicNanos();
+
+// Monotonic counter, sharded across cache lines so concurrent workers do
+// not bounce one line. Reads sum the shards (rare: scrape time).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1);
+  uint64_t Value() const;
+
+ private:
+  static constexpr size_t kShards = 8;  // power of two
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Log-linear histogram: 8 linear sub-buckets per power-of-two octave, so
+// relative bucket width is at most 12.5% everywhere while values 0..7 stay
+// exact. Covers the full uint64 range in 496 buckets (4 KiB). Recording is
+// two shifts plus relaxed fetch_adds; percentile extraction copies the
+// buckets once and scans.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 8
+  // Octaves for msb = kSubBucketBits..63, plus the exact low buckets.
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;  // 496
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+
+  // Bucket math (static so tests can probe boundaries directly).
+  static size_t BucketIndex(uint64_t value);
+  // Smallest value mapping to `index`.
+  static uint64_t BucketLowerBound(size_t index);
+  // Largest value mapping to `index` (saturates for the last bucket).
+  static uint64_t BucketUpperBound(size_t index);
+
+  // Consistent point-in-time copy for percentile extraction.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::vector<uint64_t> buckets;
+
+    // Value at quantile q in [0, 1]: the upper bound of the bucket holding
+    // the ceil(q * count)-th recorded value (<= 12.5% overestimate).
+    // 0 when empty.
+    uint64_t Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Adds `other`'s buckets into this histogram (aggregation across
+  // shards/nodes; not linearizable against concurrent writers of either).
+  void MergeFrom(const Histogram& other);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One labeled gauge sample. `labels` is the Prometheus label body without
+// braces, e.g. `peer="127.0.0.1:9000"`, or "" for an unlabeled sample.
+struct GaugeSample {
+  std::string labels;
+  double value = 0;
+};
+
+// Evaluated at scrape time; may return any number of labeled samples.
+using GaugeFn = std::function<std::vector<GaugeSample>()>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name (and label body, for histograms). The returned
+  // pointer is stable for the registry's lifetime; instrumented code looks
+  // up once and caches it.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "",
+                          const std::string& help = "");
+
+  // Registers a pull gauge. Callbacks run at scrape time with no registry
+  // lock held; they must not call back into this registry.
+  void RegisterGauge(const std::string& name, const std::string& help,
+                     GaugeFn fn);
+
+  // Master switch consulted by instrumentation call sites (the recorder
+  // skips its clock reads entirely when off). Metric objects themselves
+  // always record — gating belongs to the caller, where the clock reads
+  // are.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Prometheus text exposition: counters as `counter`, gauges as `gauge`,
+  // histograms as quantile summaries (q 0.5/0.95/0.99 plus _sum/_count).
+  std::string PrometheusText() const;
+  // The same data as one JSON object (tools that want numbers, not a
+  // Prometheus parser).
+  std::string Json() const;
+
+ private:
+  struct HistogramEntry {
+    std::string name;
+    std::string labels;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::string help;
+    GaugeFn fn;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, HistogramEntry> histograms_;  // key: name{labels}
+  std::vector<GaugeEntry> gauges_;
+  std::map<std::string, std::string> help_;  // metric name -> help text
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace discfs::obs
+
+#endif  // DISCFS_SRC_OBS_METRICS_H_

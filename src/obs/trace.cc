@@ -1,0 +1,107 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <random>
+
+#include "src/obs/metrics.h"
+
+namespace discfs::obs {
+namespace {
+
+thread_local uint64_t g_current_trace = 0;
+
+// SplitMix64 over a random-device-seeded counter: ids are unique within a
+// process and collide across processes with probability ~2^-64 per pair —
+// plenty for correlating one operation across a mesh.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t MintTraceId() {
+  static std::atomic<uint64_t> counter = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  uint64_t id = 0;
+  while (id == 0) {
+    id = Mix(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+uint64_t CurrentTraceId() { return g_current_trace; }
+
+TraceScope::TraceScope(uint64_t trace_id) : previous_(g_current_trace) {
+  if (trace_id != 0) {
+    g_current_trace = trace_id;
+  }
+}
+
+TraceScope::~TraceScope() { g_current_trace = previous_; }
+
+void TraceLog::Record(uint64_t trace_id, const std::string& stage,
+                      std::string detail) {
+  if (trace_id == 0) {
+    return;
+  }
+  Observation obs;
+  obs.trace_id = trace_id;
+  obs.stage = stage;
+  obs.detail = std::move(detail);
+  obs.at_ns = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_total_;
+  ring_.push_back(std::move(obs));
+  if (ring_.size() > capacity_) {
+    ring_.pop_front();
+  }
+}
+
+bool TraceLog::Contains(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Observation& obs : ring_) {
+    if (obs.trace_id == trace_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TraceLog::Contains(uint64_t trace_id, const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Observation& obs : ring_) {
+    if (obs.trace_id == trace_id && obs.stage == stage) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TraceLog::Observation> TraceLog::ForTrace(
+    uint64_t trace_id) const {
+  std::vector<Observation> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Observation& obs : ring_) {
+    if (obs.trace_id == trace_id) {
+      out.push_back(obs);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceLog::Observation> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Observation>(ring_.begin(), ring_.end());
+}
+
+uint64_t TraceLog::recorded_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_total_;
+}
+
+}  // namespace discfs::obs

@@ -1,0 +1,89 @@
+// Cross-node trace propagation (PR 9).
+//
+// A trace id is a random nonzero 64-bit token minted where an operation
+// enters the system (a DisCFS client about to revoke, a harness driving
+// churn). It rides three carriers:
+//   1. an optional, versioned trailer on the RPC call frame (old peers
+//      parse the frame unchanged and ignore the trailer — see
+//      src/rpc/README.md),
+//   2. the CoherenceEvent a traced mutation publishes into the cluster
+//      fabric, and
+//   3. revocation-list entries exchanged by anti-entropy, so a revocation
+//      that propagates around a partition is still attributable.
+// Each server records the ids it sees in a TraceLog ring buffer, which is
+// how the fault harness proves one revocation's trace id was observed at
+// every node of an 8-way mesh.
+//
+// Propagation inside a process is a thread-local scope: the RPC runtime
+// installs the decoded trace id around handler execution, so deep call
+// paths (credential install -> churn publish) pick it up without
+// threading a parameter through every signature.
+#ifndef DISCFS_SRC_OBS_TRACE_H_
+#define DISCFS_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace discfs::obs {
+
+// Random nonzero 64-bit trace id.
+uint64_t MintTraceId();
+
+// The calling thread's active trace id (0 = untraced).
+uint64_t CurrentTraceId();
+
+// RAII scope installing `trace_id` as the thread's active trace; restores
+// the previous id (scopes nest) on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(uint64_t trace_id);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+// Per-server ring buffer of trace observations. Small and mutex-guarded:
+// only traced operations (revocations, explicitly traced calls) land here,
+// never the bulk request stream.
+class TraceLog {
+ public:
+  struct Observation {
+    uint64_t trace_id = 0;
+    std::string stage;   // "rpc", "publish", "apply", "anti-entropy"
+    std::string detail;  // stage-specific (e.g. the origin node)
+    uint64_t at_ns = 0;  // MonotonicNanos at observation
+  };
+
+  explicit TraceLog(size_t capacity = 1024) : capacity_(capacity) {}
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  // No-op when trace_id is 0, so call sites need no untraced fast-path
+  // branch of their own.
+  void Record(uint64_t trace_id, const std::string& stage,
+              std::string detail = "");
+
+  bool Contains(uint64_t trace_id) const;
+  bool Contains(uint64_t trace_id, const std::string& stage) const;
+  std::vector<Observation> ForTrace(uint64_t trace_id) const;
+  std::vector<Observation> Snapshot() const;
+  // Total observations ever recorded (survives ring eviction).
+  uint64_t recorded_total() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Observation> ring_;
+  uint64_t recorded_total_ = 0;
+};
+
+}  // namespace discfs::obs
+
+#endif  // DISCFS_SRC_OBS_TRACE_H_

@@ -31,6 +31,7 @@ struct DecodedCall {
   uint32_t prog = 0;
   uint32_t proc = 0;
   Bytes args;
+  uint64_t trace_id = 0;  // from the optional trailer; 0 = untraced
 };
 
 Result<DecodedCall> DecodeCall(const Bytes& frame) {
@@ -44,7 +45,46 @@ Result<DecodedCall> DecodeCall(const Bytes& frame) {
   if (type != kTypeCall) {
     return DataLossError("expected RPC call frame");
   }
+  // Optional trailer: magic | version | trace id. Anything that does not
+  // parse as the trailer (wrong magic, truncated, future version we cannot
+  // read) is ignored — the call itself is already complete.
+  if (!r.AtEnd()) {
+    Result<uint32_t> magic = r.GetU32();
+    if (magic.ok() && *magic == kRpcTraceMagic) {
+      Result<uint32_t> version = r.GetU32();
+      if (version.ok() && *version >= 1) {
+        Result<uint64_t> trace = r.GetU64();
+        if (trace.ok()) {
+          call.trace_id = *trace;
+        }
+      }
+    }
+  }
   return call;
+}
+
+// Appends the trace trailer when the calling thread has an active trace.
+void PutTraceTrailer(XdrWriter& w) {
+  uint64_t trace = obs::CurrentTraceId();
+  if (trace != 0) {
+    w.PutU32(kRpcTraceMagic);
+    w.PutU32(kRpcTraceVersion);
+    w.PutU64(trace);
+  }
+}
+
+// Dispatches with the call's trace id installed: in the context (for
+// handlers that forward it explicitly) and as the thread's TraceScope (for
+// deep call paths that read obs::CurrentTraceId()).
+Result<Bytes> DispatchTraced(const RpcDispatcher& dispatcher,
+                             const DecodedCall& call, const RpcContext& ctx) {
+  if (call.trace_id == 0) {
+    return dispatcher.Dispatch(call.prog, call.proc, call.args, ctx);
+  }
+  RpcContext traced = ctx;
+  traced.trace_id = call.trace_id;
+  obs::TraceScope scope(call.trace_id);
+  return dispatcher.Dispatch(call.prog, call.proc, call.args, traced);
 }
 
 }  // namespace
@@ -103,6 +143,7 @@ std::future<Result<Bytes>> RpcClient::CallAsync(uint32_t prog, uint32_t proc,
   w.PutU32(prog);
   w.PutU32(proc);
   w.PutOpaque(args);
+  PutTraceTrailer(w);
   Status sent;
   {
     std::lock_guard<std::mutex> lock(send_mu_);
@@ -244,8 +285,7 @@ Status RpcDispatcher::ServeOne(MsgStream& stream,
                                const RpcContext& ctx) const {
   ASSIGN_OR_RETURN(Bytes frame, stream.Recv());
   ASSIGN_OR_RETURN(DecodedCall call, DecodeCall(frame));
-  return stream.Send(EncodeReply(
-      call.xid, Dispatch(call.prog, call.proc, call.args, ctx)));
+  return stream.Send(EncodeReply(call.xid, DispatchTraced(*this, call, ctx)));
 }
 
 void RpcDispatcher::ServeConnection(MsgStream& stream,
@@ -297,8 +337,7 @@ void RpcDispatcher::ServeConnection(MsgStream& stream, const RpcContext& ctx,
     }
     options.pool->Submit([this, &stream, &ctx, state,
                           call = std::move(*call)] {
-      Bytes reply = EncodeReply(
-          call.xid, Dispatch(call.prog, call.proc, call.args, ctx));
+      Bytes reply = EncodeReply(call.xid, DispatchTraced(*this, call, ctx));
       {
         std::lock_guard<std::mutex> write_lock(state->write_mu);
         (void)stream.Send(reply);  // peer may already be gone; that's fine
@@ -409,6 +448,8 @@ void RpcConnection::UpdateInterestLocked() {
 }
 
 void RpcConnection::PumpReads() {
+  obs::RpcRecorder* rec = opts_.recorder;
+  const bool timing = rec != nullptr && rec->enabled();
   while (true) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -422,6 +463,10 @@ void RpcConnection::PumpReads() {
         }
         return;
       }
+    }
+    obs::CallTimestamps ts;
+    if (timing) {
+      ts.received_ns = rec->Now();
     }
     Result<std::optional<Bytes>> frame = stream_->TryRecv();
     if (frame.ok() && !frame->has_value()) {
@@ -438,8 +483,17 @@ void RpcConnection::PumpReads() {
       MaybeFinishLocked();
       return;
     }
+    if (timing) {
+      ts.decoded_ns = rec->Now();
+    }
+    // One queue_depth() read serves both the admission check and the
+    // recorder's pool-backlog sample.
+    size_t pool_depth = 0;
+    if (timing || opts_.admission_queue_limit > 0) {
+      pool_depth = opts_.pool->queue_depth();
+    }
     if (opts_.admission_queue_limit > 0 &&
-        opts_.pool->queue_depth() >= opts_.admission_queue_limit) {
+        pool_depth >= opts_.admission_queue_limit) {
       // Global admission bound: answer busy without touching the pool.
       // Control replies push without blocking (stalling the loop would
       // stall every connection), but a reject storm must not grow the
@@ -468,17 +522,40 @@ void RpcConnection::PumpReads() {
     }
     auto self = shared_from_this();
     opts_.pool->Submit(
-        [self, call = std::move(*call)]() mutable {
+        [self, call = std::move(*call), ts, pool_depth]() mutable {
           self->ExecuteOnPool(call.xid, call.prog, call.proc,
-                              std::move(call.args));
+                              std::move(call.args), call.trace_id, ts,
+                              pool_depth);
         });
   }
 }
 
 void RpcConnection::ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc,
-                                  Bytes args) {
-  Bytes reply = EncodeReply(xid, dispatcher_->Dispatch(prog, proc, args, ctx_));
-  EnqueueReply(std::move(reply));
+                                  Bytes args, uint64_t trace_id,
+                                  obs::CallTimestamps ts,
+                                  size_t pool_queue_depth) {
+  obs::RpcRecorder* rec = opts_.recorder;
+  // received_ns == 0 means PumpReads saw the recorder disabled; keep the
+  // whole call untimed rather than record half a span set.
+  const bool timing = rec != nullptr && ts.received_ns != 0;
+  if (timing) {
+    ts.exec_start_ns = rec->Now();
+  }
+  DecodedCall call;
+  call.xid = xid;
+  call.prog = prog;
+  call.proc = proc;
+  call.args = std::move(args);
+  call.trace_id = trace_id;
+  Bytes reply = EncodeReply(xid, DispatchTraced(*dispatcher_, call, ctx_));
+  if (timing) {
+    ts.exec_end_ns = rec->Now();
+  }
+  size_t send_depth = EnqueueReply(std::move(reply));
+  if (timing) {
+    ts.replied_ns = rec->Now();
+    rec->RecordCall(prog, proc, ts, send_depth, pool_queue_depth, trace_id);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_;
@@ -518,7 +595,7 @@ void RpcConnection::ResumeReadsLocked() {
   });
 }
 
-void RpcConnection::EnqueueReply(Bytes frame) {
+size_t RpcConnection::EnqueueReply(Bytes frame) {
   std::unique_lock<std::mutex> lock(mu_);
   if (!opts_.loop->InLoopThread()) {
     // Backpressure: hold this worker (and its in-flight slot, which pauses
@@ -529,9 +606,11 @@ void RpcConnection::EnqueueReply(Bytes frame) {
     });
   }
   if (closed_ || send_broken_) {
-    return;  // connection is gone; the reply has nowhere to go
+    return 0;  // connection is gone; the reply has nowhere to go
   }
+  size_t depth = send_queue_.size() + 1;  // depth right after the push below
   PushReplyAndDrainLocked(std::move(frame), lock);
+  return depth;
 }
 
 void RpcConnection::PushReplyAndDrainLocked(

@@ -37,6 +37,8 @@
 #include "src/crypto/dsa.h"
 #include "src/net/event_loop.h"
 #include "src/net/transport.h"
+#include "src/obs/recorder.h"
+#include "src/obs/trace.h"
 #include "src/util/status.h"
 #include "src/util/worker_pool.h"
 
@@ -47,6 +49,10 @@ namespace discfs {
 struct RpcContext {
   // Empty when the transport is unauthenticated (the CFS-NE baseline).
   std::optional<DsaPublicKey> peer_key;
+  // Trace id from the call frame's optional trailer (0 = untraced). The
+  // runtime also installs it as the thread's obs::TraceScope around handler
+  // execution, so deep call paths can read obs::CurrentTraceId().
+  uint64_t trace_id = 0;
 };
 
 class RpcClient {
@@ -119,6 +125,13 @@ struct ServeOptions {
   size_t max_inflight_per_conn = 64;
 };
 
+// RPC call frames may carry an optional trailer after the opaque args:
+//   u32 kRpcTraceMagic | u32 version | u64 trace_id
+// Peers that predate it parse the frame unchanged and never look past the
+// args, so the extension is backward compatible (see src/rpc/README.md).
+inline constexpr uint32_t kRpcTraceMagic = 0x44545243;  // "DTRC"
+inline constexpr uint32_t kRpcTraceVersion = 1;
+
 class RpcDispatcher {
  public:
   using Handler =
@@ -171,6 +184,10 @@ class RpcConnection : public std::enable_shared_from_this<RpcConnection> {
     // this, new requests are rejected with RESOURCE_EXHAUSTED instead of
     // queued, so connection fan-in cannot blow tail latency. 0 = off.
     size_t admission_queue_limit = 0;
+    // Flight recorder: when set (and its registry is enabled), the
+    // connection stamps each call at five points and reports span timings
+    // plus queue depths per (prog, proc). Null = no timing overhead.
+    obs::RpcRecorder* recorder = nullptr;
   };
   // Invoked once, on whichever thread finishes the connection (the loop
   // for peer-initiated close, the Abort caller otherwise). The connection
@@ -211,8 +228,12 @@ class RpcConnection : public std::enable_shared_from_this<RpcConnection> {
   void OnEvent(uint32_t events);      // loop thread
   void PumpReads();                   // loop thread
   void Drain();                       // loop thread (EPOLLOUT entry)
-  void ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc, Bytes args);
-  void EnqueueReply(Bytes frame);     // worker thread; blocks when full
+  void ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc, Bytes args,
+                     uint64_t trace_id, obs::CallTimestamps ts,
+                     size_t pool_queue_depth);
+  // Returns the send-queue depth right after this reply was appended
+  // (0 when the connection closed and the reply was dropped).
+  size_t EnqueueReply(Bytes frame);   // worker thread; blocks when full
   // Appends a reply and drains inline when the writer token is free.
   void PushReplyAndDrainLocked(Bytes frame,
                                std::unique_lock<std::mutex>& lock);

@@ -15,6 +15,7 @@ WorkerPool::WorkerPool(size_t num_threads) {
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::Submit(std::function<void()> task) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!stopping_) {

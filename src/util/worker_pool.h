@@ -8,8 +8,10 @@
 #ifndef DISCFS_SRC_UTIL_WORKER_POOL_H_
 #define DISCFS_SRC_UTIL_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -47,6 +49,12 @@ class WorkerPool {
   // Tasks currently executing on a worker.
   size_t in_flight() const;
 
+  // Tasks ever submitted (observability gauge; includes run-inline tasks
+  // accepted after Shutdown).
+  uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -56,6 +64,7 @@ class WorkerPool {
   std::vector<std::thread> workers_;
   size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::atomic<uint64_t> submitted_{0};
 };
 
 }  // namespace discfs

@@ -81,7 +81,7 @@ TEST_F(AdmissionTest, SubmitAdmitsAndCountsOneCacheMiss) {
   auto id = server_->SubmitCredential(Issue(*admin_, 7));
   ASSERT_TRUE(id.ok()) << id.status();
   EXPECT_EQ(server_->credential_count(), 1u);
-  auto stats = server_->signature_cache_stats();
+  auto stats = server_->stats_snapshot().signatures;
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 0u);
 }
@@ -109,7 +109,7 @@ TEST_F(AdmissionTest, ResubmitHitsSignatureCache) {
   // readmit, so check the cache path on a plain resubmit instead.
   auto again = server_->SubmitCredential(cred);
   EXPECT_EQ(again.status().code(), StatusCode::kPermissionDenied);
-  auto stats = server_->signature_cache_stats();
+  auto stats = server_->stats_snapshot().signatures;
   EXPECT_EQ(stats.hits, 1u);  // the resubmit skipped the modexp
   EXPECT_EQ(stats.misses, 1u);
 }
@@ -123,7 +123,7 @@ TEST_F(AdmissionTest, CacheHitStillDeniesWhenIssuingKeyRevoked) {
   EXPECT_EQ(resubmit.status().code(), StatusCode::kPermissionDenied);
   // The denial came from the locked revocation check, not from signature
   // verification: the cache did hit.
-  EXPECT_GE(server_->signature_cache_stats().hits, 1u);
+  EXPECT_GE(server_->stats_snapshot().signatures.hits, 1u);
   EXPECT_EQ(server_->credential_count(), 0u);
 }
 
@@ -237,7 +237,7 @@ TEST(AdmissionRpcTest, BatchSubmitOverRpc) {
   EXPECT_TRUE((*results)[0].ok());
   EXPECT_EQ((*results)[1].status().code(), StatusCode::kUnauthenticated);
 
-  auto stats = (*host)->server().signature_cache_stats();
+  auto stats = (*host)->server().stats_snapshot().signatures;
   EXPECT_EQ(stats.hits + stats.misses, 2u);
   (*client)->Close();
 }

@@ -254,7 +254,7 @@ TEST(CoherenceFabric, RemoteInvalidationIsScoped) {
 
   // Telemetry attributes the bump to the remote path (before
   // ResetTelemetry below zeroes the counters).
-  EXPECT_GE(b.host->server().cache_coherence_stats().remote_bumps, 1u);
+  EXPECT_GE(b.host->server().stats_snapshot().coherence.remote_bumps, 1u);
 
   // Scoped: the victim's cached entry on B is stale, the bystander's is
   // still warm (no recompute).

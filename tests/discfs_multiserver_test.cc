@@ -252,7 +252,7 @@ TEST(DiscfsMultiServer, RevocationOnOneServerDeniesOnPeersScoped) {
       2, std::chrono::milliseconds(10000)));
   // The bump reached B through the remote path (checked before
   // ResetTelemetry zeroes the coherence counters).
-  EXPECT_GE(node_b.host->server().cache_coherence_stats().remote_bumps, 1u);
+  EXPECT_GE(node_b.host->server().stats_snapshot().coherence.remote_bumps, 1u);
 
   node_b.host->server().ResetTelemetry();
   // Carol first: her entry must still be warm (survivor check — the

@@ -252,7 +252,7 @@ TEST(DiscfsServerUnit, EffectiveMaskAndTelemetry) {
   EXPECT_EQ((*server)->counters().keynote_queries.load(), 0u);
   // Cached entries survive the telemetry reset.
   EXPECT_EQ((*server)->EffectiveMask(bob_principal, 7), 6u);
-  EXPECT_EQ((*server)->cache_stats().hits, 1u);
+  EXPECT_EQ((*server)->stats_snapshot().cache.hits, 1u);
 }
 
 }  // namespace

@@ -88,6 +88,7 @@ FAULT_TOP_KEYS = {
     "revocations_pulled_total",
     "full_invalidations_total",
     "revocation_violations",
+    "trace_nodes_observed",
     "restarts",
 }
 FAULT_RESTART_KEYS = {
@@ -173,6 +174,21 @@ LOCKBOX_REVOCATION_KEYS = {
     "sibling_fetches",
     "sibling_keynote_queries",
     "propagation_ms",
+}
+
+OBS_TOP_KEYS = {
+    "bench",
+    "schema_version",
+    "gate_overhead_pct",
+    "pipelined_rpc",
+    "warm_admission",
+    "scrape_ok",
+    "pass",
+}
+OBS_PATH_KEYS = {
+    "enabled_ops_per_s",
+    "disabled_ops_per_s",
+    "overhead_pct",
 }
 
 COHERENCE_TIER_KEYS = {
@@ -316,6 +332,12 @@ def check_fault(doc, errors):
         )
     if doc["churn_events_total"] <= 0:
         errors.append("churn_events_total must be positive")
+    if doc["trace_nodes_observed"] != doc["cluster_size"]:
+        errors.append(
+            f"trace_nodes_observed must equal cluster_size (the traced "
+            f"revocation's id must be logged at every node): "
+            f"{doc['trace_nodes_observed']} != {doc['cluster_size']}"
+        )
     restarts = doc["restarts"]
     if not isinstance(restarts, list) or not restarts:
         errors.append("restarts must be a non-empty list")
@@ -434,6 +456,33 @@ def check_lockbox(doc, errors):
         )
 
 
+def check_obs(doc, errors):
+    missing_top = OBS_TOP_KEYS - doc.keys()
+    if missing_top:
+        errors.append(f"missing top-level keys: {sorted(missing_top)}")
+        return
+    gate = doc["gate_overhead_pct"]
+    if gate <= 0:
+        errors.append("gate_overhead_pct must be positive")
+    for path in ("pipelined_rpc", "warm_admission"):
+        sub = doc[path]
+        if not isinstance(sub, dict) or OBS_PATH_KEYS - sub.keys():
+            errors.append(f"{path} must have {sorted(OBS_PATH_KEYS)}")
+            continue
+        for key in ("enabled_ops_per_s", "disabled_ops_per_s"):
+            if sub[key] <= 0:
+                errors.append(f"{path}.{key} must be positive")
+        if sub["overhead_pct"] > gate:
+            errors.append(
+                f"{path}.overhead_pct {sub['overhead_pct']} exceeds the "
+                f"{gate}% gate"
+            )
+    if doc["scrape_ok"] is not True:
+        errors.append("scrape_ok must be true (kServerStats scrape failed)")
+    if doc["pass"] is not True:
+        errors.append("pass must be true (the bench's own gates failed)")
+
+
 CHECKERS = {
     "policy_scaling": check_policy,
     "rpc_pipeline": check_rpc,
@@ -442,6 +491,7 @@ CHECKERS = {
     "fault_injection": check_fault,
     "storage_scaling": check_storage,
     "lockbox_sharing": check_lockbox,
+    "obs_overhead": check_obs,
 }
 
 

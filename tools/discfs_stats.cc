@@ -1,0 +1,107 @@
+// discfs-stats: scrape a running discfsd's metrics registry
+// (DiscfsProc::kServerStats) and print the exposition to stdout.
+//
+// Usage:
+//   discfs_stats [--host 127.0.0.1] [--port 20490] [--json]
+//                [--key user.key] [--server-pub admin.pub]
+//
+// The scrape needs a secure channel like any other DisCFS RPC, but no
+// credentials: with no --key an ephemeral DSA identity is generated, so
+// pointing the tool at a server Just Works (pin the server with
+// --server-pub when you care who you are scraping).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/crypto/groups.h"
+#include "src/crypto/sysrand.h"
+#include "src/discfs/client.h"
+#include "tools/keyio.h"
+
+namespace discfs::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: discfs_stats [--host H] [--port N] [--json] "
+               "[--key user.key] [--server-pub admin.pub]\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 20490;
+  bool json = false;
+  std::string key_path;
+  std::string server_pub_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(Usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = value();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(value()));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--key") {
+      key_path = value();
+    } else if (arg == "--server-pub") {
+      server_pub_path = value();
+    } else {
+      return Usage();
+    }
+  }
+
+  DsaPrivateKey key = [&] {
+    if (!key_path.empty()) {
+      auto loaded = LoadPrivateKey(key_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "key: %s\n",
+                     loaded.status().ToString().c_str());
+        std::exit(1);
+      }
+      return *loaded;
+    }
+    // Ephemeral identity: the scrape proc needs no credentials. Dsa1024
+    // matches keygen's default — the handshake needs both ends in the
+    // same group.
+    return DsaPrivateKey::Generate(Dsa1024(),
+                                   [](size_t n) { return SysRandomBytes(n); });
+  }();
+  std::optional<DsaPublicKey> server_pub;
+  if (!server_pub_path.empty()) {
+    auto pub = LoadPublicKey(server_pub_path);
+    if (!pub.ok()) {
+      std::fprintf(stderr, "server-pub: %s\n",
+                   pub.status().ToString().c_str());
+      return 1;
+    }
+    server_pub = *pub;
+  }
+
+  ChannelIdentity identity{key, [](size_t n) { return SysRandomBytes(n); }};
+  auto client = DiscfsClient::Connect(host, port, identity, server_pub);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto text = (*client)->ServerStats(json);
+  (*client)->Close();
+  if (!text.ok()) {
+    std::fprintf(stderr, "scrape: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace discfs::tools
+
+int main(int argc, char** argv) { return discfs::tools::Run(argc, argv); }

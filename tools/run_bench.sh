@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the Release tree and runs the policy + RPC + coherence +
-# admission + storage + lockbox benchmarks, leaving BENCH_policy.json,
-# BENCH_rpc.json, BENCH_coherence.json, BENCH_admission.json,
-# BENCH_storage.json, and BENCH_lockbox.json at the repo root (schemas:
-# docs/BENCH_SCHEMAS.md, enforced by tools/check_bench_schema.py).
+# admission + storage + lockbox + observability benchmarks, leaving
+# BENCH_policy.json, BENCH_rpc.json, BENCH_coherence.json,
+# BENCH_admission.json, BENCH_storage.json, BENCH_lockbox.json, and
+# BENCH_obs.json at the repo root (schemas: docs/BENCH_SCHEMAS.md,
+# enforced by tools/check_bench_schema.py).
 #
 # Usage: tools/run_bench.sh [max_credentials]
 #   max_credentials  cap the policy_scaling and admission_scaling sweeps
@@ -27,7 +28,7 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target policy_scaling ablation_cache rpc_pipeline \
   coherence_propagation admission_scaling storage_scaling \
-  lockbox_sharing micro_ops
+  lockbox_sharing obs_overhead micro_ops
 
 echo "--- policy_scaling (writes BENCH_policy.json) ---"
 "$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
@@ -58,6 +59,11 @@ echo "    public dedup ratio, on any sealed-chunk dedup hit, or when a"
 echo "    revoked device's lockbox fetch is not denied cluster-wide) ---"
 "$build_dir/lockbox_sharing" "$repo_root/BENCH_lockbox.json"
 
+echo "--- obs_overhead (writes BENCH_obs.json; fails when the enabled"
+echo "    metrics registry costs > 5% on pipelined RPC or warm admission,"
+echo "    or when a live kServerStats scrape comes back incomplete) ---"
+"$build_dir/obs_overhead" "$repo_root/BENCH_obs.json"
+
 echo "--- micro_ops (self-timed core-primitive microbenchmarks) ---"
 "$build_dir/micro_ops"
 
@@ -66,11 +72,13 @@ if command -v python3 >/dev/null 2>&1; then
   python3 "$repo_root/tools/check_bench_schema.py" \
     "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json" \
     "$repo_root/BENCH_coherence.json" "$repo_root/BENCH_admission.json" \
-    "$repo_root/BENCH_storage.json" "$repo_root/BENCH_lockbox.json"
+    "$repo_root/BENCH_storage.json" "$repo_root/BENCH_lockbox.json" \
+    "$repo_root/BENCH_obs.json"
 else
   echo "warning: python3 not found; skipping bench schema validation" >&2
 fi
 
 echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json" \
   "$repo_root/BENCH_coherence.json $repo_root/BENCH_admission.json" \
-  "$repo_root/BENCH_storage.json $repo_root/BENCH_lockbox.json"
+  "$repo_root/BENCH_storage.json $repo_root/BENCH_lockbox.json" \
+  "$repo_root/BENCH_obs.json"

@@ -4,8 +4,10 @@
 # partition under continuous credential churn. The harness self-gates
 # (zero revocation violations, zero full invalidations, every restart
 # resumes its incarnation by journal replay, survivor cache hit rate
-# >= 0.9) and leaves BENCH_fault.json at the repo root (schema enforced
-# by tools/check_bench_schema.py).
+# >= 0.9, and one traced revocation whose trace id must show up in every
+# node's flight-recorder trace log) and leaves BENCH_fault.json at the
+# repo root (schema enforced by tools/check_bench_schema.py, which also
+# gates trace_nodes_observed == cluster_size).
 #
 # Usage: tools/run_fault.sh [cluster_size] [churn_rounds]
 #   cluster_size  mesh size (default 8)
@@ -30,7 +32,8 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" --target fault_harness
 
 echo "--- fault_harness (writes BENCH_fault.json; fails on any revocation"
-echo "    violation, full invalidation, or unrecovered restart) ---"
+echo "    violation, full invalidation, unrecovered restart, or a traced"
+echo "    revocation whose id is missing from any node's trace log) ---"
 "$build_dir/fault_harness" "$repo_root/BENCH_fault.json" \
   "$cluster_size" "$churn_rounds"
 

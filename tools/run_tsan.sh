@@ -11,7 +11,10 @@
 # plane (block cache write-back/readahead/flusher, NFS striped locking)
 # is hammered by block_cache_test and nfs_test, and the lockbox layer
 # (sharded chunk store + per-handle sidecar stripes over the NFS entry
-# points) is exercised end-to-end by lockbox_test.
+# points) is exercised end-to-end by lockbox_test, and the observability
+# layer (sharded counters, scrape-time gauge callbacks, the RPC flight
+# recorder stamping calls across worker threads, and trace propagation
+# through the coherence fabric) is exercised by obs_test.
 #
 # Usage: tools/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
@@ -27,7 +30,7 @@ command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 ||
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
-test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test|cluster_recovery_test|admission_test|fault_smoke|block_cache_test|nfs_test|lockbox_test}"
+test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test|cluster_recovery_test|admission_test|fault_smoke|block_cache_test|nfs_test|lockbox_test|obs_test}"
 
 cmake -B "$build_dir" -S "$repo_root" -DDISCFS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -35,7 +38,7 @@ cmake --build "$build_dir" -j "$(nproc)" \
   --target transport_test rpc_pipeline_test event_loop_test \
   discfs_multiserver_test security_test cluster_coherence_test \
   cluster_recovery_test admission_test fault_harness \
-  block_cache_test nfs_test lockbox_test
+  block_cache_test nfs_test lockbox_test obs_test
 
 cd "$build_dir"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "$test_regex"
