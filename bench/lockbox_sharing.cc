@@ -117,6 +117,12 @@ struct DedupResult {
   uint64_t private_unique_chunks = 0;
   double put_mb_s = 0;
   double get_mb_s = 0;
+  // Mark/sweep audit over the final store state (PR 10): every stored
+  // chunk's refcount must equal the live references from lockbox records.
+  uint64_t audit_records = 0;
+  uint64_t audit_chunks = 0;
+  uint64_t audit_live_references = 0;
+  bool audit_clean = false;
 };
 
 DedupResult RunDedupPhase() {
@@ -201,6 +207,22 @@ DedupResult RunDedupPhase() {
   out.private_puts = after.puts - before.puts;
   out.private_dedup_hits = after.dedup_hits - before.dedup_hits;
   out.private_unique_chunks = after.stored - before.stored;
+
+  // All mutation is quiesced: audit the final store state.
+  auto audit = node.host->server().chunkstore().Audit();
+  BENCH_CHECK(audit.ok());
+  out.audit_records = audit->live_records;
+  out.audit_chunks = audit->chunks_scanned;
+  out.audit_live_references = audit->live_references;
+  out.audit_clean = audit->clean();
+  if (!audit->clean()) {
+    std::fprintf(stderr,
+                 "audit: %zu orphaned, %zu over-referenced, %zu "
+                 "under-referenced, %zu missing, %zu corrupt\n",
+                 audit->orphaned.size(), audit->over_referenced.size(),
+                 audit->under_referenced.size(), audit->missing.size(),
+                 audit->corrupt.size());
+  }
 
   for (auto& client : clients) {
     client->Close();
@@ -367,6 +389,14 @@ void WriteJson(std::FILE* f, const DedupResult& dedup,
       dedup.put_mb_s, dedup.get_mb_s);
   std::fprintf(
       f,
+      "  \"audit\": {\"records\": %llu, \"chunks\": %llu, "
+      "\"live_references\": %llu, \"clean\": %s},\n",
+      static_cast<unsigned long long>(dedup.audit_records),
+      static_cast<unsigned long long>(dedup.audit_chunks),
+      static_cast<unsigned long long>(dedup.audit_live_references),
+      dedup.audit_clean ? "true" : "false");
+  std::fprintf(
+      f,
       "  \"revocation\": {\"devices\": %zu, \"revoked_attempts\": %zu, "
       "\"revoked_denied\": %zu, \"denial_rate\": %.4f, "
       "\"sibling_fetches\": %zu, \"sibling_keynote_queries\": %llu, "
@@ -396,6 +426,11 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(dedup.private_unique_chunks));
   std::printf("throughput: put %.1f MB/s, get %.1f MB/s\n", dedup.put_mb_s,
               dedup.get_mb_s);
+  std::printf("audit: %llu records, %llu chunks, %llu live refs, %s\n",
+              static_cast<unsigned long long>(dedup.audit_records),
+              static_cast<unsigned long long>(dedup.audit_chunks),
+              static_cast<unsigned long long>(dedup.audit_live_references),
+              dedup.audit_clean ? "clean" : "DIRTY");
 
   std::printf("== lockbox sharing: device revocation via coherence ==\n");
   RevocationResult rev = RunRevocationPhase();
@@ -443,6 +478,12 @@ int Run(int argc, char** argv) {
                  "FAIL: %llu sibling keynote queries — the revocation was "
                  "not scoped to the lost device\n",
                  static_cast<unsigned long long>(rev.sibling_keynote_queries));
+    ++failures;
+  }
+  if (!dedup.audit_clean) {
+    std::fprintf(stderr,
+                 "FAIL: chunk store audit found refcount skew, orphans, or "
+                 "missing chunks\n");
     ++failures;
   }
   return failures == 0 ? 0 : 1;

@@ -85,6 +85,8 @@ RpcConnection::Options MakeConnOptions(EventLoop* loop, WorkerPool* pool,
   conn_options.max_inflight = options.max_inflight_per_conn;
   conn_options.send_queue_limit = options.send_queue_limit;
   conn_options.admission_queue_limit = options.admission_queue_limit;
+  conn_options.shed_data_watermark = options.shed_data_watermark;
+  conn_options.shed_namespace_watermark = options.shed_namespace_watermark;
   return conn_options;
 }
 
@@ -129,6 +131,31 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
   // connection is served until the accept thread starts, below.
   ASSIGN_OR_RETURN(host->listener_,
                    TcpListener::Listen(port, options.bind_addr));
+  // Handshakes run on the loop through a sans-io state machine (CPU steps
+  // on the pool): a slow or silent peer occupies no worker, bounded
+  // half-open state, per-connection timeout. Built before the fabric so
+  // the identity can be copied in before it moves.
+  {
+    HandshakeReactor::Options hs;
+    hs.loop = host->loop_.get();
+    hs.pool = host->pool_.get();
+    hs.identity = identity;
+    hs.timeout_ms = options.handshake_timeout_ms;
+    hs.max_half_open = options.max_half_open_handshakes;
+    DiscfsHost* h = host.get();
+    host->handshakes_ = std::make_unique<HandshakeReactor>(
+        std::move(hs), [h](std::unique_ptr<SecureChannel> channel) {
+          auto served = h->server_->ServeChannelOnLoop(
+              std::move(channel), h->ConnOptions(),
+              [h](RpcConnection* c) { h->connections_.Remove(c); });
+          if (!served.ok()) {
+            return;  // loop rejected the fd; the socket dies here
+          }
+          if (!h->connections_.Add(*served)) {
+            (*served)->Abort();  // host is shutting down
+          }
+        });
+  }
   if (cluster) {
     DiscfsServer* srv = host->server_.get();
     cluster::FabricConfig fabric_config;
@@ -211,6 +238,18 @@ Result<std::unique_ptr<DiscfsHost>> DiscfsHost::Start(
                             {"",
                              static_cast<double>(h->connections_.active())}};
                       });
+    reg.RegisterGauge(
+        "discfs_host_handshakes", "Handshake reactor state by kind", [h] {
+          HandshakeReactor::Stats s = h->handshakes_->stats();
+          return std::vector<obs::GaugeSample>{
+              {"kind=\"half_open\"", static_cast<double>(s.half_open)},
+              {"kind=\"started\"", static_cast<double>(s.started)},
+              {"kind=\"completed\"", static_cast<double>(s.completed)},
+              {"kind=\"failed\"", static_cast<double>(s.failed)},
+              {"kind=\"timed_out\"", static_cast<double>(s.timed_out)},
+              {"kind=\"evicted\"", static_cast<double>(s.evicted)},
+          };
+        });
   }
   host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
   return host;
@@ -235,22 +274,11 @@ void DiscfsHost::AcceptLoop() {
     if (!conn.ok()) {
       return;  // listener closed
     }
-    // shared_ptr wrapper because std::function requires a copyable closure.
-    // The handshake blocks (two round trips + DSA), so it runs on the pool
-    // rather than on the accept thread or the loop.
-    auto transport = std::make_shared<std::unique_ptr<TcpTransport>>(
-        std::move(conn).value());
-    pool_->Submit([this, transport] {
-      auto served = server_->ServeOnLoop(
-          std::move(*transport), ConnOptions(),
-          [this](RpcConnection* c) { connections_.Remove(c); });
-      if (!served.ok()) {
-        return;  // handshake failed; the socket dies with the transport
-      }
-      if (!connections_.Add(*served)) {
-        (*served)->Abort();  // host is shutting down
-      }
-    });
+    // The reactor owns the socket from here: handshake frames are pumped
+    // off the event loop, crypto steps run on the pool, and established
+    // channels come back through the on_established hook. The accept
+    // thread never blocks on a peer and no worker is parked per socket.
+    handshakes_->Begin(std::move(conn).value());
   }
 }
 
@@ -264,13 +292,17 @@ DiscfsHost::~DiscfsHost() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  // No new sockets can arrive now. Abort live connections (their loop
-  // callbacks quiesce before Abort returns), then drain the pool — any
-  // queued handshake task sees the closing set and aborts its connection,
-  // and in-flight handlers drop their replies. The fabric goes down after
-  // the pool (no worker can still be applying a peer push) and before the
-  // loop (its peer RpcClients must unregister first); the loop dies last
-  // so every posted closure either ran or is destroyed with it.
+  // No new sockets can arrive now. Tear down half-open handshakes (their
+  // loop callbacks quiesce; in-flight crypto steps on the pool observe
+  // the shutdown flag and retire), then abort live connections and drain
+  // the pool — a late-established channel sees the closing set and aborts.
+  // The fabric goes down after the pool (no worker can still be applying
+  // a peer push) and before the loop (its peer RpcClients must unregister
+  // first); the loop dies last so every posted closure either ran or is
+  // destroyed with it.
+  if (handshakes_ != nullptr) {
+    handshakes_->Shutdown();
+  }
   connections_.CloseAll();
   if (pool_ != nullptr) {
     pool_->Shutdown();

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "src/cluster/fabric.h"
+#include "src/discfs/handshake.h"
 #include "src/discfs/server.h"
 #include "src/net/event_loop.h"
 #include "src/nfs/nfs_client.h"
@@ -42,8 +43,26 @@ struct DiscfsHostOptions {
   // queueing behind everyone else's, so connection fan-in cannot blow tail
   // latency. 0 disables admission control.
   size_t admission_queue_limit = 0;
+  // Policy-aware shed watermarks (PR 10): pool queue depths at which data
+  // reads/writes (shed_data_watermark) and namespace operations
+  // (shed_namespace_watermark) start busy-rejecting, while control-plane
+  // work (credential submits, revocations, cluster coherence) rides
+  // through to the hard admission_queue_limit. 0 disables a tier; with
+  // both zero, admission control is the old single-threshold behavior.
+  size_t shed_data_watermark = 0;
+  size_t shed_namespace_watermark = 0;
   // Listener bind address ("0.0.0.0" to serve remote peers).
   std::string bind_addr = "127.0.0.1";
+
+  // --- handshake hardening (PR 10) ---
+  // Per-connection budget from accept to an established secure channel; a
+  // peer that trickles (or never sends) its handshake is torn down when
+  // this expires instead of holding server state.
+  uint64_t handshake_timeout_ms = 5000;
+  // Concurrent half-open handshakes; at the cap the oldest is evicted in
+  // favor of the new arrival. Half-open connections cost no threads (they
+  // live on the event loop), so this bounds memory, not workers.
+  size_t max_half_open_handshakes = 256;
 
   // --- cluster coherence fabric (PR 4) ---
   // Peer DisCFS servers this host pushes invalidation events to; more can
@@ -129,6 +148,11 @@ class DiscfsHost {
   // Connections registered on the event loop (post-handshake, pre-close).
   size_t active_connections() const { return connections_.active(); }
   size_t worker_threads() const { return pool_->size(); }
+  // Handshake reactor counters (half-open now, completions, timeouts,
+  // evictions) — the slowloris tests and the overload bench read these.
+  HandshakeReactor::Stats handshake_stats() const {
+    return handshakes_->stats();
+  }
 
  private:
   DiscfsHost() = default;
@@ -141,6 +165,9 @@ class DiscfsHost {
   // Destroyed after the pool (no worker still calling into it) and
   // before the loop (its RpcClients must unregister first).
   std::unique_ptr<cluster::CoherenceFabric> fabric_;
+  // Shut down after the accept thread (no new Begins) and before the
+  // connection set closes — late completions just get aborted adds.
+  std::unique_ptr<HandshakeReactor> handshakes_;
   DiscfsHostOptions options_;
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;

@@ -61,8 +61,46 @@ Result<std::unique_ptr<DiscfsServer>> DiscfsServer::Create(
   server->RegisterDiscfsProcs();
   server->RegisterLockboxProcs();
   server->RegisterClusterProcs();
+  server->ClassifyProcPriorities();
   server->RegisterServerMetrics();
   return server;
+}
+
+void DiscfsServer::ClassifyProcPriorities() {
+  // Control plane: operations that change or replicate the authorization
+  // state. Shedding a revocation under load would leave revoked keys live
+  // exactly when an attacker can cheaply create load, so these classes
+  // only shed at the hard admission limit.
+  for (DiscfsProc proc :
+       {DiscfsProc::kSubmitCredential, DiscfsProc::kRemoveCredential,
+        DiscfsProc::kRevokeKey, DiscfsProc::kSubmitCredentialBatch,
+        DiscfsProc::kServerInfo, DiscfsProc::kServerStats}) {
+    dispatcher_.SetPriority(kDiscfsProgram, static_cast<uint32_t>(proc),
+                            RpcPriority::kControl);
+  }
+  for (cluster::ClusterProc proc :
+       {cluster::ClusterProc::kHello, cluster::ClusterProc::kPush,
+        cluster::ClusterProc::kClusterStatus,
+        cluster::ClusterProc::kRevocationSync}) {
+    dispatcher_.SetPriority(cluster::kClusterProgram,
+                            static_cast<uint32_t>(proc),
+                            RpcPriority::kControl);
+  }
+  // Data plane: bulk reads/writes shed first — a retried READ is cheap,
+  // and shedding it keeps namespace and control latency flat.
+  for (NfsProc proc : {NfsProc::kNull, NfsProc::kGetAttr, NfsProc::kRead,
+                       NfsProc::kWrite, NfsProc::kReadLink, NfsProc::kReadDir,
+                       NfsProc::kStatFs}) {
+    dispatcher_.SetPriority(kNfsProgram, static_cast<uint32_t>(proc),
+                            RpcPriority::kData);
+  }
+  for (DiscfsProc proc : {DiscfsProc::kPutLockbox, DiscfsProc::kGetLockbox}) {
+    dispatcher_.SetPriority(kDiscfsProgram, static_cast<uint32_t>(proc),
+                            RpcPriority::kData);
+  }
+  // Everything else (namespace mutation, lookup, credential-returning
+  // CREATE/MKDIR, handle resolution, lockbox grants) keeps the default
+  // middle tier, kNamespace.
 }
 
 Status DiscfsServer::ServeConnection(std::unique_ptr<MsgStream> transport) {
@@ -88,6 +126,12 @@ Result<std::shared_ptr<RpcConnection>> DiscfsServer::ServeOnLoop(
   ASSIGN_OR_RETURN(std::unique_ptr<SecureChannel> channel,
                    SecureChannel::ServerHandshake(std::move(transport),
                                                   identity));
+  return ServeChannelOnLoop(std::move(channel), options, std::move(on_closed));
+}
+
+Result<std::shared_ptr<RpcConnection>> DiscfsServer::ServeChannelOnLoop(
+    std::unique_ptr<SecureChannel> channel,
+    const RpcConnection::Options& options, RpcConnection::ClosedFn on_closed) {
   RpcContext ctx;
   ctx.peer_key = channel->peer_key();
   RpcConnection::Options opts = options;

@@ -98,6 +98,15 @@ class DiscfsServer {
       const RpcConnection::Options& options,
       RpcConnection::ClosedFn on_closed = nullptr);
 
+  // Serves a channel whose handshake already completed elsewhere (the
+  // host's HandshakeReactor drives handshakes on the event loop; no
+  // worker ever blocks on a slow peer). Registers the channel on
+  // options.loop and returns the live connection.
+  Result<std::shared_ptr<RpcConnection>> ServeChannelOnLoop(
+      std::unique_ptr<SecureChannel> channel,
+      const RpcConnection::Options& options,
+      RpcConnection::ClosedFn on_closed = nullptr);
+
   // --- local administration (not exposed over RPC) ---
   Status AddPolicyAssertion(const std::string& text);
   // Admission is split: the credential is parsed and its signature
@@ -220,6 +229,10 @@ class DiscfsServer {
   void RegisterDiscfsProcs();
   void RegisterLockboxProcs();
   void RegisterClusterProcs();
+  // Assigns every registered procedure its shed class (PR 10): control
+  // plane (revocations, credential submits, cluster coherence, stats) is
+  // shed last, data reads/writes first. See docs/OVERLOAD.md.
+  void ClassifyProcPriorities();
   // Wraps every subsystem's Stats struct in registry gauges (scrape-time
   // callbacks; no hot-path cost).
   void RegisterServerMetrics();

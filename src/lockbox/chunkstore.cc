@@ -1,7 +1,11 @@
 #include "src/lockbox/chunkstore.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "src/crypto/sha.h"
 #include "src/util/hex.h"
+#include "src/wire/lockbox.h"
 
 namespace discfs {
 namespace {
@@ -166,6 +170,111 @@ Status ChunkStore::Release(const std::string& id) {
   RETURN_IF_ERROR(nfs_->Remove(dir, ChunkFileName(id)));
   removed_.fetch_add(1);
   return OkStatus();
+}
+
+Result<ChunkStore::AuditReport> ChunkStore::Audit() {
+  AuditReport report;
+  ASSIGN_OR_RETURN(NfsFattr root, nfs_->GetRoot());
+  Result<NfsFattr> lockbox_dir = nfs_->Lookup(root.fh, ".lockbox");
+  if (!lockbox_dir.ok()) {
+    if (lockbox_dir.status().code() == StatusCode::kNotFound) {
+      return report;  // nothing stored yet: vacuously clean
+    }
+    return lockbox_dir.status();
+  }
+
+  // Mark: how many live lockbox records reference each chunk id. Dedup
+  // means one stored chunk can legitimately carry many references.
+  std::unordered_map<std::string, uint32_t> live;
+  Result<NfsFattr> box_dir = nfs_->Lookup(lockbox_dir->fh, "box");
+  if (box_dir.ok()) {
+    ASSIGN_OR_RETURN(std::vector<NfsDirEntry> sidecars,
+                     nfs_->ReadDir(box_dir->fh));
+    for (const NfsDirEntry& sidecar : sidecars) {
+      if (sidecar.type == FileType::kDirectory) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(NfsFattr attr, nfs_->GetAttr(sidecar.fh));
+      ASSIGN_OR_RETURN(
+          Bytes raw,
+          nfs_->Read(sidecar.fh, 0, static_cast<uint32_t>(attr.size)));
+      Result<wire::LockboxRecord> record = wire::DecodeLockboxRecord(raw);
+      if (!record.ok()) {
+        report.corrupt.push_back("box/" + sidecar.name);
+        continue;
+      }
+      report.live_records++;
+      for (const std::string& id : record->chunks) {
+        ++live[id];
+        report.live_references++;
+      }
+    }
+  } else if (box_dir.status().code() != StatusCode::kNotFound) {
+    return box_dir.status();
+  }
+
+  // Sweep: every stored chunk's header refcount against its live count.
+  std::unordered_map<std::string, uint32_t> stored;
+  Result<NfsFattr> chunks_dir = nfs_->Lookup(lockbox_dir->fh, "chunks");
+  if (chunks_dir.ok()) {
+    ASSIGN_OR_RETURN(std::vector<NfsDirEntry> prefixes,
+                     nfs_->ReadDir(chunks_dir->fh));
+    for (const NfsDirEntry& prefix : prefixes) {
+      if (prefix.type != FileType::kDirectory) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(std::vector<NfsDirEntry> files,
+                       nfs_->ReadDir(prefix.fh));
+      for (const NfsDirEntry& file : files) {
+        if (file.type == FileType::kDirectory) {
+          continue;
+        }
+        report.chunks_scanned++;
+        const std::string where = prefix.name + "/" + file.name;
+        Result<Bytes> header = nfs_->Read(file.fh, 0, kHeaderSize);
+        if (!header.ok() || header->size() != kHeaderSize ||
+            !std::equal(kMagic.begin(), kMagic.end(), header->begin())) {
+          report.corrupt.push_back(where);
+          continue;
+        }
+        const uint32_t refcount = LoadU32Be(header->data() + kRefCountOffset);
+        // The file name only carries 58 of the 64 hex chars; the header
+        // embeds the full id. The two must agree on their overlap.
+        const std::string id = HexEncode(
+            header->data() + kRefCountOffset + 4, Sha256::kDigestSize);
+        if (id.substr(0, kPrefixLen) != prefix.name ||
+            id.substr(kPrefixLen, kNameLen) != file.name) {
+          report.corrupt.push_back(where);
+          continue;
+        }
+        stored[id] = refcount;
+        auto it = live.find(id);
+        const uint32_t want = it == live.end() ? 0 : it->second;
+        if (want == 0) {
+          report.orphaned.push_back(id);
+        } else if (refcount > want) {
+          report.over_referenced.push_back(id);
+        } else if (refcount < want) {
+          report.under_referenced.push_back(id);
+        }
+      }
+    }
+  } else if (chunks_dir.status().code() != StatusCode::kNotFound) {
+    return chunks_dir.status();
+  }
+
+  for (const auto& [id, count] : live) {
+    if (stored.find(id) == stored.end()) {
+      report.missing.push_back(id);
+    }
+  }
+  // Deterministic output for tests and the bench report.
+  std::sort(report.orphaned.begin(), report.orphaned.end());
+  std::sort(report.over_referenced.begin(), report.over_referenced.end());
+  std::sort(report.under_referenced.begin(), report.under_referenced.end());
+  std::sort(report.missing.begin(), report.missing.end());
+  std::sort(report.corrupt.begin(), report.corrupt.end());
+  return report;
 }
 
 Result<uint32_t> ChunkStore::RefCount(const std::string& id) {

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/nfs/nfs_server.h"
 #include "src/util/bytes.h"
@@ -68,6 +69,37 @@ class ChunkStore {
   Stats stats() const {
     return {puts_.load(), dedup_hits_.load(), stored_.load(), removed_.load()};
   }
+
+  // --- integrity audit (PR 10) ---
+  // Mark-and-sweep consistency check between the stored chunks and the
+  // live lockbox records. Mark: decode every /.lockbox/box sidecar and
+  // count the references each chunk id receives. Sweep: walk every stored
+  // chunk file, read its header, and compare the persisted refcount with
+  // the live count. Advisory: run it while lockbox mutation is quiesced
+  // (a concurrent Put/Release legitimately shows as a transient skew).
+  struct AuditReport {
+    uint64_t live_records = 0;     // sidecars decoded
+    uint64_t chunks_scanned = 0;   // stored chunk files walked
+    uint64_t live_references = 0;  // record -> chunk edges counted
+    // Stored but referenced by no record: leaked space, never data loss.
+    std::vector<std::string> orphaned;
+    // Header refcount above the live count: Release can never reach zero,
+    // so the chunk would leak even after every referencing record dies.
+    std::vector<std::string> over_referenced;
+    // Header refcount below the live count: the dangerous direction — a
+    // future Release could garbage-collect data a live record still needs.
+    std::vector<std::string> under_referenced;
+    // Referenced by a record but not stored: data loss already happened.
+    std::vector<std::string> missing;
+    // Unreadable header, bad magic, or embedded id disagreeing with the
+    // file's location.
+    std::vector<std::string> corrupt;
+    bool clean() const {
+      return orphaned.empty() && over_referenced.empty() &&
+             under_referenced.empty() && missing.empty() && corrupt.empty();
+    }
+  };
+  Result<AuditReport> Audit();
 
  private:
   static constexpr size_t kShards = 16;

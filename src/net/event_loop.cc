@@ -36,9 +36,11 @@ EventLoop::~EventLoop() {
     poller_.join();
   }
   {
-    // Drop (destroy) tasks that never ran; their captures release here.
+    // Drop (destroy) tasks and timers that never ran; their captures
+    // release here.
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.clear();
+    timers_.clear();
     handlers_.clear();
   }
   if (wakeup_fd_ >= 0) {
@@ -111,6 +113,28 @@ void EventLoop::Unregister(int fd) {
   }
 }
 
+void EventLoop::RunAfter(uint64_t delay_ms, Task task) {
+  auto when = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(delay_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;  // dropped; the loop is going away
+    }
+    timers_.emplace(when, std::move(task));
+  }
+  // Wake the poller so it recomputes its wait timeout against the new
+  // earliest deadline.
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wakeup_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+size_t EventLoop::timers_armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timers_.size();
+}
+
 void EventLoop::Post(Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -144,17 +168,57 @@ void EventLoop::RunPostedTasks() {
   }
 }
 
+int EventLoop::TimerWaitMs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (timers_.empty()) {
+    return -1;  // block until an fd event or a wakeup
+  }
+  auto now = std::chrono::steady_clock::now();
+  auto first = timers_.begin()->first;
+  if (first <= now) {
+    return 0;
+  }
+  // Round up so the wait never wakes a hair before the deadline and spins.
+  auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   first - now + std::chrono::milliseconds(1))
+                   .count();
+  constexpr int64_t kMaxWaitMs = 60'000;
+  return static_cast<int>(delta < kMaxWaitMs ? delta : kMaxWaitMs);
+}
+
+void EventLoop::RunDueTimers() {
+  std::vector<Task> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto now = std::chrono::steady_clock::now();
+    while (!timers_.empty() && timers_.begin()->first <= now) {
+      due.push_back(std::move(timers_.begin()->second));
+      timers_.erase(timers_.begin());
+    }
+  }
+  for (Task& task : due) {
+    task();
+  }
+}
+
 void EventLoop::PollLoop() {
   std::vector<epoll_event> events(64);
   while (true) {
     int n = ::epoll_wait(epoll_fd_, events.data(),
-                         static_cast<int>(events.size()), -1);
+                         static_cast<int>(events.size()), TimerWaitMs());
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
       return;  // epoll fd gone; loop is being torn down
     }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return;
+      }
+    }
+    RunDueTimers();
     for (int i = 0; i < n; ++i) {
       const epoll_event& ev = events[i];
       if (ev.data.fd == wakeup_fd_) {

@@ -21,10 +21,12 @@
 #define DISCFS_SRC_NET_EVENT_LOOP_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -70,6 +72,17 @@ class EventLoop {
   // Tasks posted after the loop stopped are destroyed without running.
   void Post(Task task);
 
+  // Runs `task` on the poller thread once `delay_ms` milliseconds have
+  // passed (never earlier; possibly a little later if the loop is busy
+  // dispatching). Safe from any thread. There is no cancellation handle:
+  // callers that may outlive the interest capture shared state and check
+  // a flag when the timer fires. Timers that have not fired when the
+  // loop stops are destroyed without running, like posted tasks.
+  void RunAfter(uint64_t delay_ms, Task task);
+
+  // Timers currently armed (diagnostics).
+  size_t timers_armed() const;
+
   // True when called from the poller thread (i.e. from a callback/task).
   bool InLoopThread() const;
 
@@ -84,6 +97,9 @@ class EventLoop {
  private:
   void PollLoop();
   void RunPostedTasks();
+  void RunDueTimers();
+  // epoll_wait timeout until the earliest armed timer, in ms (-1 = none).
+  int TimerWaitMs();
   uint32_t EpollMask(bool want_read, bool want_write) const;
 
   int epoll_fd_ = -1;
@@ -94,6 +110,8 @@ class EventLoop {
   std::condition_variable cv_;
   std::unordered_map<int, std::shared_ptr<Callback>> handlers_;
   std::deque<Task> tasks_;
+  // Earliest-first timer queue; fired between epoll batches.
+  std::multimap<std::chrono::steady_clock::time_point, Task> timers_;
   int dispatching_fd_ = -1;  // fd whose callback is currently running
   bool stopping_ = false;
   std::atomic<uint64_t> dispatched_{0};

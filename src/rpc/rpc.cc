@@ -31,7 +31,8 @@ struct DecodedCall {
   uint32_t prog = 0;
   uint32_t proc = 0;
   Bytes args;
-  uint64_t trace_id = 0;  // from the optional trailer; 0 = untraced
+  uint64_t trace_id = 0;     // from the optional trailer; 0 = untraced
+  uint32_t deadline_ms = 0;  // v2 trailer budget; 0 = no deadline
 };
 
 Result<DecodedCall> DecodeCall(const Bytes& frame) {
@@ -45,9 +46,11 @@ Result<DecodedCall> DecodeCall(const Bytes& frame) {
   if (type != kTypeCall) {
     return DataLossError("expected RPC call frame");
   }
-  // Optional trailer: magic | version | trace id. Anything that does not
-  // parse as the trailer (wrong magic, truncated, future version we cannot
-  // read) is ignored — the call itself is already complete.
+  // Optional trailer: magic | version | trace id | [deadline]. Anything
+  // that does not parse as the trailer (wrong magic, truncated, future
+  // version we cannot read) is ignored — the call itself is already
+  // complete. Version 2 appends the deadline budget; a version beyond
+  // what we know still yields the fields we do understand.
   if (!r.AtEnd()) {
     Result<uint32_t> magic = r.GetU32();
     if (magic.ok() && *magic == kRpcTraceMagic) {
@@ -56,6 +59,12 @@ Result<DecodedCall> DecodeCall(const Bytes& frame) {
         Result<uint64_t> trace = r.GetU64();
         if (trace.ok()) {
           call.trace_id = *trace;
+          if (*version >= kRpcDeadlineVersion) {
+            Result<uint32_t> deadline = r.GetU32();
+            if (deadline.ok()) {
+              call.deadline_ms = *deadline;
+            }
+          }
         }
       }
     }
@@ -63,13 +72,20 @@ Result<DecodedCall> DecodeCall(const Bytes& frame) {
   return call;
 }
 
-// Appends the trace trailer when the calling thread has an active trace.
-void PutTraceTrailer(XdrWriter& w) {
+// Appends the call trailer when the calling thread has an active trace or
+// the call carries a deadline. Deadline-free calls keep emitting the
+// version-1 wire bytes, so traces recorded against old peers stay
+// byte-identical.
+void PutCallTrailer(XdrWriter& w, uint32_t deadline_ms) {
   uint64_t trace = obs::CurrentTraceId();
-  if (trace != 0) {
-    w.PutU32(kRpcTraceMagic);
-    w.PutU32(kRpcTraceVersion);
-    w.PutU64(trace);
+  if (trace == 0 && deadline_ms == 0) {
+    return;
+  }
+  w.PutU32(kRpcTraceMagic);
+  w.PutU32(deadline_ms != 0 ? kRpcDeadlineVersion : kRpcTraceVersion);
+  w.PutU64(trace);
+  if (deadline_ms != 0) {
+    w.PutU32(deadline_ms);
   }
 }
 
@@ -119,10 +135,26 @@ RpcClient::~RpcClient() {
   if (demux_thread_.joinable()) {
     demux_thread_.join();
   }
+  std::thread reaper;
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    deadline_stop_ = true;
+    reaper = std::move(deadline_thread_);
+  }
+  deadline_cv_.notify_all();
+  if (reaper.joinable()) {
+    reaper.join();
+  }
 }
 
 std::future<Result<Bytes>> RpcClient::CallAsync(uint32_t prog, uint32_t proc,
                                                 const Bytes& args) {
+  return CallAsyncWithDeadline(
+      prog, proc, args, default_deadline_ms_.load(std::memory_order_relaxed));
+}
+
+std::future<Result<Bytes>> RpcClient::CallAsyncWithDeadline(
+    uint32_t prog, uint32_t proc, const Bytes& args, uint32_t deadline_ms) {
   std::promise<Result<Bytes>> promise;
   std::future<Result<Bytes>> future = promise.get_future();
 
@@ -143,7 +175,7 @@ std::future<Result<Bytes>> RpcClient::CallAsync(uint32_t prog, uint32_t proc,
   w.PutU32(prog);
   w.PutU32(proc);
   w.PutOpaque(args);
-  PutTraceTrailer(w);
+  PutCallTrailer(w, deadline_ms);
   Status sent;
   {
     std::lock_guard<std::mutex> lock(send_mu_);
@@ -160,6 +192,10 @@ std::future<Result<Bytes>> RpcClient::CallAsync(uint32_t prog, uint32_t proc,
       lock.unlock();
       orphan.set_value(sent);
     }
+    return future;
+  }
+  if (deadline_ms != 0) {
+    ArmDeadline(xid, deadline_ms);
   }
   return future;
 }
@@ -167,6 +203,68 @@ std::future<Result<Bytes>> RpcClient::CallAsync(uint32_t prog, uint32_t proc,
 Result<Bytes> RpcClient::Call(uint32_t prog, uint32_t proc,
                               const Bytes& args) {
   return CallAsync(prog, proc, args).get();
+}
+
+Result<Bytes> RpcClient::CallWithDeadline(uint32_t prog, uint32_t proc,
+                                          const Bytes& args,
+                                          uint32_t deadline_ms) {
+  return CallAsyncWithDeadline(prog, proc, args, deadline_ms).get();
+}
+
+void RpcClient::ArmDeadline(uint32_t xid, uint32_t deadline_ms) {
+  auto when = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(deadline_ms);
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    if (deadline_stop_) {
+      return;  // destructor already ran; the call fails via FailAllPending
+    }
+    deadlines_.emplace(when, xid);
+    if (!deadline_thread_.joinable()) {
+      deadline_thread_ = std::thread([this] { DeadlineLoop(); });
+    }
+  }
+  deadline_cv_.notify_all();
+}
+
+void RpcClient::DeadlineLoop() {
+  std::unique_lock<std::mutex> lock(deadline_mu_);
+  while (!deadline_stop_) {
+    if (deadlines_.empty()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (deadlines_.begin()->first > now) {
+      deadline_cv_.wait_until(lock, deadlines_.begin()->first);
+      continue;
+    }
+    std::vector<uint32_t> due;
+    while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+      due.push_back(deadlines_.begin()->second);
+      deadlines_.erase(deadlines_.begin());
+    }
+    lock.unlock();
+    for (uint32_t xid : due) {
+      // Completed calls are no longer pending; firing is a no-op then.
+      std::promise<Result<Bytes>> promise;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> pending_lock(pending_mu_);
+        auto it = pending_.find(xid);
+        if (it != pending_.end()) {
+          promise = std::move(it->second);
+          pending_.erase(it);
+          found = true;
+        }
+      }
+      if (found) {
+        promise.set_value(
+            DeadlineExceededError("RPC deadline exceeded awaiting reply"));
+      }
+    }
+    lock.lock();
+  }
 }
 
 bool RpcClient::ProcessReply(const Bytes& frame) {
@@ -268,6 +366,16 @@ size_t RpcClient::inflight() const {
 
 void RpcDispatcher::Register(uint32_t prog, uint32_t proc, Handler handler) {
   handlers_[{prog, proc}] = std::move(handler);
+}
+
+void RpcDispatcher::SetPriority(uint32_t prog, uint32_t proc,
+                                RpcPriority priority) {
+  priorities_[{prog, proc}] = priority;
+}
+
+RpcPriority RpcDispatcher::PriorityOf(uint32_t prog, uint32_t proc) const {
+  auto it = priorities_.find({prog, proc});
+  return it != priorities_.end() ? it->second : RpcPriority::kNamespace;
 }
 
 Result<Bytes> RpcDispatcher::Dispatch(uint32_t prog, uint32_t proc,
@@ -486,20 +594,33 @@ void RpcConnection::PumpReads() {
     if (timing) {
       ts.decoded_ns = rec->Now();
     }
+    const bool tiered = opts_.shed_data_watermark > 0 ||
+                        opts_.shed_namespace_watermark > 0;
     // One queue_depth() read serves both the admission check and the
     // recorder's pool-backlog sample.
     size_t pool_depth = 0;
-    if (timing || opts_.admission_queue_limit > 0) {
+    if (timing || tiered || opts_.admission_queue_limit > 0) {
       pool_depth = opts_.pool->queue_depth();
     }
-    if (opts_.admission_queue_limit > 0 &&
-        pool_depth >= opts_.admission_queue_limit) {
-      // Global admission bound: answer busy without touching the pool.
-      // Control replies push without blocking (stalling the loop would
-      // stall every connection), but a reject storm must not grow the
-      // queue unboundedly either: once the queue reaches its limit,
-      // pause reads until the drain works it back down.
+    RpcPriority priority = RpcPriority::kNamespace;
+    if (tiered) {
+      priority = dispatcher_->PriorityOf(call->prog, call->proc);
+    }
+    const size_t admission_limit = AdmissionLimitFor(priority);
+    if (admission_limit > 0 && pool_depth >= admission_limit) {
+      // Admission bound or shed watermark hit: answer busy without
+      // touching the pool. Control replies push without blocking
+      // (stalling the loop would stall every connection), but a reject
+      // storm must not grow the queue unboundedly either: once the queue
+      // reaches its limit, pause reads until the drain works it back
+      // down.
       busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+      shed_by_priority_[static_cast<size_t>(priority)].fetch_add(
+          1, std::memory_order_relaxed);
+      if (rec != nullptr) {
+        rec->RecordShed(call->prog, call->proc,
+                        static_cast<size_t>(priority));
+      }
       std::unique_lock<std::mutex> lock(mu_);
       if (!closed_ && !send_broken_) {
         PushReplyAndDrainLocked(
@@ -516,22 +637,50 @@ void RpcConnection::PumpReads() {
       }
       continue;
     }
+    // Deadline snapshot at admission: the v2 trailer carries a relative
+    // budget, so expiry is anchored to local arrival time (no cross-host
+    // clock agreement needed).
+    uint64_t expires_at_ns = 0;
+    if (call->deadline_ms != 0) {
+      expires_at_ns =
+          obs::MonotonicNanos() + call->deadline_ms * uint64_t{1'000'000};
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++inflight_;
     }
     auto self = shared_from_this();
     opts_.pool->Submit(
-        [self, call = std::move(*call), ts, pool_depth]() mutable {
+        [self, call = std::move(*call), ts, pool_depth,
+         expires_at_ns]() mutable {
           self->ExecuteOnPool(call.xid, call.prog, call.proc,
-                              std::move(call.args), call.trace_id, ts,
-                              pool_depth);
+                              std::move(call.args), call.trace_id,
+                              expires_at_ns, ts, pool_depth);
         });
   }
 }
 
+size_t RpcConnection::AdmissionLimitFor(RpcPriority priority) const {
+  size_t limit = opts_.admission_queue_limit;  // hard limit, every class
+  auto tighten = [&limit](size_t watermark) {
+    if (watermark > 0 && (limit == 0 || watermark < limit)) {
+      limit = watermark;
+    }
+  };
+  // Lower classes shed at every watermark above them, so a host that only
+  // configures the namespace tier still sheds data traffic there first.
+  if (priority == RpcPriority::kData) {
+    tighten(opts_.shed_data_watermark);
+  }
+  if (priority != RpcPriority::kControl) {
+    tighten(opts_.shed_namespace_watermark);
+  }
+  return limit;
+}
+
 void RpcConnection::ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc,
                                   Bytes args, uint64_t trace_id,
+                                  uint64_t expires_at_ns,
                                   obs::CallTimestamps ts,
                                   size_t pool_queue_depth) {
   obs::RpcRecorder* rec = opts_.recorder;
@@ -541,13 +690,26 @@ void RpcConnection::ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc,
   if (timing) {
     ts.exec_start_ns = rec->Now();
   }
-  DecodedCall call;
-  call.xid = xid;
-  call.prog = prog;
-  call.proc = proc;
-  call.args = std::move(args);
-  call.trace_id = trace_id;
-  Bytes reply = EncodeReply(xid, DispatchTraced(*dispatcher_, call, ctx_));
+  Bytes reply;
+  if (expires_at_ns != 0 && obs::MonotonicNanos() >= expires_at_ns) {
+    // Expired at dequeue: the caller has already given up, so executing
+    // would burn a worker on a reply nobody reads. Answer without
+    // dispatching.
+    expired_dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (rec != nullptr) {
+      rec->RecordExpired(prog, proc);
+    }
+    reply = EncodeReply(
+        xid, DeadlineExceededError("deadline expired before execution"));
+  } else {
+    DecodedCall call;
+    call.xid = xid;
+    call.prog = prog;
+    call.proc = proc;
+    call.args = std::move(args);
+    call.trace_id = trace_id;
+    reply = EncodeReply(xid, DispatchTraced(*dispatcher_, call, ctx_));
+  }
   if (timing) {
     ts.exec_end_ns = rec->Now();
   }
@@ -759,6 +921,15 @@ size_t RpcConnection::send_queue_peak() const {
 
 uint64_t RpcConnection::busy_rejected() const {
   return busy_rejected_.load(std::memory_order_relaxed);
+}
+
+uint64_t RpcConnection::shed_by_priority(RpcPriority priority) const {
+  return shed_by_priority_[static_cast<size_t>(priority)].load(
+      std::memory_order_relaxed);
+}
+
+uint64_t RpcConnection::expired_dropped() const {
+  return expired_dropped_.load(std::memory_order_relaxed);
 }
 
 }  // namespace discfs

@@ -24,6 +24,8 @@
 #define DISCFS_SRC_RPC_RPC_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
@@ -80,6 +82,26 @@ class RpcClient {
   std::future<Result<Bytes>> CallAsync(uint32_t prog, uint32_t proc,
                                        const Bytes& args);
 
+  // Deadline-aware calls: the pending promise fails with
+  // kDeadlineExceeded when no reply arrives within `deadline_ms`, so a
+  // stalled server cannot hang the caller. The budget also rides the call
+  // frame's version-2 trailer, letting the server drop the work at
+  // dequeue once it is already dead instead of executing it.
+  // deadline_ms == 0 means no deadline (the plain CallAsync behavior).
+  std::future<Result<Bytes>> CallAsyncWithDeadline(uint32_t prog,
+                                                   uint32_t proc,
+                                                   const Bytes& args,
+                                                   uint32_t deadline_ms);
+  Result<Bytes> CallWithDeadline(uint32_t prog, uint32_t proc,
+                                 const Bytes& args, uint32_t deadline_ms);
+
+  // Default budget applied to every Call/CallAsync that does not name its
+  // own deadline. 0 (the default) keeps the historical block-forever
+  // behavior.
+  void set_default_deadline_ms(uint32_t ms) {
+    default_deadline_ms_.store(ms, std::memory_order_relaxed);
+  }
+
   // Fails all in-flight calls, makes future calls fail immediately, and
   // tears down the stream. Safe to call from any thread, including while
   // calls are blocked.
@@ -90,6 +112,10 @@ class RpcClient {
 
  private:
   void DemuxLoop();
+  // Fails pending calls whose deadline passed with kDeadlineExceeded.
+  // Lazily started by the first deadline-carrying call.
+  void DeadlineLoop();
+  void ArmDeadline(uint32_t xid, uint32_t deadline_ms);
   // Drains TryRecv on the event loop until the socket is empty or broken.
   void OnReadable();
   // Resolves one reply frame against the pending table. Returns false when
@@ -113,6 +139,15 @@ class RpcClient {
   EventLoop* loop_ = nullptr;
   int loop_fd_ = -1;
   std::thread demux_thread_;
+
+  // Deadline reaper: earliest-first queue of (expiry, xid). Entries for
+  // calls that already completed fire as no-ops (pending_ probe misses).
+  std::atomic<uint32_t> default_deadline_ms_{0};
+  std::mutex deadline_mu_;
+  std::condition_variable deadline_cv_;
+  std::multimap<std::chrono::steady_clock::time_point, uint32_t> deadlines_;
+  bool deadline_stop_ = false;     // guarded by deadline_mu_
+  std::thread deadline_thread_;    // guarded by deadline_mu_ (lazy start)
 };
 
 // How ServeConnection schedules handler execution.
@@ -126,11 +161,28 @@ struct ServeOptions {
 };
 
 // RPC call frames may carry an optional trailer after the opaque args:
-//   u32 kRpcTraceMagic | u32 version | u64 trace_id
-// Peers that predate it parse the frame unchanged and never look past the
-// args, so the extension is backward compatible (see src/rpc/README.md).
+//   u32 kRpcTraceMagic | u32 version | u64 trace_id [| u32 deadline_ms]
+// Version 1 carries the trace id only; version 2 appends the caller's
+// remaining deadline budget in milliseconds (relative, so clocks need not
+// be synchronized; 0 = no deadline). Peers that predate the trailer parse
+// the frame unchanged and never look past the args, and version-1 parsers
+// accept any version >= 1 and simply stop after the trace id, so both
+// extensions are backward compatible (see src/rpc/README.md).
 inline constexpr uint32_t kRpcTraceMagic = 0x44545243;  // "DTRC"
 inline constexpr uint32_t kRpcTraceVersion = 1;
+inline constexpr uint32_t kRpcDeadlineVersion = 2;
+
+// Priority classes for policy-aware shedding, highest first. Under
+// overload the server sheds kData first (cheap to retry, no durable
+// effect), then kNamespace, and only rejects kControl at the hard
+// admission limit — a revocation the server could have applied is never
+// the first thing dropped.
+enum class RpcPriority : uint8_t {
+  kControl = 0,    // credential submits/revocations, cluster pushes, stats
+  kNamespace = 1,  // lookup/create/rename-class operations (the default)
+  kData = 2,       // reads/writes/getattr and other data-plane traffic
+};
+inline constexpr size_t kRpcPriorityCount = 3;
 
 class RpcDispatcher {
  public:
@@ -138,6 +190,13 @@ class RpcDispatcher {
       std::function<Result<Bytes>(const Bytes& args, const RpcContext& ctx)>;
 
   void Register(uint32_t prog, uint32_t proc, Handler handler);
+
+  // Priority used by RpcConnection's watermark shedding. Like Register,
+  // call during server setup: the map is read without a lock once serving
+  // starts. Unregistered procedures default to kNamespace (the middle
+  // tier), so unknown work is neither privileged nor the first shed.
+  void SetPriority(uint32_t prog, uint32_t proc, RpcPriority priority);
+  RpcPriority PriorityOf(uint32_t prog, uint32_t proc) const;
 
   // Serves one request from the stream (recv, dispatch, reply). Returns
   // UNAVAILABLE when the peer disconnects.
@@ -159,6 +218,7 @@ class RpcDispatcher {
 
  private:
   std::map<std::pair<uint32_t, uint32_t>, Handler> handlers_;
+  std::map<std::pair<uint32_t, uint32_t>, RpcPriority> priorities_;
 };
 
 // One event-driven server connection. Requests are decoded on the loop as
@@ -183,7 +243,18 @@ class RpcConnection : public std::enable_shared_from_this<RpcConnection> {
     // Global admission bound: when the shared pool's queue depth reaches
     // this, new requests are rejected with RESOURCE_EXHAUSTED instead of
     // queued, so connection fan-in cannot blow tail latency. 0 = off.
+    // With the watermarks below unset this is a binary bound on every
+    // request; with them set it becomes the hard limit that even
+    // kControl work sheds at.
     size_t admission_queue_limit = 0;
+    // Watermark tiers for policy-aware shedding. A non-zero watermark
+    // busy-rejects requests of that priority class (and every class
+    // below it) once the shared pool's queue depth reaches it, so under
+    // pressure data reads shed first, then namespace operations, and
+    // control-plane work (submits, revocations) only at the hard
+    // admission_queue_limit. Both 0 = tiering off (binary behavior).
+    size_t shed_data_watermark = 0;
+    size_t shed_namespace_watermark = 0;
     // Flight recorder: when set (and its registry is enabled), the
     // connection stamps each call at five points and reports span timings
     // plus queue depths per (prog, proc). Null = no timing overhead.
@@ -217,8 +288,13 @@ class RpcConnection : public std::enable_shared_from_this<RpcConnection> {
   // Highest send-queue depth observed (≤ send_queue_limit unless busy
   // rejects, which bypass the bound so they can never deadlock the loop).
   size_t send_queue_peak() const;
-  // Requests rejected by the global admission bound.
+  // Requests rejected by the admission bound or a shed watermark (total).
   uint64_t busy_rejected() const;
+  // Busy rejects broken down by the rejected request's priority class.
+  uint64_t shed_by_priority(RpcPriority priority) const;
+  // Requests dropped at dequeue because their deadline had already
+  // expired (answered kDeadlineExceeded without executing the handler).
+  uint64_t expired_dropped() const;
 
  private:
   RpcConnection(const RpcDispatcher* dispatcher,
@@ -228,9 +304,13 @@ class RpcConnection : public std::enable_shared_from_this<RpcConnection> {
   void OnEvent(uint32_t events);      // loop thread
   void PumpReads();                   // loop thread
   void Drain();                       // loop thread (EPOLLOUT entry)
+  // Pool-queue-depth ceiling that admits a request of this priority
+  // (smallest applicable watermark, falling back to the hard limit);
+  // 0 = unbounded.
+  size_t AdmissionLimitFor(RpcPriority priority) const;
   void ExecuteOnPool(uint32_t xid, uint32_t prog, uint32_t proc, Bytes args,
-                     uint64_t trace_id, obs::CallTimestamps ts,
-                     size_t pool_queue_depth);
+                     uint64_t trace_id, uint64_t expires_at_ns,
+                     obs::CallTimestamps ts, size_t pool_queue_depth);
   // Returns the send-queue depth right after this reply was appended
   // (0 when the connection closed and the reply was dropped).
   size_t EnqueueReply(Bytes frame);   // worker thread; blocks when full
@@ -273,6 +353,8 @@ class RpcConnection : public std::enable_shared_from_this<RpcConnection> {
   bool send_broken_ = false;   // write side failed; replies are discarded
   bool closed_ = false;
   std::atomic<uint64_t> busy_rejected_{0};
+  std::atomic<uint64_t> shed_by_priority_[kRpcPriorityCount] = {};
+  std::atomic<uint64_t> expired_dropped_{0};
 };
 
 }  // namespace discfs

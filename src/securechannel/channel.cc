@@ -139,47 +139,92 @@ Result<std::unique_ptr<SecureChannel>> SecureChannel::ClientHandshake(
 
 Result<std::unique_ptr<SecureChannel>> SecureChannel::ServerHandshake(
     std::unique_ptr<MsgStream> transport, const ChannelIdentity& identity) {
-  ASSIGN_OR_RETURN(Bytes client_hello_bytes, transport->Recv());
-  ASSIGN_OR_RETURN(Hello client_hello, DecodeHello(client_hello_bytes));
-  ASSIGN_OR_RETURN(DsaPublicKey client_key,
-                   DsaPublicKey::Deserialize(client_hello.identity_key));
-
-  const DsaParams& group = identity.key.public_key().params();
-  if (!(client_key.params() == group)) {
-    return InvalidArgumentError("client uses a different DH group");
+  // The blocking entry point is the sans-io machine plus a trivial driver;
+  // there is exactly one handshake implementation.
+  ServerHandshakeMachine machine(identity);
+  while (!machine.done()) {
+    ASSIGN_OR_RETURN(Bytes message, transport->Recv());
+    ASSIGN_OR_RETURN(ServerHandshakeMachine::Step step,
+                     machine.OnMessage(message));
+    if (!step.response.empty()) {
+      RETURN_IF_ERROR(transport->Send(step.response));
+    }
   }
-  DhKeyPair dh = DhKeyPair::Generate(group, identity.rand_bytes);
+  return machine.Finish(std::move(transport));
+}
 
-  Hello server_hello{identity.key.public_key().Serialize(), dh.PublicValue(),
-                     identity.rand_bytes(kNonceLen)};
-  Bytes server_hello_bytes = EncodeHello(server_hello);
+ServerHandshakeMachine::ServerHandshakeMachine(const ChannelIdentity& identity)
+    : identity_(identity) {}
 
-  Bytes transcript1 = client_hello_bytes;
-  Append(transcript1, server_hello_bytes);
-  Bytes server_sig = SignTranscript(identity.key, transcript1);
+Result<ServerHandshakeMachine::Step> ServerHandshakeMachine::OnMessage(
+    const Bytes& message) {
+  switch (state_) {
+    case State::kAwaitClientHello: {
+      state_ = State::kFailed;  // restored on success below
+      ASSIGN_OR_RETURN(Hello client_hello, DecodeHello(message));
+      ASSIGN_OR_RETURN(DsaPublicKey client_key,
+                       DsaPublicKey::Deserialize(client_hello.identity_key));
+      const DsaParams& group = identity_.key.public_key().params();
+      if (!(client_key.params() == group)) {
+        return InvalidArgumentError("client uses a different DH group");
+      }
+      DhKeyPair dh = DhKeyPair::Generate(group, identity_.rand_bytes);
 
-  XdrWriter w;
-  w.PutOpaque(server_hello_bytes);
-  w.PutOpaque(server_sig);
-  RETURN_IF_ERROR(transport->Send(w.Take()));
+      Hello server_hello{identity_.key.public_key().Serialize(),
+                         dh.PublicValue(), identity_.rand_bytes(kNonceLen)};
+      Bytes server_hello_bytes = EncodeHello(server_hello);
 
-  ASSIGN_OR_RETURN(Bytes secret, dh.SharedSecret(client_hello.dh_public));
-  TrafficKeys keys =
-      DeriveKeys(secret, client_hello.nonce, server_hello.nonce);
+      transcript1_ = message;
+      Append(transcript1_, server_hello_bytes);
+      server_sig_ = SignTranscript(identity_.key, transcript1_);
 
-  ASSIGN_OR_RETURN(Bytes auth_msg, transport->Recv());
-  XdrReader r(auth_msg);
-  ASSIGN_OR_RETURN(Bytes client_sig, r.GetOpaque());
-  if (!r.AtEnd()) {
-    return DataLossError("trailing bytes in client auth");
+      ASSIGN_OR_RETURN(Bytes secret, dh.SharedSecret(client_hello.dh_public));
+      TrafficKeys keys =
+          DeriveKeys(secret, client_hello.nonce, server_hello.nonce);
+      send_key_ = std::move(keys.server_to_client);
+      recv_key_ = std::move(keys.client_to_server);
+      client_key_ = std::move(client_key);
+
+      XdrWriter w;
+      w.PutOpaque(server_hello_bytes);
+      w.PutOpaque(server_sig_);
+      state_ = State::kAwaitClientAuth;
+      Step step;
+      step.response = w.Take();
+      return step;
+    }
+    case State::kAwaitClientAuth: {
+      state_ = State::kFailed;
+      XdrReader r(message);
+      ASSIGN_OR_RETURN(Bytes client_sig, r.GetOpaque());
+      if (!r.AtEnd()) {
+        return DataLossError("trailing bytes in client auth");
+      }
+      Bytes transcript2 = transcript1_;
+      Append(transcript2, server_sig_);
+      RETURN_IF_ERROR(VerifyTranscript(*client_key_, transcript2, client_sig));
+      state_ = State::kDone;
+      Step step;
+      step.done = true;
+      return step;
+    }
+    case State::kDone:
+      return FailedPreconditionError("handshake already complete");
+    case State::kFailed:
+      return FailedPreconditionError("handshake already failed");
   }
-  Bytes transcript2 = transcript1;
-  Append(transcript2, server_sig);
-  RETURN_IF_ERROR(VerifyTranscript(client_key, transcript2, client_sig));
+  return InternalError("bad handshake state");
+}
 
-  return std::unique_ptr<SecureChannel>(new SecureChannel(
-      std::move(transport), std::move(keys.server_to_client),
-      std::move(keys.client_to_server), std::move(client_key)));
+Result<std::unique_ptr<SecureChannel>> ServerHandshakeMachine::Finish(
+    std::unique_ptr<MsgStream> transport) {
+  if (state_ != State::kDone) {
+    return FailedPreconditionError("handshake not complete");
+  }
+  state_ = State::kFailed;  // keys are consumed; the machine is spent
+  return std::unique_ptr<SecureChannel>(
+      new SecureChannel(std::move(transport), std::move(send_key_),
+                        std::move(recv_key_), std::move(*client_key_)));
 }
 
 Bytes SecureChannel::SealRecord(const Bytes& message) {

@@ -81,6 +81,8 @@ class SecureChannel : public MsgStream {
   const DsaPublicKey& peer_key() const { return peer_key_; }
 
  private:
+  friend class ServerHandshakeMachine;
+
   SecureChannel(std::unique_ptr<MsgStream> transport, Bytes send_key,
                 Bytes recv_key, DsaPublicKey peer_key);
 
@@ -102,6 +104,52 @@ class SecureChannel : public MsgStream {
   // update happen under recv_mu_ (never held by a sender).
   std::mutex recv_mu_;
   ReplayWindow recv_window_;  // guarded by recv_mu_
+};
+
+// Sans-io server side of the same 3-message handshake: one machine per
+// in-flight connection, driven a message at a time, so an event loop can
+// interleave hundreds of half-open handshakes without parking a thread
+// per connection (ServerHandshake blocks its caller twice; a slow or
+// malicious client would pin a pool worker for the whole exchange).
+//
+// Usage: feed each inbound handshake frame to OnMessage; write any
+// returned response back to the peer; once done(), call Finish with the
+// transport to obtain the established SecureChannel. The machine does no
+// I/O — readiness, timeouts and framing stay with the caller.
+class ServerHandshakeMachine {
+ public:
+  explicit ServerHandshakeMachine(const ChannelIdentity& identity);
+
+  struct Step {
+    Bytes response;    // when non-empty, send to the peer
+    bool done = false; // when true, call Finish
+  };
+
+  // Advances the handshake with one peer message. CPU-heavy (DH exchange
+  // plus a DSA sign or verify) — run on a worker, not the poller thread.
+  // Any error is terminal for this machine.
+  Result<Step> OnMessage(const Bytes& message);
+
+  bool done() const { return state_ == State::kDone; }
+
+  // Binds the derived traffic keys to `transport`. Valid exactly once,
+  // after done(); the machine is consumed.
+  Result<std::unique_ptr<SecureChannel>> Finish(
+      std::unique_ptr<MsgStream> transport);
+
+  // The client identity authenticated by the handshake (set once done()).
+  const std::optional<DsaPublicKey>& client_key() const { return client_key_; }
+
+ private:
+  enum class State { kAwaitClientHello, kAwaitClientAuth, kDone, kFailed };
+
+  ChannelIdentity identity_;
+  State state_ = State::kAwaitClientHello;
+  Bytes transcript1_;
+  Bytes server_sig_;
+  Bytes send_key_;  // server -> client
+  Bytes recv_key_;  // client -> server
+  std::optional<DsaPublicKey> client_key_;
 };
 
 }  // namespace discfs

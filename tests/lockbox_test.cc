@@ -254,6 +254,74 @@ TEST(LockboxService, ReplacePutReleasesOldChunks) {
   EXPECT_EQ(service.Get(7)->payload, v2);
 }
 
+TEST(ChunkStore, AuditMarkSweepAgainstLiveRecords) {
+  PlainStack stack;
+  ChunkStore store(stack.nfs.get());
+  LockboxService service(stack.nfs.get(), &store);
+
+  // Empty store: vacuously clean.
+  auto empty = store.Audit();
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->clean());
+  EXPECT_EQ(empty->live_records, 0u);
+  EXPECT_EQ(empty->chunks_scanned, 0u);
+
+  // Two records sharing one payload: 4 unique chunks, 8 references.
+  Bytes payload = ToBytes(std::string(2000, 'x') + std::string(2000, 'y'));
+  wire::LockboxRecord rec;
+  rec.handle = 201;
+  rec.owner = "dsa-hex:aa";
+  rec.chunk_size = 1024;
+  auto stored = service.Put(rec, payload);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+  rec.handle = 202;
+  rec.owner = "dsa-hex:bb";
+  ASSERT_TRUE(service.Put(rec, payload).ok());
+
+  auto clean = store.Audit();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->clean());
+  EXPECT_EQ(clean->live_records, 2u);
+  EXPECT_EQ(clean->chunks_scanned, 4u);
+  EXPECT_EQ(clean->live_references, 8u);
+
+  // A chunk Put directly (no record references it) is an orphan.
+  Bytes loose = ToBytes(std::string(500, 'z'));
+  auto orphan_id = store.Put(loose);
+  ASSERT_TRUE(orphan_id.ok());
+  auto with_orphan = store.Audit();
+  ASSERT_TRUE(with_orphan.ok());
+  EXPECT_FALSE(with_orphan->clean());
+  ASSERT_EQ(with_orphan->orphaned.size(), 1u);
+  EXPECT_EQ(with_orphan->orphaned[0], *orphan_id);
+  ASSERT_TRUE(store.Release(*orphan_id).ok());
+
+  // An extra Put of an existing chunk's bytes bumps the stored refcount
+  // above the live reference count: over-referenced (leak direction).
+  Bytes first_chunk(payload.begin(), payload.begin() + 1024);
+  ASSERT_TRUE(store.Put(first_chunk).ok());
+  auto skewed = store.Audit();
+  ASSERT_TRUE(skewed.ok());
+  ASSERT_EQ(skewed->over_referenced.size(), 1u);
+  EXPECT_EQ(skewed->over_referenced[0], stored->chunks[0]);
+  ASSERT_TRUE(store.Release(stored->chunks[0]).ok());
+
+  // Dropping references out from under the records: one Release leaves the
+  // stored count below the live count (under-referenced, the dangerous
+  // direction); a second garbage-collects data the records still need.
+  ASSERT_TRUE(store.Release(stored->chunks[1]).ok());
+  auto under = store.Audit();
+  ASSERT_TRUE(under.ok());
+  ASSERT_EQ(under->under_referenced.size(), 1u);
+  EXPECT_EQ(under->under_referenced[0], stored->chunks[1]);
+  ASSERT_TRUE(store.Release(stored->chunks[1]).ok());
+  auto missing = store.Audit();
+  ASSERT_TRUE(missing.ok());
+  ASSERT_EQ(missing->missing.size(), 1u);
+  EXPECT_EQ(missing->missing[0], stored->chunks[1]);
+  EXPECT_TRUE(missing->under_referenced.empty());
+}
+
 // --- end-to-end over RPC: sealed sharing between principals ---
 
 struct Node {

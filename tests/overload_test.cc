@@ -1,0 +1,368 @@
+// Graceful overload (PR 10): policy-aware shedding (data sheds first,
+// control last), deadline propagation (client reaper + server-side drop of
+// expired work at dequeue), and handshake hardening (a slowloris flood of
+// half-open connections cannot pin workers and is reaped by timeout).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/blockdev/blockdev.h"
+#include "src/crypto/groups.h"
+#include "src/discfs/client.h"
+#include "src/discfs/host.h"
+#include "src/ffs/ffs.h"
+#include "src/net/event_loop.h"
+#include "src/net/transport.h"
+#include "src/rpc/rpc.h"
+#include "src/util/prng.h"
+#include "src/util/worker_pool.h"
+#include "src/vfs/vfs.h"
+
+namespace discfs {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::function<Bytes(size_t)> TestRand(uint64_t seed) {
+  auto prng = std::make_shared<Prng>(seed);
+  return [prng](size_t n) { return prng->NextBytes(n); };
+}
+
+bool WaitFor(const std::function<bool()>& cond,
+             std::chrono::milliseconds limit = 10s) {
+  auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(2ms);
+  }
+  return cond();
+}
+
+// One connection with all three priority tiers registered on the same
+// blocking handler, so the test controls pool depth exactly.
+struct TieredServer {
+  static constexpr uint32_t kData = 1;
+  static constexpr uint32_t kNamespace = 2;
+  static constexpr uint32_t kControl = 3;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+
+  RpcDispatcher dispatcher;
+  WorkerPool pool{1};  // one worker: a single blocked handler saturates it
+  EventLoop loop;
+
+  TieredServer() {
+    auto handler = [this](const Bytes& args, const RpcContext&)
+        -> Result<Bytes> {
+      entered.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, 10s, [this] { return release; });
+      return args;
+    };
+    dispatcher.Register(1, kData, handler);
+    dispatcher.Register(1, kNamespace, handler);
+    dispatcher.Register(1, kControl, handler);
+    dispatcher.SetPriority(1, kData, RpcPriority::kData);
+    dispatcher.SetPriority(1, kControl, RpcPriority::kControl);
+    // kNamespace stays at the default middle tier.
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+  }
+};
+
+// Under pressure the tiers shed in strict order: data bounces at its
+// watermark while namespace and control are still admitted; namespace
+// bounces at its watermark while control rides to the hard limit; control
+// is only rejected at admission_queue_limit itself.
+TEST(Overload, WatermarksShedDataFirstControlLast) {
+  TieredServer server;
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto transport = TcpTransport::Connect("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(transport.ok());
+  auto accepted = (*listener)->Accept();
+  ASSERT_TRUE(accepted.ok());
+
+  RpcConnection::Options options;
+  options.loop = &server.loop;
+  options.pool = &server.pool;
+  options.max_inflight = 64;
+  options.shed_data_watermark = 1;
+  options.shed_namespace_watermark = 2;
+  options.admission_queue_limit = 4;
+  auto served = RpcConnection::Start(&server.dispatcher,
+                                     std::move(accepted).value(), RpcContext{},
+                                     options);
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  RpcClient client(std::move(transport).value());
+
+  // Occupy the single worker, then build pool depth one request at a time.
+  auto running = client.CallAsync(1, TieredServer::kControl, Bytes{0});
+  ASSERT_TRUE(WaitFor([&] { return server.entered.load() == 1; }));
+
+  auto data_ok = client.CallAsync(1, TieredServer::kData, Bytes{1});
+  ASSERT_TRUE(WaitFor([&] { return server.pool.queue_depth() == 1; }));
+
+  // Depth 1 = the data watermark: data sheds, namespace still admitted.
+  auto data_shed = client.CallAsync(1, TieredServer::kData, Bytes{2});
+  ASSERT_EQ(data_shed.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(data_shed.get().status().code(), StatusCode::kResourceExhausted);
+
+  auto ns_ok = client.CallAsync(1, TieredServer::kNamespace, Bytes{3});
+  ASSERT_TRUE(WaitFor([&] { return server.pool.queue_depth() == 2; }));
+
+  // Depth 2 = the namespace watermark: namespace sheds, control admitted.
+  auto ns_shed = client.CallAsync(1, TieredServer::kNamespace, Bytes{4});
+  ASSERT_EQ(ns_shed.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(ns_shed.get().status().code(), StatusCode::kResourceExhausted);
+
+  auto control_ok1 = client.CallAsync(1, TieredServer::kControl, Bytes{5});
+  ASSERT_TRUE(WaitFor([&] { return server.pool.queue_depth() == 3; }));
+  auto control_ok2 = client.CallAsync(1, TieredServer::kControl, Bytes{6});
+  ASSERT_TRUE(WaitFor([&] { return server.pool.queue_depth() == 4; }));
+
+  // Depth 4 = the hard admission limit: even control is rejected now.
+  auto control_shed = client.CallAsync(1, TieredServer::kControl, Bytes{7});
+  ASSERT_EQ(control_shed.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(control_shed.get().status().code(),
+            StatusCode::kResourceExhausted);
+
+  EXPECT_EQ((*served)->shed_by_priority(RpcPriority::kData), 1u);
+  EXPECT_EQ((*served)->shed_by_priority(RpcPriority::kNamespace), 1u);
+  EXPECT_EQ((*served)->shed_by_priority(RpcPriority::kControl), 1u);
+  EXPECT_EQ((*served)->busy_rejected(), 3u);
+
+  // Every admitted request completes once the worker frees up.
+  server.Release();
+  for (auto* future : {&running, &data_ok, &ns_ok, &control_ok1,
+                       &control_ok2}) {
+    ASSERT_EQ(future->wait_for(10s), std::future_status::ready);
+    EXPECT_TRUE(future->get().ok());
+  }
+  EXPECT_EQ(server.entered.load(), 5);  // the three sheds never executed
+
+  client.Close();
+  ASSERT_TRUE(WaitFor([&] { return (*served)->closed(); }));
+}
+
+// A request whose deadline passes while it waits in the pool queue is
+// answered DEADLINE_EXCEEDED at dequeue without executing the handler —
+// the caller already gave up, so burning a worker would only add load
+// exactly when the server has none to spare.
+TEST(Overload, ExpiredRequestsDropAtDequeueWithoutExecuting) {
+  TieredServer server;
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto transport = TcpTransport::Connect("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(transport.ok());
+  auto accepted = (*listener)->Accept();
+  ASSERT_TRUE(accepted.ok());
+
+  RpcConnection::Options options;
+  options.loop = &server.loop;
+  options.pool = &server.pool;
+  auto served = RpcConnection::Start(&server.dispatcher,
+                                     std::move(accepted).value(), RpcContext{},
+                                     options);
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  RpcClient client(std::move(transport).value());
+
+  // Pin the worker, then queue a call with a budget that expires while it
+  // waits behind the blocked handler.
+  auto running = client.CallAsync(1, TieredServer::kNamespace, Bytes{1});
+  ASSERT_TRUE(WaitFor([&] { return server.entered.load() == 1; }));
+  auto doomed =
+      client.CallAsyncWithDeadline(1, TieredServer::kNamespace, Bytes{2}, 100);
+  ASSERT_TRUE(WaitFor([&] { return server.pool.queue_depth() == 1; }));
+  std::this_thread::sleep_for(250ms);  // the queued budget expires
+
+  server.Release();
+  ASSERT_EQ(doomed.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(doomed.get().status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_EQ(running.wait_for(10s), std::future_status::ready);
+  EXPECT_TRUE(running.get().ok());
+
+  // The drop happened server-side, at dequeue, without dispatch.
+  ASSERT_TRUE(WaitFor([&] { return (*served)->expired_dropped() == 1; }));
+  EXPECT_EQ(server.entered.load(), 1);
+
+  client.Close();
+  ASSERT_TRUE(WaitFor([&] { return (*served)->closed(); }));
+}
+
+// CallWithDeadline against a stalled server resolves promptly with
+// DEADLINE_EXCEEDED instead of blocking forever, and the per-client
+// default deadline applies the same budget to plain Calls.
+TEST(Overload, CallWithDeadlineFailsFastOnStalledServer) {
+  TieredServer server;
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto transport = TcpTransport::Connect("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(transport.ok());
+  auto accepted = (*listener)->Accept();
+  ASSERT_TRUE(accepted.ok());
+
+  RpcConnection::Options options;
+  options.loop = &server.loop;
+  options.pool = &server.pool;
+  auto served = RpcConnection::Start(&server.dispatcher,
+                                     std::move(accepted).value(), RpcContext{},
+                                     options);
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  RpcClient client(std::move(transport).value());
+
+  // The handler parks on the cv: without a deadline this call would block
+  // until the 10s handler guard, with one it resolves at ~150ms.
+  auto start = std::chrono::steady_clock::now();
+  auto stalled = client.CallWithDeadline(1, TieredServer::kNamespace,
+                                         Bytes{1}, 150);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(stalled.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 5s) << "deadline did not cut the stalled call short";
+
+  // Same budget via the client-wide default, through the plain Call path.
+  client.set_default_deadline_ms(150);
+  auto defaulted = client.Call(1, TieredServer::kNamespace, Bytes{2});
+  EXPECT_EQ(defaulted.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The connection itself is still healthy: clear the default, release
+  // the handler, and a fresh call completes normally.
+  client.set_default_deadline_ms(0);
+  server.Release();
+  EXPECT_TRUE(client.Call(1, TieredServer::kNamespace, Bytes{3}).ok());
+
+  client.Close();
+  ASSERT_TRUE(WaitFor([&] { return (*served)->closed(); }));
+}
+
+std::shared_ptr<FfsVfs> MakeVfs() {
+  auto dev = std::make_shared<MemBlockDevice>(4096, 4096);
+  auto fs = Ffs::Format(dev, FfsFormatOptions{512});
+  EXPECT_TRUE(fs.ok()) << fs.status();
+  return std::make_shared<FfsVfs>(std::move(fs).value());
+}
+
+// The slowloris scenario: a flood of connections that never speak leaves
+// every half-open handshake parked on the event loop — the worker pool
+// stays idle, a legitimate client still completes its handshake, and the
+// per-connection timeout reaps the flood.
+TEST(Overload, SlowlorisFloodCannotPinWorkersAndIsReaped) {
+  constexpr int kFlood = 64;
+  DsaPrivateKey server_key = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey user_key = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+
+  DiscfsServerConfig config;
+  config.server_key = server_key;
+  config.rand_bytes = TestRand(3);
+  DiscfsHostOptions host_options;
+  host_options.worker_threads = 2;
+  host_options.handshake_timeout_ms = 400;
+  auto host = DiscfsHost::Start(MakeVfs(), std::move(config), 0,
+                                host_options);
+  ASSERT_TRUE(host.ok()) << host.status();
+
+  // Open the flood and keep the sockets alive, sending nothing.
+  std::vector<std::unique_ptr<TcpTransport>> flood;
+  for (int i = 0; i < kFlood; ++i) {
+    auto conn = TcpTransport::Connect("127.0.0.1", (*host)->port());
+    ASSERT_TRUE(conn.ok()) << i << ": " << conn.status();
+    flood.push_back(std::move(conn).value());
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return (*host)->handshake_stats().half_open == kFlood;
+  })) << "flood connections never reached the handshake reactor";
+
+  // Every flooded connection is half-open on the loop; no worker is
+  // executing or queued on its behalf.
+  EXPECT_EQ((*host)->inflight(), 0u);
+  EXPECT_EQ((*host)->queue_depth(), 0u);
+  EXPECT_EQ((*host)->active_connections(), 0u);
+
+  // A legitimate client handshakes through the standing flood.
+  ChannelIdentity user_id{user_key, TestRand(4)};
+  auto client = DiscfsClient::Connect("127.0.0.1", (*host)->port(), user_id,
+                                      server_key.public_key());
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_TRUE((*client)->ServerInfo().ok());
+  (*client)->Close();
+
+  // The timeout reaps the whole flood; none of them ever completed.
+  ASSERT_TRUE(WaitFor([&] {
+    return (*host)->handshake_stats().half_open == 0;
+  })) << "half-open handshakes were never reaped";
+  HandshakeReactor::Stats stats = (*host)->handshake_stats();
+  EXPECT_EQ(stats.timed_out, static_cast<uint64_t>(kFlood));
+  EXPECT_EQ(stats.completed, 1u);  // the legitimate client only
+
+  // The host still serves fresh clients after the purge.
+  auto again = DiscfsClient::Connect("127.0.0.1", (*host)->port(), user_id,
+                                     server_key.public_key());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE((*again)->ServerInfo().ok());
+  (*again)->Close();
+}
+
+// At the half-open cap the oldest handshake is evicted in favor of the new
+// arrival, so a flood larger than the table still cannot lock out a fresh
+// legitimate client — newest wins.
+TEST(Overload, HalfOpenCapEvictsOldestNotNewest) {
+  constexpr size_t kCap = 4;
+  constexpr int kFlood = 8;
+  DsaPrivateKey server_key = DsaPrivateKey::Generate(Dsa512(), TestRand(1));
+  DsaPrivateKey user_key = DsaPrivateKey::Generate(Dsa512(), TestRand(2));
+
+  DiscfsServerConfig config;
+  config.server_key = server_key;
+  config.rand_bytes = TestRand(3);
+  DiscfsHostOptions host_options;
+  host_options.worker_threads = 2;
+  host_options.handshake_timeout_ms = 30'000;  // reaping plays no part here
+  host_options.max_half_open_handshakes = kCap;
+  auto host = DiscfsHost::Start(MakeVfs(), std::move(config), 0,
+                                host_options);
+  ASSERT_TRUE(host.ok()) << host.status();
+
+  std::vector<std::unique_ptr<TcpTransport>> flood;
+  for (int i = 0; i < kFlood; ++i) {
+    auto conn = TcpTransport::Connect("127.0.0.1", (*host)->port());
+    ASSERT_TRUE(conn.ok());
+    flood.push_back(std::move(conn).value());
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return (*host)->handshake_stats().evicted >= kFlood - kCap;
+  })) << "cap never evicted the oldest half-open handshakes";
+  EXPECT_LE((*host)->handshake_stats().half_open, kCap);
+
+  // The newest arrival — the real client — evicts a squatter and lands.
+  ChannelIdentity user_id{user_key, TestRand(4)};
+  auto client = DiscfsClient::Connect("127.0.0.1", (*host)->port(), user_id,
+                                      server_key.public_key());
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_TRUE((*client)->ServerInfo().ok());
+  (*client)->Close();
+  EXPECT_EQ((*host)->handshake_stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace discfs

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validates BENCH_policy.json / BENCH_rpc.json / BENCH_coherence.json /
 BENCH_admission.json / BENCH_fault.json / BENCH_storage.json /
-BENCH_lockbox.json against schema_version 1.
+BENCH_lockbox.json / BENCH_obs.json / BENCH_overload.json against
+schema_version 1.
 
 Stdlib only, so the bench-smoke CI job and tools/run_bench.sh can call it
 anywhere a python3 exists. Checks required keys per tier, tier-set shape
@@ -153,7 +154,14 @@ LOCKBOX_TOP_KEYS = {
     "payload_kb",
     "chunk_kb",
     "dedup",
+    "audit",
     "revocation",
+}
+LOCKBOX_AUDIT_KEYS = {
+    "records",
+    "chunks",
+    "live_references",
+    "clean",
 }
 LOCKBOX_DEDUP_KEYS = {
     "public_puts",
@@ -190,6 +198,73 @@ OBS_PATH_KEYS = {
     "disabled_ops_per_s",
     "overhead_pct",
 }
+
+OVERLOAD_TOP_KEYS = {
+    "bench",
+    "schema_version",
+    "corpus",
+    "saturation_ops_s",
+    "phases",
+    "sub_saturation_p99_ms",
+    "goodput_ratio_2x",
+    "deadline",
+    "handshake_flood",
+    "load_gates_enforced",
+}
+OVERLOAD_CORPUS_KEYS = {
+    "credentials",
+    "principals",
+    "intermediaries",
+    "delegation_depth",
+    "files",
+    "read_bytes",
+    "sign_s",
+    "submit_s",
+}
+OVERLOAD_PHASE_KEYS = {
+    "offered_x",
+    "offered_ops_s",
+    "duration_s",
+    "sent",
+    "ok",
+    "shed",
+    "deadline_exceeded",
+    "other_errors",
+    "goodput_ops_s",
+    "p50_ms",
+    "p99_ms",
+    "control_sent",
+    "control_ok",
+    "control_errors",
+    "shed_control",
+    "shed_namespace",
+    "shed_data",
+}
+OVERLOAD_DEADLINE_KEYS = {
+    "deadline_ms",
+    "per_op_us",
+    "burst",
+    "ok",
+    "expired_replies",
+    "other_errors",
+    "late_ok",
+    "server_expired_dropped",
+}
+OVERLOAD_FLOOD_KEYS = {
+    "flood_connections",
+    "peak_half_open",
+    "pool_queue_peak",
+    "pool_inflight_peak",
+    "legit_ok",
+    "legit_handshake_ms",
+    "timeout_ms",
+    "timed_out",
+    "evicted",
+    "completed",
+    "drained",
+}
+# The open-loop sweep must carry these offered-rate multiples.
+OVERLOAD_REQUIRED_PHASES = {0.5, 1.0, 2.0}
 
 COHERENCE_TIER_KEYS = {
     "cluster_size",
@@ -418,6 +493,10 @@ def check_lockbox(doc, errors):
     if not isinstance(dedup, dict) or LOCKBOX_DEDUP_KEYS - dedup.keys():
         errors.append(f"dedup must have {sorted(LOCKBOX_DEDUP_KEYS)}")
         return
+    audit = doc["audit"]
+    if not isinstance(audit, dict) or LOCKBOX_AUDIT_KEYS - audit.keys():
+        errors.append(f"audit must have {sorted(LOCKBOX_AUDIT_KEYS)}")
+        return
     revocation = doc["revocation"]
     if (not isinstance(revocation, dict)
             or LOCKBOX_REVOCATION_KEYS - revocation.keys()):
@@ -425,6 +504,13 @@ def check_lockbox(doc, errors):
             f"revocation must have {sorted(LOCKBOX_REVOCATION_KEYS)}"
         )
         return
+    if audit["clean"] is not True:
+        errors.append(
+            "audit.clean must be true (mark/sweep found orphaned, "
+            "skewed, missing, or corrupt chunks)"
+        )
+    if audit["records"] <= 0 or audit["chunks"] <= 0:
+        errors.append("audit.records and audit.chunks must be positive")
     if not 0.0 <= dedup["public_dedup_ratio"] <= 1.0:
         errors.append("dedup.public_dedup_ratio must be in [0, 1]")
     if dedup["public_dedup_ratio"] < 0.9:
@@ -483,6 +569,118 @@ def check_obs(doc, errors):
         errors.append("pass must be true (the bench's own gates failed)")
 
 
+def check_overload(doc, errors):
+    missing_top = OVERLOAD_TOP_KEYS - doc.keys()
+    if missing_top:
+        errors.append(f"missing top-level keys: {sorted(missing_top)}")
+        return
+    corpus = doc["corpus"]
+    if not isinstance(corpus, dict) or OVERLOAD_CORPUS_KEYS - corpus.keys():
+        errors.append(f"corpus must have {sorted(OVERLOAD_CORPUS_KEYS)}")
+        return
+    if corpus["principals"] < corpus["credentials"]:
+        errors.append("corpus.principals must be >= corpus.credentials")
+    if corpus["delegation_depth"] < 2:
+        errors.append("corpus.delegation_depth must be >= 2 (chained trust)")
+    if doc["saturation_ops_s"] <= 0:
+        errors.append("saturation_ops_s must be positive")
+    phases = doc["phases"]
+    if not isinstance(phases, list) or not phases:
+        errors.append("phases must be a non-empty list")
+        return
+    seen_x = set()
+    for i, phase in enumerate(phases):
+        missing = OVERLOAD_PHASE_KEYS - phase.keys()
+        if missing:
+            errors.append(f"phases[{i}] missing keys: {sorted(missing)}")
+            continue
+        seen_x.add(phase["offered_x"])
+        if phase["shed_control"] != 0:
+            errors.append(
+                f"phases[{i}] shed_control must be 0 (control-plane work "
+                f"was dropped under load): {phase['shed_control']}"
+            )
+        if phase["control_errors"] != 0:
+            errors.append(
+                f"phases[{i}] control_errors must be 0: "
+                f"{phase['control_errors']}"
+            )
+        if phase["other_errors"] != 0:
+            errors.append(
+                f"phases[{i}] other_errors must be 0: {phase['other_errors']}"
+            )
+        if phase["offered_x"] >= 2.0 and phase["shed_data"] <= 0:
+            errors.append(
+                f"phases[{i}] shed_data must be positive at 2x saturation "
+                "(the server must shed, not queue without bound)"
+            )
+    missing_x = OVERLOAD_REQUIRED_PHASES - seen_x
+    if missing_x:
+        errors.append(f"missing offered-rate phases: {sorted(missing_x)}")
+    deadline = doc["deadline"]
+    if (not isinstance(deadline, dict)
+            or OVERLOAD_DEADLINE_KEYS - deadline.keys()):
+        errors.append(f"deadline must have {sorted(OVERLOAD_DEADLINE_KEYS)}")
+        return
+    if deadline["server_expired_dropped"] <= 0:
+        errors.append(
+            "deadline.server_expired_dropped must be positive (the server "
+            "never dropped expired work at dequeue)"
+        )
+    if deadline["expired_replies"] <= 0:
+        errors.append("deadline.expired_replies must be positive")
+    if deadline["late_ok"] != 0:
+        errors.append(
+            f"deadline.late_ok must be 0 (the server executed work whose "
+            f"deadline had already expired): {deadline['late_ok']}"
+        )
+    if deadline["other_errors"] != 0:
+        errors.append(
+            f"deadline.other_errors must be 0: {deadline['other_errors']}"
+        )
+    flood = doc["handshake_flood"]
+    if not isinstance(flood, dict) or OVERLOAD_FLOOD_KEYS - flood.keys():
+        errors.append(
+            f"handshake_flood must have {sorted(OVERLOAD_FLOOD_KEYS)}"
+        )
+        return
+    if flood["peak_half_open"] < flood["flood_connections"]:
+        errors.append(
+            "handshake_flood.peak_half_open must reach flood_connections"
+        )
+    if flood["pool_queue_peak"] != 0 or flood["pool_inflight_peak"] != 0:
+        errors.append(
+            "handshake_flood pool peaks must be 0 (half-open connections "
+            "reached the worker pool)"
+        )
+    if flood["legit_ok"] is not True:
+        errors.append(
+            "handshake_flood.legit_ok must be true (a legitimate client "
+            "could not handshake during the flood)"
+        )
+    if flood["legit_handshake_ms"] >= flood["timeout_ms"]:
+        errors.append(
+            "handshake_flood.legit_handshake_ms must beat the handshake "
+            "timeout"
+        )
+    if flood["drained"] is not True:
+        errors.append(
+            "handshake_flood.drained must be true (half-open connections "
+            "were not reaped after the timeout)"
+        )
+    if doc["load_gates_enforced"] is True:
+        if doc["sub_saturation_p99_ms"] > 50.0:
+            errors.append(
+                f"sub_saturation_p99_ms above the 50ms gate: "
+                f"{doc['sub_saturation_p99_ms']}"
+            )
+        if doc["goodput_ratio_2x"] < 0.7:
+            errors.append(
+                f"goodput_ratio_2x below the 0.7 gate: "
+                f"{doc['goodput_ratio_2x']}"
+            )
+
+
 CHECKERS = {
     "policy_scaling": check_policy,
     "rpc_pipeline": check_rpc,
@@ -492,6 +690,7 @@ CHECKERS = {
     "storage_scaling": check_storage,
     "lockbox_sharing": check_lockbox,
     "obs_overhead": check_obs,
+    "overload": check_overload,
 }
 
 

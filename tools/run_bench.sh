@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Builds the Release tree and runs the policy + RPC + coherence +
-# admission + storage + lockbox + observability benchmarks, leaving
-# BENCH_policy.json, BENCH_rpc.json, BENCH_coherence.json,
-# BENCH_admission.json, BENCH_storage.json, BENCH_lockbox.json, and
-# BENCH_obs.json at the repo root (schemas: docs/BENCH_SCHEMAS.md,
-# enforced by tools/check_bench_schema.py).
+# admission + storage + lockbox + observability + overload benchmarks,
+# leaving BENCH_policy.json, BENCH_rpc.json, BENCH_coherence.json,
+# BENCH_admission.json, BENCH_storage.json, BENCH_lockbox.json,
+# BENCH_obs.json, and BENCH_overload.json at the repo root (schemas:
+# docs/BENCH_SCHEMAS.md, enforced by tools/check_bench_schema.py).
 #
 # Usage: tools/run_bench.sh [max_credentials]
 #   max_credentials  cap the policy_scaling and admission_scaling sweeps
@@ -28,7 +28,7 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target policy_scaling ablation_cache rpc_pipeline \
   coherence_propagation admission_scaling storage_scaling \
-  lockbox_sharing obs_overhead micro_ops
+  lockbox_sharing obs_overhead overload_harness micro_ops
 
 echo "--- policy_scaling (writes BENCH_policy.json) ---"
 "$build_dir/policy_scaling" "$repo_root/BENCH_policy.json" "$max_credentials"
@@ -64,6 +64,13 @@ echo "    metrics registry costs > 5% on pipelined RPC or warm admission,"
 echo "    or when a live kServerStats scrape comes back incomplete) ---"
 "$build_dir/obs_overhead" "$repo_root/BENCH_obs.json"
 
+echo "--- overload_harness (writes BENCH_overload.json; fails on any"
+echo "    control-plane shed under data-plane overload, any expired"
+echo "    request executed past its deadline, or when a handshake flood"
+echo "    reaches the worker pool or locks out a legitimate client) ---"
+"$build_dir/overload_harness" "$repo_root/BENCH_overload.json" \
+  "$max_credentials"
+
 echo "--- micro_ops (self-timed core-primitive microbenchmarks) ---"
 "$build_dir/micro_ops"
 
@@ -73,7 +80,7 @@ if command -v python3 >/dev/null 2>&1; then
     "$repo_root/BENCH_policy.json" "$repo_root/BENCH_rpc.json" \
     "$repo_root/BENCH_coherence.json" "$repo_root/BENCH_admission.json" \
     "$repo_root/BENCH_storage.json" "$repo_root/BENCH_lockbox.json" \
-    "$repo_root/BENCH_obs.json"
+    "$repo_root/BENCH_obs.json" "$repo_root/BENCH_overload.json"
 else
   echo "warning: python3 not found; skipping bench schema validation" >&2
 fi
@@ -81,4 +88,4 @@ fi
 echo "done: $repo_root/BENCH_policy.json $repo_root/BENCH_rpc.json" \
   "$repo_root/BENCH_coherence.json $repo_root/BENCH_admission.json" \
   "$repo_root/BENCH_storage.json $repo_root/BENCH_lockbox.json" \
-  "$repo_root/BENCH_obs.json"
+  "$repo_root/BENCH_obs.json $repo_root/BENCH_overload.json"

@@ -14,7 +14,10 @@
 # points) is exercised end-to-end by lockbox_test, and the observability
 # layer (sharded counters, scrape-time gauge callbacks, the RPC flight
 # recorder stamping calls across worker threads, and trace propagation
-# through the coherence fabric) is exercised by obs_test.
+# through the coherence fabric) is exercised by obs_test, and the
+# overload path (watermark shedding racing worker dequeues, deadline
+# expiry at dequeue, and the non-blocking handshake state machine under
+# a half-open flood) is exercised by overload_test.
 #
 # Usage: tools/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
@@ -30,7 +33,7 @@ command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 ||
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build-tsan"
-test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test|cluster_recovery_test|admission_test|fault_smoke|block_cache_test|nfs_test|lockbox_test|obs_test}"
+test_regex="${1:-transport_test|rpc_pipeline_test|event_loop_test|discfs_multiserver_test|security_test|cluster_coherence_test|cluster_recovery_test|admission_test|fault_smoke|block_cache_test|nfs_test|lockbox_test|obs_test|overload_test}"
 
 cmake -B "$build_dir" -S "$repo_root" -DDISCFS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -38,7 +41,7 @@ cmake --build "$build_dir" -j "$(nproc)" \
   --target transport_test rpc_pipeline_test event_loop_test \
   discfs_multiserver_test security_test cluster_coherence_test \
   cluster_recovery_test admission_test fault_harness \
-  block_cache_test nfs_test lockbox_test obs_test
+  block_cache_test nfs_test lockbox_test obs_test overload_test
 
 cd "$build_dir"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "$test_regex"
